@@ -1,0 +1,115 @@
+// E15 — Group-membership extension ablation (paper §5, concluding
+// remarks): how much QoS does a converged membership view recover when
+// chain peers are fail-silent?
+//
+// Campaign: k = 9 underlapping plane, generous deadline (τ = 22 min so a
+// skipped peer can be replaced by the following one), each episode's
+// chain second member fail-silent with probability p_fault. Three
+// configurations:
+//   blind      — protocol alone: the wait-deadline timeout guarantees a
+//                (level-1) alert;
+//   informed   — the membership service has already converged, so the
+//                chain skips the dead peer and recovers level 2;
+//   oracle-off — no faults (upper bound).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "oaq/montecarlo.hpp"
+
+using namespace oaq;
+
+namespace {
+
+struct Row {
+  double p2 = 0.0;
+  double mean_latency_min = 0.0;
+  int delivered = 0;
+  int episodes = 0;
+};
+
+Row run_campaign(double p_fault, bool informed) {
+  const PlaneGeometry geometry;
+  const int k = 9;
+  ProtocolConfig cfg;
+  cfg.tau = Duration::minutes(22);
+  cfg.delta = Duration::seconds(12);
+  cfg.tg = Duration::seconds(6);
+  cfg.computation_cap = Duration::seconds(6);
+
+  Rng master(555);
+  Rng phase_rng = master.fork(1);
+  Rng dur_rng = master.fork(2);
+  Rng ep_rng = master.fork(3);
+  Rng fault_rng = master.fork(4);
+
+  Row row;
+  const int episodes = 4000;
+  RunningStat latency;
+  for (int e = 0; e < episodes; ++e) {
+    const Duration phase = phase_rng.uniform(Duration::zero(),
+                                             geometry.tr(k));
+    const AnalyticSchedule sched(geometry, k, phase);
+    const EpisodeEngine engine(sched, cfg, true);
+    const TimePoint start = TimePoint::at(Duration::minutes(60));
+    const Duration dur = dur_rng.exponential(Rate::per_minute(0.05));
+    Rng rng = ep_rng.fork(static_cast<std::uint64_t>(e));
+
+    std::vector<EpisodeEngine::Fault> faults;
+    std::set<SatelliteId> view;
+    if (fault_rng.bernoulli(p_fault)) {
+      // Locate the chain's second member (next pass after detection).
+      const auto passes = sched.passes(Duration::minutes(40),
+                                       Duration::minutes(110));
+      Duration t0 = start.since_origin();
+      for (const auto& p : passes) {
+        if (p.start <= t0 && t0 < p.end) break;
+        if (p.start > t0) { t0 = p.start; break; }
+      }
+      for (const auto& p : passes) {
+        if (p.start > t0) {
+          faults.push_back({p.satellite, TimePoint::origin()});
+          if (informed) view.insert(p.satellite);
+          break;
+        }
+      }
+    }
+    const auto r = engine.run(start, dur, rng, faults, view);
+    ++row.episodes;
+    if (r.alert_delivered) {
+      ++row.delivered;
+      latency.add((r.first_alert_sent - r.detection).to_minutes());
+      if (r.level == QosLevel::kSequentialDual) row.p2 += 1.0;
+    }
+  }
+  row.p2 /= row.episodes;
+  row.mean_latency_min = latency.mean();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: membership-informed chains under fail-silent "
+               "peers (k = 9, tau = 22, backward messaging) ===\n\n";
+  TablePrinter table({"config", "P(fault)", "P(Y=2)", "mean alert latency "
+                      "min", "delivered"},
+                     4);
+  for (const double p : {0.0, 0.3, 0.7}) {
+    for (const bool informed : {false, true}) {
+      if (p == 0.0 && informed) continue;
+      const auto row = run_campaign(p, informed);
+      table.add_row({std::string(p == 0.0        ? "no faults"
+                                 : informed      ? "membership view"
+                                                 : "protocol alone"),
+                     p, row.p2, row.mean_latency_min,
+                     static_cast<long long>(row.delivered)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the protocol alone never loses an alert (the "
+               "paper's guarantee) but pays the full wait deadline and "
+               "drops to level 1 when a peer is silently dead; a converged "
+               "membership view re-routes the chain and recovers both the "
+               "level-2 share and the latency.\n";
+  return 0;
+}

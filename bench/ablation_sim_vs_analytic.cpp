@@ -1,0 +1,51 @@
+// E10 — Model validation (not in the paper): the event-driven protocol
+// simulator, run under the analytic model's assumptions (δ = Tg = 0,
+// Exp(ν) computations), reproduces the closed-form P(Y = y | k).
+#include <iostream>
+
+#include "analytic/qos_model.hpp"
+#include "common/table.hpp"
+#include "oaq/montecarlo.hpp"
+
+using namespace oaq;
+
+int main() {
+  std::cout << "=== Ablation: protocol Monte-Carlo vs closed-form model "
+               "(tau = 5, mu = 0.5, nu = 30, 20000 episodes/cell) ===\n\n";
+  QosModelParams p;
+  const QosModel model(PlaneGeometry{}, p);
+
+  TablePrinter table({"k", "scheme", "y", "analytic", "simulated", "abs err"},
+                     4);
+  double worst = 0.0;
+  for (int k : {9, 10, 11, 12, 14}) {
+    for (const bool oaq : {true, false}) {
+      QosSimulationConfig cfg;
+      cfg.k = k;
+      cfg.opportunity_adaptive = oaq;
+      cfg.episodes = 20000;
+      cfg.seed = 4242;
+      cfg.mu = p.mu;
+      cfg.protocol.tau = p.tau;
+      cfg.protocol.delta = Duration::zero();
+      cfg.protocol.tg = Duration::zero();
+      cfg.protocol.nu = p.nu;
+      const auto sim = simulate_qos(cfg);
+      const auto ana =
+          model.conditional_pmf(k, oaq ? Scheme::kOaq : Scheme::kBaq);
+      for (int y = 0; y <= 3; ++y) {
+        const double a = ana[static_cast<std::size_t>(y)];
+        const double s = sim.level_pmf.probability(y);
+        if (a < 1e-9 && s < 1e-9) continue;
+        worst = std::max(worst, std::abs(a - s));
+        table.add_row({static_cast<long long>(k),
+                       std::string(oaq ? "OAQ" : "BAQ"),
+                       static_cast<long long>(y), a, s, std::abs(a - s)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nworst |analytic - simulated| = " << worst
+            << " (Monte-Carlo noise at 20000 episodes is ~0.01)\n";
+  return 0;
+}

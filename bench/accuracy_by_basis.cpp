@@ -1,0 +1,94 @@
+// E14 — Accuracy by coverage basis (grounds Table 1's ordering physically):
+// measured geolocation error for
+//   level 1: one single-satellite Doppler pass,
+//   level 2: two sequential passes (sequential localization),
+//   level 3: a simultaneous dual-satellite TDOA/FDOA snapshot window.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "geoloc/dual_fix.hpp"
+#include "geoloc/sequential.hpp"
+
+using namespace oaq;
+
+namespace {
+
+constexpr double kCarrierHz = 400.0e6;
+
+Orbit plane_orbit(double slot_offset_deg) {
+  return Orbit::circular_with_period(Duration::minutes(90), deg2rad(85.0),
+                                     deg2rad(30.0), deg2rad(slot_offset_deg));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Accuracy by coverage basis (sigma_FOA = 5 Hz, "
+               "sigma_TDOA = 1 us, sigma_FDOA = 1 Hz; 40 trials each) "
+               "===\n\n";
+  const GeoPoint truth = GeoPoint::from_degrees(30.0, 31.0);
+  Emitter emitter;
+  emitter.position = truth;
+  emitter.carrier_hz = kCarrierHz;
+  emitter.start = TimePoint::origin();
+
+  RunningStat single_err, seq_err, sim_err;
+  const DopplerModel foa(true);
+  const TdoaModel tdoa(true);
+  const DualSatelliteFix dual_solver;
+
+  for (int t = 0; t < 40; ++t) {
+    Rng rng(5000 + static_cast<unsigned>(t));
+
+    // Level 1: one pass by one satellite.
+    const auto pass1 = foa.take_measurements(
+        plane_orbit(0.0), {0, 0}, emitter,
+        measurement_epochs(Duration::minutes(5), Duration::minutes(13), 25),
+        deg2rad(18.0), 5.0, rng);
+    SequentialLocalizer loc;
+    const auto& est1 = loc.incorporate(pass1);
+    single_err.add(great_circle_km(est1.position, truth));
+
+    // Level 2: a second satellite revisits Tr = 9 min later.
+    const auto pass2 = foa.take_measurements(
+        plane_orbit(-36.0), {0, 1}, emitter,
+        measurement_epochs(Duration::minutes(14), Duration::minutes(22), 25),
+        deg2rad(18.0), 5.0, rng);
+    const auto& est2 = loc.incorporate(pass2);
+    seq_err.add(great_circle_km(est2.position, truth));
+
+    // Level 3: two satellites co-observe (overlap geometry), one short
+    // simultaneous window, initialized from the preliminary result.
+    const auto pairs = tdoa.take_measurements(
+        plane_orbit(0.0), {0, 0}, plane_orbit(-20.0), {0, 1}, emitter,
+        measurement_epochs(Duration::minutes(7), Duration::minutes(10), 7),
+        deg2rad(18.0), 1e-6, 1.0, rng);
+    if (!pairs.empty()) {
+      const auto est3 = dual_solver.solve(pairs, est1.position, kCarrierHz);
+      sim_err.add(great_circle_km(est3.position, truth));
+    }
+  }
+
+  TablePrinter table({"QoS level", "basis", "mean err km", "max err km",
+                      "time to fix"},
+                     3);
+  table.add_row({static_cast<long long>(1), std::string("single pass"),
+                 single_err.mean(), single_err.max(),
+                 std::string("~8 min (one pass)")});
+  table.add_row({static_cast<long long>(2),
+                 std::string("sequential dual (2 passes)"), seq_err.mean(),
+                 seq_err.max(), std::string("~17 min (revisit + pass)")});
+  table.add_row({static_cast<long long>(3),
+                 std::string("simultaneous dual (TDOA/FDOA)"),
+                 sim_err.mean(), sim_err.max(),
+                 std::string("~3 min (one overlap window)")});
+  table.print(std::cout);
+  std::cout << "\nReading (Table 1): both dual bases are ~10x more accurate "
+               "than a single pass; simultaneous coverage additionally "
+               "resolves the ambiguity IMMEDIATELY — sub-km quality inside "
+               "one overlap window instead of waiting a full revisit "
+               "period, which is why it tops the QoS spectrum under a "
+               "delivery deadline.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// E16 — Constellation-level availability vs node-failure rate: expected
+// total active satellites, probability some plane has gone underlapping
+// (k < 11), and expected number of underlapping planes (7 i.i.d. planes,
+// the independence argument of paper §4.2.2).
+#include <iostream>
+
+#include "common/numeric.hpp"
+#include "common/table.hpp"
+#include "fault/constellation_availability.hpp"
+#include "fault/plane_capacity.hpp"
+
+using namespace oaq;
+
+int main() {
+  std::cout << "=== Constellation availability vs lambda (7 planes, "
+               "eta = 10, phi = 30000 h) ===\n\n";
+  SeriesPrinter series("lambda",
+                       {"E[total active]", "P(some plane underlap)",
+                        "E[underlap planes]", "P(all planes >= 9)"});
+  for (const double lam : linspace(1e-5, 1e-4, 10)) {
+    PlaneDependability model;
+    model.satellite_failure_rate = Rate::per_hour(lam);
+    model.policy.ground_threshold = 10;
+    const auto per_plane = plane_capacity_pmf(model, 42, 400);
+    const ConstellationAvailability avail(per_plane, 7, 14);
+    series.add_point(lam,
+                     {avail.expected_total(),
+                      avail.probability_some_plane_below(11),
+                      avail.expected_planes_below(11),
+                      avail.probability_all_planes_at_least(9)});
+  }
+  series.print(std::cout);
+  std::cout << "\nReading: even at the top of the lambda domain the "
+               "threshold policy keeps every plane at k >= 9 almost "
+               "surely, but most planes lose footprint overlap — exactly "
+               "the regime where OAQ's sequential coordination carries "
+               "the QoS (paper Figs. 7-9).\n";
+  return 0;
+}

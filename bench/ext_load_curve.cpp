@@ -1,0 +1,48 @@
+// E19 — QoS under load: concurrent signals contending for the plane's
+// computation resources (multi-target campaign engine).
+//
+// The paper's evaluation treats one signal at a time. Here emitters arrive
+// as a Poisson stream over a k = 9 plane; satellites serialize their
+// geolocation computations (mean 1 min, capped at 2 min — a deliberately
+// heavy payload to expose contention). As load grows, queueing eats into
+// the window of opportunity and the sequential-dual share erodes.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "oaq/campaign.hpp"
+
+using namespace oaq;
+
+int main() {
+  std::cout << "=== QoS vs signal load (k = 9, tau = 5, computation mean "
+               "1 min cap 2 min, 100-hour campaigns) ===\n\n";
+  TablePrinter table({"signals/hour", "signals", "P(Y>=2)", "P(missed)",
+                      "mean latency min", "contended", "mean queue s"},
+                     3);
+  for (const double per_hour : {1.0, 5.0, 15.0, 30.0, 60.0, 120.0}) {
+    CampaignConfig cfg;
+    cfg.k = 9;
+    cfg.protocol.tau = Duration::minutes(5);
+    cfg.protocol.delta = Duration::seconds(12);
+    cfg.protocol.tg = Duration::seconds(6);
+    cfg.protocol.nu = Rate::per_minute(1.0);
+    cfg.protocol.computation_cap = Duration::minutes(2);
+    cfg.duration_distribution =
+        std::make_shared<ExponentialDuration>(Rate::per_minute(0.2));
+    cfg.signal_arrival_rate = Rate::per_hour(per_hour);
+    cfg.horizon = Duration::hours(100);
+    cfg.seed = 2024;
+    const auto r = run_campaign(cfg);
+    table.add_row({per_hour, static_cast<long long>(r.signals),
+                   r.tail(QosLevel::kSequentialDual),
+                   r.probability(QosLevel::kMissed), r.mean_latency_min,
+                   static_cast<long long>(r.contended_computations),
+                   r.mean_queueing_delay_s});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the protocol's delivery guarantee holds at every "
+               "load (no signal that was detected goes unreported), but "
+               "compute contention erodes the high-end share — capacity "
+               "planning for the payload processor is part of QoS.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// E8 — §4.3: "We also evaluate the QoS measure as a function of τ. The
+// results illustrate how the OAQ scheme achieves better QoS by taking full
+// advantage of the 'time allowance'."
+#include <iostream>
+
+#include "analytic/measure.hpp"
+#include "common/table.hpp"
+#include "fault/plane_capacity.hpp"
+
+using namespace oaq;
+
+int main() {
+  std::cout << "=== QoS vs deadline tau (mu = 0.2, nu = 30, lambda = 5e-5, "
+               "eta = 12) ===\n\n";
+  PlaneDependability dep;
+  dep.satellite_failure_rate = Rate::per_hour(5e-5);
+  dep.policy.ground_threshold = 12;
+  dep.policy.launch_lead_time = Duration::hours(25000);
+  dep.policy.expedited_lead_time = Duration::hours(1700);
+  const auto pk = plane_capacity_pmf(dep, 42, 600);
+
+  SeriesPrinter series("tau_min", {"OAQ P(Y>=3)", "BAQ P(Y>=3)",
+                                   "OAQ P(Y>=2)", "BAQ P(Y>=2)"});
+  for (double tau = 0.5; tau <= 8.51; tau += 0.5) {
+    QosModelParams p;
+    p.tau = Duration::minutes(tau);
+    p.mu = Rate::per_minute(0.2);
+    p.nu = Rate::per_minute(30);
+    const QosModel model(PlaneGeometry{}, p);
+    const auto oaq = qos_measure(model, pk, Scheme::kOaq);
+    const auto baq = qos_measure(model, pk, Scheme::kBaq);
+    series.add_point(tau, {oaq.tail(3), baq.tail(3), oaq.tail(2),
+                           baq.tail(2)});
+  }
+  series.print(std::cout);
+  std::cout << "\nExpected shape: OAQ grows steadily with the time "
+               "allowance; BAQ saturates at the geometric ratio L2/L1 as "
+               "soon as tau covers the computation time.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E6 — Figure 8: P(Y = 3) as a function of the node-failure rate λ for the
+// OAQ and BAQ schemes at µ = 0.2 and µ = 0.5 (τ = 5, η = 12, φ = 30000 h).
+//
+// Paper narrative: OAQ improves as µ drops (up to ~38% between µ = 0.5 and
+// µ = 0.2 over the λ domain); BAQ is insensitive to µ; OAQ > BAQ
+// throughout.
+#include <iostream>
+
+#include "analytic/measure.hpp"
+#include "common/numeric.hpp"
+#include "common/table.hpp"
+#include "fault/plane_capacity.hpp"
+
+using namespace oaq;
+
+namespace {
+
+QosModel make_model(double mu) {
+  QosModelParams p;
+  p.tau = Duration::minutes(5);
+  p.mu = Rate::per_minute(mu);
+  p.nu = Rate::per_minute(30);
+  return QosModel(PlaneGeometry{}, p);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 8: P(Y = 3) vs lambda (tau = 5, eta = 12, "
+               "phi = 30000 h) ===\n\n";
+  const auto model_02 = make_model(0.2);
+  const auto model_05 = make_model(0.5);
+
+  SeriesPrinter series("lambda", {"OAQ mu=0.2", "OAQ mu=0.5", "BAQ mu=0.2",
+                                  "BAQ mu=0.5"});
+  double max_gain = 0.0;
+  for (const double lam : linspace(1e-5, 1e-4, 10)) {
+    PlaneDependability dep;
+    dep.satellite_failure_rate = Rate::per_hour(lam);
+    // Reconstructed SAN configuration for the eta = 12 experiments (the
+    // paper's SAN internals are unpublished): a slow replenishment
+    // pipeline lets the plane drift 1-2 satellites below the threshold at
+    // high lambda, which is what drives BAQ toward zero in Fig. 9 — the
+    // paper's central point. See EXPERIMENTS.md.
+    dep.policy.ground_threshold = 12;
+    dep.policy.launch_lead_time = Duration::hours(25000);
+    dep.policy.expedited_lead_time = Duration::hours(1700);
+    const auto pk = plane_capacity_pmf(dep, 42, 600);
+
+    const double oaq02 = qos_measure(model_02, pk, Scheme::kOaq).at(3);
+    const double oaq05 = qos_measure(model_05, pk, Scheme::kOaq).at(3);
+    const double baq02 = qos_measure(model_02, pk, Scheme::kBaq).at(3);
+    const double baq05 = qos_measure(model_05, pk, Scheme::kBaq).at(3);
+    series.add_point(lam, {oaq02, oaq05, baq02, baq05});
+    if (oaq05 > 0.0) max_gain = std::max(max_gain, oaq02 / oaq05 - 1.0);
+  }
+  series.print(std::cout);
+  std::cout << "\nMax OAQ gain from mu = 0.5 -> 0.2 over the lambda domain: "
+            << max_gain * 100.0 << "% (paper: up to 38%)\n"
+            << "BAQ columns are identical by construction (paper: \"the "
+               "same variation does not yield any differences\").\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E7 — Figure 9: the QoS measure P(Y >= y) for y = 1, 2, 3 versus the
+// node-failure rate λ, OAQ against BAQ (τ = 5, µ = 0.2, η = 12,
+// φ = 30000 h).
+//
+// Paper targets: at λ = 1e-5, OAQ P(Y>=2) ≈ 0.75 vs BAQ ≈ 0.33; at
+// λ = 1e-4, OAQ ≈ 0.41 vs BAQ ≈ 0.04; P(Y>=1) = 1 for both throughout.
+#include <iostream>
+
+#include "analytic/measure.hpp"
+#include "common/numeric.hpp"
+#include "common/table.hpp"
+#include "fault/plane_capacity.hpp"
+
+using namespace oaq;
+
+int main() {
+  std::cout << "=== Figure 9: P(Y >= y) vs lambda (tau = 5, mu = 0.2, "
+               "eta = 12, phi = 30000 h) ===\n\n";
+  QosModelParams p;
+  p.tau = Duration::minutes(5);
+  p.mu = Rate::per_minute(0.2);
+  p.nu = Rate::per_minute(30);
+  const QosModel model(PlaneGeometry{}, p);
+
+  SeriesPrinter series("lambda",
+                       {"OAQ y>=1", "OAQ y>=2", "OAQ y>=3", "BAQ y>=1",
+                        "BAQ y>=2", "BAQ y>=3"});
+  for (const double lam : linspace(1e-5, 1e-4, 10)) {
+    PlaneDependability dep;
+    dep.satellite_failure_rate = Rate::per_hour(lam);
+    // Reconstructed SAN configuration for the eta = 12 experiments (the
+    // paper's SAN internals are unpublished): a slow replenishment
+    // pipeline lets the plane drift 1-2 satellites below the threshold at
+    // high lambda, which is what drives BAQ toward zero in Fig. 9 — the
+    // paper's central point. See EXPERIMENTS.md.
+    dep.policy.ground_threshold = 12;
+    dep.policy.launch_lead_time = Duration::hours(25000);
+    dep.policy.expedited_lead_time = Duration::hours(1700);
+    const auto pk = plane_capacity_pmf(dep, 42, 600);
+    const auto oaq = qos_measure(model, pk, Scheme::kOaq);
+    const auto baq = qos_measure(model, pk, Scheme::kBaq);
+    series.add_point(lam, {oaq.tail(1), oaq.tail(2), oaq.tail(3), baq.tail(1),
+                           baq.tail(2), baq.tail(3)});
+  }
+  series.print(std::cout);
+  std::cout << "\nPaper reference points: OAQ P(Y>=2) 0.75 -> 0.41 and BAQ "
+               "0.33 -> 0.04 across the lambda domain; P(Y>=1) = 1 for "
+               "both schemes.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E11 — Sequential-localization motivation (paper refs [4, 5]): measured
+// WLS geolocation error and the CRLB as a function of the number of
+// cooperating satellite passes, from synthetic Doppler measurements.
+//
+// This is the physical basis of the paper's claim that "additional
+// information from diverse sources enables further accuracy-improvement
+// iterations" and of the AccuracyModel defaults used by TC-1.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "geoloc/crlb.hpp"
+#include "geoloc/sequential.hpp"
+
+using namespace oaq;
+
+namespace {
+
+constexpr double kCarrierHz = 400.0e6;
+
+std::vector<std::vector<FoaMeasurement>> make_passes(int n, double sigma_hz,
+                                                     const GeoPoint& truth,
+                                                     std::uint64_t seed) {
+  Emitter emitter;
+  emitter.position = truth;
+  emitter.carrier_hz = kCarrierHz;
+  emitter.start = TimePoint::origin();
+  const DopplerModel model(true);
+  Rng rng(seed);
+  std::vector<std::vector<FoaMeasurement>> out;
+  const Duration revisit = Duration::minutes(9);  // Tr[10]
+  for (int p = 0; p < n; ++p) {
+    const Orbit orbit = Orbit::circular_with_period(
+        Duration::minutes(90), deg2rad(85.0), deg2rad(30.0),
+        -2.0 * kPi * p / 10.0);
+    out.push_back(model.take_measurements(
+        orbit, {0, p}, emitter,
+        measurement_epochs(Duration::minutes(5) + revisit * p,
+                           Duration::minutes(13) + revisit * p, 25),
+        deg2rad(18.0), sigma_hz, rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sequential localization: error vs number of cooperating "
+               "passes (sigma = 5 Hz, 400 MHz carrier, 30N emitter) ===\n\n";
+  const GeoPoint truth = GeoPoint::from_degrees(30.0, 31.0);
+  const int trials = 40;
+  const int max_passes = 4;
+
+  std::vector<RunningStat> err(max_passes);
+  std::vector<RunningStat> posterior(max_passes);
+  std::vector<RunningStat> bound(max_passes);
+
+  for (int t = 0; t < trials; ++t) {
+    const auto passes =
+        make_passes(max_passes, 5.0, truth, 1000 + static_cast<unsigned>(t));
+    SequentialLocalizer loc;
+    std::vector<FoaMeasurement> all;
+    for (int p = 0; p < max_passes; ++p) {
+      const auto& est = loc.incorporate(passes[static_cast<std::size_t>(p)]);
+      all.insert(all.end(), passes[static_cast<std::size_t>(p)].begin(),
+                 passes[static_cast<std::size_t>(p)].end());
+      err[static_cast<std::size_t>(p)].add(
+          great_circle_km(est.position, truth));
+      posterior[static_cast<std::size_t>(p)].add(
+          est.position_error_1sigma_km);
+      bound[static_cast<std::size_t>(p)].add(
+          crlb_position_km(all, truth, kCarrierHz, true));
+    }
+  }
+
+  TablePrinter table({"passes", "mean err km", "posterior 1-sigma km",
+                      "CRLB km", "err vs 1-pass"},
+                     3);
+  table.set_caption(
+      "Mean over 40 noise realizations; the contraction per added pass "
+      "calibrates AccuracyModel::sequential_contraction");
+  for (int p = 0; p < max_passes; ++p) {
+    const auto& e = err[static_cast<std::size_t>(p)];
+    table.add_row({static_cast<long long>(p + 1), e.mean(),
+                   posterior[static_cast<std::size_t>(p)].mean(),
+                   bound[static_cast<std::size_t>(p)].mean(),
+                   e.mean() / err[0].mean()});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper basis (Levanon '98; Chan & Towers '92): accumulated "
+               "measurements from successive passes support iterative WLS "
+               "and shrink the error — the mechanism OAQ exploits.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E13 — google-benchmark microbenchmarks of the library's hot kernels.
+#include <benchmark/benchmark.h>
+
+#include "analytic/qos_model.hpp"
+#include "common/numeric.hpp"
+#include "common/rng.hpp"
+#include "fault/plane_capacity.hpp"
+#include "geoloc/wls.hpp"
+#include "oaq/episode.hpp"
+#include "orbit/kepler.hpp"
+
+namespace {
+
+using namespace oaq;
+
+void BM_OrbitPropagationCircular(benchmark::State& state) {
+  const auto orbit = Orbit::circular_with_period(Duration::minutes(90),
+                                                 deg2rad(85.0), 0.3, 0.7);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(orbit.position_eci(Duration::seconds(t)));
+  }
+}
+BENCHMARK(BM_OrbitPropagationCircular);
+
+void BM_OrbitPropagationElliptical(benchmark::State& state) {
+  KeplerianElements el;
+  el.semi_major_km = 8000.0;
+  el.eccentricity = 0.2;
+  el.inclination_rad = 0.5;
+  const Orbit orbit(el);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(orbit.state_at(Duration::seconds(t)));
+  }
+}
+BENCHMARK(BM_OrbitPropagationElliptical);
+
+void BM_AdaptiveSimpson(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(integrate(
+        [](double x) { return std::exp(-0.5 * x) * (1.0 - std::exp(-30.0 * (5.0 - x))); },
+        0.0, 5.0, 1e-12));
+  }
+}
+BENCHMARK(BM_AdaptiveSimpson);
+
+void BM_QosConditionalPmf(benchmark::State& state) {
+  const QosModel model(PlaneGeometry{}, QosModelParams{});
+  int k = 6;
+  for (auto _ : state) {
+    k = k == 16 ? 6 : k + 1;
+    benchmark::DoNotOptimize(model.conditional_pmf(k, Scheme::kOaq));
+  }
+}
+BENCHMARK(BM_QosConditionalPmf);
+
+void BM_PlaneCapacityCycle(benchmark::State& state) {
+  PlaneDependability model;
+  model.satellite_failure_rate = Rate::per_hour(1e-4);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plane_capacity_pmf(model, ++seed, 10));
+  }
+}
+BENCHMARK(BM_PlaneCapacityCycle);
+
+void BM_ProtocolEpisode(benchmark::State& state) {
+  const AnalyticSchedule sched(PlaneGeometry{}, 9, Duration::minutes(1));
+  ProtocolConfig cfg;
+  cfg.delta = Duration::zero();
+  cfg.tg = Duration::zero();
+  const EpisodeEngine engine(sched, cfg, true);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(
+        TimePoint::at(Duration::minutes(60)), Duration::minutes(4), rng));
+  }
+}
+BENCHMARK(BM_ProtocolEpisode);
+
+void BM_WlsSolve(benchmark::State& state) {
+  Emitter emitter;
+  emitter.position = GeoPoint::from_degrees(30.0, 31.0);
+  emitter.carrier_hz = 400e6;
+  emitter.start = TimePoint::origin();
+  const DopplerModel model(true);
+  Rng rng(1);
+  const Orbit orbit = Orbit::circular_with_period(Duration::minutes(90),
+                                                  deg2rad(85.0),
+                                                  deg2rad(30.0), 0.0);
+  const auto batch = model.take_measurements(
+      orbit, {0, 0}, emitter,
+      measurement_epochs(Duration::minutes(5), Duration::minutes(13), 25),
+      deg2rad(18.0), 5.0, rng);
+  const WlsGeolocator solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(
+        batch, GeoPoint::from_degrees(29.0, 30.0), 400e6));
+  }
+}
+BENCHMARK(BM_WlsSolve);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Constellation trade study: how many satellites per plane does a design
+// need so that its QoS degrades gracefully?
+//
+// Sweeps the per-plane satellite count and evaluates, for each design:
+//   * the overlap threshold k* (smallest capacity with footprint overlap),
+//   * whole-Earth coverage of the full design,
+//   * analytic OAQ/BAQ QoS after losing 0, 2 and 4 satellites per plane.
+#include <iostream>
+
+#include "analytic/qos_model.hpp"
+#include "common/table.hpp"
+#include "orbit/coverage.hpp"
+
+using namespace oaq;
+
+int main() {
+  std::cout << "=== Constellation designer: per-plane capacity trade study "
+               "(theta = 90 min, Tc = 9 min, tau = 5, mu = 0.5, nu = 30) "
+               "===\n\n";
+  QosModelParams params;
+  const PlaneGeometry geometry;
+  const QosModel model(geometry, params);
+
+  TablePrinter table({"sats/plane", "k* overlap", "losses", "k", "mode",
+                      "OAQ P(Y>=2)", "BAQ P(Y>=2)", "OAQ P(miss)"},
+                     3);
+  for (int design : {16, 14, 12, 10}) {
+    for (int losses : {0, 2, 4}) {
+      const int k = design - losses;
+      if (k <= 0) continue;
+      table.add_row(
+          {static_cast<long long>(design),
+           static_cast<long long>(geometry.min_overlapping_k()),
+           static_cast<long long>(losses), static_cast<long long>(k),
+           std::string(geometry.overlapping(k) ? "overlap" : "underlap"),
+           model.conditional_tail(k, 2, Scheme::kOaq),
+           model.conditional_tail(k, 2, Scheme::kBaq),
+           model.conditional(k, 0, Scheme::kOaq)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nGlobal coverage of candidate full designs (snapshot):\n";
+  TablePrinter cov({"planes", "sats/plane", "covered", ">=2-fold"}, 3);
+  for (int planes : {6, 7, 8}) {
+    for (int sats : {12, 14}) {
+      ConstellationDesign d;
+      d.num_planes = planes;
+      d.sats_per_plane = sats;
+      const Constellation c(d);
+      const auto g = CoverageAnalyzer(c).global(Duration::zero(), 24, 72);
+      cov.add_row({static_cast<long long>(planes),
+                   static_cast<long long>(sats), g.covered_fraction,
+                   g.overlap_fraction});
+    }
+  }
+  cov.print(std::cout);
+
+  std::cout << "\nReading: designs keep high-end QoS while k stays above "
+               "the overlap threshold k*; below it, only OAQ's sequential "
+               "coordination retains level-2 service.\n";
+  return 0;
+}

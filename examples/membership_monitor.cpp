@@ -1,0 +1,78 @@
+// Membership monitor: the group-membership extension (paper §5) watching
+// an orbital plane degrade in real time.
+//
+// Nine satellites of a plane run the ring-heartbeat membership service
+// over their crosslinks. Satellites fail silently one by one; the example
+// prints when each survivor's view converges and how the coordination
+// chain (next-visitor routing) re-forms around the failures.
+#include <iomanip>
+#include <iostream>
+
+#include "net/membership.hpp"
+#include "net/router.hpp"
+
+using namespace oaq;
+
+int main() {
+  Simulator sim;
+  CrosslinkNetwork::Options links;
+  links.min_delay = Duration::seconds(0.5);
+  links.max_delay = Duration::seconds(2.0);
+  CrosslinkNetwork net(sim, links, Rng(2003));
+
+  std::vector<SatelliteId> ring;
+  for (int s = 0; s < 9; ++s) ring.push_back({0, s});
+  MembershipConfig config;
+  config.heartbeat_period = Duration::seconds(30);
+  config.suspicion_timeout = Duration::seconds(120);
+  MembershipGroup group(sim, net, ring, config);
+
+  std::cout << "=== Ring membership over a degrading 9-satellite plane ===\n"
+            << "heartbeat 30 s, suspicion timeout 120 s, crosslink delay "
+               "0.5-2 s\n\n";
+
+  auto print_view = [&](const char* when) {
+    const auto& view = group.node({0, 0}).live_view();
+    std::cout << std::setw(10) << when << "  view of sat 0: {";
+    bool first = true;
+    for (const auto id : view) {
+      std::cout << (first ? "" : ",") << id.slot;
+      first = false;
+    }
+    std::cout << "}  next visitor after sat 0: slot "
+              << group.node({0, 0}).live_predecessor().slot << '\n';
+  };
+
+  sim.run_until(TimePoint::at(Duration::minutes(2)));
+  print_view("t=2min");
+
+  // Failures at minutes 5 and 18 (adjacent pair at 25/26).
+  net.fail_silent(Address::sat({0, 8}));
+  std::cout << "\n-- sat 8 fails silently at t=5min --\n";
+  sim.run_until(TimePoint::at(Duration::minutes(10)));
+  print_view("t=10min");
+
+  sim.run_until(TimePoint::at(Duration::minutes(18)));
+  net.fail_silent(Address::sat({0, 4}));
+  std::cout << "\n-- sat 4 fails silently at t=18min --\n";
+  sim.run_until(TimePoint::at(Duration::minutes(25)));
+  print_view("t=25min");
+
+  net.fail_silent(Address::sat({0, 5}));
+  net.fail_silent(Address::sat({0, 6}));
+  std::cout << "\n-- sats 5 and 6 (adjacent) fail at t=25min --\n";
+  sim.run_until(TimePoint::at(Duration::minutes(35)));
+  print_view("t=35min");
+
+  std::set<SatelliteId> actually_live(ring.begin(), ring.end());
+  for (int s : {8, 4, 5, 6}) actually_live.erase({0, s});
+  std::cout << "\nall survivors converged on the true membership: "
+            << (group.converged(actually_live) ? "yes" : "NO") << '\n'
+            << "\nWhy it matters for OAQ: the chain's \"next visitor\" is\n"
+               "derived from the live view, so a coordination request is\n"
+               "never addressed to a dead peer — the protocol keeps its\n"
+               "delivery guarantee either way, but skipping dead peers\n"
+               "recovers the sequential-dual accuracy and most of the\n"
+               "alert latency (see bench/ablation_membership).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Sequential localization, end to end: real orbits, synthetic Doppler
+// measurements, iterative weighted least squares — the estimation substrate
+// the OAQ protocol coordinates (paper refs [4, 5]).
+#include <iomanip>
+#include <iostream>
+
+#include "geoloc/crlb.hpp"
+#include "geoloc/sequential.hpp"
+
+using namespace oaq;
+
+int main() {
+  std::cout << "=== Sequential localization demo ===\n\n";
+  // A ground emitter at 30N, 31E transmitting at 400 MHz.
+  Emitter emitter;
+  emitter.position = GeoPoint::from_degrees(30.0, 31.0);
+  emitter.carrier_hz = 400.0e6;
+  emitter.start = TimePoint::origin();
+  std::cout << "True emitter: 30.000N 31.000E, carrier 400 MHz (unknown to "
+               "the estimator)\n\n";
+
+  const DopplerModel model(/*earth_rotation=*/true);
+  Rng rng(2003);
+  SequentialLocalizer localizer;
+  std::vector<FoaMeasurement> all;
+
+  const Duration revisit = Duration::minutes(9);  // Tr for k = 10
+  std::cout << std::fixed << std::setprecision(3);
+  for (int pass = 0; pass < 4; ++pass) {
+    // Satellite `pass` trails its predecessor by one slot; Earth rotation
+    // shifts each ground track, giving geometric diversity.
+    const Orbit orbit = Orbit::circular_with_period(
+        Duration::minutes(90), deg2rad(85.0), deg2rad(30.0),
+        -2.0 * kPi * pass / 10.0);
+    const auto window_start = Duration::minutes(5) + revisit * pass;
+    const auto window_end = Duration::minutes(13) + revisit * pass;
+    const auto batch = model.take_measurements(
+        orbit, {0, pass}, emitter,
+        measurement_epochs(window_start, window_end, 25), deg2rad(18.0),
+        /*sigma_hz=*/5.0, rng);
+    if (batch.empty()) continue;
+    all.insert(all.end(), batch.begin(), batch.end());
+
+    const auto& est = localizer.incorporate(batch);
+    const double err = great_circle_km(est.position, emitter.position);
+    const double bound =
+        crlb_position_km(all, emitter.position, emitter.carrier_hz, true);
+    std::cout << "pass " << pass + 1 << " (sat slot " << pass << ", "
+              << batch.size() << " Doppler measurements):\n"
+              << "  estimate  " << est.position.lat_deg() << "N "
+              << est.position.lon_deg() << "E, carrier "
+              << est.carrier_hz / 1e6 << " MHz\n"
+              << "  error " << err << " km, posterior 1-sigma "
+              << est.position_error_1sigma_km << " km, CRLB " << bound
+              << " km, iterations " << est.iterations << '\n';
+  }
+
+  std::cout << "\nEach revisiting satellite tightens the fix — exactly the "
+               "accuracy-improvement iteration that the OAQ coordination "
+               "chain schedules across peers (paper section 3.1).\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "analytic/geometry.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+PlaneGeometry::PlaneGeometry(Duration theta, Duration tc)
+    : theta_(theta), tc_(tc) {
+  OAQ_REQUIRE(theta > Duration::zero(), "orbit period must be positive");
+  OAQ_REQUIRE(tc > Duration::zero() && tc < theta,
+              "coverage time must be in (0, period)");
+}
+
+Duration PlaneGeometry::tr(int k) const {
+  OAQ_REQUIRE(k > 0, "revisit time needs at least one satellite");
+  return theta_ / static_cast<double>(k);
+}
+
+Duration PlaneGeometry::l2(int k) const {
+  const Duration t = tr(k);
+  return t < tc_ ? tc_ - t : t - tc_;
+}
+
+Duration PlaneGeometry::alpha_length(int k) const { return l1(k) - l2(k); }
+
+int PlaneGeometry::indicator(int k) const { return tr(k) < tc_ ? 1 : 0; }
+
+int PlaneGeometry::max_chain(int k, Duration tau) const {
+  OAQ_REQUIRE(!overlapping(k),
+              "Eq. (2) applies to underlapping planes (I[k] = 0)");
+  OAQ_REQUIRE(tau > Duration::zero(), "deadline must be positive");
+  if (tau <= l2(k)) return 1;
+  const double extra = std::floor((tau - l2(k)) / l1(k));
+  return 2 + static_cast<int>(extra);
+}
+
+int PlaneGeometry::min_overlapping_k() const {
+  // Tr[k] < Tc  ⇔  k > θ/Tc; the smallest such integer.
+  const double ratio = theta_ / tc_;
+  const int k = static_cast<int>(std::floor(ratio)) + 1;
+  return k;
+}
+
+}  // namespace oaq

@@ -1,0 +1,52 @@
+// Plane footprint-trajectory geometry (paper §2 and Fig. 5).
+//
+// For an orbital plane with period θ, per-satellite coverage time Tc and k
+// active evenly spaced satellites:
+//   Tr[k] = θ/k                      revisit time
+//   L1[k] = Tr[k]                    the period of the centerline pattern
+//   L2[k] = |Tc − Tr[k]|             overlap window (I=1) or gap (I=0)
+//   I[k]  = 1 iff Tr[k] < Tc         footprint overlap indicator, Eq. (1)
+//   M[k]                             chain-length upper bound, Eq. (2)
+#pragma once
+
+#include "common/units.hpp"
+
+namespace oaq {
+
+/// Closed-form geometry of one plane's centerline coverage pattern.
+class PlaneGeometry {
+ public:
+  /// Defaults are the reference constellation: θ = 90 min, Tc = 9 min.
+  PlaneGeometry() : PlaneGeometry(Duration::minutes(90), Duration::minutes(9)) {}
+  PlaneGeometry(Duration theta, Duration tc);
+
+  [[nodiscard]] Duration theta() const { return theta_; }
+  [[nodiscard]] Duration tc() const { return tc_; }
+
+  /// Revisit time Tr[k] = θ/k.
+  [[nodiscard]] Duration tr(int k) const;
+  /// L1[k] = Tr[k] (pattern period).
+  [[nodiscard]] Duration l1(int k) const { return tr(k); }
+  /// L2[k] = |Tc − Tr[k]|.
+  [[nodiscard]] Duration l2(int k) const;
+  /// Single-coverage stretch length L1[k] − L2[k] per period.
+  [[nodiscard]] Duration alpha_length(int k) const;
+
+  /// Eq. (1): 1 when footprints overlap (Tr < Tc), else 0.
+  [[nodiscard]] int indicator(int k) const;
+  [[nodiscard]] bool overlapping(int k) const { return indicator(k) == 1; }
+
+  /// Eq. (2): upper bound M[k] on the number of satellites that can
+  /// consecutively capture a signal given deadline τ (underlapping planes).
+  [[nodiscard]] int max_chain(int k, Duration tau) const;
+
+  /// Smallest k for which footprints overlap (11 for the reference
+  /// constellation: Tr[11] = 8.18 < 9 while Tr[10] = 9 ≥ 9).
+  [[nodiscard]] int min_overlapping_k() const;
+
+ private:
+  Duration theta_;
+  Duration tc_;
+};
+
+}  // namespace oaq

@@ -1,0 +1,32 @@
+#include "analytic/measure.hpp"
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+double QosMeasure::tail(int level) const {
+  OAQ_REQUIRE(level >= 0 && level <= 3, "QoS level must be in 0..3");
+  double sum = 0.0;
+  for (int y = level; y <= 3; ++y) sum += pmf[static_cast<std::size_t>(y)];
+  return sum;
+}
+
+double QosMeasure::at(int level) const {
+  OAQ_REQUIRE(level >= 0 && level <= 3, "QoS level must be in 0..3");
+  return pmf[static_cast<std::size_t>(level)];
+}
+
+QosMeasure qos_measure(const QosModel& model, const DiscretePmf& capacity,
+                       Scheme scheme) {
+  OAQ_REQUIRE(capacity.total_weight() > 0.0, "capacity pmf is empty");
+  QosMeasure out;
+  for (const auto& [k, weight] : capacity.weights()) {
+    OAQ_REQUIRE(k >= 0, "capacity cannot be negative");
+    const double pk = weight / capacity.total_weight();
+    const auto cond = model.conditional_pmf(k, scheme);
+    for (std::size_t y = 0; y < 4; ++y) out.pmf[y] += pk * cond[y];
+  }
+  return out;
+}
+
+}  // namespace oaq

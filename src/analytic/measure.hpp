@@ -1,0 +1,29 @@
+// Eq. (3): composition of the conditional QoS model with the plane-capacity
+// distribution — P(Y = y) = Σ_k P(Y = y | k)·P(k).
+#pragma once
+
+#include <array>
+
+#include "analytic/qos_model.hpp"
+#include "common/stats.hpp"
+
+namespace oaq {
+
+/// Unconditional QoS distribution for one scheme.
+struct QosMeasure {
+  std::array<double, 4> pmf{0.0, 0.0, 0.0, 0.0};
+
+  /// P(Y >= y) — the paper's headline measure.
+  [[nodiscard]] double tail(int level) const;
+  /// P(Y = y).
+  [[nodiscard]] double at(int level) const;
+};
+
+/// Evaluate Eq. (3) against a plane-capacity pmf (e.g. from
+/// fault/plane_capacity). Capacity values are taken as-is; k = 0 means the
+/// target escapes surveillance.
+[[nodiscard]] QosMeasure qos_measure(const QosModel& model,
+                                     const DiscretePmf& capacity,
+                                     Scheme scheme);
+
+}  // namespace oaq

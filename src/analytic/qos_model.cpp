@@ -1,0 +1,139 @@
+#include "analytic/qos_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+
+namespace oaq {
+
+QosModel::QosModel(PlaneGeometry geometry, QosModelParams params)
+    : QosModel(geometry, params.tau,
+               std::make_shared<ExponentialDuration>(params.mu),
+               std::make_shared<ExponentialDuration>(params.nu)) {
+  params_ = params;
+}
+
+QosModel::QosModel(PlaneGeometry geometry, Duration tau,
+                   std::shared_ptr<const DurationDistribution> signal_duration,
+                   std::shared_ptr<const DurationDistribution> computation_time)
+    : geometry_(geometry), signal_(std::move(signal_duration)),
+      computation_(std::move(computation_time)) {
+  OAQ_REQUIRE(tau > Duration::zero(), "deadline must be positive");
+  OAQ_REQUIRE(signal_ != nullptr, "signal-duration distribution required");
+  OAQ_REQUIRE(computation_ != nullptr, "computation distribution required");
+  params_.tau = tau;
+}
+
+double QosModel::completion(double z_min) const {
+  if (z_min <= 0.0) return 0.0;
+  return computation_->cdf(Duration::minutes(z_min));
+}
+
+double QosModel::signal_survival(double u_min) const {
+  return signal_->survival(Duration::minutes(u_min));
+}
+
+double QosModel::wait_and_complete_integral(double a, double b) const {
+  if (b <= a) return 0.0;
+  return integrate(
+      [&](double u) {
+        return signal_survival(u) * completion(params_.tau.to_minutes() - u);
+      },
+      a, b, 1e-12);
+}
+
+double QosModel::survival_integral(double b) const {
+  if (b <= 0.0) return 0.0;
+  return integrate([&](double u) { return signal_survival(u); }, 0.0, b,
+                   1e-12);
+}
+
+double QosModel::g3(int k) const {
+  OAQ_REQUIRE(geometry_.overlapping(k), "G3 requires an overlapping plane");
+  const double l1 = geometry_.l1(k).to_minutes();
+  const double l2 = geometry_.l2(k).to_minutes();
+  const double tau = params_.tau.to_minutes();
+  const double l_hat = std::min(l1 - l2, tau);
+  // Occur in α within L̂ of β and survive the wait, or occur inside β.
+  const double from_alpha = wait_and_complete_integral(0.0, l_hat);
+  const double from_beta = l2 * completion(tau);
+  return (from_alpha + from_beta) / l1;
+}
+
+double QosModel::g2(int k) const {
+  OAQ_REQUIRE(!geometry_.overlapping(k), "G2 requires an underlapping plane");
+  const double l1 = geometry_.l1(k).to_minutes();
+  const double l2 = geometry_.l2(k).to_minutes();
+  const double tau = params_.tau.to_minutes();
+
+  // Theorem 2, case 1: occur in α, next satellite after wait d in [L2, L1].
+  double g2a = 0.0;
+  if (tau > l2) {
+    g2a = wait_and_complete_integral(l2, std::min(l1, tau)) / l1;
+  }
+  // Theorem 2, case 2: occur in the gap, detected by S_{i+1}, sequential
+  // with S_{i+2} which arrives L1 after detection. The signal must survive
+  // the gap wait d plus the full revisit L1: ∫₀^{L2} S(d + L1) dd.
+  double g2b = 0.0;
+  if (tau > l1 && l2 > 0.0) {
+    const double survive_both = integrate(
+        [&](double d) { return signal_survival(d + l1); }, 0.0, l2, 1e-12);
+    g2b = completion(tau - l1) * survive_both / l1;
+  }
+  return g2a + g2b;
+}
+
+double QosModel::detect_probability(int k) const {
+  if (geometry_.overlapping(k)) return 1.0;
+  const double l1 = geometry_.l1(k).to_minutes();
+  const double l2 = geometry_.l2(k).to_minutes();
+  const double covered = l1 - l2;  // = Tc
+  return (covered + survival_integral(l2)) / l1;
+}
+
+std::array<double, 4> QosModel::conditional_pmf(int k, Scheme scheme) const {
+  OAQ_REQUIRE(k >= 0, "capacity must be nonnegative");
+  std::array<double, 4> pmf{0.0, 0.0, 0.0, 0.0};
+  if (k == 0) {
+    pmf[0] = 1.0;  // empty plane: every signal escapes surveillance
+    return pmf;
+  }
+  if (geometry_.overlapping(k)) {
+    const double p3 = scheme == Scheme::kOaq
+                          ? g3(k)
+                          : (geometry_.l2(k) / geometry_.l1(k)) *
+                                completion(params_.tau.to_minutes());
+
+    pmf[3] = p3;
+    pmf[1] = 1.0 - p3;
+    return pmf;
+  }
+  const double p_det = detect_probability(k);
+  if (scheme == Scheme::kOaq) {
+    const double p2 = g2(k);
+    OAQ_ENSURE(p2 <= p_det + 1e-12, "level-2 probability exceeds detection");
+    pmf[2] = p2;
+    pmf[1] = p_det - p2;
+  } else {
+    pmf[1] = p_det;
+  }
+  pmf[0] = 1.0 - p_det;
+  return pmf;
+}
+
+double QosModel::conditional(int k, int level, Scheme scheme) const {
+  OAQ_REQUIRE(level >= 0 && level <= 3, "QoS level must be in 0..3");
+  return conditional_pmf(k, scheme)[static_cast<std::size_t>(level)];
+}
+
+double QosModel::conditional_tail(int k, int level, Scheme scheme) const {
+  OAQ_REQUIRE(level >= 0 && level <= 3, "QoS level must be in 0..3");
+  const auto pmf = conditional_pmf(k, scheme);
+  double sum = 0.0;
+  for (int y = level; y <= 3; ++y) sum += pmf[static_cast<std::size_t>(y)];
+  return sum;
+}
+
+}  // namespace oaq

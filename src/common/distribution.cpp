@@ -1,0 +1,102 @@
+#include "common/distribution.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+ExponentialDuration::ExponentialDuration(Rate rate) : rate_(rate) {
+  OAQ_REQUIRE(rate > Rate::zero(), "rate must be positive");
+}
+
+double ExponentialDuration::survival(Duration t) const {
+  if (t <= Duration::zero()) return 1.0;
+  return std::exp(-(rate_ * t));
+}
+
+Duration ExponentialDuration::mean() const { return rate_.mean_interval(); }
+
+Duration ExponentialDuration::sample(Rng& rng) const {
+  return rng.exponential(rate_);
+}
+
+DeterministicDuration::DeterministicDuration(Duration value) : value_(value) {
+  OAQ_REQUIRE(value > Duration::zero(), "duration must be positive");
+}
+
+double DeterministicDuration::survival(Duration t) const {
+  return t < value_ ? 1.0 : 0.0;
+}
+
+Duration DeterministicDuration::mean() const { return value_; }
+
+Duration DeterministicDuration::sample(Rng&) const { return value_; }
+
+WeibullDuration::WeibullDuration(double shape, Duration scale)
+    : shape_(shape), scale_(scale) {
+  OAQ_REQUIRE(shape > 0.0, "shape must be positive");
+  OAQ_REQUIRE(scale > Duration::zero(), "scale must be positive");
+}
+
+WeibullDuration WeibullDuration::with_mean(double shape, Duration mean) {
+  OAQ_REQUIRE(shape > 0.0, "shape must be positive");
+  OAQ_REQUIRE(mean > Duration::zero(), "mean must be positive");
+  // mean = scale · Γ(1 + 1/shape).
+  const double gamma = std::exp(log_gamma(1.0 + 1.0 / shape));
+  return WeibullDuration(shape, mean / gamma);
+}
+
+double WeibullDuration::survival(Duration t) const {
+  if (t <= Duration::zero()) return 1.0;
+  return std::exp(-std::pow(t / scale_, shape_));
+}
+
+Duration WeibullDuration::mean() const {
+  return scale_ * std::exp(log_gamma(1.0 + 1.0 / shape_));
+}
+
+Duration WeibullDuration::sample(Rng& rng) const {
+  // Inverse transform: X = scale · (−ln U)^{1/k}.
+  const double u = 1.0 - rng.uniform01();  // in (0, 1]
+  return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+UniformDuration::UniformDuration(Duration lo, Duration hi)
+    : lo_(lo), hi_(hi) {
+  OAQ_REQUIRE(lo >= Duration::zero(), "lower bound must be nonnegative");
+  OAQ_REQUIRE(hi > lo, "upper bound must exceed lower bound");
+}
+
+double UniformDuration::survival(Duration t) const {
+  if (t <= lo_) return 1.0;
+  if (t >= hi_) return 0.0;
+  return (hi_ - t) / (hi_ - lo_);
+}
+
+Duration UniformDuration::mean() const { return (lo_ + hi_) / 2.0; }
+
+Duration UniformDuration::sample(Rng& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+double log_gamma(double x) {
+  // Lanczos approximation (g = 7, n = 9), |error| < 1e-13 for x > 0.
+  static const double kCoefficients[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  OAQ_REQUIRE(x > 0.0, "log_gamma requires x > 0");
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(kPi / std::sin(kPi * x)) - log_gamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = kCoefficients[0];
+  for (int i = 1; i < 9; ++i) sum += kCoefficients[i] / (z + i);
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * kPi) + (z + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
+
+}  // namespace oaq

@@ -1,0 +1,88 @@
+// Probability distributions over durations.
+//
+// The paper assumes exponential signal durations and computation times
+// "in order to allow the amount of time required for result convergence
+// to be nondeterministic" (§4.2.2). This abstraction lets both the
+// closed-form QoS model and the Monte-Carlo harness swap that assumption
+// for deterministic, Weibull or uniform laws — the sensitivity ablation
+// in bench/ext_distribution_sensitivity.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace oaq {
+
+/// A nonnegative continuous distribution over time spans.
+class DurationDistribution {
+ public:
+  virtual ~DurationDistribution() = default;
+
+  /// P(X > t).
+  [[nodiscard]] virtual double survival(Duration t) const = 0;
+  /// P(X <= t).
+  [[nodiscard]] double cdf(Duration t) const { return 1.0 - survival(t); }
+  [[nodiscard]] virtual Duration mean() const = 0;
+  [[nodiscard]] virtual Duration sample(Rng& rng) const = 0;
+};
+
+/// Exp(rate): the paper's default for µ and ν.
+class ExponentialDuration final : public DurationDistribution {
+ public:
+  explicit ExponentialDuration(Rate rate);
+  [[nodiscard]] double survival(Duration t) const override;
+  [[nodiscard]] Duration mean() const override;
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+  [[nodiscard]] Rate rate() const { return rate_; }
+
+ private:
+  Rate rate_;
+};
+
+/// A point mass at `value` (e.g. fixed-length transmissions).
+class DeterministicDuration final : public DurationDistribution {
+ public:
+  explicit DeterministicDuration(Duration value);
+  [[nodiscard]] double survival(Duration t) const override;
+  [[nodiscard]] Duration mean() const override;
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+
+ private:
+  Duration value_;
+};
+
+/// Weibull(shape k, scale λ): k < 1 bursty/heavy-tailed, k > 1 ageing.
+class WeibullDuration final : public DurationDistribution {
+ public:
+  WeibullDuration(double shape, Duration scale);
+  /// Weibull with the given shape, parameterized by its MEAN instead of
+  /// the scale (convenient for like-for-like sensitivity sweeps).
+  [[nodiscard]] static WeibullDuration with_mean(double shape, Duration mean);
+  [[nodiscard]] double survival(Duration t) const override;
+  [[nodiscard]] Duration mean() const override;
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+
+ private:
+  double shape_;
+  Duration scale_;
+};
+
+/// Uniform on [lo, hi].
+class UniformDuration final : public DurationDistribution {
+ public:
+  UniformDuration(Duration lo, Duration hi);
+  [[nodiscard]] double survival(Duration t) const override;
+  [[nodiscard]] Duration mean() const override;
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+/// ln Γ(x) for the Weibull mean (Lanczos approximation).
+[[nodiscard]] double log_gamma(double x);
+
+}  // namespace oaq

@@ -1,0 +1,65 @@
+// Error handling primitives shared by every oaq-constellation library.
+//
+// Follows the C++ Core Guidelines (I.6, E.12): preconditions are checked at
+// API boundaries and reported with exceptions carrying enough context to
+// diagnose the violation without a debugger.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oaq {
+
+/// Base class for all errors thrown by the oaq-constellation libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace oaq
+
+/// Check a caller-facing precondition; throws oaq::PreconditionError.
+#define OAQ_REQUIRE(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::oaq::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)
+
+/// Check an internal invariant; throws oaq::InvariantError.
+#define OAQ_ENSURE(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::oaq::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg));      \
+  } while (false)

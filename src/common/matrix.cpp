@@ -1,0 +1,173 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+namespace oaq {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    OAQ_REQUIRE(row.size() == cols_, "ragged matrix initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const std::vector<double>& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::column(const std::vector<double>& v) {
+  Matrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  OAQ_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  OAQ_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double k) {
+  for (auto& x : data_) x *= k;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  OAQ_REQUIRE(a.cols_ == b.rows_, "shape mismatch in matrix product");
+  Matrix out(a.rows_, b.cols_);
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a.data_[r * a.cols_ + k];
+      if (aik == 0.0) continue;
+      for (std::size_t c = 0; c < b.cols_; ++c) {
+        out.data_[r * b.cols_ + c] += aik * b.data_[k * b.cols_ + c];
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+Matrix Matrix::solve(const Matrix& b) const {
+  OAQ_REQUIRE(rows_ == cols_, "solve needs a square matrix");
+  OAQ_REQUIRE(b.rows_ == rows_, "RHS row count mismatch");
+  const std::size_t n = rows_;
+  Matrix lu = *this;
+  Matrix x = b;
+  std::vector<std::size_t> piv(n);
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t best = col;
+    double best_abs = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double a = std::abs(lu(r, col));
+      if (a > best_abs) {
+        best = r;
+        best_abs = a;
+      }
+    }
+    OAQ_ENSURE(best_abs > 1e-300, "singular matrix in solve()");
+    if (best != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(best, c));
+      for (std::size_t c = 0; c < x.cols(); ++c) std::swap(x(col, c), x(best, c));
+    }
+    const double pivot = lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / pivot;
+      if (factor == 0.0) continue;
+      lu(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) lu(r, c) -= factor * lu(col, c);
+      for (std::size_t c = 0; c < x.cols(); ++c) x(r, c) -= factor * x(col, c);
+    }
+  }
+  // Back substitution.
+  for (std::size_t rc = 0; rc < x.cols(); ++rc) {
+    for (std::size_t ri = n; ri-- > 0;) {
+      double sum = x(ri, rc);
+      for (std::size_t c = ri + 1; c < n; ++c) sum -= lu(ri, c) * x(c, rc);
+      x(ri, rc) = sum / lu(ri, ri);
+    }
+  }
+  return x;
+}
+
+Matrix Matrix::inverse() const { return solve(identity(rows_)); }
+
+Matrix Matrix::cholesky() const {
+  OAQ_REQUIRE(rows_ == cols_, "cholesky needs a square matrix");
+  const std::size_t n = rows_;
+  Matrix L(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = (*this)(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= L(i, k) * L(j, k);
+      if (i == j) {
+        OAQ_ENSURE(sum > 0.0, "matrix not positive definite in cholesky()");
+        L(i, i) = std::sqrt(sum);
+      } else {
+        L(i, j) = sum / L(j, j);
+      }
+    }
+  }
+  return L;
+}
+
+Matrix Matrix::solve_spd(const Matrix& b) const {
+  OAQ_REQUIRE(b.rows_ == rows_, "RHS row count mismatch");
+  const Matrix L = cholesky();
+  const std::size_t n = rows_;
+  Matrix x = b;
+  // Forward substitution L·y = b.
+  for (std::size_t rc = 0; rc < x.cols(); ++rc) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = x(i, rc);
+      for (std::size_t k = 0; k < i; ++k) sum -= L(i, k) * x(k, rc);
+      x(i, rc) = sum / L(i, i);
+    }
+    // Back substitution Lᵀ·x = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+      double sum = x(ii, rc);
+      for (std::size_t k = ii + 1; k < n; ++k) sum -= L(k, ii) * x(k, rc);
+      x(ii, rc) = sum / L(ii, ii);
+    }
+  }
+  return x;
+}
+
+double vector_norm(const Matrix& v) {
+  OAQ_REQUIRE(v.cols() == 1, "vector_norm expects a column vector");
+  return v.norm();
+}
+
+}  // namespace oaq

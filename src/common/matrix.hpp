@@ -1,0 +1,86 @@
+// Small dense linear algebra for estimation.
+//
+// The geolocation estimators (src/geoloc) solve weighted least-squares
+// normal equations with a handful of parameters; a compact row-major dynamic
+// matrix with Cholesky/LU solvers is all that is needed. Not intended for
+// large systems.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+/// Row-major dynamic dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows×cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer lists: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Diagonal matrix from a vector of diagonal entries.
+  [[nodiscard]] static Matrix diagonal(const std::vector<double>& d);
+  /// Column vector from entries.
+  [[nodiscard]] static Matrix column(const std::vector<double>& v);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    OAQ_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    OAQ_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double k);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double k) { return a *= k; }
+  friend Matrix operator*(double k, Matrix a) { return a *= k; }
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const;
+
+  /// Solve A·x = b by LU with partial pivoting; A must be square and
+  /// nonsingular, b a column vector (or multi-column RHS).
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Inverse via LU; square nonsingular matrices only.
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Solve A·x = b with A symmetric positive definite, via Cholesky.
+  /// Throws InvariantError if A is not SPD (within pivot tolerance).
+  [[nodiscard]] Matrix solve_spd(const Matrix& b) const;
+
+  /// Lower Cholesky factor L with A = L·Lᵀ; requires SPD.
+  [[nodiscard]] Matrix cholesky() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a column vector.
+[[nodiscard]] double vector_norm(const Matrix& v);
+
+}  // namespace oaq

@@ -1,0 +1,158 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// We hand-roll xoshiro256++ (Blackman & Vigna) rather than use <random>
+// engines so that simulation results are bit-reproducible across standard
+// library implementations — a requirement for regression-testing Monte-Carlo
+// experiments. Distribution sampling (exponential, normal, Poisson) is also
+// implemented here for the same reason.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace oaq {
+
+/// SplitMix64: used to expand a user seed into xoshiro state and to derive
+/// independent child streams.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with distribution sampling.
+///
+/// Each logical random process in a simulation (failures, signal arrivals,
+/// computation times, message delays, ...) should own its own `Rng`, derived
+/// via `fork(tag)`, so that changing how one process consumes randomness does
+/// not perturb the others (common random numbers across experiments).
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64_next(sm);
+    // Avoid the all-zero state (probability ~2^-256, but cheap to rule out).
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    OAQ_REQUIRE(lo <= hi, "uniform bounds out of order");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    OAQ_REQUIRE(n > 0, "uniform_index needs n > 0");
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    OAQ_REQUIRE(rate > 0.0, "exponential rate must be positive");
+    // 1 - uniform01() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform01()) / rate;
+  }
+
+  /// Exponential waiting time for a process with strong-typed `rate`.
+  Duration exponential(Rate rate) {
+    return Duration::seconds(exponential(rate.per_second_value()));
+  }
+
+  /// Uniform Duration in [lo, hi).
+  Duration uniform(Duration lo, Duration hi) {
+    return Duration::seconds(uniform(lo.to_seconds(), hi.to_seconds()));
+  }
+
+  /// Standard normal via Box–Muller (cached spare deviate).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = 1.0 - uniform01();
+    double u2 = uniform01();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * kPi * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Poisson variate; Knuth for small means, normal approximation above 64.
+  std::uint64_t poisson(double mean) {
+    OAQ_REQUIRE(mean >= 0.0, "poisson mean must be nonnegative");
+    if (mean == 0.0) return 0;
+    if (mean > 64.0) {
+      double x = normal(mean, std::sqrt(mean));
+      return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+
+  /// Derives an independent child stream; `tag` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t tag) {
+    std::uint64_t sm = state_[0] ^ (tag * 0xD1B54A32D192ED03ull) ^ state_[2];
+    Rng child(splitmix64_next(sm));
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace oaq

@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oaq {
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::sem() const {
+  return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStat::ci95_halfwidth() const { return 1.959963984540054 * sem(); }
+
+std::pair<double, double> ProportionEstimate::wilson95() const {
+  if (n_ == 0) return {0.0, 1.0};
+  const double z = 1.959963984540054;
+  const double n = static_cast<double>(n_);
+  const double p = value();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  OAQ_REQUIRE(hi > lo, "histogram range must be nonempty");
+  OAQ_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  std::size_t bin;
+  if (x < lo_) {
+    ++underflow_;
+    bin = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  OAQ_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  OAQ_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::quantile(double q) const {
+  OAQ_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      const double frac =
+          counts_[b] ? (target - cum) / static_cast<double>(counts_[b]) : 0.0;
+      return bin_lo(b) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double DiscretePmf::probability(int outcome) const {
+  if (total_ <= 0.0) return 0.0;
+  const auto it = weights_.find(outcome);
+  return it == weights_.end() ? 0.0 : it->second / total_;
+}
+
+double DiscretePmf::tail_probability(int x) const {
+  if (total_ <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (auto it = weights_.lower_bound(x); it != weights_.end(); ++it) {
+    sum += it->second;
+  }
+  return sum / total_;
+}
+
+}  // namespace oaq

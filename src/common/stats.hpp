@@ -1,0 +1,114 @@
+// Streaming statistics for Monte-Carlo experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+/// Welford streaming mean/variance plus extrema.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Half-width of the ~95% normal confidence interval on the mean.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Estimate of a probability from Bernoulli trials, with a Wilson interval.
+class ProportionEstimate {
+ public:
+  void add(bool success) {
+    ++n_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::uint64_t trials() const { return n_; }
+  [[nodiscard]] std::uint64_t successes() const { return successes_; }
+  [[nodiscard]] double value() const {
+    return n_ ? static_cast<double>(successes_) / static_cast<double>(n_) : 0.0;
+  }
+  /// Wilson score interval at ~95% confidence: {lower, upper}.
+  [[nodiscard]] std::pair<double, double> wilson95() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into the
+/// first/last bins and counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Empirical quantile in [0,1] by linear interpolation within bins.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Discrete empirical pmf over integer outcomes (e.g. QoS levels, capacity k).
+class DiscretePmf {
+ public:
+  void add(int outcome, double weight = 1.0) {
+    weights_[outcome] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] double probability(int outcome) const;
+  /// P(outcome >= x).
+  [[nodiscard]] double tail_probability(int x) const;
+  [[nodiscard]] double total_weight() const { return total_; }
+  [[nodiscard]] const std::map<int, double>& weights() const { return weights_; }
+
+ private:
+  std::map<int, double> weights_;
+  double total_ = 0.0;
+};
+
+}  // namespace oaq

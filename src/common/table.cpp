@@ -1,0 +1,113 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+std::string format_cell(const Cell& cell, int precision) {
+  struct Visitor {
+    int precision;
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(long long v) const { return std::to_string(v); }
+    std::string operator()(double v) const {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(precision) << v;
+      return os.str();
+    }
+  };
+  return std::visit(Visitor{precision}, cell);
+}
+
+void print_aligned(std::ostream& os, const std::vector<std::string>& headers,
+                   const std::vector<std::vector<std::string>>& rows,
+                   const std::string& caption) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!caption.empty()) os << caption << '\n';
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c ? 2 : 0);
+  }
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows) print_row(row);
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+  OAQ_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<Cell> cells) {
+  OAQ_REQUIRE(cells.size() == headers_.size(),
+              "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& cell : row) r.push_back(format_cell(cell, precision_));
+    rendered.push_back(std::move(r));
+  }
+  print_aligned(os, headers_, rendered, caption_);
+}
+
+SeriesPrinter::SeriesPrinter(std::string x_name,
+                             std::vector<std::string> series_names,
+                             int precision)
+    : x_name_(std::move(x_name)), series_names_(std::move(series_names)),
+      precision_(precision) {
+  OAQ_REQUIRE(!series_names_.empty(), "series printer needs >= 1 series");
+}
+
+void SeriesPrinter::add_point(double x, const std::vector<double>& ys) {
+  OAQ_REQUIRE(ys.size() == series_names_.size(),
+              "point arity does not match series count");
+  points_.emplace_back(x, ys);
+}
+
+void SeriesPrinter::print(std::ostream& os) const {
+  std::vector<std::string> headers;
+  headers.push_back(x_name_);
+  headers.insert(headers.end(), series_names_.begin(), series_names_.end());
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points_.size());
+  for (const auto& [x, ys] : points_) {
+    std::vector<std::string> row;
+    row.push_back(sci(x));
+    for (double y : ys) row.push_back(format_cell(y, precision_));
+    rows.push_back(std::move(row));
+  }
+  print_aligned(os, headers, rows, caption_);
+}
+
+std::string sci(double v) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(2) << v;
+  return os.str();
+}
+
+}  // namespace oaq

@@ -1,0 +1,67 @@
+// ASCII table / data-series rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces a paper table or figure by printing rows.
+// TablePrinter renders aligned columns; SeriesPrinter renders an x column
+// against several named y series (the textual analogue of a figure).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace oaq {
+
+/// A table cell: text, integer, or formatted double.
+using Cell = std::variant<std::string, long long, double>;
+
+/// Builds and renders a fixed-column ASCII table.
+class TablePrinter {
+ public:
+  /// `precision` controls double formatting (fixed, that many decimals).
+  explicit TablePrinter(std::vector<std::string> headers, int precision = 4);
+
+  /// Appends one row; must match the header count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Optional caption printed above the table.
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Renders to `os` with a header rule and aligned columns.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  std::string caption_;
+  int precision_;
+};
+
+/// Renders one x column against N named series, figure-style.
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::string x_name, std::vector<std::string> series_names,
+                int precision = 4);
+
+  /// Appends a point: x plus one value per series.
+  void add_point(double x, const std::vector<double>& ys);
+
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string x_name_;
+  std::vector<std::string> series_names_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+  std::string caption_;
+  int precision_;
+};
+
+/// Formats a double in scientific notation with 2 significant decimals
+/// (handy for failure-rate axes like 1e-05).
+[[nodiscard]] std::string sci(double v);
+
+}  // namespace oaq

@@ -1,0 +1,147 @@
+// Strong unit types for time and rates.
+//
+// The paper mixes units freely: protocol quantities (τ, δ, Tg, Tc, Tr, µ, ν)
+// are in minutes, dependability quantities (λ, φ, launch lead times) are in
+// hours. A strong Duration/Rate pair makes unit mixups a compile- or
+// construction-time error instead of a silently wrong figure.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace oaq {
+
+/// A span of simulated time. Internally stored in seconds.
+///
+/// Construction is explicit via named factories so call sites always state
+/// the unit: `Duration::minutes(9)`, `Duration::hours(30000)`.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration seconds(double s) { return Duration(s); }
+  [[nodiscard]] static constexpr Duration minutes(double m) { return Duration(m * 60.0); }
+  [[nodiscard]] static constexpr Duration hours(double h) { return Duration(h * 3600.0); }
+  [[nodiscard]] static constexpr Duration days(double d) { return Duration(d * 86400.0); }
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0.0); }
+  [[nodiscard]] static constexpr Duration infinity() {
+    return Duration(std::numeric_limits<double>::infinity());
+  }
+
+  [[nodiscard]] constexpr double to_seconds() const { return secs_; }
+  [[nodiscard]] constexpr double to_minutes() const { return secs_ / 60.0; }
+  [[nodiscard]] constexpr double to_hours() const { return secs_ / 3600.0; }
+  [[nodiscard]] constexpr double to_days() const { return secs_ / 86400.0; }
+
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(secs_); }
+
+  constexpr Duration& operator+=(Duration o) { secs_ += o.secs_; return *this; }
+  constexpr Duration& operator-=(Duration o) { secs_ -= o.secs_; return *this; }
+  constexpr Duration& operator*=(double k) { secs_ *= k; return *this; }
+  constexpr Duration& operator/=(double k) { secs_ /= k; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.secs_ + b.secs_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.secs_ - b.secs_); }
+  friend constexpr Duration operator*(Duration a, double k) { return Duration(a.secs_ * k); }
+  friend constexpr Duration operator*(double k, Duration a) { return Duration(a.secs_ * k); }
+  friend constexpr Duration operator/(Duration a, double k) { return Duration(a.secs_ / k); }
+  /// Ratio of two durations (dimensionless).
+  friend constexpr double operator/(Duration a, Duration b) { return a.secs_ / b.secs_; }
+
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.to_minutes() << " min";
+  }
+
+ private:
+  explicit constexpr Duration(double secs) : secs_(secs) {}
+  double secs_ = 0.0;
+};
+
+/// An event rate (occurrences per unit time). Internally per second.
+///
+/// λ, µ and ν in the paper are rates; `Rate::per_hour(1e-5)` is the paper's
+/// λ = 10⁻⁵/hr, `Rate::per_minute(0.5)` is µ = 0.5/min.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  [[nodiscard]] static constexpr Rate per_second(double r) { return Rate(r); }
+  [[nodiscard]] static constexpr Rate per_minute(double r) { return Rate(r / 60.0); }
+  [[nodiscard]] static constexpr Rate per_hour(double r) { return Rate(r / 3600.0); }
+  [[nodiscard]] static constexpr Rate zero() { return Rate(0.0); }
+
+  [[nodiscard]] constexpr double per_second_value() const { return rps_; }
+  [[nodiscard]] constexpr double per_minute_value() const { return rps_ * 60.0; }
+  [[nodiscard]] constexpr double per_hour_value() const { return rps_ * 3600.0; }
+
+  /// Mean interarrival time of a Poisson process with this rate.
+  [[nodiscard]] constexpr Duration mean_interval() const {
+    return Duration::seconds(1.0 / rps_);
+  }
+
+  /// Expected event count over `d`: the dimensionless product rate·time.
+  friend constexpr double operator*(Rate r, Duration d) { return r.rps_ * d.to_seconds(); }
+  friend constexpr double operator*(Duration d, Rate r) { return r * d; }
+  friend constexpr Rate operator*(Rate r, double k) { return Rate(r.rps_ * k); }
+  friend constexpr Rate operator*(double k, Rate r) { return Rate(r.rps_ * k); }
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate(a.rps_ + b.rps_); }
+
+  friend constexpr auto operator<=>(Rate a, Rate b) = default;
+
+ private:
+  explicit constexpr Rate(double rps) : rps_(rps) {}
+  double rps_ = 0.0;
+};
+
+/// An absolute simulation time (epoch-anchored), distinct from Duration.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint(); }
+  [[nodiscard]] static constexpr TimePoint at(Duration since_origin) {
+    return TimePoint(since_origin);
+  }
+
+  [[nodiscard]] constexpr Duration since_origin() const { return d_; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint(t.d_ + d); }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint(t.d_ - d); }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return a.d_ - b.d_; }
+
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    return os << "t+" << t.d_.to_minutes() << "min";
+  }
+
+ private:
+  explicit constexpr TimePoint(Duration d) : d_(d) {}
+  Duration d_{};
+};
+
+// --- Angles -----------------------------------------------------------------
+// Angles are plain doubles in radians throughout; these helpers keep the
+// degree↔radian conversions readable at call sites.
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+[[nodiscard]] constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+[[nodiscard]] constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle into [0, 2π).
+[[nodiscard]] inline double wrap_two_pi(double a) {
+  a = std::fmod(a, 2.0 * kPi);
+  return a < 0.0 ? a + 2.0 * kPi : a;
+}
+
+/// Wrap an angle into (−π, π].
+[[nodiscard]] inline double wrap_pi(double a) {
+  a = wrap_two_pi(a);
+  return a > kPi ? a - 2.0 * kPi : a;
+}
+
+}  // namespace oaq

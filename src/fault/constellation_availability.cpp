@@ -1,0 +1,67 @@
+#include "fault/constellation_availability.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+ConstellationAvailability::ConstellationAvailability(
+    const DiscretePmf& per_plane, int num_planes, int max_capacity)
+    : num_planes_(num_planes) {
+  OAQ_REQUIRE(num_planes > 0, "need at least one plane");
+  OAQ_REQUIRE(max_capacity > 0, "capacity bound must be positive");
+  OAQ_REQUIRE(per_plane.total_weight() > 0.0, "per-plane pmf is empty");
+
+  plane_pmf_.assign(static_cast<std::size_t>(max_capacity) + 1, 0.0);
+  for (const auto& [k, w] : per_plane.weights()) {
+    OAQ_REQUIRE(k >= 0 && k <= max_capacity,
+                "capacity outside [0, max_capacity]");
+    plane_pmf_[static_cast<std::size_t>(k)] = w / per_plane.total_weight();
+  }
+
+  // Exact convolution, one plane at a time.
+  total_ = {1.0};
+  for (int p = 0; p < num_planes; ++p) {
+    std::vector<double> next(total_.size() + plane_pmf_.size() - 1, 0.0);
+    for (std::size_t a = 0; a < total_.size(); ++a) {
+      if (total_[a] == 0.0) continue;
+      for (std::size_t b = 0; b < plane_pmf_.size(); ++b) {
+        next[a + b] += total_[a] * plane_pmf_[b];
+      }
+    }
+    total_ = std::move(next);
+  }
+}
+
+double ConstellationAvailability::expected_total() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < total_.size(); ++i) {
+    e += static_cast<double>(i) * total_[i];
+  }
+  return e;
+}
+
+double ConstellationAvailability::probability_all_planes_at_least(
+    int k) const {
+  if (k <= 0) return 1.0;
+  double per_plane_ok = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(
+           std::min<std::ptrdiff_t>(k, static_cast<std::ptrdiff_t>(
+                                           plane_pmf_.size())));
+       i < plane_pmf_.size(); ++i) {
+    per_plane_ok += plane_pmf_[i];
+  }
+  return std::pow(per_plane_ok, num_planes_);
+}
+
+double ConstellationAvailability::expected_planes_below(int k) const {
+  double below = 0.0;
+  for (std::size_t i = 0;
+       i < plane_pmf_.size() && static_cast<int>(i) < k; ++i) {
+    below += plane_pmf_[i];
+  }
+  return below * static_cast<double>(num_planes_);
+}
+
+}  // namespace oaq

@@ -1,0 +1,52 @@
+// Constellation-level availability: composing independent per-plane
+// capacity distributions.
+//
+// The paper evaluates QoS per plane (no shared spares, so "structural
+// variations of neighboring planes will have no effects on the QoS
+// measure", §4.2.2). For constellation-level dashboards — expected total
+// capacity, probability that some plane has gone underlapping — the
+// per-plane pmf must be composed across the (statistically independent)
+// planes. This module does that by exact convolution.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace oaq {
+
+/// Composition of `num_planes` i.i.d. plane-capacity distributions.
+class ConstellationAvailability {
+ public:
+  /// `per_plane` is a capacity pmf (e.g. from plane_capacity_pmf);
+  /// `max_capacity` is the per-plane design capacity.
+  ConstellationAvailability(const DiscretePmf& per_plane, int num_planes,
+                            int max_capacity);
+
+  [[nodiscard]] int num_planes() const { return num_planes_; }
+
+  /// pmf of the total active-satellite count across all planes
+  /// (index = count, exact convolution).
+  [[nodiscard]] const std::vector<double>& total_pmf() const { return total_; }
+
+  [[nodiscard]] double expected_total() const;
+
+  /// P(every plane has at least `k` active satellites).
+  [[nodiscard]] double probability_all_planes_at_least(int k) const;
+
+  /// P(at least one plane has fewer than `k` active satellites).
+  [[nodiscard]] double probability_some_plane_below(int k) const {
+    return 1.0 - probability_all_planes_at_least(k);
+  }
+
+  /// Expected number of planes with fewer than `k` active satellites
+  /// (e.g. k = 11: expected underlapping planes of the reference design).
+  [[nodiscard]] double expected_planes_below(int k) const;
+
+ private:
+  std::vector<double> plane_pmf_;  ///< dense per-plane pmf, index = k
+  std::vector<double> total_;
+  int num_planes_;
+};
+
+}  // namespace oaq

@@ -1,0 +1,134 @@
+#include "fault/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+Ctmc::Ctmc(std::size_t num_states)
+    : arcs_(num_states), exit_rate_(num_states, 0.0) {
+  OAQ_REQUIRE(num_states > 0, "CTMC needs at least one state");
+}
+
+void Ctmc::add_transition(std::size_t from, std::size_t to, double rate) {
+  OAQ_REQUIRE(from < num_states() && to < num_states(), "state out of range");
+  OAQ_REQUIRE(from != to, "self-loops are meaningless in a CTMC");
+  OAQ_REQUIRE(rate > 0.0, "rate must be positive");
+  arcs_[from].push_back({to, rate});
+  exit_rate_[from] += rate;
+}
+
+std::vector<double> Ctmc::dtmc_step(const std::vector<double>& x,
+                                    double uniform_rate) const {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    const double mass = x[s];
+    if (mass == 0.0) continue;
+    // Stay with probability 1 - exit/Λ.
+    y[s] += mass * (1.0 - exit_rate_[s] / uniform_rate);
+    for (const Arc& a : arcs_[s]) {
+      y[a.to] += mass * (a.rate / uniform_rate);
+    }
+  }
+  return y;
+}
+
+namespace {
+
+/// Number of uniformization terms needed so the Poisson tail is below tol.
+int poisson_truncation(double mean, double tol) {
+  // Conservative: walk the cumulative until 1 - cdf < tol.
+  double term = std::exp(-mean);
+  if (term == 0.0) {
+    // Large mean: normal-approximation upper bound.
+    return static_cast<int>(mean + 8.0 * std::sqrt(mean) + 16.0);
+  }
+  double cdf = term;
+  int k = 0;
+  while (1.0 - cdf > tol && k < 10000000) {
+    ++k;
+    term *= mean / k;
+    cdf += term;
+  }
+  return k;
+}
+
+}  // namespace
+
+std::vector<double> Ctmc::transient(const std::vector<double>& p0, double t,
+                                    double tol) const {
+  OAQ_REQUIRE(p0.size() == num_states(), "initial distribution size mismatch");
+  OAQ_REQUIRE(t >= 0.0, "time must be nonnegative");
+  const double max_exit = *std::max_element(exit_rate_.begin(),
+                                            exit_rate_.end());
+  if (max_exit == 0.0 || t == 0.0) return p0;
+  const double lam = max_exit * 1.02;  // uniformization rate Λ
+  const double mean = lam * t;
+  const int terms = poisson_truncation(mean, tol);
+
+  // p(t) = Σ_k Poisson(k; Λt) · p0·P^k.
+  std::vector<double> result(num_states(), 0.0);
+  std::vector<double> x = p0;
+  // Poisson pmf computed iteratively in log space for large means.
+  double log_pmf = -mean;  // log pmf at k = 0
+  for (int k = 0; k <= terms; ++k) {
+    const double w = std::exp(log_pmf);
+    for (std::size_t s = 0; s < x.size(); ++s) result[s] += w * x[s];
+    x = dtmc_step(x, lam);
+    log_pmf += std::log(mean) - std::log1p(k);  // -> log pmf at k+1
+  }
+  return result;
+}
+
+std::vector<double> Ctmc::time_averaged(const std::vector<double>& p0,
+                                        double t, double tol) const {
+  OAQ_REQUIRE(p0.size() == num_states(), "initial distribution size mismatch");
+  OAQ_REQUIRE(t > 0.0, "averaging window must be nonempty");
+  const double max_exit = *std::max_element(exit_rate_.begin(),
+                                            exit_rate_.end());
+  if (max_exit == 0.0) return p0;
+  const double lam = max_exit * 1.02;
+  const double mean = lam * t;
+  const int terms = poisson_truncation(mean, tol);
+
+  // (1/T)∫₀ᵀ p(s)ds = (1/(ΛT)) Σ_k P(N(T) ≥ k+1) · p0·P^k.
+  // Compute the Poisson tail iteratively from the pmf.
+  std::vector<double> result(num_states(), 0.0);
+  std::vector<double> x = p0;
+  double log_pmf = -mean;
+  double cdf = std::exp(log_pmf);  // P(N <= 0) after k=0 handled below
+  for (int k = 0; k <= terms; ++k) {
+    const double tail = std::max(0.0, 1.0 - cdf);  // P(N >= k+1)
+    const double w = tail / mean;
+    for (std::size_t s = 0; s < x.size(); ++s) result[s] += w * x[s];
+    x = dtmc_step(x, lam);
+    log_pmf += std::log(mean) - std::log1p(k);
+    cdf += std::exp(log_pmf);
+  }
+  // Normalize away the truncation remainder.
+  double sum = 0.0;
+  for (double v : result) sum += v;
+  OAQ_ENSURE(sum > 0.0, "time-averaged distribution vanished");
+  for (double& v : result) v /= sum;
+  return result;
+}
+
+std::vector<double> Ctmc::steady_state(double tol, int max_iter) const {
+  const double max_exit = *std::max_element(exit_rate_.begin(),
+                                            exit_rate_.end());
+  std::vector<double> x(num_states(), 1.0 / static_cast<double>(num_states()));
+  if (max_exit == 0.0) return x;
+  const double lam = max_exit * 1.02;
+  for (int i = 0; i < max_iter; ++i) {
+    auto y = dtmc_step(x, lam);
+    double delta = 0.0;
+    for (std::size_t s = 0; s < x.size(); ++s) delta += std::abs(y[s] - x[s]);
+    x = std::move(y);
+    if (delta < tol) break;
+  }
+  return x;
+}
+
+}  // namespace oaq

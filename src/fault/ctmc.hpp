@@ -1,0 +1,57 @@
+// Finite continuous-time Markov chains with uniformization solvers.
+//
+// This is the numerical core of the UltraSAN substitute: the plane
+// dependability model (plane_capacity.hpp) is validated against exact CTMC
+// transient/time-averaged solutions computed here. Uniformization gives
+// numerically stable results for the stiff rate ranges in the paper
+// (λ = 1e-5/hr against 30000-hr horizons).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oaq {
+
+/// A finite CTMC defined by its transition rates.
+class Ctmc {
+ public:
+  explicit Ctmc(std::size_t num_states);
+
+  [[nodiscard]] std::size_t num_states() const { return exit_rate_.size(); }
+
+  /// Add a transition `from` → `to` with the given rate (>0). Multiple
+  /// calls accumulate.
+  void add_transition(std::size_t from, std::size_t to, double rate);
+
+  /// Transient distribution p(t) = p0·e^{Qt} by uniformization, to
+  /// truncation tolerance `tol`.
+  [[nodiscard]] std::vector<double> transient(const std::vector<double>& p0,
+                                              double t,
+                                              double tol = 1e-12) const;
+
+  /// Time-averaged distribution (1/T)∫₀ᵀ p(t)dt — the quantity a Poisson
+  /// observer (PASTA) sees over a deterministic cycle of length T.
+  [[nodiscard]] std::vector<double> time_averaged(const std::vector<double>& p0,
+                                                  double t,
+                                                  double tol = 1e-12) const;
+
+  /// Stationary distribution of an irreducible chain (power iteration on
+  /// the uniformized DTMC).
+  [[nodiscard]] std::vector<double> steady_state(double tol = 1e-14,
+                                                 int max_iter = 1000000) const;
+
+ private:
+  struct Arc {
+    std::size_t to;
+    double rate;
+  };
+
+  /// One step of the uniformized DTMC: y = x·P.
+  [[nodiscard]] std::vector<double> dtmc_step(const std::vector<double>& x,
+                                              double uniform_rate) const;
+
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<double> exit_rate_;
+};
+
+}  // namespace oaq

@@ -1,0 +1,182 @@
+#include "fault/plane_capacity.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+void validate(const PlaneDependability& model) {
+  OAQ_REQUIRE(model.design_active > 0, "plane needs active satellites");
+  OAQ_REQUIRE(model.policy.in_orbit_spares >= 0, "spares must be >= 0");
+  OAQ_REQUIRE(model.policy.ground_threshold >= 0 &&
+                  model.policy.ground_threshold < model.design_active,
+              "threshold must be below design capacity");
+  OAQ_REQUIRE(model.policy.scheduled_period > Duration::zero(),
+              "scheduled period must be positive");
+  OAQ_REQUIRE(model.satellite_failure_rate > Rate::zero(),
+              "failure rate must be positive");
+}
+
+/// In-cycle pending arrival.
+struct Arrival {
+  double at_h = 0.0;  // absolute hours
+  enum class Kind { kSpare, kExpedited, kLaunch } kind = Kind::kSpare;
+};
+
+/// Simulates cycles, invoking `weigh(k, dt_hours)` for every constant-k
+/// stretch and `record(t_hours, k)` at every capacity change.
+template <typename WeighFn, typename RecordFn>
+void run_cycles(const PlaneDependability& model, Rng& rng, double horizon_h,
+                WeighFn&& weigh, RecordFn&& record) {
+  const double lambda_h = model.satellite_failure_rate.per_hour_value();
+  const SparePolicy& pol = model.policy;
+  const double phi_h = pol.scheduled_period.to_hours();
+  const double ts_h = pol.spare_activation_delay.to_hours();
+  const double tl_h = pol.launch_lead_time.to_hours();
+  const double te_h = pol.expedited_lead_time.to_hours();
+
+  double t = 0.0;
+  int k = model.design_active;
+  int spares = pol.in_orbit_spares;
+  bool launch_pending = false;
+  std::vector<Arrival> arrivals;
+  record(t, k);
+
+  auto full_restore = [&](double at) {
+    arrivals.clear();
+    launch_pending = false;
+    spares = pol.in_orbit_spares;
+    if (k != model.design_active) {
+      k = model.design_active;
+      record(at, k);
+    }
+  };
+
+  double next_cycle_end = phi_h;
+  while (t < horizon_h) {
+    // Next failure (exponential race; resampled at each event is valid by
+    // memorylessness).
+    const double t_fail =
+        k > 0 ? t + rng.exponential(static_cast<double>(k) * lambda_h)
+              : std::numeric_limits<double>::infinity();
+    // Earliest pending arrival.
+    double t_arr = std::numeric_limits<double>::infinity();
+    std::size_t arr_idx = 0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      if (arrivals[i].at_h < t_arr) {
+        t_arr = arrivals[i].at_h;
+        arr_idx = i;
+      }
+    }
+    const double t_next =
+        std::min({t_fail, t_arr, next_cycle_end, horizon_h});
+    weigh(k, t_next - t);
+    t = t_next;
+    if (t >= horizon_h) break;
+
+    if (t == next_cycle_end) {
+      full_restore(t);
+      next_cycle_end += phi_h;
+      continue;
+    }
+    if (t == t_fail) {
+      k -= 1;
+      record(t, k);
+      if (spares > 0) {
+        --spares;
+        arrivals.push_back({t + ts_h, Arrival::Kind::kSpare});
+      }
+      if (k <= pol.ground_threshold && !launch_pending) {
+        launch_pending = true;
+        arrivals.push_back({t + tl_h, Arrival::Kind::kLaunch});
+      } else if (k < pol.ground_threshold && launch_pending &&
+                 pol.expedited_replacements) {
+        arrivals.push_back({t + te_h, Arrival::Kind::kExpedited});
+      }
+      continue;
+    }
+    // Arrival.
+    const Arrival arr = arrivals[arr_idx];
+    arrivals.erase(arrivals.begin() + static_cast<std::ptrdiff_t>(arr_idx));
+    switch (arr.kind) {
+      case Arrival::Kind::kLaunch:
+        full_restore(t);
+        break;
+      case Arrival::Kind::kSpare:
+      case Arrival::Kind::kExpedited:
+        if (k < model.design_active) {
+          k += 1;
+          record(t, k);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CapacityEvent> simulate_capacity_trace(
+    const PlaneDependability& model, std::uint64_t seed, Duration horizon) {
+  validate(model);
+  OAQ_REQUIRE(horizon > Duration::zero(), "horizon must be positive");
+  Rng rng(seed);
+  std::vector<CapacityEvent> trace;
+  run_cycles(
+      model, rng, horizon.to_hours(), [](int, double) {},
+      [&](double t_h, int k) {
+        trace.push_back({TimePoint::at(Duration::hours(t_h)), k});
+      });
+  return trace;
+}
+
+DiscretePmf plane_capacity_pmf(const PlaneDependability& model,
+                               std::uint64_t seed, int n_cycles) {
+  validate(model);
+  OAQ_REQUIRE(n_cycles > 0, "need at least one cycle");
+  Rng rng(seed);
+  DiscretePmf pmf;
+  const double horizon_h =
+      model.policy.scheduled_period.to_hours() * n_cycles;
+  run_cycles(
+      model, rng, horizon_h,
+      [&](int k, double dt) {
+        if (dt > 0.0) pmf.add(k, dt);
+      },
+      [](double, int) {});
+  return pmf;
+}
+
+std::vector<double> pure_death_reference_pmf(const PlaneDependability& model) {
+  validate(model);
+  // States: cumulative failures f = 0..(design+spares); with instantaneous
+  // spare activation the active capacity is k(f) = min(design, total - f).
+  const int design = model.design_active;
+  const int total = design + model.policy.in_orbit_spares;
+  const double lambda_h = model.satellite_failure_rate.per_hour_value();
+
+  Ctmc chain(static_cast<std::size_t>(total + 1));
+  auto k_of = [&](int f) { return std::min(design, total - f); };
+  for (int f = 0; f < total; ++f) {
+    const int k = k_of(f);
+    if (k > 0) {
+      chain.add_transition(static_cast<std::size_t>(f),
+                           static_cast<std::size_t>(f + 1),
+                           static_cast<double>(k) * lambda_h);
+    }
+  }
+  std::vector<double> p0(static_cast<std::size_t>(total + 1), 0.0);
+  p0[0] = 1.0;
+  const auto avg =
+      chain.time_averaged(p0, model.policy.scheduled_period.to_hours());
+
+  std::vector<double> by_k(static_cast<std::size_t>(design + 1), 0.0);
+  for (int f = 0; f <= total; ++f) {
+    by_k[static_cast<std::size_t>(k_of(f))] += avg[static_cast<std::size_t>(f)];
+  }
+  return by_k;
+}
+
+}  // namespace oaq

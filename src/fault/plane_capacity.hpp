@@ -1,0 +1,76 @@
+// Orbital-plane capacity dependability model — the UltraSAN substitute.
+//
+// Computes P(k): the steady-state probability that a plane has k active
+// operational satellites (paper Fig. 7, Eq. 3), under
+//   * statistically independent per-satellite failures at rate λ,
+//   * in-orbit spares deployed (with a small activation delay) to replace
+//     early failures,
+//   * a THRESHOLD-TRIGGERED ground-spare policy: when capacity first drops
+//     to the threshold η, a full-restoration launch (plane back to
+//     14 active + 2 spares) is initiated with a multi-month lead time;
+//     while that launch is pending, each further failure below η triggers
+//     an expedited single-satellite replacement with a shorter lead time,
+//   * a SCHEDULED policy: every φ hours the whole constellation is restored
+//     to design capacity (a regeneration point).
+//
+// The paper does not publish its SAN's internal delays; the lead-time
+// defaults below are calibrated so the published Fig. 7 narrative holds:
+// P(14) dominates at λ = 1e-5/hr, P(η) becomes the dominant state at
+// λ = 1e-4/hr, and capacities below η-1 are rare (the paper neglects
+// k < 9 for η = 10). See DESIGN.md §3 and EXPERIMENTS.md.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "fault/ctmc.hpp"
+
+namespace oaq {
+
+/// Spare-deployment policy parameters (see file comment).
+struct SparePolicy {
+  int in_orbit_spares = 2;
+  Duration spare_activation_delay = Duration::hours(24);
+  int ground_threshold = 10;  ///< η: launch when capacity drops to this
+  Duration launch_lead_time = Duration::hours(8000);
+  bool expedited_replacements = true;
+  Duration expedited_lead_time = Duration::hours(150);
+  Duration scheduled_period = Duration::hours(30000);  ///< φ
+};
+
+/// One orbital plane's dependability model.
+struct PlaneDependability {
+  int design_active = 14;
+  Rate satellite_failure_rate = Rate::per_hour(1e-5);  ///< λ
+  SparePolicy policy;
+};
+
+/// A step in a plane-capacity sample path.
+struct CapacityEvent {
+  TimePoint at{};
+  int active = 0;  ///< capacity immediately after the event
+};
+
+/// Simulate one sample path of the plane-capacity process over `horizon`.
+/// The path starts at design capacity; scheduled restorations occur at
+/// every multiple of φ. The returned trace starts with an event at t = 0.
+[[nodiscard]] std::vector<CapacityEvent> simulate_capacity_trace(
+    const PlaneDependability& model, std::uint64_t seed, Duration horizon);
+
+/// Steady-state pmf of the active-satellite count K, estimated from
+/// `n_cycles` regeneration cycles (cycle length φ). Exact in the limit —
+/// the scheduled restoration makes cycles i.i.d.
+[[nodiscard]] DiscretePmf plane_capacity_pmf(const PlaneDependability& model,
+                                             std::uint64_t seed,
+                                             int n_cycles = 400);
+
+/// Exact reference pmf for the DEGENERATE policy (instantaneous in-orbit
+/// spares, no threshold policy): the capacity process is then a pure-death
+/// CTMC over one scheduled cycle, solvable by uniformization. Used to
+/// validate the simulator.
+[[nodiscard]] std::vector<double> pure_death_reference_pmf(
+    const PlaneDependability& model);
+
+}  // namespace oaq

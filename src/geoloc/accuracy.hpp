@@ -1,0 +1,67 @@
+// Parametric accuracy model for the coordination protocol.
+//
+// The protocol simulator must not run a full WLS solve inside every
+// Monte-Carlo episode; what it needs is the *expected* estimation error as
+// a function of the coverage basis, to drive termination condition TC-1
+// ("the estimated error becomes sufficiently small"). The defaults below
+// are calibrated against the CRLB/WLS experiment (bench/geoloc_accuracy):
+// a single pass leaves the along/cross-track ambiguity and a several-km
+// error; each sequential pass multiplies the error by a contraction
+// factor; simultaneous dual coverage "practically removes the ambiguity"
+// (paper §2), giving a sub-km error immediately.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+/// Expected 1-σ geolocation error by coverage basis.
+class AccuracyModel {
+ public:
+  struct Params {
+    double single_pass_km = 8.0;        ///< one pass, one satellite
+    double sequential_contraction = 0.35;  ///< per additional sequential pass
+    double simultaneous_km = 0.8;       ///< simultaneous dual coverage
+  };
+
+  AccuracyModel() : AccuracyModel(Params{}) {}
+
+  explicit AccuracyModel(Params params) : params_(params) {
+    OAQ_REQUIRE(params.single_pass_km > 0.0, "error must be positive");
+    OAQ_REQUIRE(params.sequential_contraction > 0.0 &&
+                    params.sequential_contraction < 1.0,
+                "contraction must be in (0,1)");
+    OAQ_REQUIRE(params.simultaneous_km > 0.0, "error must be positive");
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Expected error after `passes` sequential single-satellite passes.
+  [[nodiscard]] double sequential_error_km(int passes) const {
+    OAQ_REQUIRE(passes >= 1, "need at least one pass");
+    double e = params_.single_pass_km;
+    for (int i = 1; i < passes; ++i) e *= params_.sequential_contraction;
+    return e;
+  }
+
+  /// Expected error of a simultaneous dual-coverage solution.
+  [[nodiscard]] double simultaneous_error_km() const {
+    return params_.simultaneous_km;
+  }
+
+  /// Number of sequential passes needed to drive the error below
+  /// `threshold_km` (TC-1), or `max_passes` if not reached.
+  [[nodiscard]] int passes_to_reach(double threshold_km,
+                                    int max_passes = 64) const {
+    OAQ_REQUIRE(threshold_km > 0.0, "threshold must be positive");
+    for (int n = 1; n <= max_passes; ++n) {
+      if (sequential_error_km(n) <= threshold_km) return n;
+    }
+    return max_passes;
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace oaq

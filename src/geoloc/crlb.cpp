@@ -1,0 +1,57 @@
+#include "geoloc/crlb.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+Matrix fisher_information(const std::vector<FoaMeasurement>& measurements,
+                          const GeoPoint& truth, double carrier_hz,
+                          bool earth_rotation, bool estimate_carrier) {
+  OAQ_REQUIRE(!measurements.empty(), "need measurements");
+  OAQ_REQUIRE(carrier_hz > 0.0, "carrier must be positive");
+  const DopplerModel model(earth_rotation);
+  const std::size_t np = estimate_carrier ? 3 : 2;
+  const double steps[3] = {1e-7, 1e-7, 1e-4};  // rad, rad, kHz
+
+  Matrix info(np, np);
+  for (const auto& m : measurements) {
+    double grad[3] = {0.0, 0.0, 0.0};
+    for (std::size_t j = 0; j < np; ++j) {
+      double lat_lo = truth.lat_rad, lat_hi = truth.lat_rad;
+      double lon_lo = truth.lon_rad, lon_hi = truth.lon_rad;
+      double c_lo = carrier_hz, c_hi = carrier_hz;
+      switch (j) {
+        case 0: lat_lo -= steps[0]; lat_hi += steps[0]; break;
+        case 1: lon_lo -= steps[1]; lon_hi += steps[1]; break;
+        case 2: c_lo -= steps[2] * 1000.0; c_hi += steps[2] * 1000.0; break;
+      }
+      const double f_lo = model.predicted_frequency_hz(
+          m.sat_state, GeoPoint{lat_lo, lon_lo}, c_lo, m.time);
+      const double f_hi = model.predicted_frequency_hz(
+          m.sat_state, GeoPoint{lat_hi, lon_hi}, c_hi, m.time);
+      grad[j] = (f_hi - f_lo) / (2.0 * steps[j]);
+    }
+    const double inv_var = 1.0 / (m.sigma_hz * m.sigma_hz);
+    for (std::size_t a = 0; a < np; ++a) {
+      for (std::size_t b = 0; b < np; ++b) {
+        info(a, b) += inv_var * grad[a] * grad[b];
+      }
+    }
+  }
+  return info;
+}
+
+double crlb_position_km(const std::vector<FoaMeasurement>& measurements,
+                        const GeoPoint& truth, double carrier_hz,
+                        bool earth_rotation, bool estimate_carrier) {
+  const Matrix info = fisher_information(measurements, truth, carrier_hz,
+                                         earth_rotation, estimate_carrier);
+  const Matrix cov = info.inverse();
+  const double cs = std::cos(truth.lat_rad);
+  return kEarthRadiusKm *
+         std::sqrt(std::max(0.0, cov(0, 0) + cs * cs * cov(1, 1)));
+}
+
+}  // namespace oaq

@@ -1,0 +1,28 @@
+// Cramér–Rao lower bound for Doppler geolocation.
+//
+// Gives the best achievable 1-σ position error for a measurement set,
+// independent of the estimator. Used (a) to validate that the WLS solver is
+// efficient, and (b) to predict the accuracy gain of each additional
+// cooperating pass (the quantity behind termination condition TC-1).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "rf/doppler.hpp"
+
+namespace oaq {
+
+/// Fisher information of a measurement set about (lat, lon[, carrier_khz]),
+/// evaluated at the true emitter location and carrier.
+[[nodiscard]] Matrix fisher_information(
+    const std::vector<FoaMeasurement>& measurements, const GeoPoint& truth,
+    double carrier_hz, bool earth_rotation, bool estimate_carrier = true);
+
+/// CRLB on the horizontal position error (1-σ, km): the position block of
+/// the inverse Fisher information mapped onto the sphere.
+[[nodiscard]] double crlb_position_km(
+    const std::vector<FoaMeasurement>& measurements, const GeoPoint& truth,
+    double carrier_hz, bool earth_rotation, bool estimate_carrier = true);
+
+}  // namespace oaq

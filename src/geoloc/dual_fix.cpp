@@ -1,0 +1,113 @@
+#include "geoloc/dual_fix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+DualSatelliteFix::DualSatelliteFix(Options options) : options_(options) {
+  OAQ_REQUIRE(options.max_iterations > 0, "need at least one iteration");
+  OAQ_REQUIRE(options.step_tolerance > 0.0, "tolerance must be positive");
+}
+
+DualFixEstimate DualSatelliteFix::solve(
+    const std::vector<PairMeasurement>& measurements,
+    const GeoPoint& initial_position, double carrier_hz) const {
+  OAQ_REQUIRE(!measurements.empty(), "need at least one pair measurement");
+  OAQ_REQUIRE(carrier_hz > 0.0, "carrier must be positive");
+
+  const TdoaModel model(options_.earth_rotation);
+  double lat = initial_position.lat_rad;
+  double lon = initial_position.lon_rad;
+  const double step = 1e-7;  // finite-difference step, radians
+
+  auto residuals = [&](double la, double lo, Matrix& r, Matrix& jac) {
+    const std::size_t nm = measurements.size();
+    r = Matrix(2 * nm, 1);
+    jac = Matrix(2 * nm, 2);
+    for (std::size_t i = 0; i < nm; ++i) {
+      const auto& m = measurements[i];
+      auto predict = [&](double pla, double plo, double& td, double& fd) {
+        const GeoPoint p{pla, plo};
+        td = model.predicted_tdoa_s(m.state_a, m.state_b, p, m.time);
+        fd = model.predicted_fdoa_hz(m.state_a, m.state_b, p, carrier_hz,
+                                     m.time);
+      };
+      double td0, fd0;
+      predict(la, lo, td0, fd0);
+      r(2 * i, 0) = (m.tdoa_s - td0) / m.sigma_tdoa_s;
+      r(2 * i + 1, 0) = (m.fdoa_hz - fd0) / m.sigma_fdoa_hz;
+      for (int j = 0; j < 2; ++j) {
+        double td_lo, fd_lo, td_hi, fd_hi;
+        predict(la - (j == 0 ? step : 0.0), lo - (j == 1 ? step : 0.0),
+                td_lo, fd_lo);
+        predict(la + (j == 0 ? step : 0.0), lo + (j == 1 ? step : 0.0),
+                td_hi, fd_hi);
+        jac(2 * i, static_cast<std::size_t>(j)) =
+            (td_hi - td_lo) / (2.0 * step) / m.sigma_tdoa_s;
+        jac(2 * i + 1, static_cast<std::size_t>(j)) =
+            (fd_hi - fd_lo) / (2.0 * step) / m.sigma_fdoa_hz;
+      }
+    }
+  };
+
+  DualFixEstimate est;
+  Matrix r, jac;
+  residuals(lat, lon, r, jac);
+  double cost = (r.transposed() * r)(0, 0);
+  double lambda = 1e-3;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    est.iterations = iter + 1;
+    Matrix normal = jac.transposed() * jac;
+    const Matrix rhs = jac.transposed() * r;
+    Matrix damped = normal;
+    for (std::size_t j = 0; j < 2; ++j) {
+      damped(j, j) += lambda * std::max(normal(j, j), 1e-12);
+    }
+    const Matrix delta = damped.solve(rhs);
+    const double trial_lat =
+        std::clamp(lat + delta(0, 0), -kPi / 2.0, kPi / 2.0);
+    const double trial_lon = wrap_pi(lon + delta(1, 0));
+    Matrix r_t, jac_t;
+    residuals(trial_lat, trial_lon, r_t, jac_t);
+    const double cost_t = (r_t.transposed() * r_t)(0, 0);
+    if (cost_t < cost) {
+      const double improvement = cost - cost_t;
+      lat = trial_lat;
+      lon = trial_lon;
+      r = r_t;
+      jac = jac_t;
+      cost = cost_t;
+      lambda = std::max(lambda * 0.3, 1e-12);
+      if (vector_norm(delta) < options_.step_tolerance ||
+          improvement <= 1e-10 * (1.0 + cost)) {
+        est.converged = true;
+        break;
+      }
+    } else {
+      if (cost_t - cost <= 1e-9 * (1.0 + cost)) {
+        est.converged = true;
+        break;
+      }
+      lambda *= 8.0;
+      if (lambda > 1e12) break;
+    }
+  }
+
+  const Matrix info = jac.transposed() * jac;
+  est.covariance = info.inverse();
+  est.position = GeoPoint{lat, lon};
+  const double cs = std::cos(lat);
+  est.position_error_1sigma_km =
+      kEarthRadiusKm * std::sqrt(std::max(
+                           0.0, est.covariance(0, 0) +
+                                    cs * cs * est.covariance(1, 1)));
+  est.rms_residual = std::sqrt(
+      cost / static_cast<double>(2 * measurements.size()));
+  return est;
+}
+
+}  // namespace oaq

@@ -1,0 +1,48 @@
+// Instantaneous dual-satellite fix from TDOA/FDOA pair measurements.
+//
+// The accuracy counterpart of simultaneous multiple coverage (QoS level 3):
+// each pair observation supplies two independent ground curves (an
+// isochrone and an isodoppler), so even a single simultaneous snapshot
+// localizes the emitter without the single-satellite left/right ambiguity.
+// Used to ground Table 1's accuracy ordering physically
+// (bench/accuracy_by_basis).
+#pragma once
+
+#include "common/matrix.hpp"
+#include "rf/tdoa.hpp"
+
+namespace oaq {
+
+/// Result of a dual-satellite solve (parameters: lat_rad, lon_rad).
+struct DualFixEstimate {
+  GeoPoint position;
+  Matrix covariance;
+  double position_error_1sigma_km = 0.0;
+  double rms_residual = 0.0;  ///< whitened residual RMS
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Gauss–Newton solver over (lat, lon) from PairMeasurements.
+class DualSatelliteFix {
+ public:
+  struct Options {
+    int max_iterations = 50;
+    double step_tolerance = 1e-12;
+    bool earth_rotation = true;
+  };
+
+  DualSatelliteFix() : DualSatelliteFix(Options{}) {}
+  explicit DualSatelliteFix(Options options);
+
+  /// `carrier_hz` is the nominal carrier used to predict FDOA; a few-kHz
+  /// carrier error scales FDOA by ~1e-5 and is negligible.
+  [[nodiscard]] DualFixEstimate solve(
+      const std::vector<PairMeasurement>& measurements,
+      const GeoPoint& initial_position, double carrier_hz) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace oaq

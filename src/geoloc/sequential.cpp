@@ -1,0 +1,40 @@
+#include "geoloc/sequential.hpp"
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+SequentialLocalizer::SequentialLocalizer()
+    : SequentialLocalizer(WlsGeolocator::Options{}) {}
+
+SequentialLocalizer::SequentialLocalizer(WlsGeolocator::Options options)
+    : solver_(options) {}
+
+const GeolocationEstimate& SequentialLocalizer::current() const {
+  OAQ_REQUIRE(passes_ > 0, "no passes incorporated yet");
+  return estimate_;
+}
+
+void SequentialLocalizer::reset() {
+  estimate_ = {};
+  passes_ = 0;
+}
+
+const GeolocationEstimate& SequentialLocalizer::incorporate(
+    const std::vector<FoaMeasurement>& batch, std::optional<GeoPoint> hint,
+    double initial_carrier_hz) {
+  if (passes_ == 0) {
+    const GeoPoint guess = hint ? *hint : WlsGeolocator::initial_guess(batch);
+    estimate_ = solver_.solve(batch, guess, initial_carrier_hz);
+  } else {
+    GeolocationPrior prior;
+    prior.position = estimate_.position;
+    prior.carrier_hz = estimate_.carrier_hz;
+    prior.information = estimate_.information;
+    estimate_ = solver_.solve_with_prior(batch, prior);
+  }
+  ++passes_;
+  return estimate_;
+}
+
+}  // namespace oaq

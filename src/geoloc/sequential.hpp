@@ -1,0 +1,42 @@
+// Sequential localization across satellite passes (Levanon '98,
+// Chan & Towers '92).
+//
+// Each pass contributes a measurement batch; the posterior of pass n is the
+// Gaussian prior of pass n+1 (information-form recursion). This is the
+// mechanism the OAQ protocol exploits: every satellite that consecutively
+// revisits the emitter tightens the estimate.
+#pragma once
+
+#include "geoloc/wls.hpp"
+
+namespace oaq {
+
+/// Stateful sequential (multi-pass) localizer.
+class SequentialLocalizer {
+ public:
+  SequentialLocalizer();  // default solver options
+  explicit SequentialLocalizer(WlsGeolocator::Options options);
+
+  /// Incorporate one pass worth of measurements. For the first pass an
+  /// initial position guess is derived from the data unless `hint` is
+  /// given; later passes start from the running estimate.
+  /// Returns the refreshed estimate.
+  const GeolocationEstimate& incorporate(
+      const std::vector<FoaMeasurement>& batch,
+      std::optional<GeoPoint> hint = std::nullopt,
+      double initial_carrier_hz = 400.0e6);
+
+  [[nodiscard]] int passes_incorporated() const { return passes_; }
+  [[nodiscard]] bool has_estimate() const { return passes_ > 0; }
+  [[nodiscard]] const GeolocationEstimate& current() const;
+
+  /// Reset to the no-information state.
+  void reset();
+
+ private:
+  WlsGeolocator solver_;
+  GeolocationEstimate estimate_;
+  int passes_ = 0;
+};
+
+}  // namespace oaq

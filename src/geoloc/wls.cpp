@@ -1,0 +1,204 @@
+#include "geoloc/wls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+/// Internal parameter vector: (lat_rad, lon_rad[, carrier_khz]).
+struct Params {
+  double lat = 0.0;
+  double lon = 0.0;
+  double carrier_khz = 0.0;
+};
+
+Params params_from(const GeoPoint& p, double carrier_hz) {
+  return {p.lat_rad, p.lon_rad, carrier_hz / 1000.0};
+}
+
+/// Predicted received frequency for the parameter vector.
+double predict_hz(const DopplerModel& model, const FoaMeasurement& m,
+                  const Params& th) {
+  return model.predicted_frequency_hz(m.sat_state, GeoPoint{th.lat, th.lon},
+                                      th.carrier_khz * 1000.0, m.time);
+}
+
+}  // namespace
+
+WlsGeolocator::WlsGeolocator() : WlsGeolocator(Options{}) {}
+
+WlsGeolocator::WlsGeolocator(Options options) : options_(options) {
+  OAQ_REQUIRE(options.max_iterations > 0, "need at least one iteration");
+  OAQ_REQUIRE(options.step_tolerance > 0.0, "tolerance must be positive");
+}
+
+GeoPoint WlsGeolocator::initial_guess(
+    const std::vector<FoaMeasurement>& measurements) {
+  OAQ_REQUIRE(measurements.size() >= 2, "need >= 2 measurements for a guess");
+  // The received frequency falls fastest at the time of closest approach;
+  // pick the epoch pair with the steepest negative slope.
+  std::size_t best = 0;
+  double steepest = 0.0;
+  for (std::size_t i = 1; i < measurements.size(); ++i) {
+    const double dt =
+        (measurements[i].time - measurements[i - 1].time).to_seconds();
+    if (dt <= 0.0) continue;
+    const double slope =
+        (measurements[i].frequency_hz - measurements[i - 1].frequency_hz) / dt;
+    if (slope < steepest) {
+      steepest = slope;
+      best = i;
+    }
+  }
+  const auto& m = measurements[best];
+  return ecef_to_geo(m.sat_state.position_km);  // sub-satellite direction
+}
+
+GeolocationEstimate WlsGeolocator::solve(
+    const std::vector<FoaMeasurement>& measurements,
+    const GeoPoint& initial_position, double initial_carrier_hz) const {
+  return run(measurements, initial_position, initial_carrier_hz, nullptr);
+}
+
+GeolocationEstimate WlsGeolocator::solve_with_prior(
+    const std::vector<FoaMeasurement>& measurements,
+    const GeolocationPrior& prior) const {
+  OAQ_REQUIRE(prior.information.rows() == parameter_count() &&
+                  prior.information.cols() == parameter_count(),
+              "prior information shape mismatch");
+  return run(measurements, prior.position, prior.carrier_hz, &prior);
+}
+
+GeolocationEstimate WlsGeolocator::run(
+    const std::vector<FoaMeasurement>& measurements,
+    const GeoPoint& initial_position, double initial_carrier_hz,
+    const GeolocationPrior* prior) const {
+  const std::size_t np = parameter_count();
+  OAQ_REQUIRE(measurements.size() >= np,
+              "underdetermined: need at least as many measurements as "
+              "parameters");
+  OAQ_REQUIRE(initial_carrier_hz > 0.0, "carrier guess must be positive");
+
+  const DopplerModel model(options_.earth_rotation);
+  Params th = params_from(initial_position, initial_carrier_hz);
+  const Params th_prior =
+      prior ? params_from(prior->position, prior->carrier_hz) : th;
+
+  // Finite-difference steps per parameter (radians, radians, kHz).
+  const double steps[3] = {1e-7, 1e-7, 1e-4};
+
+  auto residuals_weighted = [&](const Params& p, Matrix& r, Matrix& jac) {
+    const std::size_t nm = measurements.size();
+    r = Matrix(nm, 1);
+    jac = Matrix(nm, np);
+    for (std::size_t i = 0; i < nm; ++i) {
+      const auto& m = measurements[i];
+      const double w = 1.0 / m.sigma_hz;  // whitening weight
+      r(i, 0) = w * (m.frequency_hz - predict_hz(model, m, p));
+      for (std::size_t j = 0; j < np; ++j) {
+        Params lo = p, hi = p;
+        double* fields_lo[3] = {&lo.lat, &lo.lon, &lo.carrier_khz};
+        double* fields_hi[3] = {&hi.lat, &hi.lon, &hi.carrier_khz};
+        *fields_lo[j] -= steps[j];
+        *fields_hi[j] += steps[j];
+        const double df = (predict_hz(model, m, hi) -
+                           predict_hz(model, m, lo)) /
+                          (2.0 * steps[j]);
+        jac(i, j) = w * df;
+      }
+    }
+  };
+
+  GeolocationEstimate est;
+  double lambda = options_.initial_damping;
+  Matrix r, jac;
+  residuals_weighted(th, r, jac);
+  double cost = (r.transposed() * r)(0, 0);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    est.iterations = iter + 1;
+    Matrix normal = jac.transposed() * jac;
+    Matrix rhs = jac.transposed() * r;
+    if (prior) {
+      normal += prior->information;
+      // Gradient of the prior term pulls toward th_prior.
+      Matrix dp(np, 1);
+      dp(0, 0) = th_prior.lat - th.lat;
+      dp(1, 0) = th_prior.lon - th.lon;
+      if (np == 3) dp(2, 0) = th_prior.carrier_khz - th.carrier_khz;
+      rhs += prior->information * dp;
+    }
+    // Levenberg damping scaled by the normal diagonal (handles the
+    // rad-vs-kHz scale disparity).
+    Matrix damped = normal;
+    for (std::size_t j = 0; j < np; ++j) {
+      damped(j, j) += lambda * std::max(normal(j, j), 1e-12);
+    }
+    const Matrix delta = damped.solve(rhs);
+
+    Params trial = th;
+    trial.lat += delta(0, 0);
+    trial.lon += delta(1, 0);
+    if (np == 3) trial.carrier_khz += delta(2, 0);
+    trial.lat = std::clamp(trial.lat, -kPi / 2.0, kPi / 2.0);
+    trial.lon = wrap_pi(trial.lon);
+
+    Matrix r_trial, jac_trial;
+    residuals_weighted(trial, r_trial, jac_trial);
+    double cost_trial = (r_trial.transposed() * r_trial)(0, 0);
+    if (prior) {
+      Matrix dp(np, 1);
+      dp(0, 0) = trial.lat - th_prior.lat;
+      dp(1, 0) = trial.lon - th_prior.lon;
+      if (np == 3) dp(2, 0) = trial.carrier_khz - th_prior.carrier_khz;
+      cost_trial += (dp.transposed() * (prior->information * dp))(0, 0);
+    }
+
+    if (cost_trial < cost) {
+      const double improvement = cost - cost_trial;
+      th = trial;
+      r = r_trial;
+      jac = jac_trial;
+      cost = cost_trial;
+      lambda = std::max(lambda * 0.3, 1e-12);
+      // Converged when the step is tiny or the cost has stagnated (the
+      // latter matters for the weakly observable cross-track direction of
+      // single-pass Doppler geometry).
+      if (vector_norm(delta) < options_.step_tolerance ||
+          improvement <= 1e-10 * (1.0 + cost)) {
+        est.converged = true;
+        break;
+      }
+    } else {
+      // Rejected step that would barely change the cost: we are at a local
+      // optimum and no damping will improve it further.
+      if (cost_trial - cost <= 1e-9 * (1.0 + cost)) {
+        est.converged = true;
+        break;
+      }
+      lambda *= 8.0;
+      if (lambda > 1e12) break;  // stuck
+    }
+  }
+
+  // Posterior information and covariance at the solution.
+  Matrix info = jac.transposed() * jac;
+  if (prior) info += prior->information;
+  est.information = info;
+  est.covariance = info.inverse();
+  est.position = GeoPoint{th.lat, th.lon};
+  est.carrier_hz = th.carrier_khz * 1000.0;
+  const double var_lat = est.covariance(0, 0);
+  const double var_lon = est.covariance(1, 1);
+  const double cs = std::cos(th.lat);
+  est.position_error_1sigma_km =
+      kEarthRadiusKm * std::sqrt(std::max(0.0, var_lat + cs * cs * var_lon));
+  const double nm = static_cast<double>(measurements.size());
+  est.rms_residual_hz = std::sqrt((r.transposed() * r)(0, 0) / nm);
+  return est;
+}
+
+}  // namespace oaq

@@ -1,0 +1,67 @@
+#include "geom/geodesy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oaq {
+
+Vec3 geo_to_ecef_unit(const GeoPoint& p) {
+  const double cl = std::cos(p.lat_rad);
+  return {cl * std::cos(p.lon_rad), cl * std::sin(p.lon_rad),
+          std::sin(p.lat_rad)};
+}
+
+Vec3 geo_to_ecef(const GeoPoint& p, double radius_km) {
+  return geo_to_ecef_unit(p) * radius_km;
+}
+
+GeoPoint ecef_to_geo(const Vec3& ecef) {
+  const double r = ecef.norm();
+  if (r == 0.0) return {};
+  return {std::asin(ecef.z / r), std::atan2(ecef.y, ecef.x)};
+}
+
+Vec3 eci_to_ecef(const Vec3& eci, Duration t) {
+  const double theta = kEarthRotationRadPerS * t.to_seconds();
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  // ECEF = Rz(-theta)·ECI seen from the rotating frame: rotate by -theta.
+  return {c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z};
+}
+
+Vec3 ecef_to_eci(const Vec3& ecef, Duration t) {
+  const double theta = kEarthRotationRadPerS * t.to_seconds();
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  return {c * ecef.x - s * ecef.y, s * ecef.x + c * ecef.y, ecef.z};
+}
+
+double central_angle(const GeoPoint& a, const GeoPoint& b) {
+  return angle_between(geo_to_ecef_unit(a), geo_to_ecef_unit(b));
+}
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) {
+  return kEarthRadiusKm * central_angle(a, b);
+}
+
+double initial_bearing(const GeoPoint& a, const GeoPoint& b) {
+  const double dlon = b.lon_rad - a.lon_rad;
+  const double y = std::sin(dlon) * std::cos(b.lat_rad);
+  const double x = std::cos(a.lat_rad) * std::sin(b.lat_rad) -
+                   std::sin(a.lat_rad) * std::cos(b.lat_rad) * std::cos(dlon);
+  return wrap_two_pi(std::atan2(y, x));
+}
+
+GeoPoint destination(const GeoPoint& a, double bearing_rad, double angle_rad) {
+  const double sin_lat = std::sin(a.lat_rad) * std::cos(angle_rad) +
+                         std::cos(a.lat_rad) * std::sin(angle_rad) *
+                             std::cos(bearing_rad);
+  const double lat = std::asin(std::clamp(sin_lat, -1.0, 1.0));
+  const double y = std::sin(bearing_rad) * std::sin(angle_rad) *
+                   std::cos(a.lat_rad);
+  const double x = std::cos(angle_rad) - std::sin(a.lat_rad) * sin_lat;
+  const double lon = a.lon_rad + std::atan2(y, x);
+  return {lat, wrap_pi(lon)};
+}
+
+}  // namespace oaq

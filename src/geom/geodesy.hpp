@@ -1,0 +1,69 @@
+// Hand-rolled spherical-Earth geodesy.
+//
+// The reproduction treats the Earth as a rotating sphere (the paper's
+// geometric arguments — footprints, revisit times, coverage — are all
+// spherical). Frames:
+//   * ECI  — Earth-centered inertial; orbits are propagated here.
+//   * ECEF — Earth-centered Earth-fixed; rotates with the Earth about +z.
+//   * Geodetic — latitude (rad, +north), longitude (rad, +east).
+#pragma once
+
+#include "common/units.hpp"
+#include "geom/vec3.hpp"
+
+namespace oaq {
+
+/// Mean Earth radius, km (spherical model).
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Earth gravitational parameter, km^3/s^2.
+inline constexpr double kEarthMuKm3PerS2 = 398600.4418;
+
+/// Earth sidereal rotation rate, rad/s.
+inline constexpr double kEarthRotationRadPerS = 7.2921159e-5;
+
+/// Earth J2 zonal harmonic coefficient (oblateness).
+inline constexpr double kEarthJ2 = 1.08262668e-3;
+
+/// Geodetic position on the spherical Earth.
+struct GeoPoint {
+  double lat_rad = 0.0;  ///< latitude in [-π/2, π/2], +north
+  double lon_rad = 0.0;  ///< longitude in (-π, π], +east
+
+  [[nodiscard]] static GeoPoint from_degrees(double lat_deg, double lon_deg) {
+    return {deg2rad(lat_deg), deg2rad(lon_deg)};
+  }
+  [[nodiscard]] double lat_deg() const { return rad2deg(lat_rad); }
+  [[nodiscard]] double lon_deg() const { return rad2deg(lon_rad); }
+};
+
+/// Geodetic → ECEF unit vector (on the sphere surface when scaled by radius).
+[[nodiscard]] Vec3 geo_to_ecef_unit(const GeoPoint& p);
+
+/// Geodetic → ECEF surface position in km.
+[[nodiscard]] Vec3 geo_to_ecef(const GeoPoint& p, double radius_km = kEarthRadiusKm);
+
+/// ECEF position → geodetic point (ignores altitude).
+[[nodiscard]] GeoPoint ecef_to_geo(const Vec3& ecef);
+
+/// Rotate an ECI position into ECEF at elapsed time `t` since the frame
+/// coincidence epoch (Greenwich aligned with +x at t = 0).
+[[nodiscard]] Vec3 eci_to_ecef(const Vec3& eci, Duration t);
+
+/// Rotate an ECEF position into ECI at elapsed time `t`.
+[[nodiscard]] Vec3 ecef_to_eci(const Vec3& ecef, Duration t);
+
+/// Great-circle central angle between two points, radians in [0, π].
+[[nodiscard]] double central_angle(const GeoPoint& a, const GeoPoint& b);
+
+/// Great-circle surface distance in km.
+[[nodiscard]] double great_circle_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Initial bearing from `a` toward `b` (radians clockwise from north).
+[[nodiscard]] double initial_bearing(const GeoPoint& a, const GeoPoint& b);
+
+/// Destination point after traveling `angle_rad` along `bearing_rad` from `a`.
+[[nodiscard]] GeoPoint destination(const GeoPoint& a, double bearing_rad,
+                                   double angle_rad);
+
+}  // namespace oaq

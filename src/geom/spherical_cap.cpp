@@ -1,0 +1,71 @@
+#include "geom/spherical_cap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+double clamped_acos(double x) { return std::acos(std::clamp(x, -1.0, 1.0)); }
+
+}  // namespace
+
+SphericalCap::SphericalCap(GeoPoint center, double radius_rad)
+    : center_(center), radius_rad_(radius_rad) {
+  OAQ_REQUIRE(radius_rad > 0.0 && radius_rad <= kPi,
+              "cap angular radius must be in (0, pi]");
+}
+
+bool SphericalCap::contains(const GeoPoint& p) const {
+  return center_distance_rad(p) <= radius_rad_ + 1e-12;
+}
+
+double SphericalCap::center_distance_rad(const GeoPoint& p) const {
+  return central_angle(center_, p);
+}
+
+double SphericalCap::area_km2(double sphere_radius_km) const {
+  return 2.0 * kPi * sphere_radius_km * sphere_radius_km *
+         (1.0 - std::cos(radius_rad_));
+}
+
+bool SphericalCap::overlaps(const SphericalCap& other) const {
+  return central_angle(center_, other.center_) <
+         radius_rad_ + other.radius_rad_;
+}
+
+double SphericalCap::intersection_area_km2(const SphericalCap& other,
+                                           double sphere_radius_km) const {
+  const double t1 = radius_rad_;
+  const double t2 = other.radius_rad_;
+  const double td = central_angle(center_, other.center_);
+  const double r2 = sphere_radius_km * sphere_radius_km;
+
+  if (td >= t1 + t2) return 0.0;  // disjoint
+  if (td <= std::abs(t1 - t2)) {
+    // One cap inside the other: intersection is the smaller cap.
+    const double tmin = std::min(t1, t2);
+    return 2.0 * kPi * r2 * (1.0 - std::cos(tmin));
+  }
+
+  // Gauss–Bonnet on the lens: Area = 2π − 2α·cos t1 − 2β·cos t2 − 2γ,
+  // with α (β) the azimuthal half-extents of the lens seen from each cap
+  // axis and γ the corner angle, all from the spherical triangle
+  // (axis1, axis2, crossing point).
+  const double alpha = clamped_acos(
+      (std::cos(t2) - std::cos(td) * std::cos(t1)) /
+      (std::sin(td) * std::sin(t1)));
+  const double beta = clamped_acos(
+      (std::cos(t1) - std::cos(td) * std::cos(t2)) /
+      (std::sin(td) * std::sin(t2)));
+  const double gamma = clamped_acos(
+      (std::cos(td) - std::cos(t1) * std::cos(t2)) /
+      (std::sin(t1) * std::sin(t2)));
+  const double area_unit = 2.0 * kPi - 2.0 * alpha * std::cos(t1) -
+                           2.0 * beta * std::cos(t2) - 2.0 * gamma;
+  return std::max(0.0, area_unit) * r2;
+}
+
+}  // namespace oaq

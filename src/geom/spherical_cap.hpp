@@ -1,0 +1,45 @@
+// Spherical caps — the geometric model of a satellite footprint.
+//
+// The paper's footprint is "the area on the earth that is covered by a
+// satellite": a spherical cap centered on the sub-satellite point whose
+// angular radius ψ is fixed by the sensor. The coverage time Tc = 9 min and
+// orbit period θ = 90 min give ψ = π·Tc/θ = 18° for the reference
+// constellation (the cap diameter, measured in transit time, equals Tc).
+#pragma once
+
+#include "geom/geodesy.hpp"
+
+namespace oaq {
+
+/// A spherical cap on the unit sphere: all points within angular radius
+/// `radius_rad` of `center`.
+class SphericalCap {
+ public:
+  SphericalCap(GeoPoint center, double radius_rad);
+
+  [[nodiscard]] const GeoPoint& center() const { return center_; }
+  [[nodiscard]] double radius_rad() const { return radius_rad_; }
+
+  /// True when `p` lies inside or on the cap boundary.
+  [[nodiscard]] bool contains(const GeoPoint& p) const;
+
+  /// Angular distance from the cap center to `p`.
+  [[nodiscard]] double center_distance_rad(const GeoPoint& p) const;
+
+  /// Cap surface area on a sphere of radius `sphere_radius_km`, in km².
+  [[nodiscard]] double area_km2(double sphere_radius_km = kEarthRadiusKm) const;
+
+  /// True when this cap and `other` overlap (share interior points).
+  [[nodiscard]] bool overlaps(const SphericalCap& other) const;
+
+  /// Area of the intersection of two caps on a sphere of radius
+  /// `sphere_radius_km`, km². Exact lune-based formula.
+  [[nodiscard]] double intersection_area_km2(
+      const SphericalCap& other, double sphere_radius_km = kEarthRadiusKm) const;
+
+ private:
+  GeoPoint center_;
+  double radius_rad_;
+};
+
+}  // namespace oaq

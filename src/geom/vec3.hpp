@@ -1,0 +1,61 @@
+// 3-vector used for Earth-centered coordinates and orbital state.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace oaq {
+
+/// Plain 3-vector of doubles (kilometres when used as a position,
+/// km/s when used as a velocity).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double k) {
+    x *= k; y *= k; z *= k;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double k) { return a *= k; }
+  friend constexpr Vec3 operator*(double k, Vec3 a) { return a *= k; }
+  friend constexpr Vec3 operator/(Vec3 a, double k) { return a *= (1.0 / k); }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] constexpr double norm2() const { return dot(*this); }
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+/// Angle between two nonzero vectors, in radians, numerically stable near 0/π.
+[[nodiscard]] inline double angle_between(const Vec3& a, const Vec3& b) {
+  // atan2 form avoids acos cancellation for nearly (anti)parallel vectors.
+  return std::atan2(a.cross(b).norm(), a.dot(b));
+}
+
+}  // namespace oaq

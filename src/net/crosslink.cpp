@@ -1,0 +1,68 @@
+#include "net/crosslink.hpp"
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+CrosslinkNetwork::CrosslinkNetwork(Simulator& sim, Options options, Rng rng)
+    : sim_(&sim), options_(options), rng_(rng) {
+  OAQ_REQUIRE(options.min_delay >= Duration::zero(),
+              "delays must be nonnegative");
+  OAQ_REQUIRE(options.max_delay >= options.min_delay,
+              "max delay must dominate min delay");
+  OAQ_REQUIRE(options.loss_probability >= 0.0 &&
+                  options.loss_probability <= 1.0,
+              "loss probability must be in [0,1]");
+}
+
+void CrosslinkNetwork::register_node(const Address& node, Handler handler) {
+  OAQ_REQUIRE(handler != nullptr, "handler must be callable");
+  handlers_[node] = std::move(handler);
+  failed_[node] = false;
+}
+
+void CrosslinkNetwork::fail_silent(const Address& node) {
+  failed_[node] = true;
+}
+
+bool CrosslinkNetwork::is_failed(const Address& node) const {
+  const auto it = failed_.find(node);
+  return it != failed_.end() && it->second;
+}
+
+void CrosslinkNetwork::send(const Address& from, const Address& to,
+                            std::any payload) {
+  ++stats_.sent;
+  if (is_failed(from)) {
+    ++stats_.dropped_dead_sender;
+    return;
+  }
+  const bool loss_exempt =
+      options_.lossless_to_ground && to.kind == Address::Kind::kGround;
+  if (!loss_exempt && rng_.bernoulli(options_.loss_probability)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  const Duration delay = rng_.uniform(options_.min_delay, options_.max_delay);
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.sent = sim_->now();
+  env.payload = std::move(payload);
+  sim_->schedule_after(delay, [this, env = std::move(env)]() mutable {
+    if (is_failed(env.to)) {
+      ++stats_.dropped_dead_receiver;
+      return;
+    }
+    const auto it = handlers_.find(env.to);
+    if (it == handlers_.end()) {
+      ++stats_.dropped_unregistered;
+      return;
+    }
+    env.delivered = sim_->now();
+    ++stats_.delivered;
+    it->second(env);
+  });
+}
+
+}  // namespace oaq

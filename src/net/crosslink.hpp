@@ -1,0 +1,104 @@
+// Inter-satellite crosslink network.
+//
+// The OAQ protocol is "enabled by message-passing over crosslinks between
+// neighboring satellites" (§3.1). This module is the transport: typed
+// envelopes between addresses (satellites or the ground station) with a
+// bounded random delay (the paper's δ is the *maximum* inter-satellite
+// message-delivery delay), optional loss, and fail-silent node injection.
+// The protocol layer (src/oaq) defines the payload types.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "orbit/plane.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+
+/// A network endpoint: a satellite or the ground station.
+struct Address {
+  enum class Kind : std::uint8_t { kSatellite, kGround };
+
+  Kind kind = Kind::kSatellite;
+  SatelliteId satellite{};  ///< meaningful when kind == kSatellite
+
+  [[nodiscard]] static Address sat(SatelliteId id) {
+    return {Kind::kSatellite, id};
+  }
+  [[nodiscard]] static Address ground() { return {Kind::kGround, {}}; }
+
+  friend constexpr bool operator==(const Address&, const Address&) = default;
+  friend constexpr auto operator<=>(const Address&, const Address&) = default;
+};
+
+/// A delivered message.
+struct Envelope {
+  Address from;
+  Address to;
+  TimePoint sent{};
+  TimePoint delivered{};
+  std::any payload;
+};
+
+/// Counters for observability and tests.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;        ///< random loss
+  std::uint64_t dropped_dead_sender = 0;
+  std::uint64_t dropped_dead_receiver = 0;
+  std::uint64_t dropped_unregistered = 0;
+};
+
+/// Simulated crosslink / downlink message bus.
+class CrosslinkNetwork {
+ public:
+  struct Options {
+    /// Delivery delay is uniform in [min_delay, max_delay]; max_delay is
+    /// the paper's δ.
+    Duration min_delay = Duration::seconds(10);
+    Duration max_delay = Duration::seconds(30);
+    double loss_probability = 0.0;
+    /// Exempt messages addressed to the ground station from random loss
+    /// (downlinks are acknowledged/retried in practice; crosslinks are
+    /// the lossy hops the protocol must tolerate).
+    bool lossless_to_ground = false;
+  };
+
+  using Handler = std::function<void(const Envelope&)>;
+
+  CrosslinkNetwork(Simulator& sim, Options options, Rng rng);
+
+  /// Attach a handler for messages addressed to `node`. One handler per
+  /// address; re-registering replaces it (and revives a failed node).
+  void register_node(const Address& node, Handler handler);
+
+  /// Make a node fail-silent: it no longer receives or sends, with no
+  /// notification to anyone — the failure mode of §3.2.
+  void fail_silent(const Address& node);
+
+  [[nodiscard]] bool is_failed(const Address& node) const;
+
+  /// Queue a message. It is delivered after a random delay unless lost or
+  /// either endpoint is fail-silent at the relevant moment (send checks the
+  /// sender now; delivery checks the receiver then).
+  void send(const Address& from, const Address& to, std::any payload);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Simulator* sim_;
+  Options options_;
+  Rng rng_;
+  std::map<Address, Handler> handlers_;
+  std::map<Address, bool> failed_;
+  NetworkStats stats_;
+};
+
+}  // namespace oaq

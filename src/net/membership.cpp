@@ -1,0 +1,152 @@
+#include "net/membership.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+MembershipNode::MembershipNode(Simulator& sim, CrosslinkNetwork& net,
+                               SatelliteId self, std::vector<SatelliteId> ring,
+                               MembershipConfig config)
+    : sim_(&sim), net_(&net), self_(self), ring_(std::move(ring)),
+      config_(config) {
+  OAQ_REQUIRE(ring_.size() >= 2, "membership needs at least two members");
+  OAQ_REQUIRE(std::find(ring_.begin(), ring_.end(), self) != ring_.end(),
+              "self must be a ring member");
+  OAQ_REQUIRE(config.heartbeat_period > Duration::zero(),
+              "heartbeat period must be positive");
+  OAQ_REQUIRE(config.suspicion_timeout > config.heartbeat_period,
+              "suspicion timeout must exceed the heartbeat period");
+  live_.insert(ring_.begin(), ring_.end());
+}
+
+SatelliteId MembershipNode::neighbor(int direction) const {
+  // Next live member in ring order, scanning from self.
+  const auto self_it = std::find(ring_.begin(), ring_.end(), self_);
+  const auto n = static_cast<std::ptrdiff_t>(ring_.size());
+  const auto self_idx = self_it - ring_.begin();
+  for (std::ptrdiff_t step = 1; step < n; ++step) {
+    const auto idx = ((self_idx + direction * step) % n + n) % n;
+    const SatelliteId candidate = ring_[static_cast<std::size_t>(idx)];
+    if (live_.contains(candidate)) return candidate;
+  }
+  return self_;  // alone in the ring
+}
+
+SatelliteId MembershipNode::live_successor() const { return neighbor(+1); }
+SatelliteId MembershipNode::live_predecessor() const { return neighbor(-1); }
+
+void MembershipNode::start() {
+  OAQ_REQUIRE(!started_, "membership node already started");
+  started_ = true;
+  net_->register_node(Address::sat(self_),
+                      [this](const Envelope& env) { on_message(env); });
+  const TimePoint now = sim_->now();
+  last_heard_[live_successor()] = now;
+  last_heard_[live_predecessor()] = now;
+  send_heartbeats();
+  sim_->schedule_after(config_.suspicion_timeout,
+                       [this] { check_neighbors(); });
+}
+
+void MembershipNode::send_heartbeats() {
+  ++sequence_;
+  const Heartbeat hb{self_, sequence_};
+  const SatelliteId succ = live_successor();
+  const SatelliteId pred = live_predecessor();
+  if (succ != self_) net_->send(Address::sat(self_), Address::sat(succ), hb);
+  if (pred != self_ && pred != succ) {
+    net_->send(Address::sat(self_), Address::sat(pred), hb);
+  }
+  sim_->schedule_after(config_.heartbeat_period, [this] { send_heartbeats(); });
+}
+
+void MembershipNode::check_neighbors() {
+  const TimePoint now = sim_->now();
+  // Monitor current ring neighbors only.
+  for (const SatelliteId watched : {live_successor(), live_predecessor()}) {
+    if (watched == self_) continue;
+    const auto it = last_heard_.find(watched);
+    if (it == last_heard_.end()) {
+      // Started watching a new neighbor after a view change.
+      last_heard_[watched] = now;
+      continue;
+    }
+    if (now - it->second > config_.suspicion_timeout) suspect(watched);
+  }
+  sim_->schedule_after(config_.heartbeat_period, [this] { check_neighbors(); });
+}
+
+void MembershipNode::suspect(SatelliteId id) { remove_member(id, true); }
+
+void MembershipNode::remove_member(SatelliteId id, bool gossip) {
+  if (id == self_ || !live_.contains(id)) return;
+  live_.erase(id);
+  last_heard_.erase(id);
+  if (gossip) {
+    const FailureNotice notice{id, self_};
+    const SatelliteId succ = live_successor();
+    const SatelliteId pred = live_predecessor();
+    if (succ != self_) {
+      net_->send(Address::sat(self_), Address::sat(succ), notice);
+    }
+    if (pred != self_ && pred != succ) {
+      net_->send(Address::sat(self_), Address::sat(pred), notice);
+    }
+  }
+}
+
+void MembershipNode::on_message(const Envelope& env) {
+  if (const auto* hb = std::any_cast<Heartbeat>(&env.payload)) {
+    last_heard_[hb->from] = sim_->now();
+    // A heartbeat from a member we removed means it is back (or we were
+    // wrong); readmit it.
+    if (!live_.contains(hb->from)) live_.insert(hb->from);
+    return;
+  }
+  if (const auto* notice = std::any_cast<FailureNotice>(&env.payload)) {
+    if (!live_.contains(notice->failed)) return;  // already known: stop
+    remove_member(notice->failed, false);
+    // Forward around the ring (dedup via the containment check above).
+    const FailureNotice fwd{notice->failed, self_};
+    const SatelliteId succ = live_successor();
+    const SatelliteId pred = live_predecessor();
+    if (succ != self_) {
+      net_->send(Address::sat(self_), Address::sat(succ), fwd);
+    }
+    if (pred != self_ && pred != succ) {
+      net_->send(Address::sat(self_), Address::sat(pred), fwd);
+    }
+  }
+}
+
+MembershipGroup::MembershipGroup(Simulator& sim, CrosslinkNetwork& net,
+                                 const std::vector<SatelliteId>& members,
+                                 MembershipConfig config) {
+  OAQ_REQUIRE(members.size() >= 2, "group needs at least two members");
+  nodes_.reserve(members.size());
+  for (const SatelliteId id : members) {
+    nodes_.push_back(
+        std::make_unique<MembershipNode>(sim, net, id, members, config));
+  }
+  for (auto& node : nodes_) node->start();
+}
+
+MembershipNode& MembershipGroup::node(SatelliteId id) {
+  for (auto& n : nodes_) {
+    if (n->self() == id) return *n;
+  }
+  OAQ_REQUIRE(false, "unknown member");
+}
+
+bool MembershipGroup::converged(
+    const std::set<SatelliteId>& actually_live) const {
+  for (const auto& n : nodes_) {
+    if (!actually_live.contains(n->self())) continue;  // dead nodes: skip
+    if (n->live_view() != actually_live) return false;
+  }
+  return true;
+}
+
+}  // namespace oaq

@@ -1,0 +1,46 @@
+// In-plane neighbor routing.
+//
+// The coordination chain runs along "satellites that revisit the target one
+// after another" (§3.2, footnote 3): within a plane of k evenly phased
+// satellites, the satellite that revisits a ground point Tr after slot s is
+// slot (s − 1) mod k — the one trailing in orbital phase.
+#pragma once
+
+#include "common/error.hpp"
+#include "orbit/plane.hpp"
+
+namespace oaq {
+
+/// Resolves coordination-chain neighbors within one orbital plane.
+class PlaneRouter {
+ public:
+  explicit PlaneRouter(int plane_index, int active_count)
+      : plane_index_(plane_index), active_count_(active_count) {
+    OAQ_REQUIRE(active_count > 0, "router needs a nonempty plane");
+  }
+
+  /// The satellite whose footprint reaches a ground point next after `id`.
+  [[nodiscard]] SatelliteId next_visitor(SatelliteId id) const {
+    check(id);
+    return {plane_index_, (id.slot + active_count_ - 1) % active_count_};
+  }
+
+  /// The satellite that visited before `id` (downstream of the chain).
+  [[nodiscard]] SatelliteId previous_visitor(SatelliteId id) const {
+    check(id);
+    return {plane_index_, (id.slot + 1) % active_count_};
+  }
+
+  [[nodiscard]] int active_count() const { return active_count_; }
+
+ private:
+  void check(SatelliteId id) const {
+    OAQ_REQUIRE(id.plane == plane_index_, "satellite not in this plane");
+    OAQ_REQUIRE(id.slot >= 0 && id.slot < active_count_, "slot out of range");
+  }
+
+  int plane_index_;
+  int active_count_;
+};
+
+}  // namespace oaq

@@ -1,0 +1,61 @@
+// Multi-target campaign: concurrent signals contending for the
+// constellation's computation and coordination resources.
+//
+// The paper evaluates one signal at a time. In operation, emitters appear
+// as a Poisson stream and several coordinations can be in flight at once —
+// a satellite asked to join two chains must serialize its geolocation
+// computations. This engine runs all signals in ONE simulator over ONE
+// crosslink network, with a FIFO per-satellite compute calendar, and
+// reports the QoS distribution as a function of load
+// (bench/ext_load_curve).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/distribution.hpp"
+#include "common/stats.hpp"
+#include "oaq/target_episode.hpp"
+
+namespace oaq {
+
+/// Campaign configuration.
+struct CampaignConfig {
+  PlaneGeometry geometry{};
+  int k = 9;                          ///< plane capacity
+  ProtocolConfig protocol{};
+  Rate signal_arrival_rate = Rate::per_hour(6.0);  ///< Poisson arrivals
+  /// Signal-duration law; Exp(0.2/min) when unset.
+  std::shared_ptr<const DurationDistribution> duration_distribution;
+  Duration horizon = Duration::hours(24);
+  bool opportunity_adaptive = true;
+  /// Serialize computations per satellite (contention on). When false,
+  /// computations overlap freely — the single-target idealization.
+  bool compute_contention = true;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated campaign outcome.
+struct CampaignResult {
+  int signals = 0;
+  DiscretePmf levels;
+  int delivered = 0;
+  int untimely = 0;
+  int duplicates = 0;
+  double mean_latency_min = 0.0;      ///< detection → first alert
+  int contended_computations = 0;     ///< reservations that had to queue
+  double mean_queueing_delay_s = 0.0; ///< over contended reservations
+
+  [[nodiscard]] double probability(QosLevel level) const {
+    return levels.probability(to_int(level));
+  }
+  [[nodiscard]] double tail(QosLevel level) const {
+    return levels.tail_probability(to_int(level));
+  }
+};
+
+/// Run a campaign: Poisson signal arrivals over `horizon`, every episode
+/// in one shared simulation.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace oaq

@@ -1,0 +1,64 @@
+#include "oaq/episode.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "oaq/target_episode.hpp"
+
+namespace oaq {
+
+EpisodeEngine::EpisodeEngine(const CoverageSchedule& schedule,
+                             ProtocolConfig config, bool opportunity_adaptive)
+    : schedule_(&schedule), config_(config), oaq_(opportunity_adaptive) {
+  OAQ_REQUIRE(config.tau > Duration::zero(), "deadline must be positive");
+  OAQ_REQUIRE(config.delta >= Duration::zero(), "delta must be nonnegative");
+  OAQ_REQUIRE(config.tg >= Duration::zero(), "Tg must be nonnegative");
+  OAQ_REQUIRE(config.nu > Rate::zero(), "computation rate must be positive");
+}
+
+EpisodeResult EpisodeEngine::run(TimePoint signal_start,
+                                 Duration signal_duration, Rng& rng,
+                                 const std::vector<Fault>& faults,
+                                 const std::set<SatelliteId>& known_failed)
+    const {
+  OAQ_REQUIRE(signal_duration > Duration::zero(),
+              "signal duration must be positive");
+  Simulator sim;
+  CrosslinkNetwork::Options net_opt;
+  net_opt.min_delay = config_.delta * 0.3;
+  net_opt.max_delay = config_.delta;
+  net_opt.loss_probability = config_.crosslink_loss_probability;
+  net_opt.lossless_to_ground = true;
+  CrosslinkNetwork net(sim, net_opt, rng.fork(0x6e6574));
+
+  TargetEpisode episode(0, sim, net, *schedule_, config_, oaq_, rng,
+                        /*calendar=*/nullptr, &known_failed);
+  if (!episode.arm(signal_start, signal_duration)) {
+    // The signal escapes surveillance entirely (paper §2, worst case).
+    return episode.result();
+  }
+
+  for (const SatelliteId id : episode.horizon_satellites()) {
+    net.register_node(Address::sat(id), [&episode, id](const Envelope& env) {
+      episode.handle_satellite_message(id, env);
+    });
+  }
+  net.register_node(Address::ground(), [&episode](const Envelope& env) {
+    if (const auto* alert = std::any_cast<AlertMessage>(&env.payload)) {
+      episode.handle_ground_alert(*alert);
+    }
+  });
+
+  for (const auto& f : faults) {
+    const TimePoint at = std::max(f.at, sim.now());
+    sim.schedule_at(at, [&net, sat = f.satellite] {
+      net.fail_silent(Address::sat(sat));
+    });
+  }
+
+  sim.run(200000);
+  episode.finalize();
+  return episode.result();
+}
+
+}  // namespace oaq

@@ -1,0 +1,111 @@
+// One signal episode under the OAQ or BAQ scheme (paper §3.2).
+//
+// The engine wires per-satellite protocol agents over the DES kernel and
+// crosslink network and plays out a single signal:
+//
+//   detection → (simultaneous coverage? → level-3 attempt)
+//             → OAQ overlap: withhold, wait for the next overlap window
+//             → OAQ underlap: coordination chain S1 → S2 → ... with
+//               termination conditions
+//                 TC-1  estimated error below threshold,
+//                 TC-2  getTime() − t0 > τ − (n·δ + Tg),
+//                 TC-3  signal stops (detected by a requested peer whose
+//                       footprint finds no signal),
+//               "coordination done" propagation downstream, and per-member
+//               wait deadlines τ − (n−1)·δ that guarantee a timely alert
+//               even when an upstream peer goes fail-silent (Fig. 4)
+//             → BAQ: deliver after the initial computation, no coordination.
+//
+// Two messaging variants (§3.2 last paragraph):
+//   * backward messaging (default): done-notifications propagate down the
+//     chain; the wait deadline guarantees delivery under fail-silence;
+//   * forward responsibility: the requested peer is responsible for
+//     forwarding its predecessor's result if it cannot compute — cheaper,
+//     but an alert is lost if that peer goes fail-silent.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geoloc/accuracy.hpp"
+#include "net/crosslink.hpp"
+#include "oaq/messages.hpp"
+#include "oaq/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+
+/// Protocol parameters.
+struct ProtocolConfig {
+  Duration tau = Duration::minutes(5);    ///< alert deadline τ (from t0)
+  Duration delta = Duration::seconds(12); ///< max inter-satellite delay δ
+  Duration tg = Duration::seconds(6);     ///< max initial computation time Tg
+  Rate nu = Rate::per_minute(30.0);       ///< iterative computation rate ν
+  /// Cap on a single iterative computation (the paper's bounded-Tg
+  /// assumption behind the TC-2 guarantee). Infinite = pure Exp(ν), the
+  /// analytic model's assumption.
+  Duration computation_cap = Duration::infinity();
+  /// TC-1 threshold; <= 0 disables early termination on accuracy.
+  double error_threshold_km = 0.0;
+  /// Crosslink message-loss probability (downlink alerts are exempt).
+  /// The backward-messaging guarantee keeps delivery at-least-once under
+  /// loss; lost "done" notifications surface as duplicate alerts.
+  double crosslink_loss_probability = 0.0;
+  bool backward_messaging = true;  ///< false = forward-responsibility variant
+  AccuracyModel accuracy{};
+};
+
+/// What happened in one episode.
+struct EpisodeResult {
+  QosLevel level = QosLevel::kMissed;  ///< level of the first alert
+  bool alert_delivered = false;
+  bool timely = false;          ///< first alert sent by t0 + τ
+  int alerts_sent = 0;          ///< >1 indicates a duplicate
+  int chain_length = 0;         ///< satellites that contributed measurements
+  /// Chain members in join order (detector first). For a target near a
+  /// plane-crossing, members can come from different planes — the paper's
+  /// footnote 3 notes the algorithm does not require a single plane.
+  std::vector<SatelliteId> participants;
+  int coordination_requests = 0;
+  bool detected = false;
+  TimePoint detection{};        ///< t0 (valid when detected)
+  TimePoint first_alert_sent{};
+  double reported_error_km = 0.0;
+  /// Every chain participant either delivered, received "done", or timed
+  /// out by its local deadline — nobody is left waiting (§3.2).
+  bool all_participants_resolved = true;
+};
+
+/// Runs one signal episode against a coverage schedule.
+class EpisodeEngine {
+ public:
+  /// `scheme` selects OAQ or BAQ behaviour (Scheme from analytic/qos_model).
+  EpisodeEngine(const CoverageSchedule& schedule, ProtocolConfig config,
+                bool opportunity_adaptive);
+
+  /// Simulate a signal starting at `signal_start` lasting `signal_duration`.
+  /// `rng` drives computation times and message delays. Satellites listed
+  /// in `fail_silent` go silent at the given times (fault injection).
+  struct Fault {
+    SatelliteId satellite;
+    TimePoint at;
+  };
+  /// `known_failed`: satellites the group-membership service (src/net/
+  /// membership) has already removed from the view — the coordination
+  /// chain skips their passes instead of paying a wait-deadline timeout.
+  [[nodiscard]] EpisodeResult run(
+      TimePoint signal_start, Duration signal_duration, Rng& rng,
+      const std::vector<Fault>& faults = {},
+      const std::set<SatelliteId>& known_failed = {}) const;
+
+ private:
+  const CoverageSchedule* schedule_;
+  ProtocolConfig config_;
+  bool oaq_;
+};
+
+}  // namespace oaq

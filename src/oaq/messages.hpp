@@ -1,0 +1,48 @@
+// Protocol message payloads carried over the crosslink network (§3.2).
+#pragma once
+
+#include "common/units.hpp"
+#include "oaq/qos.hpp"
+#include "orbit/plane.hpp"
+
+namespace oaq {
+
+/// Running summary of the coordinated geolocation computation, passed along
+/// the chain inside coordination requests ("this message contains the
+/// initial measurements and preliminary result").
+struct GeolocationSummary {
+  int contributing_passes = 0;       ///< distinct satellites so far
+  bool simultaneous = false;         ///< based on simultaneous coverage
+  double estimated_error_km = 0.0;   ///< current 1-σ error estimate (TC-1)
+
+  [[nodiscard]] QosLevel level() const {
+    return rate_result(contributing_passes, simultaneous);
+  }
+};
+
+/// S_n asks S_{n+1} to join the coordination (Fig. 3a/3b).
+struct CoordinationRequest {
+  int target_id = 0;           ///< which signal this coordination concerns
+  TimePoint detection_time{};  ///< t0
+  int receiver_ordinal = 0;    ///< n+1: position of the receiver in the chain
+  GeolocationSummary summary;  ///< state accumulated through S_n
+  SatelliteId requester{};
+};
+
+/// "Coordination done" notification propagated downstream (Fig. 3c/3d).
+struct CoordinationDone {
+  int target_id = 0;
+  TimePoint detection_time{};
+  SatelliteId reporter{};  ///< who delivered the alert
+};
+
+/// Alert message sent to the ground station.
+struct AlertMessage {
+  int target_id = 0;
+  TimePoint detection_time{};
+  TimePoint sent{};
+  GeolocationSummary summary;
+  SatelliteId reporter{};
+};
+
+}  // namespace oaq

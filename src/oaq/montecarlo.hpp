@@ -1,0 +1,52 @@
+// Monte-Carlo QoS estimation: many signal episodes against one plane.
+//
+// Reproduces P(Y = y | k) by simulation of the actual protocol — the
+// cross-validation counterpart of the closed-form model in src/analytic
+// (DESIGN.md experiment E10).
+#pragma once
+
+#include <memory>
+
+#include "analytic/geometry.hpp"
+#include "common/distribution.hpp"
+#include "common/stats.hpp"
+#include "oaq/episode.hpp"
+
+namespace oaq {
+
+/// Configuration of a Monte-Carlo QoS experiment.
+struct QosSimulationConfig {
+  PlaneGeometry geometry{};        ///< θ, Tc
+  int k = 12;                      ///< active satellites in the plane
+  ProtocolConfig protocol{};       ///< τ, δ, Tg, ν, TC-1 threshold, variant
+  Rate mu = Rate::per_minute(0.5); ///< signal termination rate
+  /// Overrides the Exp(µ) signal-duration law when set (sensitivity runs).
+  std::shared_ptr<const DurationDistribution> duration_distribution;
+  bool opportunity_adaptive = true;  ///< OAQ (true) or BAQ (false)
+  int episodes = 20000;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated outcome of a Monte-Carlo QoS experiment.
+struct SimulatedQos {
+  DiscretePmf level_pmf;        ///< episode counts per QoS level
+  int episodes = 0;
+  int duplicates = 0;           ///< episodes with more than one alert
+  int unresolved = 0;           ///< episodes leaving a participant hanging
+  int untimely = 0;             ///< alerts sent after the deadline
+  double mean_chain_length = 0.0;  ///< over detected episodes
+  int max_chain_length = 0;
+
+  [[nodiscard]] double probability(QosLevel level) const {
+    return level_pmf.probability(to_int(level));
+  }
+  [[nodiscard]] double tail(QosLevel level) const {
+    return level_pmf.tail_probability(to_int(level));
+  }
+};
+
+/// Run the experiment. Signal phases are uniform over the revisit period
+/// (PASTA); durations are Exp(µ).
+[[nodiscard]] SimulatedQos simulate_qos(const QosSimulationConfig& config);
+
+}  // namespace oaq

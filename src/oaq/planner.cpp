@@ -1,0 +1,108 @@
+#include "oaq/planner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+OpportunityPlanner::OpportunityPlanner(const CoverageSchedule& schedule,
+                                       ProtocolConfig config)
+    : schedule_(&schedule), config_(config) {
+  OAQ_REQUIRE(config.tau > Duration::zero(), "deadline must be positive");
+}
+
+std::optional<TimePoint> OpportunityPlanner::next_detection_opportunity(
+    TimePoint from, Duration horizon) const {
+  OAQ_REQUIRE(horizon > Duration::zero(), "horizon must be positive");
+  const Duration f = from.since_origin();
+  const auto passes = schedule_->passes(f - Duration::minutes(20),
+                                        f + horizon);
+  for (const auto& p : passes) {
+    if (p.end <= f) continue;
+    return TimePoint::at(std::max(p.start, f));
+  }
+  return std::nullopt;
+}
+
+OpportunityPlan OpportunityPlanner::plan(TimePoint t0) const {
+  OpportunityPlan out;
+  out.detection = t0;
+  out.deadline = t0 + config_.tau;
+
+  const Duration d0 = t0.since_origin();
+  const auto passes = schedule_->passes(d0 - Duration::minutes(20),
+                                        out.deadline.since_origin() +
+                                            Duration::minutes(20));
+  // The detector: a pass covering t0.
+  const Pass* detector = nullptr;
+  int covering = 0;
+  for (const auto& p : passes) {
+    if (p.start <= d0 && d0 < p.end) {
+      if (detector == nullptr) detector = &p;
+      ++covering;
+    }
+  }
+  OAQ_REQUIRE(detector != nullptr,
+              "no coverage at the requested detection instant");
+
+  const AccuracyModel& acc = config_.accuracy;
+  out.chain.push_back({detector->satellite, 1, d0,
+                       covering >= 2 ? acc.simultaneous_error_km()
+                                     : acc.sequential_error_km(1)});
+
+  // Simultaneous opportunity within the deadline?
+  if (covering >= 2) {
+    out.simultaneous_at = d0;
+  } else {
+    const auto windows = overlap_windows(passes, d0,
+                                         out.deadline.since_origin());
+    for (const auto& w : windows) {
+      if (w.start >= d0) {
+        out.simultaneous_at = w.start;
+        break;
+      }
+    }
+  }
+
+  // Feasible sequential chain: the same margin test the engine applies —
+  // S_{n+1} is reachable iff arrival + Tg + n·δ < t0 + τ.
+  Duration cursor = detector->start;
+  int ordinal = 1;
+  while (true) {
+    const Pass* next = nullptr;
+    for (const auto& p : passes) {
+      if (p.start > cursor) {
+        next = &p;
+        break;
+      }
+    }
+    if (next == nullptr || next->satellite == out.chain.back().satellite) {
+      break;
+    }
+    const TimePoint completion_bound =
+        TimePoint::at(next->start) + config_.tg +
+        static_cast<double>(ordinal) * config_.delta;
+    if (completion_bound >= out.deadline) break;
+    ++ordinal;
+    out.chain.push_back({next->satellite, ordinal, next->start,
+                         acc.sequential_error_km(ordinal)});
+    cursor = next->start;
+  }
+
+  // Best attainable level and error for a persistent signal.
+  if (out.simultaneous_at) {
+    out.best_achievable = QosLevel::kSimultaneousDual;
+    out.best_error_km = acc.simultaneous_error_km();
+  } else if (out.chain.size() >= 2) {
+    out.best_achievable = QosLevel::kSequentialDual;
+    out.best_error_km =
+        acc.sequential_error_km(static_cast<int>(out.chain.size()));
+  } else {
+    out.best_achievable = QosLevel::kSingle;
+    out.best_error_km = acc.sequential_error_km(1);
+  }
+  return out;
+}
+
+}  // namespace oaq

@@ -1,0 +1,73 @@
+// Opportunity planner: the "window of opportunity" as a queryable object.
+//
+// Given a detection instant, the planner derives — deterministically, from
+// the same knowledge a satellite has onboard (constellation geometry, τ,
+// δ, Tg) — the temporal and spatial extent of the opportunity the OAQ
+// protocol will exploit:
+//   * whether (and when) simultaneous coverage arrives within τ,
+//   * the feasible coordination chain: which peers arrive in time to
+//     contribute an iteration (the per-step feasibility test is the same
+//     arrival + Tg + n·δ < τ margin the protocol engine uses),
+//   * the best QoS level attainable if the signal persists, and the
+//     expected accuracy after each step.
+// Useful for onboard decision support, mission planning and what-if
+// analysis; the planner's predictions are validated against the episode
+// engine in tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geoloc/accuracy.hpp"
+#include "oaq/episode.hpp"
+
+namespace oaq {
+
+/// One feasible coordination step.
+struct PlannedStep {
+  SatelliteId satellite{};
+  int ordinal = 0;               ///< position in the chain (1 = detector)
+  Duration arrival{};            ///< when its footprint reaches the target
+  double expected_error_km = 0.0;  ///< accuracy after this step completes
+};
+
+/// The opportunity available from a given detection instant.
+struct OpportunityPlan {
+  TimePoint detection{};
+  TimePoint deadline{};
+  /// Set when overlapped footprints arrive within the deadline: the
+  /// instant simultaneous coverage begins.
+  std::optional<Duration> simultaneous_at;
+  /// Feasible chain steps (detector first). Empty only if detection
+  /// itself is impossible at this instant.
+  std::vector<PlannedStep> chain;
+  /// Best level attainable if the signal persists through the window.
+  QosLevel best_achievable = QosLevel::kMissed;
+  /// Expected error of the best plan (persistent signal).
+  double best_error_km = 0.0;
+
+  [[nodiscard]] int max_chain_length() const {
+    return static_cast<int>(chain.size());
+  }
+};
+
+/// Plans opportunities against a coverage schedule.
+class OpportunityPlanner {
+ public:
+  OpportunityPlanner(const CoverageSchedule& schedule, ProtocolConfig config);
+
+  /// The opportunity from a detection at `t0`. Requires the target to be
+  /// covered at `t0` (a detection implies coverage).
+  [[nodiscard]] OpportunityPlan plan(TimePoint t0) const;
+
+  /// Earliest detection instant at or after `from` (when any footprint
+  /// covers the target), or nullopt if none within `horizon`.
+  [[nodiscard]] std::optional<TimePoint> next_detection_opportunity(
+      TimePoint from, Duration horizon = Duration::minutes(30)) const;
+
+ private:
+  const CoverageSchedule* schedule_;
+  ProtocolConfig config_;
+};
+
+}  // namespace oaq

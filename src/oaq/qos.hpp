@@ -1,0 +1,54 @@
+// The application-oriented QoS spectrum (paper Table 1).
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+/// QoS level of a delivered geolocation result, rated by the coverage basis
+/// of the measurements behind it (Table 1).
+enum class QosLevel : int {
+  kMissed = 0,            ///< target escaped surveillance
+  kSingle = 1,            ///< single-coverage (preliminary) result
+  kSequentialDual = 2,    ///< sequential multiple coverage (OAQ only)
+  kSimultaneousDual = 3,  ///< simultaneous multiple coverage
+};
+
+[[nodiscard]] constexpr int to_int(QosLevel level) {
+  return static_cast<int>(level);
+}
+
+[[nodiscard]] constexpr std::string_view to_string(QosLevel level) {
+  switch (level) {
+    case QosLevel::kMissed: return "missed";
+    case QosLevel::kSingle: return "single";
+    case QosLevel::kSequentialDual: return "sequential-dual";
+    case QosLevel::kSimultaneousDual: return "simultaneous-dual";
+  }
+  return "?";
+}
+
+/// Rate a result from how it was obtained: `simultaneous` when two or more
+/// satellites co-observed, otherwise by the number of distinct satellites
+/// whose passes contributed measurements.
+[[nodiscard]] constexpr QosLevel rate_result(int contributing_passes,
+                                             bool simultaneous) {
+  if (simultaneous) return QosLevel::kSimultaneousDual;
+  if (contributing_passes >= 2) return QosLevel::kSequentialDual;
+  if (contributing_passes == 1) return QosLevel::kSingle;
+  return QosLevel::kMissed;
+}
+
+/// Table 1 rows: the levels achievable for a plane's geometric orientation.
+[[nodiscard]] inline std::vector<QosLevel> achievable_levels(bool overlapping) {
+  if (overlapping) {
+    return {QosLevel::kSimultaneousDual, QosLevel::kSingle};
+  }
+  return {QosLevel::kSequentialDual, QosLevel::kSingle, QosLevel::kMissed};
+}
+
+}  // namespace oaq

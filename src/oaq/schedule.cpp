@@ -1,0 +1,72 @@
+#include "oaq/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+AnalyticSchedule::AnalyticSchedule(PlaneGeometry geometry, int k,
+                                   Duration phase)
+    : geometry_(geometry), k_(k), phase_(phase) {
+  OAQ_REQUIRE(k > 0, "schedule needs at least one satellite");
+}
+
+std::vector<Pass> AnalyticSchedule::passes(Duration from, Duration to) const {
+  OAQ_REQUIRE(to > from, "pass window must be nonempty");
+  const Duration tr = geometry_.tr(k_);
+  const Duration tc = geometry_.tc();
+  // Pass j (j ∈ ℤ) is centered at phase + j·Tr and covers ±Tc/2 around it.
+  // Satellite identity: slot (j mod k) descending so that consecutive
+  // visitors are consecutive chain members (slot j, j-1, ... mod k).
+  const double from_c = (from - tc / 2.0 - phase_) / tr;
+  const double to_c = (to + tc / 2.0 - phase_) / tr;
+  std::vector<Pass> out;
+  for (long j = static_cast<long>(std::floor(from_c));
+       j <= static_cast<long>(std::ceil(to_c)); ++j) {
+    const Duration center = phase_ + tr * static_cast<double>(j);
+    const Duration start = center - tc / 2.0;
+    const Duration end = center + tc / 2.0;
+    if (end < from || start > to) continue;
+    const int slot = static_cast<int>(((-j % k_) + k_) % k_);
+    out.push_back({SatelliteId{0, slot}, start, end});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Pass& a, const Pass& b) { return a.start < b.start; });
+  return out;
+}
+
+GeometricSchedule::GeometricSchedule(const Constellation& constellation,
+                                     GeoPoint target, bool earth_rotation)
+    : constellation_(&constellation), target_(target),
+      earth_rotation_(earth_rotation) {}
+
+std::vector<Pass> GeometricSchedule::passes(Duration from, Duration to) const {
+  OAQ_REQUIRE(to > from, "pass window must be nonempty");
+  const PassPredictor predictor(*constellation_, earth_rotation_);
+  // PassPredictor requires a nonnegative horizon start.
+  const Duration t0 = std::max(from, Duration::zero());
+  if (to <= t0) return {};
+  return predictor.passes(target_, t0, to);
+}
+
+std::vector<CoverageSegment> overlap_windows(const std::vector<Pass>& passes,
+                                             Duration from, Duration to) {
+  if (passes.empty() || to <= from) return {};
+  auto timeline = PassPredictor::multiplicity_timeline(passes, from, to);
+  std::vector<CoverageSegment> out;
+  for (auto& seg : timeline) {
+    if (seg.multiplicity() < 2) continue;
+    if (seg.duration() <= Duration::seconds(1e-6)) continue;  // degenerate
+    if (!out.empty() && out.back().end == seg.start &&
+        seg.multiplicity() >= 2) {
+      out.back().end = seg.end;  // merge adjacent ≥2 segments
+    } else {
+      out.push_back(std::move(seg));
+    }
+  }
+  return out;
+}
+
+}  // namespace oaq

@@ -1,0 +1,71 @@
+// Coverage schedules: when does which satellite cover the target?
+//
+// The protocol engine consumes an abstract schedule so the same machinery
+// runs in two modes:
+//   * AnalyticSchedule — the paper's Fig. 6 timing-diagram idealization:
+//     a single plane with k evenly spaced satellites sweeping a centerline
+//     point; passes are exactly periodic with period Tr and length Tc.
+//     This mode matches the closed-form QoS model's assumptions one-to-one
+//     and is used for cross-validation.
+//   * GeometricSchedule — passes extracted from true orbital geometry by
+//     the PassPredictor (src/orbit/visibility); used by the examples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analytic/geometry.hpp"
+#include "orbit/visibility.hpp"
+
+namespace oaq {
+
+/// Abstract source of satellite passes over one target.
+class CoverageSchedule {
+ public:
+  virtual ~CoverageSchedule() = default;
+
+  /// All passes intersecting [from, to], sorted by start time.
+  [[nodiscard]] virtual std::vector<Pass> passes(Duration from,
+                                                 Duration to) const = 0;
+};
+
+/// Timing-diagram schedule for one plane and a centerline target.
+class AnalyticSchedule final : public CoverageSchedule {
+ public:
+  /// `k` active satellites; the first pass-center crosses the target at
+  /// `phase` (use a uniform random phase in [0, Tr) for PASTA sampling).
+  AnalyticSchedule(PlaneGeometry geometry, int k, Duration phase);
+
+  [[nodiscard]] std::vector<Pass> passes(Duration from,
+                                         Duration to) const override;
+
+  [[nodiscard]] const PlaneGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] int k() const { return k_; }
+
+ private:
+  PlaneGeometry geometry_;
+  int k_;
+  Duration phase_;
+};
+
+/// Schedule backed by real constellation geometry.
+class GeometricSchedule final : public CoverageSchedule {
+ public:
+  GeometricSchedule(const Constellation& constellation, GeoPoint target,
+                    bool earth_rotation = false);
+
+  [[nodiscard]] std::vector<Pass> passes(Duration from,
+                                         Duration to) const override;
+
+ private:
+  const Constellation* constellation_;
+  GeoPoint target_;
+  bool earth_rotation_;
+};
+
+/// Overlap windows (≥2 satellites simultaneously covering) in a pass list.
+/// Returns maximal intervals, sorted.
+[[nodiscard]] std::vector<CoverageSegment> overlap_windows(
+    const std::vector<Pass>& passes, Duration from, Duration to);
+
+}  // namespace oaq

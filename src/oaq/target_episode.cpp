@@ -1,0 +1,381 @@
+#include "oaq/target_episode.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+TimePoint ComputeCalendar::schedule(SatelliteId sat, TimePoint ready,
+                                    Duration work) {
+  OAQ_REQUIRE(work >= Duration::zero(), "work must be nonnegative");
+  auto& free_at = free_at_[sat];
+  const TimePoint start = std::max(ready, free_at);
+  if (start > ready) {
+    ++contended_;
+    queueing_ += start - ready;
+  }
+  free_at = start + work;
+  return free_at;
+}
+
+TargetEpisode::TargetEpisode(int target_id, Simulator& sim,
+                             CrosslinkNetwork& net,
+                             const CoverageSchedule& schedule,
+                             const ProtocolConfig& cfg,
+                             bool opportunity_adaptive, Rng& rng,
+                             ComputeCalendar* calendar,
+                             const std::set<SatelliteId>* known_failed)
+    : target_id_(target_id), sim_(&sim), net_(&net), schedule_(&schedule),
+      cfg_(&cfg), oaq_(opportunity_adaptive), rng_(&rng),
+      calendar_(calendar), known_failed_(known_failed) {}
+
+bool TargetEpisode::alive(TimePoint t) const {
+  return t >= sig_start_ && t < sig_end_;
+}
+
+Duration TargetEpisode::sample_computation() {
+  const Duration z = rng_->exponential(cfg_->nu);
+  return std::min(z, cfg_->computation_cap);
+}
+
+TimePoint TargetEpisode::computation_done(SatelliteId sat) {
+  const Duration z = sample_computation();
+  if (calendar_ != nullptr) {
+    return calendar_->schedule(sat, sim_->now(), z);
+  }
+  return sim_->now() + z;
+}
+
+std::vector<Pass> TargetEpisode::covering(TimePoint t) const {
+  std::vector<Pass> out;
+  const Duration d = t.since_origin();
+  for (const auto& p : passes_) {
+    if (p.start <= d && d < p.end) out.push_back(p);
+  }
+  return out;
+}
+
+std::optional<Pass> TargetEpisode::next_pass_after(Duration after) const {
+  for (const auto& p : passes_) {
+    if (p.start <= after) continue;
+    if (known_failed_ != nullptr && known_failed_->contains(p.satellite)) {
+      continue;
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<Pass> TargetEpisode::next_pass_of(SatelliteId sat,
+                                                Duration after) const {
+  for (const auto& p : passes_) {
+    if (p.satellite == sat && p.start >= after) return p;
+  }
+  return std::nullopt;
+}
+
+void TargetEpisode::send_alert(SatelliteId reporter,
+                               const GeolocationSummary& summary) {
+  if (net_->is_failed(Address::sat(reporter))) return;
+  AlertMessage alert;
+  alert.target_id = target_id_;
+  alert.detection_time = t0_;
+  alert.sent = sim_->now();
+  alert.summary = summary;
+  alert.reporter = reporter;
+  ++result_.alerts_sent;
+  net_->send(Address::sat(reporter), Address::ground(), alert);
+}
+
+void TargetEpisode::send_done_downstream(SatelliteId from) {
+  auto& st = agents_[from];
+  if (!st.has_downstream) return;
+  CoordinationDone done;
+  done.target_id = target_id_;
+  done.detection_time = t0_;
+  done.reporter = from;
+  net_->send(Address::sat(from), Address::sat(st.downstream), done);
+}
+
+void TargetEpisode::finish(SatelliteId sat) {
+  auto& st = agents_[sat];
+  st.resolved = true;
+  send_alert(sat, st.own);
+  if (cfg_->backward_messaging) send_done_downstream(sat);
+}
+
+bool TargetEpisode::tc1_holds(const GeolocationSummary& s) const {
+  return cfg_->error_threshold_km > 0.0 &&
+         s.estimated_error_km <= cfg_->error_threshold_km;
+}
+
+bool TargetEpisode::tc2_holds(int n) const {
+  const Duration elapsed = sim_->now() - t0_;
+  const Duration margin =
+      cfg_->tau - (static_cast<double>(n) * cfg_->delta + cfg_->tg);
+  return elapsed > margin;
+}
+
+void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
+  auto& st = agents_[sat];
+  if (sim_->now() > deadline_) {
+    st.resolved = true;  // a downstream timeout already covered the alert
+    return;
+  }
+  if (tc1_holds(st.own) || tc2_holds(st.ordinal)) {
+    finish(sat);
+    return;
+  }
+  const auto next = next_pass_after(my_pass_start);
+  if (!next || next->satellite == sat) {
+    finish(sat);  // nobody else will arrive
+    return;
+  }
+  // Window-of-opportunity margin (the geometry behind Eq. (2), plus the
+  // TC-2 timing margin applied to the peer's KNOWN arrival time): continue
+  // only if arrival + Tg + n·δ < t0 + τ, which also guarantees the "done"
+  // reaches this satellite before its own wait deadline.
+  const TimePoint completion_bound =
+      TimePoint::at(next->start) + cfg_->tg +
+      static_cast<double>(st.ordinal) * cfg_->delta;
+  if (completion_bound >= deadline_) {
+    finish(sat);
+    return;
+  }
+  CoordinationRequest req;
+  req.target_id = target_id_;
+  req.detection_time = t0_;
+  req.receiver_ordinal = st.ordinal + 1;
+  req.summary = st.own;
+  req.requester = sat;
+  ++result_.coordination_requests;
+  net_->send(Address::sat(sat), Address::sat(next->satellite), req);
+
+  if (cfg_->backward_messaging) {
+    st.waiting = true;
+    const TimePoint wait_deadline =
+        t0_ + cfg_->tau - static_cast<double>(st.ordinal - 1) * cfg_->delta;
+    if (wait_deadline <= sim_->now()) {
+      on_wait_timeout(sat);
+      return;
+    }
+    st.wait_timeout =
+        sim_->schedule_at(wait_deadline, [this, sat] { on_wait_timeout(sat); });
+  } else {
+    st.resolved = true;  // forward responsibility: no waiting
+  }
+}
+
+void TargetEpisode::on_wait_timeout(SatelliteId sat) {
+  auto& st = agents_[sat];
+  if (!st.waiting || st.resolved) return;
+  st.waiting = false;
+  finish(sat);
+}
+
+void TargetEpisode::on_done(SatelliteId sat) {
+  auto& st = agents_[sat];
+  if (st.resolved) return;
+  st.resolved = true;
+  if (st.waiting) {
+    st.waiting = false;
+    sim_->cancel(st.wait_timeout);
+  }
+  if (cfg_->backward_messaging) send_done_downstream(sat);
+}
+
+void TargetEpisode::on_request(SatelliteId self,
+                               const CoordinationRequest& req) {
+  auto& st = agents_[self];
+  st.ordinal = req.receiver_ordinal;
+  st.own = req.summary;  // inherited until own measurements arrive
+  st.downstream = req.requester;
+  st.has_downstream = true;
+  const auto pass =
+      next_pass_of(self, sim_->now().since_origin() - Duration::seconds(1));
+  if (!pass) {
+    handle_cannot_compute(self, sim_->now());
+    return;
+  }
+  const TimePoint arrival = std::max(TimePoint::at(pass->start), sim_->now());
+  sim_->schedule_at(arrival, [this, self, pass = *pass, arrival] {
+    if (!alive(arrival)) {
+      handle_cannot_compute(self, arrival);  // TC-3
+      return;
+    }
+    auto& state = agents_[self];
+    state.own.contributing_passes += 1;
+    state.own.simultaneous = false;
+    state.own.estimated_error_km =
+        cfg_->accuracy.sequential_error_km(state.own.contributing_passes);
+    result_.participants.push_back(self);
+    result_.chain_length =
+        std::max(result_.chain_length, state.own.contributing_passes);
+    const TimePoint done_at = computation_done(self);
+    sim_->schedule_at(done_at, [this, self, start = pass.start] {
+      after_iteration(self, start);
+    });
+  });
+}
+
+void TargetEpisode::handle_cannot_compute(SatelliteId self, TimePoint when) {
+  auto& st = agents_[self];
+  st.resolved = true;
+  if (!cfg_->backward_messaging) {
+    // Forward responsibility: forward the predecessor's result (timeliness
+    // recorded at the ground).
+    (void)when;
+    send_alert(self, st.own);
+  }
+  // Backward messaging: stay silent; the predecessor's timeout fires.
+}
+
+void TargetEpisode::on_detection() {
+  result_.detected = true;
+  result_.detection = t0_;
+  const auto cover = covering(t0_);
+  OAQ_ENSURE(!cover.empty(), "detection without coverage");
+  const SatelliteId s1 = cover.front().satellite;
+  auto& st = agents_[s1];
+  st.ordinal = 1;
+  result_.participants.push_back(s1);
+
+  if (cover.size() >= 2) {
+    start_simultaneous(s1, static_cast<int>(cover.size()));
+    return;
+  }
+
+  st.own.contributing_passes = 1;
+  st.own.simultaneous = false;
+  st.own.estimated_error_km = cfg_->accuracy.sequential_error_km(1);
+  result_.chain_length = 1;
+
+  if (!oaq_) {
+    sim_->schedule_after(cfg_->tg, [this, s1] { finish(s1); });
+    return;
+  }
+
+  // OAQ: is a simultaneous-coverage opportunity coming before τ?
+  const auto windows =
+      overlap_windows(passes_, t0_.since_origin(), deadline_.since_origin());
+  std::optional<Duration> t_sim;
+  for (const auto& w : windows) {
+    if (w.start >= t0_.since_origin()) {
+      t_sim = w.start;
+      break;
+    }
+  }
+  if (t_sim) {
+    sim_->schedule_at(TimePoint::at(*t_sim), [this, s1, t = *t_sim] {
+      if (!alive(TimePoint::at(t))) {
+        schedule_preliminary_at_deadline(s1);
+        return;
+      }
+      start_simultaneous(s1, 2);
+    });
+    return;
+  }
+  sim_->schedule_after(cfg_->tg, [this, s1, pass_start = cover.front().start] {
+    after_iteration(s1, pass_start);
+  });
+}
+
+void TargetEpisode::start_simultaneous(SatelliteId s1, int co_observers) {
+  auto& st = agents_[s1];
+  st.own.contributing_passes = co_observers;
+  st.own.simultaneous = true;
+  st.own.estimated_error_km = cfg_->accuracy.simultaneous_error_km();
+  result_.chain_length = std::max(result_.chain_length, co_observers);
+  const TimePoint done_at = computation_done(s1);
+  if (done_at <= deadline_) {
+    sim_->schedule_at(done_at, [this, s1] { finish(s1); });
+  } else {
+    schedule_preliminary_at_deadline(s1);
+  }
+}
+
+void TargetEpisode::schedule_preliminary_at_deadline(SatelliteId s1) {
+  sim_->schedule_at(deadline_, [this, s1] {
+    auto& st = agents_[s1];
+    st.own.contributing_passes = 1;
+    st.own.simultaneous = false;
+    st.own.estimated_error_km = cfg_->accuracy.sequential_error_km(1);
+    finish(s1);
+  });
+}
+
+bool TargetEpisode::arm(TimePoint signal_start, Duration signal_duration) {
+  OAQ_REQUIRE(signal_duration > Duration::zero(),
+              "signal duration must be positive");
+  sig_start_ = signal_start;
+  sig_end_ = signal_start + signal_duration;
+
+  const Duration from = signal_start.since_origin() - Duration::minutes(20);
+  const Duration to = signal_start.since_origin() +
+                      std::min(signal_duration, Duration::minutes(30)) +
+                      cfg_->tau + Duration::minutes(60);
+  passes_ = schedule_->passes(from, to);
+
+  std::optional<TimePoint> t0;
+  if (!covering(signal_start).empty()) {
+    t0 = signal_start;
+  } else {
+    for (const auto& p : passes_) {
+      const TimePoint start = TimePoint::at(p.start);
+      if (start >= signal_start && alive(start)) {
+        t0 = start;
+        break;
+      }
+      if (start >= sig_end_) break;
+    }
+  }
+  if (!t0) return false;  // escapes surveillance
+
+  t0_ = *t0;
+  deadline_ = *t0 + cfg_->tau;
+  for (const auto& p : passes_) {
+    agents_.try_emplace(p.satellite);
+  }
+  sim_->schedule_at(t0_, [this] { on_detection(); });
+  return true;
+}
+
+void TargetEpisode::handle_satellite_message(SatelliteId self,
+                                             const Envelope& env) {
+  if (const auto* req = std::any_cast<CoordinationRequest>(&env.payload)) {
+    if (req->target_id == target_id_) on_request(self, *req);
+    return;
+  }
+  if (const auto* done = std::any_cast<CoordinationDone>(&env.payload)) {
+    if (done->target_id == target_id_) on_done(self);
+  }
+}
+
+void TargetEpisode::handle_ground_alert(const AlertMessage& alert) {
+  if (alert.target_id != target_id_) return;
+  if (result_.alert_delivered) return;
+  result_.alert_delivered = true;
+  result_.level = alert.summary.level();
+  result_.reported_error_km = alert.summary.estimated_error_km;
+  result_.first_alert_sent = alert.sent;
+  result_.timely = alert.sent <= deadline_;
+}
+
+void TargetEpisode::finalize() {
+  for (const auto& [id, st] : agents_) {
+    if (st.ordinal > 0 && !st.resolved &&
+        !net_->is_failed(Address::sat(id))) {
+      result_.all_participants_resolved = false;
+    }
+  }
+}
+
+std::vector<SatelliteId> TargetEpisode::horizon_satellites() const {
+  std::vector<SatelliteId> out;
+  out.reserve(agents_.size());
+  for (const auto& [id, st] : agents_) out.push_back(id);
+  return out;
+}
+
+}  // namespace oaq

@@ -1,0 +1,131 @@
+// Per-target protocol state machine — the engine behind EpisodeEngine
+// (single signal) and MultiTargetEngine (concurrent signals with compute
+// contention).
+//
+// A TargetEpisode owns one signal's protocol lifecycle over a Simulator
+// and CrosslinkNetwork it does NOT own; several episodes can share both.
+// Messages carry a target id so a satellite participating in multiple
+// coordinations can dispatch to the right episode.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/crosslink.hpp"
+#include "oaq/episode.hpp"
+#include "oaq/messages.hpp"
+#include "oaq/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+
+/// FIFO single-server computation calendar per satellite: concurrent
+/// coordinations contend for a satellite's single signal-processing chain.
+class ComputeCalendar {
+ public:
+  /// Reserve the satellite's processor for `work` starting no earlier than
+  /// `ready`; returns the completion time. FIFO in reservation order.
+  TimePoint schedule(SatelliteId sat, TimePoint ready, Duration work);
+
+  [[nodiscard]] int contended_reservations() const { return contended_; }
+  [[nodiscard]] Duration total_queueing_delay() const { return queueing_; }
+
+ private:
+  std::map<SatelliteId, TimePoint> free_at_;
+  int contended_ = 0;
+  Duration queueing_ = Duration::zero();
+};
+
+/// One signal's protocol run over shared infrastructure.
+class TargetEpisode {
+ public:
+  /// `calendar` may be null (uncontended computations). `known_failed` may
+  /// be null (no membership view). Both must outlive the episode.
+  TargetEpisode(int target_id, Simulator& sim, CrosslinkNetwork& net,
+                const CoverageSchedule& schedule, const ProtocolConfig& cfg,
+                bool opportunity_adaptive, Rng& rng,
+                ComputeCalendar* calendar,
+                const std::set<SatelliteId>* known_failed);
+
+  TargetEpisode(const TargetEpisode&) = delete;
+  TargetEpisode& operator=(const TargetEpisode&) = delete;
+
+  /// Locate t0 and schedule the detection event. Returns true when the
+  /// signal will be detected (otherwise the episode is already final:
+  /// missed).
+  bool arm(TimePoint signal_start, Duration signal_duration);
+
+  /// Dispatch a delivered envelope addressed to a satellite participating
+  /// in this episode (the owner routes by target id).
+  void handle_satellite_message(SatelliteId self, const Envelope& env);
+
+  /// Dispatch an alert delivered to the ground for this target.
+  void handle_ground_alert(const AlertMessage& alert);
+
+  /// Run the end-of-episode resolution audit (call after the simulator
+  /// has drained the horizon).
+  void finalize();
+
+  [[nodiscard]] int target_id() const { return target_id_; }
+  [[nodiscard]] const EpisodeResult& result() const { return result_; }
+  /// Satellites appearing in this episode's pass horizon (the owner
+  /// registers network handlers for them).
+  [[nodiscard]] std::vector<SatelliteId> horizon_satellites() const;
+
+ private:
+  struct AgentState {
+    int ordinal = 0;
+    GeolocationSummary own;
+    SatelliteId downstream{};
+    bool has_downstream = false;
+    bool waiting = false;
+    EventId wait_timeout{};
+    bool resolved = false;
+  };
+
+  [[nodiscard]] bool alive(TimePoint t) const;
+  [[nodiscard]] Duration sample_computation();
+  /// Completion time of a computation by `sat` requested now (queues on
+  /// the shared calendar when present).
+  [[nodiscard]] TimePoint computation_done(SatelliteId sat);
+  [[nodiscard]] std::vector<Pass> covering(TimePoint t) const;
+  [[nodiscard]] std::optional<Pass> next_pass_after(Duration after) const;
+  [[nodiscard]] std::optional<Pass> next_pass_of(SatelliteId sat,
+                                                 Duration after) const;
+  void send_alert(SatelliteId reporter, const GeolocationSummary& summary);
+  void send_done_downstream(SatelliteId from);
+  void finish(SatelliteId sat);
+  [[nodiscard]] bool tc1_holds(const GeolocationSummary& s) const;
+  [[nodiscard]] bool tc2_holds(int n) const;
+  void after_iteration(SatelliteId sat, Duration my_pass_start);
+  void on_wait_timeout(SatelliteId sat);
+  void on_done(SatelliteId sat);
+  void on_request(SatelliteId self, const CoordinationRequest& req);
+  void handle_cannot_compute(SatelliteId self, TimePoint when);
+  void on_detection();
+  void start_simultaneous(SatelliteId s1, int co_observers);
+  void schedule_preliminary_at_deadline(SatelliteId s1);
+
+  int target_id_;
+  Simulator* sim_;
+  CrosslinkNetwork* net_;
+  const CoverageSchedule* schedule_;
+  const ProtocolConfig* cfg_;
+  bool oaq_;
+  Rng* rng_;
+  ComputeCalendar* calendar_;
+  const std::set<SatelliteId>* known_failed_;
+
+  TimePoint sig_start_{};
+  TimePoint sig_end_{};
+  TimePoint t0_{};
+  TimePoint deadline_{};
+  std::vector<Pass> passes_;
+  std::map<SatelliteId, AgentState> agents_;
+  EpisodeResult result_;
+};
+
+}  // namespace oaq

@@ -1,0 +1,74 @@
+#include "orbit/constellation.hpp"
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+Constellation::Constellation(const ConstellationDesign& design)
+    : design_(design),
+      footprint_(FootprintModel::from_coverage_time(design.coverage_time,
+                                                    design.period)) {
+  OAQ_REQUIRE(design.num_planes > 0, "constellation needs at least one plane");
+  OAQ_REQUIRE(design.sats_per_plane > 0, "planes need at least one satellite");
+  planes_.reserve(static_cast<std::size_t>(design.num_planes));
+  const double raan_step =
+      design.raan_spread_rad / static_cast<double>(design.num_planes);
+  const double phase_unit =
+      2.0 * kPi / static_cast<double>(design.num_planes *
+                                     design.sats_per_plane);
+  for (int j = 0; j < design.num_planes; ++j) {
+    const double raan = raan_step * static_cast<double>(j);
+    const double phase_offset =
+        phase_unit * static_cast<double>(design.phasing_factor * j);
+    planes_.emplace_back(j, design.period, design.inclination_rad, raan,
+                         phase_offset, design.sats_per_plane, design.j2);
+  }
+}
+
+Constellation Constellation::reference() {
+  return Constellation(ConstellationDesign{});
+}
+
+const OrbitalPlane& Constellation::plane(int i) const {
+  OAQ_REQUIRE(i >= 0 && i < num_planes(), "plane index out of range");
+  return planes_[static_cast<std::size_t>(i)];
+}
+
+OrbitalPlane& Constellation::plane(int i) {
+  OAQ_REQUIRE(i >= 0 && i < num_planes(), "plane index out of range");
+  return planes_[static_cast<std::size_t>(i)];
+}
+
+int Constellation::total_active() const {
+  int total = 0;
+  for (const auto& p : planes_) total += p.active_count();
+  return total;
+}
+
+std::vector<SatelliteId> Constellation::active_satellites() const {
+  std::vector<SatelliteId> out;
+  out.reserve(static_cast<std::size_t>(total_active()));
+  for (const auto& p : planes_) {
+    for (const auto& id : p.active_satellites()) out.push_back(id);
+  }
+  return out;
+}
+
+GeoPoint Constellation::subsatellite_point(SatelliteId id, Duration t,
+                                           bool earth_rotation) const {
+  return plane(id.plane).subsatellite_point(id.slot, t, earth_rotation);
+}
+
+std::vector<SatelliteId> Constellation::covering_satellites(
+    const GeoPoint& p, Duration t, bool earth_rotation) const {
+  std::vector<SatelliteId> out;
+  for (const auto& pl : planes_) {
+    for (int s = 0; s < pl.active_count(); ++s) {
+      const auto subsat = pl.subsatellite_point(s, t, earth_rotation);
+      if (footprint_.covers(subsat, p)) out.push_back({pl.plane_index(), s});
+    }
+  }
+  return out;
+}
+
+}  // namespace oaq

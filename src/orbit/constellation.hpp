@@ -1,0 +1,64 @@
+// Constellation assembly, including the paper's JPL reference design.
+#pragma once
+
+#include <vector>
+
+#include "orbit/footprint.hpp"
+#include "orbit/plane.hpp"
+
+namespace oaq {
+
+/// Parameters of a Walker-style constellation.
+struct ConstellationDesign {
+  int num_planes = 7;
+  int sats_per_plane = 14;        ///< active satellites per plane
+  int in_orbit_spares_per_plane = 2;
+  Duration period = Duration::minutes(90);
+  Duration coverage_time = Duration::minutes(9);  ///< Tc
+  double inclination_rad = deg2rad(85.0);
+  /// Total spread of ascending nodes. π gives a Walker-star (polar-style)
+  /// pattern, 2π a Walker-delta pattern.
+  double raan_spread_rad = kPi;
+  /// Inter-plane phasing factor F: plane j's ring is advanced by
+  /// F·j·2π/(num_planes·sats_per_plane).
+  int phasing_factor = 1;
+  /// Propagate with J2 secular perturbations (node/perigee/phase drift).
+  bool j2 = false;
+};
+
+/// A LEO constellation as a set of orbital planes plus a footprint model.
+class Constellation {
+ public:
+  explicit Constellation(const ConstellationDesign& design);
+
+  /// The paper's reference RF-geolocation constellation: 7 planes ×
+  /// (14 active + 2 in-orbit spares), θ = 90 min, Tc = 9 min (ψ = 18°).
+  [[nodiscard]] static Constellation reference();
+
+  [[nodiscard]] const ConstellationDesign& design() const { return design_; }
+  [[nodiscard]] int num_planes() const { return static_cast<int>(planes_.size()); }
+  [[nodiscard]] const OrbitalPlane& plane(int i) const;
+  [[nodiscard]] OrbitalPlane& plane(int i);
+  [[nodiscard]] const FootprintModel& footprint() const { return footprint_; }
+
+  /// Total number of active satellites across planes.
+  [[nodiscard]] int total_active() const;
+
+  /// All active satellites.
+  [[nodiscard]] std::vector<SatelliteId> active_satellites() const;
+
+  /// Sub-satellite point of an active satellite.
+  [[nodiscard]] GeoPoint subsatellite_point(SatelliteId id, Duration t,
+                                            bool earth_rotation = false) const;
+
+  /// Satellites whose footprints cover `p` at time `t`.
+  [[nodiscard]] std::vector<SatelliteId> covering_satellites(
+      const GeoPoint& p, Duration t, bool earth_rotation = false) const;
+
+ private:
+  ConstellationDesign design_;
+  std::vector<OrbitalPlane> planes_;
+  FootprintModel footprint_;
+};
+
+}  // namespace oaq

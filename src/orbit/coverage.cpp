@@ -1,0 +1,94 @@
+#include "orbit/coverage.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+CoverageAnalyzer::CoverageAnalyzer(const Constellation& constellation)
+    : constellation_(&constellation) {}
+
+std::vector<LatitudeBandCoverage> CoverageAnalyzer::by_latitude(
+    Duration t, int nlat, int nlon) const {
+  OAQ_REQUIRE(nlat > 0 && nlon > 0, "grid must be nonempty");
+
+  // Precompute sub-satellite caps once per snapshot.
+  std::vector<GeoPoint> subsats;
+  for (const auto id : constellation_->active_satellites()) {
+    subsats.push_back(constellation_->subsatellite_point(id, t));
+  }
+  const double psi = constellation_->footprint().angular_radius_rad();
+
+  std::vector<LatitudeBandCoverage> bands;
+  bands.reserve(static_cast<std::size_t>(nlat));
+  for (int i = 0; i < nlat; ++i) {
+    const double lat = -kPi / 2.0 + kPi * (i + 0.5) / nlat;
+    int covered = 0;
+    int overlapped = 0;
+    long multiplicity_sum = 0;
+    for (int j = 0; j < nlon; ++j) {
+      const double lon = -kPi + 2.0 * kPi * (j + 0.5) / nlon;
+      const GeoPoint p{lat, lon};
+      int count = 0;
+      for (const auto& s : subsats) {
+        if (central_angle(s, p) <= psi) ++count;
+      }
+      covered += (count >= 1);
+      overlapped += (count >= 2);
+      multiplicity_sum += count;
+    }
+    LatitudeBandCoverage band;
+    band.lat_deg = rad2deg(lat);
+    band.covered_fraction = static_cast<double>(covered) / nlon;
+    band.overlap_fraction = static_cast<double>(overlapped) / nlon;
+    band.mean_multiplicity = static_cast<double>(multiplicity_sum) / nlon;
+    bands.push_back(band);
+  }
+  return bands;
+}
+
+GlobalCoverage CoverageAnalyzer::global(Duration t, int nlat, int nlon) const {
+  const auto bands = by_latitude(t, nlat, nlon);
+  GlobalCoverage g;
+  double weight_sum = 0.0;
+  for (const auto& band : bands) {
+    const double w = std::cos(deg2rad(band.lat_deg));  // band area weight
+    weight_sum += w;
+    g.covered_fraction += w * band.covered_fraction;
+    g.overlap_fraction += w * band.overlap_fraction;
+    g.max_gap_fraction =
+        std::max(g.max_gap_fraction, 1.0 - band.covered_fraction);
+  }
+  g.covered_fraction /= weight_sum;
+  g.overlap_fraction /= weight_sum;
+  return g;
+}
+
+std::vector<LatitudeBandCoverage> CoverageAnalyzer::by_latitude_time_averaged(
+    int samples, int nlat, int nlon) const {
+  OAQ_REQUIRE(samples > 0, "need at least one snapshot");
+  std::vector<LatitudeBandCoverage> acc;
+  const Duration period = constellation_->design().period;
+  for (int s = 0; s < samples; ++s) {
+    const auto snap =
+        by_latitude(period * (static_cast<double>(s) / samples), nlat, nlon);
+    if (acc.empty()) {
+      acc = snap;
+      continue;
+    }
+    for (std::size_t b = 0; b < acc.size(); ++b) {
+      acc[b].covered_fraction += snap[b].covered_fraction;
+      acc[b].overlap_fraction += snap[b].overlap_fraction;
+      acc[b].mean_multiplicity += snap[b].mean_multiplicity;
+    }
+  }
+  for (auto& band : acc) {
+    band.covered_fraction /= samples;
+    band.overlap_fraction /= samples;
+    band.mean_multiplicity /= samples;
+  }
+  return acc;
+}
+
+}  // namespace oaq

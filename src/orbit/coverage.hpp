@@ -1,0 +1,54 @@
+// Latitude-sliced constellation coverage analysis — the SOAP substitute.
+//
+// The paper reads two facts off the Satellite Orbit Analysis Program's
+// interactive model: (1) the full 98-satellite constellation covers the
+// whole Earth, with the overlapped-footprint share growing from equator to
+// poles, and (2) at ~30° latitude a point on a footprint-trajectory
+// centerline is the least likely to see overlapped coverage. This analyzer
+// computes those quantities on a lat/lon grid from the true geometry.
+#pragma once
+
+#include <vector>
+
+#include "orbit/constellation.hpp"
+
+namespace oaq {
+
+/// Coverage of one latitude band at a snapshot (area-weighted fractions).
+struct LatitudeBandCoverage {
+  double lat_deg = 0.0;         ///< band center latitude
+  double covered_fraction = 0.0;   ///< fraction covered by >= 1 footprint
+  double overlap_fraction = 0.0;   ///< fraction covered by >= 2 footprints
+  double mean_multiplicity = 0.0;  ///< average number of covering footprints
+};
+
+/// Whole-Earth coverage summary at a snapshot.
+struct GlobalCoverage {
+  double covered_fraction = 0.0;
+  double overlap_fraction = 0.0;
+  double max_gap_fraction = 0.0;  ///< worst uncovered fraction over bands
+};
+
+/// Grid-based coverage analyzer for a constellation snapshot.
+class CoverageAnalyzer {
+ public:
+  explicit CoverageAnalyzer(const Constellation& constellation);
+
+  /// Coverage by latitude band at time `t` with `nlat`×`nlon` sampling.
+  [[nodiscard]] std::vector<LatitudeBandCoverage> by_latitude(
+      Duration t, int nlat = 36, int nlon = 144) const;
+
+  /// Area-weighted whole-Earth coverage at time `t`.
+  [[nodiscard]] GlobalCoverage global(Duration t, int nlat = 36,
+                                      int nlon = 144) const;
+
+  /// Time-averaged band coverage over `samples` snapshots spanning one
+  /// orbital period (captures the motion-average a single snapshot misses).
+  [[nodiscard]] std::vector<LatitudeBandCoverage> by_latitude_time_averaged(
+      int samples = 8, int nlat = 36, int nlon = 144) const;
+
+ private:
+  const Constellation* constellation_;
+};
+
+}  // namespace oaq

@@ -1,0 +1,42 @@
+// Footprint model: the spherical cap a satellite's sensor covers.
+//
+// The paper parameterizes footprints by the coverage time Tc (the longest
+// time a ground point stays inside a single footprint — 9 min for the
+// reference constellation). For an orbit of period θ, the footprint's
+// angular radius is ψ = π·Tc/θ: the cap's along-track angular diameter 2ψ
+// is traversed at angular rate 2π/θ, so the transit takes Tc.
+#pragma once
+
+#include "common/units.hpp"
+#include "geom/spherical_cap.hpp"
+#include "orbit/kepler.hpp"
+
+namespace oaq {
+
+/// Sensor footprint attached to a satellite orbit.
+class FootprintModel {
+ public:
+  /// Footprint with explicit angular radius ψ (radians).
+  explicit FootprintModel(double angular_radius_rad);
+
+  /// Footprint sized so a centerline point is covered for `coverage_time`
+  /// by a satellite with orbit period `period`.
+  [[nodiscard]] static FootprintModel from_coverage_time(Duration coverage_time,
+                                                         Duration period);
+
+  [[nodiscard]] double angular_radius_rad() const { return psi_; }
+
+  /// Coverage time for a centerline pass given the orbit period.
+  [[nodiscard]] Duration coverage_time(Duration period) const;
+
+  /// The cap covered by a satellite at `subsat` (sub-satellite point).
+  [[nodiscard]] SphericalCap cap_at(const GeoPoint& subsat) const;
+
+  /// True when a satellite whose sub-satellite point is `subsat` covers `p`.
+  [[nodiscard]] bool covers(const GeoPoint& subsat, const GeoPoint& p) const;
+
+ private:
+  double psi_;
+};
+
+}  // namespace oaq

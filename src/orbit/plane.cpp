@@ -1,0 +1,64 @@
+#include "orbit/plane.hpp"
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+OrbitalPlane::OrbitalPlane(int plane_index, Duration period,
+                           double inclination_rad, double raan_rad,
+                           double phase_offset_rad, int design_count, bool j2)
+    : plane_index_(plane_index), period_(period),
+      inclination_rad_(inclination_rad), raan_rad_(raan_rad),
+      phase_offset_rad_(phase_offset_rad), design_count_(design_count),
+      active_count_(design_count), j2_(j2) {
+  OAQ_REQUIRE(design_count > 0, "plane needs at least one satellite");
+  OAQ_REQUIRE(period > Duration::zero(), "period must be positive");
+  altitude_km_ = Orbit::semi_major_for_period(period) - kEarthRadiusKm;
+}
+
+Duration OrbitalPlane::revisit_time() const {
+  return revisit_time_for(active_count_);
+}
+
+Duration OrbitalPlane::revisit_time_for(int k) const {
+  OAQ_REQUIRE(k > 0, "revisit time undefined for an empty plane");
+  return period_ / static_cast<double>(k);
+}
+
+void OrbitalPlane::set_active_count(int k) {
+  OAQ_REQUIRE(k >= 0 && k <= design_count_,
+              "active count must be within [0, design count]");
+  active_count_ = k;
+}
+
+double OrbitalPlane::slot_spacing_rad() const {
+  OAQ_REQUIRE(active_count_ > 0, "no active satellites");
+  return 2.0 * kPi / static_cast<double>(active_count_);
+}
+
+Orbit OrbitalPlane::orbit_of(int slot) const {
+  OAQ_REQUIRE(slot >= 0 && slot < active_count_, "slot out of range");
+  const double u0 =
+      phase_offset_rad_ + slot_spacing_rad() * static_cast<double>(slot);
+  const Orbit orbit =
+      Orbit::circular(altitude_km_, inclination_rad_, raan_rad_, u0);
+  return j2_ ? orbit.with_j2() : orbit;
+}
+
+Vec3 OrbitalPlane::position_eci(int slot, Duration t) const {
+  return orbit_of(slot).position_eci(t);
+}
+
+GeoPoint OrbitalPlane::subsatellite_point(int slot, Duration t,
+                                          bool earth_rotation) const {
+  return orbit_of(slot).subsatellite_point(t, earth_rotation);
+}
+
+std::vector<SatelliteId> OrbitalPlane::active_satellites() const {
+  std::vector<SatelliteId> out;
+  out.reserve(static_cast<std::size_t>(active_count_));
+  for (int s = 0; s < active_count_; ++s) out.push_back({plane_index_, s});
+  return out;
+}
+
+}  // namespace oaq

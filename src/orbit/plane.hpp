@@ -1,0 +1,84 @@
+// An orbital plane: a ring of evenly phased satellites sharing one orbit
+// geometry (inclination, node, altitude).
+//
+// The paper's structural-degradation story happens at plane granularity:
+// when a plane loses satellites past its in-orbit spares, the survivors are
+// re-phased to even spacing (`set_active_count`), stretching the revisit
+// time Tr[k] = θ/k and eventually breaking footprint overlap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "orbit/footprint.hpp"
+#include "orbit/kepler.hpp"
+
+namespace oaq {
+
+/// Identifies a satellite by plane index and in-plane slot.
+struct SatelliteId {
+  int plane = 0;
+  int slot = 0;
+
+  friend constexpr bool operator==(SatelliteId, SatelliteId) = default;
+  friend constexpr auto operator<=>(SatelliteId, SatelliteId) = default;
+};
+
+/// One orbital plane of a constellation.
+class OrbitalPlane {
+ public:
+  /// `design_count` satellites evenly phased in a circular orbit of
+  /// `period`, inclination `inclination_rad`, node `raan_rad`, with the
+  /// whole ring advanced by `phase_offset_rad` (used for inter-plane
+  /// phasing in Walker constellations).
+  OrbitalPlane(int plane_index, Duration period, double inclination_rad,
+               double raan_rad, double phase_offset_rad, int design_count,
+               bool j2 = false);
+
+  [[nodiscard]] int plane_index() const { return plane_index_; }
+  [[nodiscard]] Duration period() const { return period_; }
+  [[nodiscard]] double inclination_rad() const { return inclination_rad_; }
+  [[nodiscard]] double raan_rad() const { return raan_rad_; }
+  [[nodiscard]] int design_count() const { return design_count_; }
+  [[nodiscard]] int active_count() const { return active_count_; }
+
+  /// Revisit time Tr[k] = θ / k for the current active count.
+  [[nodiscard]] Duration revisit_time() const;
+  /// Revisit time for a hypothetical active count.
+  [[nodiscard]] Duration revisit_time_for(int k) const;
+
+  /// Phasing adjustment after failures: redistributes `k` survivors evenly.
+  /// Models the paper's "surviving satellites undergo a phasing adjustment
+  /// so that they can be evenly distributed in the plane again".
+  void set_active_count(int k);
+
+  /// Orbit of the active satellite in `slot` (0 <= slot < active_count).
+  [[nodiscard]] Orbit orbit_of(int slot) const;
+
+  /// ECI position of the active satellite in `slot` at time `t`.
+  [[nodiscard]] Vec3 position_eci(int slot, Duration t) const;
+
+  /// Sub-satellite point of the active satellite in `slot`.
+  [[nodiscard]] GeoPoint subsatellite_point(int slot, Duration t,
+                                            bool earth_rotation = false) const;
+
+  /// Ids of all active satellites, slot order.
+  [[nodiscard]] std::vector<SatelliteId> active_satellites() const;
+
+  /// In-plane angular spacing between adjacent active satellites, radians.
+  [[nodiscard]] double slot_spacing_rad() const;
+
+ private:
+  int plane_index_;
+  Duration period_;
+  double inclination_rad_;
+  double raan_rad_;
+  double phase_offset_rad_;
+  int design_count_;
+  int active_count_;
+  double altitude_km_;
+  bool j2_;
+};
+
+}  // namespace oaq

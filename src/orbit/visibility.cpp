@@ -1,0 +1,148 @@
+#include "orbit/visibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+
+namespace oaq {
+namespace {
+
+/// Elevation-like margin: positive when the satellite covers the target.
+double coverage_margin(const Orbit& orbit, const FootprintModel& fp,
+                       const GeoPoint& target, Duration t,
+                       bool earth_rotation) {
+  const GeoPoint subsat = orbit.subsatellite_point(t, earth_rotation);
+  return fp.angular_radius_rad() - central_angle(subsat, target);
+}
+
+}  // namespace
+
+PassPredictor::PassPredictor(const Constellation& constellation,
+                             bool earth_rotation)
+    : constellation_(&constellation), earth_rotation_(earth_rotation) {}
+
+std::vector<Pass> PassPredictor::passes(const GeoPoint& target, Duration t0,
+                                        Duration t1, Duration tol) const {
+  OAQ_REQUIRE(t1 > t0, "pass horizon must be nonempty");
+  OAQ_REQUIRE(tol > Duration::zero(), "tolerance must be positive");
+  std::vector<Pass> result;
+  const auto& fp = constellation_->footprint();
+
+  for (int pi = 0; pi < constellation_->num_planes(); ++pi) {
+    const auto& plane = constellation_->plane(pi);
+    // Sample interval: a footprint transit lasts Tc = θ·ψ/π; 64 samples per
+    // transit reliably brackets every crossing.
+    const Duration transit = fp.coverage_time(plane.period());
+    const Duration step = transit / 64.0;
+    for (int slot = 0; slot < plane.active_count(); ++slot) {
+      const Orbit orbit = plane.orbit_of(slot);
+      auto margin = [&](double t_sec) {
+        return coverage_margin(orbit, fp, target, Duration::seconds(t_sec),
+                               earth_rotation_);
+      };
+
+      double t = t0.to_seconds();
+      double m_prev = margin(t);
+      double pass_start = m_prev > 0.0 ? t : -1.0;
+      while (t < t1.to_seconds()) {
+        const double t_next = std::min(t + step.to_seconds(), t1.to_seconds());
+        const double m_next = margin(t_next);
+        if (m_prev <= 0.0 && m_next > 0.0) {
+          pass_start = find_root(margin, t, t_next, tol.to_seconds());
+        } else if (m_prev > 0.0 && m_next <= 0.0) {
+          const double pass_end = find_root(margin, t, t_next, tol.to_seconds());
+          OAQ_ENSURE(pass_start >= 0.0, "pass end without start");
+          result.push_back({SatelliteId{pi, slot},
+                            Duration::seconds(pass_start),
+                            Duration::seconds(pass_end)});
+          pass_start = -1.0;
+        }
+        t = t_next;
+        m_prev = m_next;
+      }
+      if (pass_start >= 0.0 && m_prev > 0.0) {
+        // Still covered at the end of the horizon.
+        result.push_back({SatelliteId{pi, slot}, Duration::seconds(pass_start),
+                          t1});
+      }
+    }
+  }
+
+  std::sort(result.begin(), result.end(), [](const Pass& a, const Pass& b) {
+    return a.start < b.start;
+  });
+  return result;
+}
+
+std::vector<CoverageSegment> PassPredictor::multiplicity_timeline(
+    const std::vector<Pass>& passes, Duration t0, Duration t1) {
+  OAQ_REQUIRE(t1 > t0, "timeline horizon must be nonempty");
+  // Sweep over pass boundaries.
+  struct Event {
+    Duration at;
+    bool enter;
+    SatelliteId sat;
+  };
+  std::vector<Event> events;
+  events.reserve(passes.size() * 2);
+  for (const auto& p : passes) {
+    const Duration s = std::max(p.start, t0);
+    const Duration e = std::min(p.end, t1);
+    if (e <= s) continue;
+    events.push_back({s, true, p.satellite});
+    events.push_back({e, false, p.satellite});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.enter < b.enter;  // process exits before entries at equal times
+  });
+
+  std::vector<CoverageSegment> timeline;
+  std::vector<SatelliteId> current;
+  Duration cursor = t0;
+  auto emit = [&](Duration upto) {
+    if (upto > cursor) {
+      timeline.push_back({cursor, upto, current});
+      cursor = upto;
+    }
+  };
+  for (const auto& ev : events) {
+    emit(ev.at);
+    if (ev.enter) {
+      current.push_back(ev.sat);
+    } else {
+      current.erase(std::remove(current.begin(), current.end(), ev.sat),
+                    current.end());
+    }
+  }
+  emit(t1);
+  return timeline;
+}
+
+CoverageStats PassPredictor::summarize(
+    const std::vector<CoverageSegment>& timeline) {
+  CoverageStats stats;
+  for (const auto& seg : timeline) {
+    const Duration d = seg.duration();
+    stats.horizon += d;
+    switch (seg.multiplicity()) {
+      case 0:
+        stats.uncovered += d;
+        stats.longest_gap = std::max(stats.longest_gap, d);
+        break;
+      case 1:
+        stats.single += d;
+        stats.longest_single_pass = std::max(stats.longest_single_pass, d);
+        break;
+      default:
+        stats.multiple += d;
+        break;
+    }
+    stats.max_multiplicity = std::max(stats.max_multiplicity, seg.multiplicity());
+  }
+  return stats;
+}
+
+}  // namespace oaq

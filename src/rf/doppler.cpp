@@ -1,0 +1,66 @@
+#include "rf/doppler.hpp"
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+double DopplerModel::range_rate_km_s(const StateVector& sat,
+                                     const GeoPoint& emitter_pos,
+                                     Duration t) const {
+  Emitter em;
+  em.position = emitter_pos;
+  const Vec3 r_em = em.position_eci(t, earth_rotation_);
+  const Vec3 v_em = em.velocity_eci(t, earth_rotation_);
+  const Vec3 dr = sat.position_km - r_em;
+  const Vec3 dv = sat.velocity_km_s - v_em;
+  const double range = dr.norm();
+  OAQ_ENSURE(range > 0.0, "satellite and emitter coincide");
+  return dr.dot(dv) / range;
+}
+
+double DopplerModel::predicted_frequency_hz(const StateVector& sat,
+                                            const GeoPoint& emitter_pos,
+                                            double carrier_hz,
+                                            Duration t) const {
+  OAQ_REQUIRE(carrier_hz > 0.0, "carrier frequency must be positive");
+  const double rdot = range_rate_km_s(sat, emitter_pos, t);
+  return carrier_hz * (1.0 - rdot / kSpeedOfLightKmPerS);
+}
+
+std::vector<FoaMeasurement> DopplerModel::take_measurements(
+    const Orbit& orbit, SatelliteId sat_id, const Emitter& emitter,
+    const std::vector<Duration>& epochs, double psi_rad, double sigma_hz,
+    Rng& rng) const {
+  OAQ_REQUIRE(sigma_hz > 0.0, "measurement noise must be positive");
+  std::vector<FoaMeasurement> out;
+  out.reserve(epochs.size());
+  for (const Duration t : epochs) {
+    if (!emitter.emitting_at(TimePoint::at(t))) continue;
+    const GeoPoint subsat = orbit.subsatellite_point(t, earth_rotation_);
+    if (central_angle(subsat, emitter.position) > psi_rad) continue;
+    FoaMeasurement m;
+    m.time = t;
+    m.satellite = sat_id;
+    m.sat_state = orbit.state_at(t);
+    m.sigma_hz = sigma_hz;
+    m.frequency_hz =
+        predicted_frequency_hz(m.sat_state, emitter.position,
+                               emitter.carrier_hz, t) +
+        rng.normal(0.0, sigma_hz);
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<Duration> measurement_epochs(Duration start, Duration end, int n) {
+  OAQ_REQUIRE(n >= 2, "need at least two epochs");
+  OAQ_REQUIRE(end > start, "epoch window must be nonempty");
+  std::vector<Duration> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(start + (end - start) * (static_cast<double>(i) / (n - 1)));
+  }
+  return out;
+}
+
+}  // namespace oaq

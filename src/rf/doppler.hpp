@@ -1,0 +1,67 @@
+// Doppler-shifted frequency-of-arrival (FOA) measurement model.
+//
+// Sequential localization in the paper rests on Levanon (1998) and
+// Chan & Towers (1992): a LEO satellite receiving a ground emitter observes
+// the carrier shifted by the range-rate Doppler; a time series of such
+// measurements constrains the emitter position. This module predicts and
+// synthesizes those measurements; src/geoloc inverts them.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "orbit/kepler.hpp"
+#include "orbit/plane.hpp"
+#include "rf/emitter.hpp"
+
+namespace oaq {
+
+/// One frequency-of-arrival observation.
+struct FoaMeasurement {
+  Duration time{};            ///< measurement epoch (since frame epoch)
+  SatelliteId satellite{};    ///< which satellite took it
+  StateVector sat_state;      ///< ECI satellite state at `time`
+  double frequency_hz = 0.0;  ///< received (Doppler-shifted) frequency
+  double sigma_hz = 1.0;      ///< 1-σ measurement noise
+};
+
+/// Doppler prediction and synthetic-measurement generation.
+class DopplerModel {
+ public:
+  /// `earth_rotation` must match the orbit-propagation convention used by
+  /// the caller (see Orbit::subsatellite_point).
+  explicit DopplerModel(bool earth_rotation = true)
+      : earth_rotation_(earth_rotation) {}
+
+  [[nodiscard]] bool earth_rotation() const { return earth_rotation_; }
+
+  /// Received frequency at the satellite for a given emitter location and
+  /// carrier: f_rx = f0·(1 − ṙ/c) with ṙ the range rate.
+  [[nodiscard]] double predicted_frequency_hz(const StateVector& sat,
+                                              const GeoPoint& emitter_pos,
+                                              double carrier_hz,
+                                              Duration t) const;
+
+  /// Range rate (km/s) between satellite and a ground point; positive when
+  /// they separate.
+  [[nodiscard]] double range_rate_km_s(const StateVector& sat,
+                                       const GeoPoint& emitter_pos,
+                                       Duration t) const;
+
+  /// Synthesize noisy measurements of `emitter` taken by `orbit` at the
+  /// given epochs. Epochs when the emitter is not transmitting, or outside
+  /// the footprint `psi_rad`, are skipped.
+  [[nodiscard]] std::vector<FoaMeasurement> take_measurements(
+      const Orbit& orbit, SatelliteId sat_id, const Emitter& emitter,
+      const std::vector<Duration>& epochs, double psi_rad, double sigma_hz,
+      Rng& rng) const;
+
+ private:
+  bool earth_rotation_;
+};
+
+/// Evenly spaced epochs covering [start, end] (n >= 2).
+[[nodiscard]] std::vector<Duration> measurement_epochs(Duration start,
+                                                       Duration end, int n);
+
+}  // namespace oaq

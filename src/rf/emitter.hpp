@@ -1,0 +1,47 @@
+// RF emitter model.
+//
+// The paper's targets are ground RF sources ("the cellular phones emitting
+// RF signals") with unpredictable start times and exponentially distributed
+// durations (§4.2.2). This is the synthetic substitute for real emitter
+// traces: it exercises the same detection/measurement code path.
+#pragma once
+
+#include "common/units.hpp"
+#include "geom/geodesy.hpp"
+
+namespace oaq {
+
+/// Speed of light, km/s.
+inline constexpr double kSpeedOfLightKmPerS = 299792.458;
+
+/// A ground RF emitter with a finite transmission window.
+struct Emitter {
+  GeoPoint position;              ///< true location (what geolocation recovers)
+  double carrier_hz = 400.0e6;    ///< nominal carrier frequency
+  TimePoint start{};              ///< transmission start
+  Duration duration = Duration::infinity();  ///< transmission length
+
+  [[nodiscard]] TimePoint end() const { return start + duration; }
+
+  /// True when the emitter is transmitting at `t`.
+  [[nodiscard]] bool emitting_at(TimePoint t) const {
+    return t >= start && (!duration.is_finite() || t < end());
+  }
+
+  /// Emitter position in ECI at time `t` (since the frame epoch).
+  /// With `earth_rotation` false the ECEF and ECI frames coincide.
+  [[nodiscard]] Vec3 position_eci(Duration t, bool earth_rotation) const {
+    const Vec3 ecef = geo_to_ecef(position);
+    return earth_rotation ? ecef_to_eci(ecef, t) : ecef;
+  }
+
+  /// Emitter inertial velocity at time `t` (km/s); zero without rotation.
+  [[nodiscard]] Vec3 velocity_eci(Duration t, bool earth_rotation) const {
+    if (!earth_rotation) return {};
+    const Vec3 r = position_eci(t, true);
+    const Vec3 omega{0.0, 0.0, kEarthRotationRadPerS};
+    return omega.cross(r);
+  }
+};
+
+}  // namespace oaq

@@ -1,0 +1,64 @@
+#include "rf/tdoa.hpp"
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+double range_km(const StateVector& sat, const Vec3& emitter_eci) {
+  return (sat.position_km - emitter_eci).norm();
+}
+
+}  // namespace
+
+double TdoaModel::predicted_tdoa_s(const StateVector& a, const StateVector& b,
+                                   const GeoPoint& emitter_pos,
+                                   Duration t) const {
+  Emitter em;
+  em.position = emitter_pos;
+  const Vec3 r_em = em.position_eci(t, doppler_.earth_rotation());
+  return (range_km(a, r_em) - range_km(b, r_em)) / kSpeedOfLightKmPerS;
+}
+
+double TdoaModel::predicted_fdoa_hz(const StateVector& a, const StateVector& b,
+                                    const GeoPoint& emitter_pos,
+                                    double carrier_hz, Duration t) const {
+  return doppler_.predicted_frequency_hz(a, emitter_pos, carrier_hz, t) -
+         doppler_.predicted_frequency_hz(b, emitter_pos, carrier_hz, t);
+}
+
+std::vector<PairMeasurement> TdoaModel::take_measurements(
+    const Orbit& orbit_a, SatelliteId id_a, const Orbit& orbit_b,
+    SatelliteId id_b, const Emitter& emitter,
+    const std::vector<Duration>& epochs, double psi_rad, double sigma_tdoa_s,
+    double sigma_fdoa_hz, Rng& rng) const {
+  OAQ_REQUIRE(sigma_tdoa_s > 0.0 && sigma_fdoa_hz > 0.0,
+              "noise sigmas must be positive");
+  std::vector<PairMeasurement> out;
+  for (const Duration t : epochs) {
+    if (!emitter.emitting_at(TimePoint::at(t))) continue;
+    const bool rot = doppler_.earth_rotation();
+    const GeoPoint sub_a = orbit_a.subsatellite_point(t, rot);
+    const GeoPoint sub_b = orbit_b.subsatellite_point(t, rot);
+    if (central_angle(sub_a, emitter.position) > psi_rad) continue;
+    if (central_angle(sub_b, emitter.position) > psi_rad) continue;
+
+    PairMeasurement m;
+    m.time = t;
+    m.sat_a = id_a;
+    m.sat_b = id_b;
+    m.state_a = orbit_a.state_at(t);
+    m.state_b = orbit_b.state_at(t);
+    m.sigma_tdoa_s = sigma_tdoa_s;
+    m.sigma_fdoa_hz = sigma_fdoa_hz;
+    m.tdoa_s = predicted_tdoa_s(m.state_a, m.state_b, emitter.position, t) +
+               rng.normal(0.0, sigma_tdoa_s);
+    m.fdoa_hz = predicted_fdoa_hz(m.state_a, m.state_b, emitter.position,
+                                  emitter.carrier_hz, t) +
+                rng.normal(0.0, sigma_fdoa_hz);
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace oaq

@@ -1,0 +1,64 @@
+// Dual-satellite TDOA/FDOA measurements for simultaneous coverage.
+//
+// When two satellites co-observe an emitter (the paper's simultaneous
+// multiple coverage), they can difference their observations: the time
+// difference of arrival (TDOA) constrains the emitter to a hyperbolic
+// ground curve and the frequency difference (FDOA) to another, independent
+// curve — "the ambiguity problem will practically disappear, resulting in
+// a dramatic improvement of positioning accuracy" (paper §2, after
+// Levanon '98). This module synthesizes those pair measurements; the
+// dual-satellite solver lives in src/geoloc/dual_fix.
+#pragma once
+
+#include "common/rng.hpp"
+#include "rf/doppler.hpp"
+
+namespace oaq {
+
+/// One simultaneous dual-satellite observation pair.
+struct PairMeasurement {
+  Duration time{};
+  SatelliteId sat_a{};
+  SatelliteId sat_b{};
+  StateVector state_a;
+  StateVector state_b;
+  double tdoa_s = 0.0;      ///< arrival-time difference (a minus b), seconds
+  double sigma_tdoa_s = 0.0;
+  double fdoa_hz = 0.0;     ///< received-frequency difference (a minus b)
+  double sigma_fdoa_hz = 0.0;
+};
+
+/// TDOA/FDOA prediction and synthesis for co-observing satellite pairs.
+class TdoaModel {
+ public:
+  explicit TdoaModel(bool earth_rotation = true)
+      : doppler_(earth_rotation) {}
+
+  /// Predicted TDOA (seconds): (range_a − range_b)/c.
+  [[nodiscard]] double predicted_tdoa_s(const StateVector& a,
+                                        const StateVector& b,
+                                        const GeoPoint& emitter_pos,
+                                        Duration t) const;
+
+  /// Predicted FDOA (Hz): difference of the two received frequencies.
+  [[nodiscard]] double predicted_fdoa_hz(const StateVector& a,
+                                         const StateVector& b,
+                                         const GeoPoint& emitter_pos,
+                                         double carrier_hz, Duration t) const;
+
+  /// Synthesize noisy pair measurements at the epochs where both
+  /// satellites' footprints (angular radius `psi_rad`) cover the emitter
+  /// and the emitter transmits.
+  [[nodiscard]] std::vector<PairMeasurement> take_measurements(
+      const Orbit& orbit_a, SatelliteId id_a, const Orbit& orbit_b,
+      SatelliteId id_b, const Emitter& emitter,
+      const std::vector<Duration>& epochs, double psi_rad,
+      double sigma_tdoa_s, double sigma_fdoa_hz, Rng& rng) const;
+
+  [[nodiscard]] const DopplerModel& doppler() const { return doppler_; }
+
+ private:
+  DopplerModel doppler_;
+};
+
+}  // namespace oaq

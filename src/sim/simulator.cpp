@@ -1,0 +1,79 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace oaq {
+
+EventId Simulator::schedule_at(TimePoint t, Callback cb) {
+  OAQ_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  OAQ_REQUIRE(cb != nullptr, "event callback must be callable");
+  auto ev = std::make_shared<Event>();
+  ev->at = t;
+  ev->seq = next_seq_++;
+  ev->callback = std::move(cb);
+  queue_.push(ev);
+  live_.emplace(ev->seq, ev);
+  return EventId{ev->seq};
+}
+
+EventId Simulator::schedule_after(Duration delay, Callback cb) {
+  OAQ_REQUIRE(delay >= Duration::zero(), "delay must be nonnegative");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = live_.find(id.value);
+  if (it == live_.end()) return false;
+  it->second->cancelled = true;
+  live_.erase(it);
+  return true;
+}
+
+bool Simulator::is_pending(EventId id) const {
+  return live_.contains(id.value);
+}
+
+std::shared_ptr<Simulator::Event> Simulator::pop_next() {
+  while (!queue_.empty()) {
+    auto ev = queue_.top();
+    queue_.pop();
+    if (!ev->cancelled) {
+      live_.erase(ev->seq);
+      return ev;
+    }
+  }
+  return nullptr;
+}
+
+bool Simulator::step() {
+  auto ev = pop_next();
+  if (!ev) return false;
+  OAQ_ENSURE(ev->at >= now_, "event queue violated time order");
+  now_ = ev->at;
+  ++processed_;
+  ev->callback();
+  return true;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::run_until(TimePoint t) {
+  OAQ_REQUIRE(t >= now_, "cannot run backwards");
+  while (!queue_.empty()) {
+    // Peek without firing events beyond the boundary.
+    auto top = queue_.top();
+    if (top->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top->at > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace oaq

@@ -1,0 +1,90 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Drives the protocol simulator (src/oaq), the crosslink network (src/net)
+// and the dependability model (src/fault). Events at equal timestamps fire
+// in scheduling order, so runs are bit-reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace oaq {
+
+/// Opaque id of a scheduled event; usable to cancel it.
+struct EventId {
+  std::uint64_t value = 0;
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+/// Event-driven simulator with a monotonic virtual clock.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now). Returns a cancellable id.
+  EventId schedule_at(TimePoint t, Callback cb);
+
+  /// Schedule `cb` after a nonnegative delay from now.
+  EventId schedule_after(Duration delay, Callback cb);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown event
+  /// is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True when an event with this id is still pending.
+  [[nodiscard]] bool is_pending(EventId id) const;
+
+  /// Run one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `max_events` fire (safety valve).
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run all events with time <= `t`, then advance the clock to `t`.
+  void run_until(TimePoint t);
+
+  [[nodiscard]] std::size_t pending_count() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t processed_count() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    Callback callback;
+    bool cancelled = false;
+  };
+  struct Later {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;  // FIFO among simultaneous events
+    }
+  };
+
+  /// Pop the next non-cancelled event, or nullptr when drained.
+  std::shared_ptr<Event> pop_next();
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<std::shared_ptr<Event>,
+                      std::vector<std::shared_ptr<Event>>, Later>
+      queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Event>> live_;
+};
+
+}  // namespace oaq

@@ -1,0 +1,128 @@
+// Tests of the general-distribution QoS model (sensitivity to the paper's
+// exponential assumption).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/qos_model.hpp"
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+std::shared_ptr<const DurationDistribution> instant_computation() {
+  // Effectively instantaneous (mean 36 ms): completion ≈ 1 within any τ.
+  return std::make_shared<ExponentialDuration>(Rate::per_minute(1e3));
+}
+
+TEST(GeneralDistributionModel, ExponentialVariantMatchesRateVariant) {
+  QosModelParams p;
+  const QosModel by_rates(PlaneGeometry{}, p);
+  const QosModel by_dist(PlaneGeometry{}, p.tau,
+                         std::make_shared<ExponentialDuration>(p.mu),
+                         std::make_shared<ExponentialDuration>(p.nu));
+  for (int k : {9, 10, 12, 14}) {
+    for (const Scheme s : {Scheme::kOaq, Scheme::kBaq}) {
+      const auto a = by_rates.conditional_pmf(k, s);
+      const auto b = by_dist.conditional_pmf(k, s);
+      for (int y = 0; y <= 3; ++y) {
+        EXPECT_NEAR(a[static_cast<std::size_t>(y)],
+                    b[static_cast<std::size_t>(y)], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(GeneralDistributionModel, DeterministicDurationClosedForm) {
+  // Deterministic duration D, instantaneous computation, k = 12 overlap:
+  // G3 = (min(L̂, D... ) — a signal survives a wait u iff u < D, so
+  // G3 = (min(L̂, D) + L2) / L1 with L̂ = min(L1−L2, τ).
+  const double tau = 5.0, l1 = 7.5, l2 = 1.5;
+  for (double d_min : {1.0, 3.0, 10.0}) {
+    const QosModel model(
+        PlaneGeometry{}, Duration::minutes(tau),
+        std::make_shared<DeterministicDuration>(Duration::minutes(d_min)),
+        instant_computation());
+    const double l_hat = std::min(l1 - l2, tau);
+    const double expected = (std::min(l_hat, d_min) + l2) / l1;
+    EXPECT_NEAR(model.g3(12), expected, 2e-3) << "D=" << d_min;
+  }
+}
+
+TEST(GeneralDistributionModel, DeterministicDurationUnderlapClosedForm) {
+  // k = 9 (L1 = 10, L2 = 1), instantaneous computation, τ = 5:
+  // G2a = (1/L1)·length{d in [L2, τ] : d < D} = (min(τ, max(D, L2)) − L2)/L1.
+  for (double d_min : {0.5, 3.0, 20.0}) {
+    const QosModel model(
+        PlaneGeometry{}, Duration::minutes(5),
+        std::make_shared<DeterministicDuration>(Duration::minutes(d_min)),
+        instant_computation());
+    const double expected =
+        (std::min(5.0, std::max(d_min, 1.0)) - 1.0) / 10.0;
+    EXPECT_NEAR(model.g2(9), expected, 2e-3) << "D=" << d_min;
+  }
+}
+
+TEST(GeneralDistributionModel, BurstyTrafficHurtsOaqAtEqualMean) {
+  // Weibull shape < 1 puts more mass on very short signals, which die
+  // before the coordination window opens: OAQ's level-3 share drops
+  // relative to the exponential law with the same mean.
+  const Duration mean = Duration::minutes(2);
+  const QosModel expo(PlaneGeometry{}, Duration::minutes(5),
+                      std::make_shared<ExponentialDuration>(
+                          Rate::per_minute(0.5)),
+                      instant_computation());
+  const QosModel bursty(PlaneGeometry{}, Duration::minutes(5),
+                        std::make_shared<WeibullDuration>(
+                            WeibullDuration::with_mean(0.5, mean)),
+                        instant_computation());
+  const QosModel steady(PlaneGeometry{}, Duration::minutes(5),
+                        std::make_shared<WeibullDuration>(
+                            WeibullDuration::with_mean(3.0, mean)),
+                        instant_computation());
+  EXPECT_LT(bursty.g3(12), expo.g3(12));
+  EXPECT_GT(steady.g3(12), expo.g3(12));
+  // BAQ's level 3 only depends on occurrence position, not duration —
+  // identical across laws.
+  EXPECT_NEAR(bursty.conditional(12, 3, Scheme::kBaq),
+              steady.conditional(12, 3, Scheme::kBaq), 1e-9);
+}
+
+TEST(GeneralDistributionModel, PmfStaysValidAcrossLaws) {
+  const Duration mean = Duration::minutes(3);
+  const std::shared_ptr<const DurationDistribution> laws[] = {
+      std::make_shared<ExponentialDuration>(Rate::per_minute(1.0 / 3.0)),
+      std::make_shared<DeterministicDuration>(mean),
+      std::make_shared<WeibullDuration>(WeibullDuration::with_mean(0.7, mean)),
+      std::make_shared<UniformDuration>(Duration::minutes(1),
+                                        Duration::minutes(5)),
+  };
+  for (const auto& law : laws) {
+    const QosModel model(PlaneGeometry{}, Duration::minutes(5), law,
+                         std::make_shared<ExponentialDuration>(
+                             Rate::per_minute(30)));
+    for (int k : {7, 9, 10, 11, 12, 14}) {
+      for (const Scheme s : {Scheme::kOaq, Scheme::kBaq}) {
+        const auto pmf = model.conditional_pmf(k, s);
+        double sum = 0.0;
+        for (double v : pmf) {
+          EXPECT_GE(v, -1e-9);
+          sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GeneralDistributionModel, RejectsNullDistributions) {
+  EXPECT_THROW(QosModel(PlaneGeometry{}, Duration::minutes(5), nullptr,
+                        instant_computation()),
+               PreconditionError);
+  EXPECT_THROW(QosModel(PlaneGeometry{}, Duration::minutes(5),
+                        instant_computation(), nullptr),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,90 @@
+#include "analytic/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(PlaneGeometry, ReferenceValuesFromPaper) {
+  const PlaneGeometry g;  // θ = 90, Tc = 9
+  EXPECT_NEAR(g.tr(14).to_minutes(), 90.0 / 14.0, 1e-12);
+  EXPECT_NEAR(g.tr(12).to_minutes(), 7.5, 1e-12);
+  EXPECT_NEAR(g.l1(12).to_minutes(), 7.5, 1e-12);
+  EXPECT_NEAR(g.l2(12).to_minutes(), 1.5, 1e-12);
+  EXPECT_NEAR(g.l2(9).to_minutes(), 1.0, 1e-12);
+  EXPECT_NEAR(g.alpha_length(12).to_minutes(), 6.0, 1e-12);
+  EXPECT_NEAR(g.alpha_length(9).to_minutes(), 9.0, 1e-12);  // = Tc
+}
+
+TEST(PlaneGeometry, IndicatorSwitchesAtEleven) {
+  // Paper: "the underlapping scenario will happen when k is dropped to
+  // below 11".
+  const PlaneGeometry g;
+  for (int k = 11; k <= 16; ++k) {
+    EXPECT_EQ(g.indicator(k), 1) << "k=" << k;
+  }
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_EQ(g.indicator(k), 0) << "k=" << k;
+  }
+  EXPECT_EQ(g.min_overlapping_k(), 11);
+}
+
+TEST(PlaneGeometry, AlphaPlusL2IsPeriod) {
+  const PlaneGeometry g;
+  for (int k = 6; k <= 16; ++k) {
+    EXPECT_NEAR((g.alpha_length(k) + g.l2(k)).to_minutes(),
+                g.l1(k).to_minutes(), 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(PlaneGeometry, MaxChainMatchesEq2) {
+  const PlaneGeometry g;
+  // Paper: for τ < 9 min and underlapping planes the bound is 2
+  // (sequential dual coverage).
+  for (int k = 6; k <= 10; ++k) {
+    if (g.l2(k) < Duration::minutes(5)) {
+      EXPECT_EQ(g.max_chain(k, Duration::minutes(5)), 2) << "k=" << k;
+    }
+  }
+  // τ below L2: not even a second satellite arrives in time.
+  EXPECT_EQ(g.max_chain(9, Duration::minutes(0.5)), 1);  // L2[9] = 1
+  // Very generous deadline: chain grows by one per extra L1.
+  EXPECT_EQ(g.max_chain(9, Duration::minutes(1.0 + 10.0 * 2 + 0.5)), 4);
+}
+
+TEST(PlaneGeometry, MaxChainRejectsOverlapping) {
+  const PlaneGeometry g;
+  EXPECT_THROW((void)g.max_chain(12, Duration::minutes(5)), PreconditionError);
+  EXPECT_THROW((void)g.max_chain(9, Duration::zero()), PreconditionError);
+}
+
+TEST(PlaneGeometry, BoundaryCaseTrEqualsTc) {
+  // k = 10: Tr = Tc = 9 ⇒ I = 0, L2 = 0 — back-to-back footprints.
+  const PlaneGeometry g;
+  EXPECT_EQ(g.indicator(10), 0);
+  EXPECT_NEAR(g.l2(10).to_minutes(), 0.0, 1e-12);
+  EXPECT_EQ(g.max_chain(10, Duration::minutes(5)), 2);
+}
+
+TEST(PlaneGeometry, CustomConstellation) {
+  // A denser design: θ = 100 min, Tc = 12.5 min ⇒ overlap needs k ≥ 9.
+  const PlaneGeometry g(Duration::minutes(100), Duration::minutes(12.5));
+  EXPECT_EQ(g.min_overlapping_k(), 9);
+  EXPECT_EQ(g.indicator(9), 1);
+  EXPECT_EQ(g.indicator(8), 0);
+}
+
+TEST(PlaneGeometry, RejectsDegenerateInputs) {
+  EXPECT_THROW(PlaneGeometry(Duration::zero(), Duration::minutes(9)),
+               PreconditionError);
+  EXPECT_THROW(PlaneGeometry(Duration::minutes(90), Duration::minutes(90)),
+               PreconditionError);
+  const PlaneGeometry g;
+  EXPECT_THROW((void)g.tr(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

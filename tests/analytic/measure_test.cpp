@@ -1,0 +1,96 @@
+#include "analytic/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+QosModel paper_model(double tau = 5.0, double mu = 0.2, double nu = 30.0) {
+  QosModelParams p;
+  p.tau = Duration::minutes(tau);
+  p.mu = Rate::per_minute(mu);
+  p.nu = Rate::per_minute(nu);
+  return QosModel(PlaneGeometry{}, p);
+}
+
+DiscretePmf point_mass(int k) {
+  DiscretePmf pmf;
+  pmf.add(k, 1.0);
+  return pmf;
+}
+
+TEST(QosMeasureTest, PointMassReducesToConditional) {
+  const auto model = paper_model();
+  const auto m = qos_measure(model, point_mass(12), Scheme::kOaq);
+  const auto cond = model.conditional_pmf(12, Scheme::kOaq);
+  for (int y = 0; y <= 3; ++y) {
+    EXPECT_NEAR(m.at(y), cond[static_cast<std::size_t>(y)], 1e-12);
+  }
+}
+
+TEST(QosMeasureTest, MixtureIsConvexCombination) {
+  const auto model = paper_model();
+  DiscretePmf pk;
+  pk.add(14, 0.6);
+  pk.add(12, 0.3);
+  pk.add(9, 0.1);
+  const auto m = qos_measure(model, pk, Scheme::kOaq);
+  for (int y = 0; y <= 3; ++y) {
+    const double expected = 0.6 * model.conditional(14, y, Scheme::kOaq) +
+                            0.3 * model.conditional(12, y, Scheme::kOaq) +
+                            0.1 * model.conditional(9, y, Scheme::kOaq);
+    EXPECT_NEAR(m.at(y), expected, 1e-12);
+  }
+  // Normalization and tail consistency.
+  EXPECT_NEAR(m.tail(0), 1.0, 1e-12);
+  EXPECT_NEAR(m.tail(2), m.at(2) + m.at(3), 1e-12);
+  EXPECT_NEAR(m.tail(3), m.at(3), 1e-12);
+}
+
+TEST(QosMeasureTest, Figure9ShapeAtLowLambda) {
+  // Fig. 9 (τ=5, µ=0.2): at λ = 1e-5 the dominant capacity is k = 14 with
+  // some 13/12; OAQ P(Y≥2) ≈ 0.75 vs BAQ ≈ 0.33, and P(Y≥1) = 1 for both.
+  const auto model = paper_model();
+  DiscretePmf pk;  // representative low-λ capacity mix (η = 12)
+  pk.add(14, 0.70);
+  pk.add(13, 0.22);
+  pk.add(12, 0.08);
+  const auto oaq = qos_measure(model, pk, Scheme::kOaq);
+  const auto baq = qos_measure(model, pk, Scheme::kBaq);
+  EXPECT_NEAR(oaq.tail(2), 0.75, 0.08);
+  EXPECT_NEAR(baq.tail(2), 0.33, 0.06);
+  EXPECT_NEAR(oaq.tail(1), 1.0, 1e-9);
+  EXPECT_NEAR(baq.tail(1), 1.0, 1e-9);
+}
+
+TEST(QosMeasureTest, OaqDominatesBaqForAnyCapacityMix) {
+  const auto model = paper_model();
+  DiscretePmf pk;
+  pk.add(9, 0.25);
+  pk.add(10, 0.35);
+  pk.add(12, 0.2);
+  pk.add(14, 0.2);
+  const auto oaq = qos_measure(model, pk, Scheme::kOaq);
+  const auto baq = qos_measure(model, pk, Scheme::kBaq);
+  for (int y = 1; y <= 3; ++y) {
+    EXPECT_GE(oaq.tail(y), baq.tail(y) - 1e-12) << "y=" << y;
+  }
+}
+
+TEST(QosMeasureTest, RejectsEmptyOrNegativeCapacity) {
+  const auto model = paper_model();
+  EXPECT_THROW((void)qos_measure(model, DiscretePmf{}, Scheme::kOaq),
+               PreconditionError);
+  DiscretePmf bad;
+  bad.add(-1, 1.0);
+  EXPECT_THROW((void)qos_measure(model, bad, Scheme::kOaq),
+               PreconditionError);
+  const auto m = qos_measure(model, point_mass(12), Scheme::kOaq);
+  EXPECT_THROW((void)m.tail(4), PreconditionError);
+  EXPECT_THROW((void)m.at(-1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,195 @@
+#include "analytic/qos_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+
+namespace oaq {
+namespace {
+
+QosModel paper_model(double tau_min = 5.0, double mu = 0.5, double nu = 30.0) {
+  QosModelParams p;
+  p.tau = Duration::minutes(tau_min);
+  p.mu = Rate::per_minute(mu);
+  p.nu = Rate::per_minute(nu);
+  return QosModel(PlaneGeometry{}, p);
+}
+
+TEST(QosModel, PaperHeadlineNumbersAtKTwelve) {
+  // §4.3: "even when k = 12 ... with probability 0.44 the constellation
+  // will still be able to deliver a geolocation result rated at QoS
+  // level 3. ... the value of P(Y=3|12) is only 0.20 with the BAQ scheme."
+  const auto model = paper_model();
+  EXPECT_NEAR(model.conditional(12, 3, Scheme::kOaq), 0.44, 0.005);
+  EXPECT_NEAR(model.conditional(12, 3, Scheme::kBaq), 0.20, 0.005);
+}
+
+TEST(QosModel, G3MatchesManualClosedForm) {
+  // Closed-form evaluation of Eq. (4) for k = 12, τ = 5, µ = 0.5, ν = 30:
+  // (1/7.5)[∫₀⁵ e^{-.5u}(1-e^{-30(5-u)})du + 1.5(1-e^{-150})] ≈ 0.44415.
+  const auto model = paper_model();
+  const double mu = 0.5, nu = 30.0, tau = 5.0;
+  const double a = (1.0 - std::exp(-mu * tau)) / mu;
+  const double b = std::exp(-nu * tau) *
+                   (std::exp((nu - mu) * tau) - 1.0) / (nu - mu);
+  const double expected = (a - b + 1.5 * (1.0 - std::exp(-nu * tau))) / 7.5;
+  EXPECT_NEAR(model.g3(12), expected, 1e-9);
+}
+
+TEST(QosModel, PmfNormalizesForAllSchemesAndCapacities) {
+  const auto model = paper_model();
+  for (const Scheme s : {Scheme::kOaq, Scheme::kBaq}) {
+    for (int k = 0; k <= 16; ++k) {
+      const auto pmf = model.conditional_pmf(k, s);
+      double sum = 0.0;
+      for (double v : pmf) {
+        EXPECT_GE(v, -1e-12);
+        EXPECT_LE(v, 1.0 + 1e-12);
+        sum += v;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(QosModel, TableOneStructure) {
+  // Table 1: overlapping planes reach levels {3, 1}; underlapping planes
+  // reach {2, 1, 0}.
+  const auto model = paper_model();
+  for (int k = 11; k <= 14; ++k) {
+    const auto pmf = model.conditional_pmf(k, Scheme::kOaq);
+    EXPECT_GT(pmf[3], 0.0) << "k=" << k;
+    EXPECT_EQ(pmf[2], 0.0) << "k=" << k;
+    EXPECT_GT(pmf[1], 0.0) << "k=" << k;
+    EXPECT_EQ(pmf[0], 0.0) << "k=" << k;
+  }
+  for (int k = 7; k <= 9; ++k) {
+    const auto pmf = model.conditional_pmf(k, Scheme::kOaq);
+    EXPECT_EQ(pmf[3], 0.0) << "k=" << k;
+    EXPECT_GT(pmf[2], 0.0) << "k=" << k;
+    EXPECT_GT(pmf[1], 0.0) << "k=" << k;
+    EXPECT_GT(pmf[0], 0.0) << "k=" << k;
+  }
+  // k = 6: the gap L2 = 6 min exceeds τ = 5 min, so even OAQ cannot reach
+  // level 2 (Theorem 2 requires τ > L2).
+  EXPECT_EQ(model.conditional(6, 2, Scheme::kOaq), 0.0);
+  // BAQ never reaches level 2 (not applicable).
+  for (int k = 6; k <= 14; ++k) {
+    EXPECT_EQ(model.conditional(k, 2, Scheme::kBaq), 0.0) << "k=" << k;
+  }
+}
+
+TEST(QosModel, OaqDominatesBaqAtEveryLevel) {
+  // The OAQ tail distribution stochastically dominates BAQ's for every k.
+  const auto model = paper_model();
+  for (int k = 1; k <= 16; ++k) {
+    for (int y = 1; y <= 3; ++y) {
+      EXPECT_GE(model.conditional_tail(k, y, Scheme::kOaq),
+                model.conditional_tail(k, y, Scheme::kBaq) - 1e-12)
+          << "k=" << k << " y=" << y;
+    }
+  }
+}
+
+TEST(QosModel, DetectionIsSchemeIndependentFloor) {
+  // P(Y >= 1 | k) is the detection probability for both schemes (the
+  // preliminary result is always delivered once detected).
+  const auto model = paper_model();
+  for (int k = 6; k <= 14; ++k) {
+    EXPECT_NEAR(model.conditional_tail(k, 1, Scheme::kOaq),
+                model.detect_probability(k), 1e-12);
+    EXPECT_NEAR(model.conditional_tail(k, 1, Scheme::kBaq),
+                model.detect_probability(k), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(model.detect_probability(12), 1.0);
+}
+
+TEST(QosModel, LongerSignalsImproveOaqButNotBaqLevel3) {
+  // Fig. 8's behaviour: decreasing µ (longer signals) raises OAQ's
+  // P(Y=3|k); BAQ is insensitive to µ.
+  const auto fast = paper_model(5.0, 0.5, 30.0);
+  const auto slow = paper_model(5.0, 0.2, 30.0);
+  for (int k = 11; k <= 14; ++k) {
+    EXPECT_GT(slow.conditional(k, 3, Scheme::kOaq),
+              fast.conditional(k, 3, Scheme::kOaq))
+        << "k=" << k;
+    EXPECT_NEAR(slow.conditional(k, 3, Scheme::kBaq),
+                fast.conditional(k, 3, Scheme::kBaq), 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(QosModel, LargerDeadlineNeverHurts) {
+  for (const Scheme s : {Scheme::kOaq, Scheme::kBaq}) {
+    for (int k : {9, 10, 12, 14}) {
+      double prev3 = -1.0, prev2 = -1.0;
+      for (double tau : {1.0, 2.0, 3.0, 5.0, 7.0, 8.9}) {
+        const auto m = paper_model(tau);
+        const double p3 = m.conditional_tail(k, 3, s);
+        const double p2 = m.conditional_tail(k, 2, s);
+        EXPECT_GE(p3, prev3 - 1e-12) << "k=" << k << " tau=" << tau;
+        EXPECT_GE(p2, prev2 - 1e-12) << "k=" << k << " tau=" << tau;
+        prev3 = p3;
+        prev2 = p2;
+      }
+    }
+  }
+}
+
+TEST(QosModel, SequentialDualNeedsDeadlineBeyondGap) {
+  // Theorem 2: level 2 requires τ > L2[k]; with τ smaller the next
+  // satellite cannot arrive in time.
+  const auto tight = paper_model(0.9);  // L2[9] = 1 min > τ
+  EXPECT_DOUBLE_EQ(tight.conditional(9, 2, Scheme::kOaq), 0.0);
+  const auto loose = paper_model(1.5);
+  EXPECT_GT(loose.conditional(9, 2, Scheme::kOaq), 0.0);
+}
+
+TEST(QosModel, TheoremTwoCaseTwoActivatesForLargeDeadline) {
+  // With ν → ∞, the case-1 term saturates once τ ≥ L1[9] = 10 min: the
+  // full [L2, L1] wait window is usable and completion is instantaneous.
+  // Any growth of g2 beyond τ = 10 is therefore exactly the case-2 (G2b)
+  // contribution — gap signals located by the pair (S_{i+1}, S_{i+2}).
+  const double nu = 1e6;
+  const auto at_l1 = paper_model(10.0, 0.5, nu);
+  const auto beyond = paper_model(14.0, 0.5, nu);
+  const double g2b = beyond.g2(9) - at_l1.g2(9);
+  // Closed form: e^{−µL1}·(1 − e^{−µL2})/µ / L1, µ = 0.5, L1 = 10, L2 = 1.
+  const double expected =
+      std::exp(-0.5 * 10.0) * (1.0 - std::exp(-0.5)) / 0.5 / 10.0;
+  EXPECT_NEAR(g2b, expected, 1e-6);
+  EXPECT_GT(g2b, 0.0);
+}
+
+TEST(QosModel, ZeroCapacityAlwaysMisses) {
+  const auto model = paper_model();
+  const auto pmf = model.conditional_pmf(0, Scheme::kOaq);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+}
+
+TEST(QosModel, GuardsMisuse) {
+  const auto model = paper_model();
+  EXPECT_THROW((void)model.g3(9), PreconditionError);   // underlapping
+  EXPECT_THROW((void)model.g2(12), PreconditionError);  // overlapping
+  EXPECT_THROW((void)model.conditional(12, 4, Scheme::kOaq),
+               PreconditionError);
+  EXPECT_THROW((void)model.conditional(-1, 1, Scheme::kOaq),
+               PreconditionError);
+  QosModelParams bad;
+  bad.tau = Duration::zero();
+  EXPECT_THROW(QosModel(PlaneGeometry{}, bad), PreconditionError);
+}
+
+TEST(QosModel, FastComputationLimitMatchesGeometryRatio) {
+  // ν → ∞: computation is instantaneous; BAQ level 3 tends to L2/L1.
+  const auto model = paper_model(5.0, 0.5, 1e5);
+  EXPECT_NEAR(model.conditional(12, 3, Scheme::kBaq), 1.5 / 7.5, 1e-9);
+  EXPECT_NEAR(model.conditional(14, 3, Scheme::kBaq),
+              (9.0 - 90.0 / 14.0) / (90.0 / 14.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace oaq

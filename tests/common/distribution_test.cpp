@@ -1,0 +1,103 @@
+#include "common/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+#include "common/stats.hpp"
+
+namespace oaq {
+namespace {
+
+/// Empirical mean of `n` samples.
+Duration sample_mean(const DurationDistribution& d, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Duration sum = Duration::zero();
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  return sum / static_cast<double>(n);
+}
+
+/// ∫₀^∞ S(t) dt should equal the mean for a nonnegative variable.
+double survival_mass_minutes(const DurationDistribution& d, double upto_min) {
+  return integrate(
+      [&](double t) { return d.survival(Duration::minutes(t)); }, 0.0,
+      upto_min, 1e-10);
+}
+
+TEST(ExponentialDurationTest, SurvivalAndMean) {
+  const ExponentialDuration d(Rate::per_minute(0.5));
+  EXPECT_DOUBLE_EQ(d.mean().to_minutes(), 2.0);
+  EXPECT_NEAR(d.survival(Duration::minutes(2)), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.survival(Duration::zero()), 1.0);
+  EXPECT_NEAR(d.cdf(Duration::minutes(4)), 1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(sample_mean(d, 40000, 1).to_minutes(), 2.0, 0.05);
+  EXPECT_NEAR(survival_mass_minutes(d, 60.0), 2.0, 1e-6);
+  EXPECT_THROW(ExponentialDuration(Rate::zero()), PreconditionError);
+}
+
+TEST(DeterministicDurationTest, StepSurvival) {
+  const DeterministicDuration d(Duration::minutes(3));
+  EXPECT_DOUBLE_EQ(d.mean().to_minutes(), 3.0);
+  EXPECT_DOUBLE_EQ(d.survival(Duration::minutes(2.999)), 1.0);
+  EXPECT_DOUBLE_EQ(d.survival(Duration::minutes(3.0)), 0.0);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(d.sample(rng).to_minutes(), 3.0);
+  EXPECT_NEAR(survival_mass_minutes(d, 10.0), 3.0, 1e-6);
+  EXPECT_THROW(DeterministicDuration(Duration::zero()), PreconditionError);
+}
+
+TEST(WeibullDurationTest, ReducesToExponentialAtShapeOne) {
+  const WeibullDuration w(1.0, Duration::minutes(2));
+  const ExponentialDuration e(Rate::per_minute(0.5));
+  for (double t : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(w.survival(Duration::minutes(t)),
+                e.survival(Duration::minutes(t)), 1e-12);
+  }
+  EXPECT_NEAR(w.mean().to_minutes(), 2.0, 1e-10);
+}
+
+TEST(WeibullDurationTest, WithMeanHitsTheMean) {
+  for (double shape : {0.7, 1.0, 2.0, 3.5}) {
+    const auto w = WeibullDuration::with_mean(shape, Duration::minutes(5));
+    EXPECT_NEAR(w.mean().to_minutes(), 5.0, 1e-9) << "shape " << shape;
+    EXPECT_NEAR(sample_mean(w, 60000, 3).to_minutes(), 5.0, 0.15)
+        << "shape " << shape;
+    EXPECT_NEAR(survival_mass_minutes(w, 400.0), 5.0, 0.01)
+        << "shape " << shape;
+  }
+}
+
+TEST(WeibullDurationTest, ShapeControlsTail) {
+  // At equal means, the bursty (shape < 1) law has the heavier tail.
+  const auto bursty = WeibullDuration::with_mean(0.5, Duration::minutes(5));
+  const auto ageing = WeibullDuration::with_mean(3.0, Duration::minutes(5));
+  EXPECT_GT(bursty.survival(Duration::minutes(20)),
+            ageing.survival(Duration::minutes(20)));
+  // ...and more mass near zero.
+  EXPECT_GT(bursty.cdf(Duration::minutes(1)), ageing.cdf(Duration::minutes(1)));
+  EXPECT_THROW(WeibullDuration(0.0, Duration::minutes(1)), PreconditionError);
+}
+
+TEST(UniformDurationTest, LinearSurvival) {
+  const UniformDuration d(Duration::minutes(2), Duration::minutes(6));
+  EXPECT_DOUBLE_EQ(d.mean().to_minutes(), 4.0);
+  EXPECT_DOUBLE_EQ(d.survival(Duration::minutes(1)), 1.0);
+  EXPECT_DOUBLE_EQ(d.survival(Duration::minutes(4)), 0.5);
+  EXPECT_DOUBLE_EQ(d.survival(Duration::minutes(7)), 0.0);
+  EXPECT_NEAR(sample_mean(d, 40000, 4).to_minutes(), 4.0, 0.05);
+  EXPECT_THROW(UniformDuration(Duration::minutes(3), Duration::minutes(3)),
+               PreconditionError);
+}
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(kPi), 1e-10);
+  EXPECT_THROW((void)log_gamma(0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,112 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(Matrix, InitializerListAndIndexing) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((void)m(2, 0), PreconditionError);
+  EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), PreconditionError);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const auto i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 2), 0.0);
+  const auto d = Matrix::diagonal({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, TransposeProduct) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const auto at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  const auto g = at * a;  // Gram matrix, 3x3 symmetric
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 3u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 17.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+  EXPECT_THROW(a * a, PreconditionError);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)(0, 1), 4.0);
+  EXPECT_THROW(a += Matrix::identity(2), PreconditionError);
+}
+
+TEST(Matrix, SolveRecoversKnownSolution) {
+  const Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const auto x_true = Matrix::column({1.0, -2.0});
+  const auto b = a * x_true;
+  const auto x = a.solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), -2.0, 1e-12);
+}
+
+TEST(Matrix, SolveNeedsPivoting) {
+  // Leading zero pivot forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = a.solve(Matrix::column({5.0, 7.0}));
+  EXPECT_NEAR(x(0, 0), 7.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 5.0, 1e-12);
+}
+
+TEST(Matrix, SolveDetectsSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(a.solve(Matrix::column({1.0, 1.0})), InvariantError);
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+  Rng rng(3);
+  Matrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 4.0;  // diagonally dominant
+  const auto prod = a * a.inverse();
+  EXPECT_NEAR((prod - Matrix::identity(4)).norm(), 0.0, 1e-10);
+}
+
+TEST(Matrix, CholeskyFactorReconstructs) {
+  const Matrix a{{4.0, 2.0, 0.0}, {2.0, 5.0, 1.0}, {0.0, 1.0, 3.0}};
+  const auto L = a.cholesky();
+  const auto r = L * L.transposed() - a;
+  EXPECT_NEAR(r.norm(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(L(0, 1), 0.0);  // lower triangular
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(a.cholesky(), InvariantError);
+}
+
+TEST(Matrix, SolveSpdMatchesLu) {
+  const Matrix a{{4.0, 2.0, 0.0}, {2.0, 5.0, 1.0}, {0.0, 1.0, 3.0}};
+  const auto b = Matrix::column({1.0, 2.0, 3.0});
+  const auto x1 = a.solve(b);
+  const auto x2 = a.solve_spd(b);
+  EXPECT_NEAR((x1 - x2).norm(), 0.0, 1e-12);
+}
+
+TEST(Matrix, VectorNorm) {
+  EXPECT_DOUBLE_EQ(vector_norm(Matrix::column({3.0, 4.0})), 5.0);
+  EXPECT_THROW((void)vector_norm(Matrix::identity(2)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,129 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oaq {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01InRangeAndWellSpread) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.uniform_index(10)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // expectation 1000
+  EXPECT_THROW(rng.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+}
+
+TEST(Rng, ExponentialDurationUsesStrongRate) {
+  Rng rng(11);
+  double sum_minutes = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum_minutes += rng.exponential(Rate::per_minute(0.5)).to_minutes();
+  }
+  EXPECT_NEAR(sum_minutes / n, 2.0, 0.08);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(12);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(14);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng parent(99);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  // Forking with the same tag from an untouched parent replays the stream.
+  Rng parent2(99);
+  Rng c1_again = parent2.fork(1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  }
+  // Different tags give different streams.
+  Rng c1b = parent2.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c1b.next_u64() == c2.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.015);
+}
+
+}  // namespace
+}  // namespace oaq

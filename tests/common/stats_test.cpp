@@ -1,0 +1,104 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(RunningStat, MeanVarianceExtremaOfKnownData) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.add(-3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+}
+
+TEST(RunningStat, CiShrinksWithSamples) {
+  Rng rng(5);
+  RunningStat small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.normal());
+  for (int i = 0; i < 10000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_NEAR(large.mean(), 0.0, 3.0 * large.ci95_halfwidth() + 0.05);
+}
+
+TEST(ProportionEstimate, PointEstimateAndInterval) {
+  ProportionEstimate p;
+  for (int i = 0; i < 70; ++i) p.add(true);
+  for (int i = 0; i < 30; ++i) p.add(false);
+  EXPECT_DOUBLE_EQ(p.value(), 0.7);
+  const auto [lo, hi] = p.wilson95();
+  EXPECT_LT(lo, 0.7);
+  EXPECT_GT(hi, 0.7);
+  EXPECT_GT(lo, 0.55);
+  EXPECT_LT(hi, 0.82);
+}
+
+TEST(ProportionEstimate, EmptyIsVacuous) {
+  ProportionEstimate p;
+  EXPECT_DOUBLE_EQ(p.value(), 0.0);
+  const auto [lo, hi] = p.wilson95();
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);   // underflow -> first bin
+  h.add(123.0);  // overflow -> last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(DiscretePmf, ProbabilitiesAndTail) {
+  DiscretePmf pmf;
+  pmf.add(0, 1.0);
+  pmf.add(1, 2.0);
+  pmf.add(3, 1.0);
+  EXPECT_DOUBLE_EQ(pmf.probability(1), 0.5);
+  EXPECT_DOUBLE_EQ(pmf.probability(2), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.tail_probability(1), 0.75);
+  EXPECT_DOUBLE_EQ(pmf.tail_probability(0), 1.0);
+  EXPECT_DOUBLE_EQ(pmf.tail_probability(4), 0.0);
+}
+
+TEST(DiscretePmf, EmptyPmfIsZero) {
+  DiscretePmf pmf;
+  EXPECT_DOUBLE_EQ(pmf.probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.tail_probability(0), 0.0);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"k", "Tr[k]", "mode"}, 2);
+  t.add_row({static_cast<long long>(12), 7.5, std::string("overlap")});
+  t.add_row({static_cast<long long>(9), 10.0, std::string("underlap")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Tr[k]"), std::string::npos);
+  EXPECT_NE(out.find("7.50"), std::string::npos);
+  EXPECT_NE(out.find("underlap"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, CaptionAppearsFirst) {
+  TablePrinter t({"a"});
+  t.set_caption("Table 1: QoS levels");
+  t.add_row({std::string("x")});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("Table 1: QoS levels", 0), 0u);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), PreconditionError);
+  EXPECT_THROW(TablePrinter({}), PreconditionError);
+}
+
+TEST(SeriesPrinter, RendersSeriesHeadersAndPoints) {
+  SeriesPrinter s("lambda", {"OAQ", "BAQ"}, 3);
+  s.add_point(1e-5, {0.75, 0.33});
+  s.add_point(1e-4, {0.41, 0.04});
+  std::ostringstream os;
+  s.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("lambda"), std::string::npos);
+  EXPECT_NE(out.find("OAQ"), std::string::npos);
+  EXPECT_NE(out.find("0.750"), std::string::npos);
+  EXPECT_NE(out.find("1.00e-05"), std::string::npos);
+}
+
+TEST(SeriesPrinter, RejectsArityMismatch) {
+  SeriesPrinter s("x", {"y"});
+  EXPECT_THROW(s.add_point(0.0, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(SeriesPrinter("x", {}), PreconditionError);
+}
+
+TEST(Sci, FormatsScientific) {
+  EXPECT_EQ(sci(1e-5), "1.00e-05");
+  EXPECT_EQ(sci(0.00003), "3.00e-05");
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,102 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace oaq {
+namespace {
+
+TEST(Duration, FactoryConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Duration::minutes(9).to_seconds(), 540.0);
+  EXPECT_DOUBLE_EQ(Duration::hours(2).to_minutes(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::days(1).to_hours(), 24.0);
+  EXPECT_DOUBLE_EQ(Duration::seconds(90).to_minutes(), 1.5);
+}
+
+TEST(Duration, ArithmeticAndComparison) {
+  const auto a = Duration::minutes(5);
+  const auto b = Duration::minutes(4);
+  EXPECT_DOUBLE_EQ((a + b).to_minutes(), 9.0);
+  EXPECT_DOUBLE_EQ((a - b).to_minutes(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).to_minutes(), 10.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).to_minutes(), 10.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).to_minutes(), 2.5);
+  EXPECT_DOUBLE_EQ(a / b, 1.25);
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+}
+
+TEST(Duration, CompoundAssignment) {
+  auto d = Duration::minutes(1);
+  d += Duration::minutes(2);
+  d -= Duration::seconds(60);
+  d *= 3.0;
+  d /= 2.0;
+  EXPECT_DOUBLE_EQ(d.to_minutes(), 3.0);
+}
+
+TEST(Duration, InfinityIsLargerThanAnyFinite) {
+  EXPECT_FALSE(Duration::infinity().is_finite());
+  EXPECT_TRUE(Duration::hours(1e12).is_finite());
+  EXPECT_LT(Duration::hours(1e12), Duration::infinity());
+}
+
+TEST(Duration, StreamsInMinutes) {
+  std::ostringstream os;
+  os << Duration::minutes(7.5);
+  EXPECT_EQ(os.str(), "7.5 min");
+}
+
+TEST(Rate, UnitConversions) {
+  EXPECT_DOUBLE_EQ(Rate::per_hour(3600).per_second_value(), 1.0);
+  EXPECT_DOUBLE_EQ(Rate::per_minute(0.5).per_hour_value(), 30.0);
+  EXPECT_DOUBLE_EQ(Rate::per_second(2).per_minute_value(), 120.0);
+}
+
+TEST(Rate, MeanIntervalInvertsRate) {
+  EXPECT_DOUBLE_EQ(Rate::per_minute(0.5).mean_interval().to_minutes(), 2.0);
+}
+
+TEST(Rate, RateTimesDurationIsDimensionless) {
+  // λ = 1e-5 per hour over φ = 30000 hours: expect 0.3 failures.
+  EXPECT_DOUBLE_EQ(Rate::per_hour(1e-5) * Duration::hours(30000), 0.3);
+  EXPECT_DOUBLE_EQ(Duration::hours(30000) * Rate::per_hour(1e-5), 0.3);
+}
+
+TEST(Rate, AdditionAndScaling) {
+  const auto r = Rate::per_hour(2) + Rate::per_hour(3);
+  EXPECT_DOUBLE_EQ(r.per_hour_value(), 5.0);
+  EXPECT_DOUBLE_EQ((r * 2.0).per_hour_value(), 10.0);
+  EXPECT_DOUBLE_EQ((2.0 * r).per_hour_value(), 10.0);
+}
+
+TEST(TimePoint, OffsetArithmetic) {
+  const auto t0 = TimePoint::origin();
+  const auto t1 = t0 + Duration::minutes(5);
+  EXPECT_DOUBLE_EQ((t1 - t0).to_minutes(), 5.0);
+  EXPECT_DOUBLE_EQ((t1 - Duration::minutes(2)).since_origin().to_minutes(), 3.0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(TimePoint::at(Duration::minutes(5)), t1);
+}
+
+TEST(Angles, DegreesRadiansRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg2rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad2deg(kPi / 2.0), 90.0);
+  EXPECT_NEAR(rad2deg(deg2rad(33.3)), 33.3, 1e-12);
+}
+
+TEST(Angles, WrapTwoPi) {
+  EXPECT_NEAR(wrap_two_pi(2.0 * kPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-0.5), 2.0 * kPi - 0.5, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(0.0), 0.0, 1e-12);
+}
+
+TEST(Angles, WrapPi) {
+  EXPECT_NEAR(wrap_pi(kPi + 0.25), -kPi + 0.25, 1e-12);
+  EXPECT_NEAR(wrap_pi(-kPi - 0.25), kPi - 0.25, 1e-12);
+  EXPECT_NEAR(wrap_pi(0.75), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,111 @@
+#include "fault/constellation_availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fault/plane_capacity.hpp"
+
+namespace oaq {
+namespace {
+
+DiscretePmf simple_pmf() {
+  DiscretePmf pmf;
+  pmf.add(14, 0.7);
+  pmf.add(12, 0.2);
+  pmf.add(9, 0.1);
+  return pmf;
+}
+
+TEST(ConstellationAvailability, SinglePlaneReducesToInput) {
+  const ConstellationAvailability avail(simple_pmf(), 1, 14);
+  const auto& total = avail.total_pmf();
+  EXPECT_NEAR(total[14], 0.7, 1e-12);
+  EXPECT_NEAR(total[12], 0.2, 1e-12);
+  EXPECT_NEAR(total[9], 0.1, 1e-12);
+  EXPECT_NEAR(avail.expected_total(), 14 * 0.7 + 12 * 0.2 + 9 * 0.1, 1e-12);
+}
+
+TEST(ConstellationAvailability, TotalPmfNormalizesAndHasRightSupport) {
+  const ConstellationAvailability avail(simple_pmf(), 7, 14);
+  const auto& total = avail.total_pmf();
+  EXPECT_EQ(total.size(), 7u * 14u + 1u);
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Max total: all planes at 14.
+  EXPECT_NEAR(total[98], std::pow(0.7, 7), 1e-12);
+  // Min total: all planes at 9.
+  EXPECT_NEAR(total[63], std::pow(0.1, 7), 1e-15);
+}
+
+TEST(ConstellationAvailability, ExpectationIsLinear) {
+  const ConstellationAvailability one(simple_pmf(), 1, 14);
+  const ConstellationAvailability seven(simple_pmf(), 7, 14);
+  EXPECT_NEAR(seven.expected_total(), 7.0 * one.expected_total(), 1e-9);
+}
+
+TEST(ConstellationAvailability, AllPlanesAtLeastUsesIndependence) {
+  const ConstellationAvailability avail(simple_pmf(), 7, 14);
+  // Per-plane P(k >= 11) = 0.9.
+  EXPECT_NEAR(avail.probability_all_planes_at_least(11), std::pow(0.9, 7),
+              1e-12);
+  EXPECT_NEAR(avail.probability_some_plane_below(11),
+              1.0 - std::pow(0.9, 7), 1e-12);
+  EXPECT_DOUBLE_EQ(avail.probability_all_planes_at_least(0), 1.0);
+}
+
+TEST(ConstellationAvailability, ExpectedPlanesBelowThreshold) {
+  const ConstellationAvailability avail(simple_pmf(), 7, 14);
+  EXPECT_NEAR(avail.expected_planes_below(11), 7.0 * 0.1, 1e-12);
+  EXPECT_NEAR(avail.expected_planes_below(13), 7.0 * 0.3, 1e-12);
+  EXPECT_NEAR(avail.expected_planes_below(20), 7.0, 1e-12);
+}
+
+TEST(ConstellationAvailability, MatchesMonteCarloComposition) {
+  // Cross-check the convolution against direct sampling.
+  const auto pmf = simple_pmf();
+  const ConstellationAvailability avail(pmf, 3, 14);
+  Rng rng(9);
+  const int trials = 200000;
+  std::vector<int> counts(3 * 14 + 1, 0);
+  auto sample_plane = [&]() {
+    const double u = rng.uniform01();
+    if (u < 0.7) return 14;
+    if (u < 0.9) return 12;
+    return 9;
+  };
+  for (int t = 0; t < trials; ++t) {
+    ++counts[static_cast<std::size_t>(sample_plane() + sample_plane() +
+                                      sample_plane())];
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double mc = static_cast<double>(counts[i]) / trials;
+    EXPECT_NEAR(mc, avail.total_pmf()[i], 0.005) << "total=" << i;
+  }
+}
+
+TEST(ConstellationAvailability, WorksWithSimulatedPlanePmf) {
+  PlaneDependability model;
+  model.satellite_failure_rate = Rate::per_hour(5e-5);
+  const auto pmf = plane_capacity_pmf(model, 3, 100);
+  const ConstellationAvailability avail(pmf, 7, 14);
+  EXPECT_GT(avail.expected_total(), 7 * 9);
+  EXPECT_LE(avail.expected_total(), 98.0 + 1e-9);
+  EXPECT_GE(avail.probability_all_planes_at_least(9), 0.5);
+}
+
+TEST(ConstellationAvailability, RejectsBadInput) {
+  EXPECT_THROW(ConstellationAvailability(simple_pmf(), 0, 14),
+               PreconditionError);
+  EXPECT_THROW(ConstellationAvailability(simple_pmf(), 7, 0),
+               PreconditionError);
+  EXPECT_THROW(ConstellationAvailability(DiscretePmf{}, 7, 14),
+               PreconditionError);
+  DiscretePmf bad;
+  bad.add(20, 1.0);
+  EXPECT_THROW(ConstellationAvailability(bad, 7, 14), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,113 @@
+#include "fault/ctmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(Ctmc, TwoStateTransientMatchesClosedForm) {
+  // 0 -> 1 at rate a, 1 -> 0 at rate b: p1(t) = a/(a+b)(1 - e^{-(a+b)t}).
+  const double a = 0.7, b = 0.3;
+  Ctmc chain(2);
+  chain.add_transition(0, 1, a);
+  chain.add_transition(1, 0, b);
+  for (double t : {0.1, 1.0, 5.0, 50.0}) {
+    const auto p = chain.transient({1.0, 0.0}, t);
+    const double expected = a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+    EXPECT_NEAR(p[1], expected, 1e-10) << "t=" << t;
+    EXPECT_NEAR(p[0] + p[1], 1.0, 1e-10);
+  }
+}
+
+TEST(Ctmc, TransientAtZeroIsInitial) {
+  Ctmc chain(3);
+  chain.add_transition(0, 1, 1.0);
+  const auto p = chain.transient({0.2, 0.5, 0.3}, 0.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.2);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+}
+
+TEST(Ctmc, PureDeathMatchesPoissonCounting) {
+  // A death chain with constant rate λ visits state k at time t with the
+  // Poisson probability of k events (until absorption).
+  const double lambda = 0.4;
+  const int n = 30;
+  Ctmc chain(n + 1);
+  for (int i = 0; i < n; ++i) {
+    chain.add_transition(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(i + 1), lambda);
+  }
+  std::vector<double> p0(n + 1, 0.0);
+  p0[0] = 1.0;
+  const double t = 10.0;
+  const auto p = chain.transient(p0, t);
+  double pois = std::exp(-lambda * t);
+  for (int kk = 0; kk < 5; ++kk) {
+    EXPECT_NEAR(p[static_cast<std::size_t>(kk)], pois, 1e-9) << "k=" << kk;
+    pois *= lambda * t / (kk + 1);
+  }
+}
+
+TEST(Ctmc, TimeAveragedMatchesQuadratureOfTransient) {
+  const double a = 0.11, b = 0.05;
+  Ctmc chain(2);
+  chain.add_transition(0, 1, a);
+  chain.add_transition(1, 0, b);
+  const double horizon = 40.0;
+  const auto avg = chain.time_averaged({1.0, 0.0}, horizon);
+  // Closed form: (1/T)∫ p1 = a/(a+b)·[1 - (1-e^{-(a+b)T})/((a+b)T)].
+  const double s = a + b;
+  const double expected =
+      a / s * (1.0 - (1.0 - std::exp(-s * horizon)) / (s * horizon));
+  EXPECT_NEAR(avg[1], expected, 1e-9);
+  EXPECT_NEAR(avg[0] + avg[1], 1.0, 1e-12);
+}
+
+TEST(Ctmc, SteadyStateDetailedBalance) {
+  // Birth-death chain: π_k ∝ Π (birth_i / death_{i+1}).
+  Ctmc chain(4);
+  const double birth[3] = {1.0, 0.8, 0.4};
+  const double death[3] = {0.5, 0.9, 1.5};
+  for (int i = 0; i < 3; ++i) {
+    chain.add_transition(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(i + 1), birth[i]);
+    chain.add_transition(static_cast<std::size_t>(i + 1),
+                         static_cast<std::size_t>(i), death[i]);
+  }
+  const auto pi = chain.steady_state();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(pi[static_cast<std::size_t>(i)] * birth[i],
+                pi[static_cast<std::size_t>(i + 1)] * death[i], 1e-8);
+  }
+  double sum = 0.0;
+  for (double v : pi) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Ctmc, StiffRatesRemainStable) {
+  // λ = 1e-5 /hr over 30000 hr — the paper's scale.
+  Ctmc chain(2);
+  chain.add_transition(0, 1, 1e-5);
+  const auto p = chain.transient({1.0, 0.0}, 30000.0);
+  EXPECT_NEAR(p[0], std::exp(-0.3), 1e-10);
+  const auto avg = chain.time_averaged({1.0, 0.0}, 30000.0);
+  EXPECT_NEAR(avg[0], (1.0 - std::exp(-0.3)) / 0.3, 1e-9);
+}
+
+TEST(Ctmc, RejectsMalformedInput) {
+  Ctmc chain(2);
+  EXPECT_THROW(chain.add_transition(0, 0, 1.0), PreconditionError);
+  EXPECT_THROW(chain.add_transition(0, 5, 1.0), PreconditionError);
+  EXPECT_THROW(chain.add_transition(0, 1, 0.0), PreconditionError);
+  EXPECT_THROW((void)chain.transient({1.0}, 1.0), PreconditionError);
+  EXPECT_THROW((void)chain.transient({1.0, 0.0}, -1.0), PreconditionError);
+  EXPECT_THROW((void)chain.time_averaged({1.0, 0.0}, 0.0), PreconditionError);
+  EXPECT_THROW(Ctmc(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,135 @@
+#include "fault/plane_capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+PlaneDependability paper_model(double lambda_per_hr, int eta) {
+  PlaneDependability m;
+  m.design_active = 14;
+  m.satellite_failure_rate = Rate::per_hour(lambda_per_hr);
+  m.policy.ground_threshold = eta;
+  return m;
+}
+
+TEST(CapacityTrace, StartsFullAndStaysInRange) {
+  const auto model = paper_model(1e-4, 10);
+  const auto trace = simulate_capacity_trace(model, 1, Duration::hours(60000));
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.front().active, 14);
+  EXPECT_EQ(trace.front().at, TimePoint::origin());
+  for (const auto& ev : trace) {
+    EXPECT_GE(ev.active, 0);
+    EXPECT_LE(ev.active, 14);
+  }
+  // Times are nondecreasing.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].at, trace[i - 1].at);
+  }
+}
+
+TEST(CapacityTrace, CapacityChangesByOneExceptRestores) {
+  const auto model = paper_model(1e-4, 10);
+  const auto trace = simulate_capacity_trace(model, 2, Duration::hours(90000));
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const int delta = trace[i].active - trace[i - 1].active;
+    // -1 failure, +1 spare/expedited arrival, larger jumps only on restore
+    // back to design capacity.
+    if (delta > 1) {
+      EXPECT_EQ(trace[i].active, 14);
+    }
+    EXPECT_GE(delta, -1);
+  }
+}
+
+TEST(CapacityTrace, DeterministicForSeed) {
+  const auto model = paper_model(5e-5, 10);
+  const auto a = simulate_capacity_trace(model, 7, Duration::hours(50000));
+  const auto b = simulate_capacity_trace(model, 7, Duration::hours(50000));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].active, b[i].active);
+  }
+}
+
+TEST(CapacityPmf, NormalizedAndSupportedAboveFloor) {
+  const auto model = paper_model(1e-4, 10);
+  const auto pmf = plane_capacity_pmf(model, 3, 200);
+  double total = 0.0;
+  for (int k = 0; k <= 14; ++k) total += pmf.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The expedited policy keeps capacities below η−1 rare (paper neglects
+  // k < 9 for η = 10).
+  EXPECT_LT(pmf.probability(8) + pmf.probability(7) + pmf.probability(6),
+            0.05);
+}
+
+TEST(CapacityPmf, LowFailureRateIsDominatedByFullCapacity) {
+  // Fig. 7: "the full orbital-plane capacity (k = 14) will dominate when
+  // node-failure rate is low".
+  const auto pmf = plane_capacity_pmf(paper_model(1e-5, 10), 4, 300);
+  EXPECT_GT(pmf.probability(14), 0.5);
+  for (int k = 9; k < 14; ++k) {
+    EXPECT_LT(pmf.probability(k), pmf.probability(14)) << "k=" << k;
+  }
+}
+
+TEST(CapacityPmf, HighFailureRateIsDominatedByThreshold) {
+  // Fig. 7: "the threshold capacity (k = η) tends to become dominant as
+  // the failure rate increases".
+  const auto pmf = plane_capacity_pmf(paper_model(1e-4, 10), 5, 300);
+  for (int k = 11; k <= 14; ++k) {
+    EXPECT_GT(pmf.probability(10), pmf.probability(k)) << "k=" << k;
+  }
+  EXPECT_GT(pmf.probability(10), pmf.probability(9));
+}
+
+TEST(CapacityPmf, ThresholdProbabilityGrowsWithLambda) {
+  // Fig. 7: P(10) is very small at λ = 1e-5 and rapidly increases.
+  const auto lo = plane_capacity_pmf(paper_model(1e-5, 10), 6, 300);
+  const auto mid = plane_capacity_pmf(paper_model(5e-5, 10), 6, 300);
+  const auto hi = plane_capacity_pmf(paper_model(1e-4, 10), 6, 300);
+  EXPECT_LT(lo.probability(10), 0.05);
+  EXPECT_LT(lo.probability(10), mid.probability(10));
+  EXPECT_LT(mid.probability(10), hi.probability(10));
+}
+
+TEST(CapacityPmf, MatchesPureDeathReferenceForDegeneratePolicy) {
+  // With instantaneous spares and the threshold policy disabled (η = 0,
+  // huge lead time, no expedited), the process is a pure death chain; the
+  // DES must agree with the exact CTMC solution.
+  PlaneDependability m;
+  m.design_active = 14;
+  m.satellite_failure_rate = Rate::per_hour(1e-4);
+  m.policy.in_orbit_spares = 2;
+  m.policy.spare_activation_delay = Duration::hours(1e-7);
+  m.policy.ground_threshold = 0;
+  m.policy.launch_lead_time = Duration::hours(1e9);
+  m.policy.expedited_replacements = false;
+  const auto sim_pmf = plane_capacity_pmf(m, 7, 3000);
+  const auto exact = pure_death_reference_pmf(m);
+  for (int k = 6; k <= 14; ++k) {
+    EXPECT_NEAR(sim_pmf.probability(k), exact[static_cast<std::size_t>(k)],
+                0.01)
+        << "k=" << k;
+  }
+}
+
+TEST(CapacityPmf, RejectsBadModels) {
+  auto m = paper_model(1e-5, 10);
+  m.design_active = 0;
+  EXPECT_THROW((void)plane_capacity_pmf(m, 1, 1), PreconditionError);
+  m = paper_model(1e-5, 14);
+  EXPECT_THROW((void)plane_capacity_pmf(m, 1, 1), PreconditionError);
+  m = paper_model(1e-5, 10);
+  EXPECT_THROW((void)plane_capacity_pmf(m, 1, 0), PreconditionError);
+  EXPECT_THROW((void)simulate_capacity_trace(m, 1, Duration::zero()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,135 @@
+#include "geoloc/dual_fix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geoloc/wls.hpp"
+
+namespace oaq {
+namespace {
+
+constexpr double kCarrierHz = 400.0e6;
+
+std::vector<PairMeasurement> make_pairs(const GeoPoint& truth,
+                                        double sigma_tdoa_s,
+                                        double sigma_fdoa_hz,
+                                        std::uint64_t seed, int n_epochs = 9) {
+  Emitter e;
+  e.position = truth;
+  e.carrier_hz = kCarrierHz;
+  e.start = TimePoint::origin();
+  const Orbit a = Orbit::circular_with_period(Duration::minutes(90),
+                                              deg2rad(85.0), deg2rad(30.0),
+                                              0.0);
+  const Orbit b = Orbit::circular_with_period(Duration::minutes(90),
+                                              deg2rad(85.0), deg2rad(30.0),
+                                              deg2rad(-20.0));
+  const TdoaModel model(true);
+  Rng rng(seed);
+  return model.take_measurements(
+      a, {0, 0}, b, {0, 1}, e,
+      measurement_epochs(Duration::minutes(7), Duration::minutes(11),
+                         n_epochs),
+      deg2rad(18.0), sigma_tdoa_s, sigma_fdoa_hz, rng);
+}
+
+TEST(DualSatelliteFix, RecoversEmitterFromCleanSnapshot) {
+  const auto truth = GeoPoint::from_degrees(30.0, 31.0);
+  // A SINGLE simultaneous snapshot suffices — no sequential passes needed.
+  // The initial guess plays the role of the protocol's preliminary
+  // single-coverage result (within a few km of the truth).
+  const auto pairs = make_pairs(truth, 1e-9, 1e-3, 1, 2);
+  ASSERT_GE(pairs.size(), 1u);
+  const DualSatelliteFix solver;
+  const auto est = solver.solve({pairs.front()},
+                                GeoPoint::from_degrees(29.5, 30.5),
+                                kCarrierHz);
+  EXPECT_TRUE(est.converged);
+  EXPECT_LT(great_circle_km(est.position, truth), 0.1);
+}
+
+TEST(DualSatelliteFix, GhostSolutionExistsWithoutAPrior) {
+  // One TDOA/FDOA snapshot defines two conic ground curves that intersect
+  // at TWO points; starting far from the truth converges to the ghost —
+  // a self-consistent fix (tiny residual) hundreds of km away. The OAQ
+  // preliminary result is what selects the right root in practice.
+  const auto truth = GeoPoint::from_degrees(30.0, 31.0);
+  const auto pairs = make_pairs(truth, 1e-9, 1e-3, 1, 2);
+  ASSERT_GE(pairs.size(), 1u);
+  const DualSatelliteFix solver;
+  const auto est = solver.solve({pairs.front()},
+                                GeoPoint::from_degrees(28.0, 29.0),
+                                kCarrierHz);
+  EXPECT_TRUE(est.converged);
+  EXPECT_LT(est.rms_residual, 1e-3);                       // consistent...
+  EXPECT_GT(great_circle_km(est.position, truth), 50.0);   // ...but wrong
+}
+
+TEST(DualSatelliteFix, NoisySnapshotStaysWithinCovariance) {
+  const auto truth = GeoPoint::from_degrees(30.0, 31.0);
+  const auto pairs = make_pairs(truth, 1e-6, 1.0, 2);
+  ASSERT_GE(pairs.size(), 3u);
+  const DualSatelliteFix solver;
+  const auto est = solver.solve(pairs, GeoPoint::from_degrees(29.0, 30.0),
+                                kCarrierHz);
+  EXPECT_TRUE(est.converged);
+  const double err = great_circle_km(est.position, truth);
+  EXPECT_LT(err, 5.0 * est.position_error_1sigma_km + 0.5);
+  EXPECT_LT(est.rms_residual, 3.0);
+}
+
+TEST(DualSatelliteFix, SimultaneousBeatsSingleSatelliteSharply) {
+  // Table 1's accuracy ordering, physically: a dual simultaneous snapshot
+  // outperforms a whole single-satellite Doppler pass at comparable noise.
+  const auto truth = GeoPoint::from_degrees(30.0, 31.0);
+  const auto pairs = make_pairs(truth, 1e-6, 1.0, 3);
+  const DualSatelliteFix dual;
+  const auto est_dual = dual.solve(pairs, GeoPoint::from_degrees(29.0, 30.0),
+                                   kCarrierHz);
+
+  // Single-satellite pass with the same FOA noise.
+  Emitter e;
+  e.position = truth;
+  e.carrier_hz = kCarrierHz;
+  e.start = TimePoint::origin();
+  const Orbit a = Orbit::circular_with_period(Duration::minutes(90),
+                                              deg2rad(85.0), deg2rad(30.0),
+                                              0.0);
+  const DopplerModel foa(true);
+  Rng rng(3);
+  const auto singles = foa.take_measurements(
+      a, {0, 0}, e,
+      measurement_epochs(Duration::minutes(5), Duration::minutes(13), 25),
+      deg2rad(18.0), 1.0, rng);
+  const auto est_single = WlsGeolocator().solve(
+      singles, GeoPoint::from_degrees(29.0, 30.0), kCarrierHz);
+
+  EXPECT_LT(est_dual.position_error_1sigma_km,
+            est_single.position_error_1sigma_km * 0.5);
+}
+
+TEST(DualSatelliteFix, MoreSnapshotsTightenTheFix) {
+  const auto truth = GeoPoint::from_degrees(30.0, 31.0);
+  const auto pairs = make_pairs(truth, 1e-6, 1.0, 4, 9);
+  ASSERT_GE(pairs.size(), 4u);
+  const DualSatelliteFix solver;
+  const auto one = solver.solve({pairs.front()},
+                                GeoPoint::from_degrees(29.0, 30.0),
+                                kCarrierHz);
+  const auto all = solver.solve(pairs, GeoPoint::from_degrees(29.0, 30.0),
+                                kCarrierHz);
+  EXPECT_LT(all.position_error_1sigma_km, one.position_error_1sigma_km);
+}
+
+TEST(DualSatelliteFix, RejectsEmptyInput) {
+  const DualSatelliteFix solver;
+  EXPECT_THROW((void)solver.solve({}, GeoPoint{}, kCarrierHz),
+               PreconditionError);
+  const auto pairs = make_pairs(GeoPoint::from_degrees(30.0, 31.0), 1e-6,
+                                1.0, 5);
+  EXPECT_THROW((void)solver.solve(pairs, GeoPoint{}, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

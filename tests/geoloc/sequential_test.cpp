@@ -1,0 +1,170 @@
+#include "geoloc/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geoloc/accuracy.hpp"
+#include "geoloc/crlb.hpp"
+
+namespace oaq {
+namespace {
+
+constexpr double kCarrierHz = 400.0e6;
+
+struct MultiPass {
+  Emitter emitter;
+  std::vector<std::vector<FoaMeasurement>> passes;
+};
+
+/// Several satellites of one (slightly spread) plane revisit the emitter.
+/// Earth rotation shifts each pass's track, giving geometry diversity.
+MultiPass make_passes(int n_passes, double sigma_hz, std::uint64_t seed) {
+  MultiPass mp;
+  mp.emitter.position = GeoPoint::from_degrees(30.0, 31.0);
+  mp.emitter.carrier_hz = kCarrierHz;
+  mp.emitter.start = TimePoint::origin();
+  const DopplerModel model(true);
+  Rng rng(seed);
+  const Duration revisit = Duration::minutes(9);  // Tr[10]
+  for (int p = 0; p < n_passes; ++p) {
+    // Satellite p trails by p slots: same geometry shifted in time; the
+    // Earth's rotation during p·Tr displaces the ground track.
+    const Orbit orbit = Orbit::circular_with_period(
+        Duration::minutes(90), deg2rad(85.0), deg2rad(30.0),
+        -2.0 * kPi * p / 10.0);
+    const auto window_start = Duration::minutes(5) + revisit * p;
+    const auto window_end = Duration::minutes(13) + revisit * p;
+    auto batch = model.take_measurements(
+        orbit, {0, p}, mp.emitter,
+        measurement_epochs(window_start, window_end, 25), deg2rad(18.0),
+        sigma_hz, rng);
+    mp.passes.push_back(std::move(batch));
+  }
+  return mp;
+}
+
+TEST(SequentialLocalizer, ErrorShrinksWithEachPass) {
+  const auto mp = make_passes(3, 5.0, 11);
+  SequentialLocalizer loc;
+  std::vector<double> sigma_km;
+  for (const auto& batch : mp.passes) {
+    ASSERT_GE(batch.size(), 3u);
+    const auto& est = loc.incorporate(batch);
+    EXPECT_TRUE(est.converged);
+    sigma_km.push_back(est.position_error_1sigma_km);
+  }
+  ASSERT_EQ(sigma_km.size(), 3u);
+  EXPECT_LT(sigma_km[1], sigma_km[0]);
+  EXPECT_LT(sigma_km[2], sigma_km[1]);
+  EXPECT_EQ(loc.passes_incorporated(), 3);
+  // Final estimate close to the truth.
+  EXPECT_LT(great_circle_km(loc.current().position, mp.emitter.position),
+            5.0 * sigma_km[2] + 1.0);
+}
+
+TEST(SequentialLocalizer, MatchesBatchSolution) {
+  // Sequential incorporation of two batches should approximate solving all
+  // measurements jointly (information-form recursion is exact for linear
+  // models; near-exact here).
+  const auto mp = make_passes(2, 2.0, 12);
+  SequentialLocalizer loc;
+  loc.incorporate(mp.passes[0]);
+  const auto est_seq = loc.incorporate(mp.passes[1]);
+
+  std::vector<FoaMeasurement> all = mp.passes[0];
+  all.insert(all.end(), mp.passes[1].begin(), mp.passes[1].end());
+  const WlsGeolocator solver;
+  const auto est_joint = solver.solve(all, WlsGeolocator::initial_guess(all),
+                                      kCarrierHz);
+  EXPECT_LT(great_circle_km(est_seq.position, est_joint.position), 1.0);
+  EXPECT_NEAR(est_seq.position_error_1sigma_km,
+              est_joint.position_error_1sigma_km,
+              0.5 * est_joint.position_error_1sigma_km + 0.05);
+}
+
+TEST(SequentialLocalizer, HintOverridesDataDrivenGuess) {
+  const auto mp = make_passes(1, 1.0, 13);
+  SequentialLocalizer loc;
+  const auto& est =
+      loc.incorporate(mp.passes[0], GeoPoint::from_degrees(29.0, 30.0));
+  EXPECT_TRUE(est.converged);
+  // A single pass leaves the cross-track direction weakly observable (the
+  // paper's "ambiguity problem"), so km-scale error is expected.
+  EXPECT_LT(great_circle_km(est.position, mp.emitter.position),
+            5.0 * est.position_error_1sigma_km + 1.0);
+}
+
+TEST(SequentialLocalizer, ResetClearsState) {
+  const auto mp = make_passes(1, 1.0, 14);
+  SequentialLocalizer loc;
+  loc.incorporate(mp.passes[0]);
+  EXPECT_TRUE(loc.has_estimate());
+  loc.reset();
+  EXPECT_FALSE(loc.has_estimate());
+  EXPECT_EQ(loc.passes_incorporated(), 0);
+  EXPECT_THROW((void)loc.current(), PreconditionError);
+}
+
+TEST(Crlb, MoreMeasurementsTightenTheBound) {
+  const auto mp = make_passes(2, 5.0, 15);
+  const double b1 = crlb_position_km(mp.passes[0], mp.emitter.position,
+                                     kCarrierHz, true);
+  std::vector<FoaMeasurement> all = mp.passes[0];
+  all.insert(all.end(), mp.passes[1].begin(), mp.passes[1].end());
+  const double b2 = crlb_position_km(all, mp.emitter.position, kCarrierHz,
+                                     true);
+  EXPECT_GT(b1, 0.0);
+  EXPECT_LT(b2, b1);
+}
+
+TEST(Crlb, LowerNoiseTightensTheBound) {
+  const auto hi = make_passes(1, 10.0, 16);
+  const auto lo = make_passes(1, 1.0, 16);
+  const double b_hi = crlb_position_km(hi.passes[0], hi.emitter.position,
+                                       kCarrierHz, true);
+  const double b_lo = crlb_position_km(lo.passes[0], lo.emitter.position,
+                                       kCarrierHz, true);
+  EXPECT_NEAR(b_hi / b_lo, 10.0, 0.5);
+}
+
+TEST(Crlb, WlsEfficiencyApproachesBound) {
+  // The WLS posterior σ should be comparable to the CRLB (the posterior is
+  // evaluated at the estimate, the bound at the truth; the weakly
+  // observable cross-track direction makes the comparison loose for a
+  // single pass).
+  const auto mp = make_passes(1, 1.0, 17);
+  const auto est = WlsGeolocator().solve(
+      mp.passes[0], GeoPoint::from_degrees(29.0, 30.0), kCarrierHz);
+  const double bound = crlb_position_km(mp.passes[0], mp.emitter.position,
+                                        kCarrierHz, true);
+  EXPECT_GT(est.position_error_1sigma_km, bound * 0.3);
+  EXPECT_LT(est.position_error_1sigma_km, bound * 3.0);
+}
+
+TEST(Crlb, KnownCarrierInformationIsLarger) {
+  const auto mp = make_passes(1, 5.0, 18);
+  const double with_carrier = crlb_position_km(
+      mp.passes[0], mp.emitter.position, kCarrierHz, true, true);
+  const double known_carrier = crlb_position_km(
+      mp.passes[0], mp.emitter.position, kCarrierHz, true, false);
+  EXPECT_LE(known_carrier, with_carrier + 1e-12);
+  EXPECT_THROW((void)crlb_position_km({}, mp.emitter.position, kCarrierHz,
+                                      true),
+               PreconditionError);
+}
+
+TEST(AccuracyModelTest, ContractionAndThreshold) {
+  AccuracyModel model;
+  EXPECT_DOUBLE_EQ(model.sequential_error_km(1), 8.0);
+  EXPECT_NEAR(model.sequential_error_km(2), 8.0 * 0.35, 1e-12);
+  EXPECT_NEAR(model.sequential_error_km(3), 8.0 * 0.35 * 0.35, 1e-12);
+  EXPECT_LT(model.simultaneous_error_km(), model.sequential_error_km(1));
+  EXPECT_EQ(model.passes_to_reach(8.0), 1);
+  EXPECT_EQ(model.passes_to_reach(3.0), 2);
+  EXPECT_EQ(model.passes_to_reach(1e-12, 5), 5);
+  EXPECT_THROW((void)model.sequential_error_km(0), PreconditionError);
+  EXPECT_THROW(AccuracyModel({-1.0, 0.3, 0.5}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

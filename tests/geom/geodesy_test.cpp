@@ -1,0 +1,98 @@
+#include "geom/geodesy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/numeric.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(Geodesy, GeoEcefRoundTrip) {
+  const auto p = GeoPoint::from_degrees(30.0, -118.25);
+  const auto v = geo_to_ecef(p);
+  EXPECT_NEAR(v.norm(), kEarthRadiusKm, 1e-9);
+  const auto q = ecef_to_geo(v);
+  EXPECT_NEAR(q.lat_deg(), 30.0, 1e-10);
+  EXPECT_NEAR(q.lon_deg(), -118.25, 1e-10);
+}
+
+TEST(Geodesy, CardinalPoints) {
+  const auto north = geo_to_ecef_unit(GeoPoint::from_degrees(90.0, 0.0));
+  EXPECT_NEAR(north.z, 1.0, 1e-15);
+  const auto gulf = geo_to_ecef_unit(GeoPoint::from_degrees(0.0, 0.0));
+  EXPECT_NEAR(gulf.x, 1.0, 1e-15);
+  const auto east = geo_to_ecef_unit(GeoPoint::from_degrees(0.0, 90.0));
+  EXPECT_NEAR(east.y, 1.0, 1e-15);
+}
+
+TEST(Geodesy, EciEcefRotationRoundTrip) {
+  const Vec3 eci{5000.0, -2500.0, 3000.0};
+  const auto t = Duration::minutes(37.0);
+  const auto back = ecef_to_eci(eci_to_ecef(eci, t), t);
+  EXPECT_NEAR((back - eci).norm(), 0.0, 1e-9);
+}
+
+TEST(Geodesy, EarthRotatesEastward) {
+  // A point fixed in inertial space drifts westward in ECEF longitude.
+  const Vec3 eci{kEarthRadiusKm, 0.0, 0.0};
+  const auto after = ecef_to_geo(eci_to_ecef(eci, Duration::hours(1.0)));
+  EXPECT_LT(after.lon_rad, 0.0);
+  EXPECT_NEAR(after.lon_rad, -kEarthRotationRadPerS * 3600.0, 1e-12);
+}
+
+TEST(Geodesy, SiderealDayReturnsHome) {
+  const Vec3 eci{kEarthRadiusKm, 0.0, 0.0};
+  const double sidereal_s = 2.0 * kPi / kEarthRotationRadPerS;
+  const auto after = eci_to_ecef(eci, Duration::seconds(sidereal_s));
+  EXPECT_NEAR((after - eci).norm(), 0.0, 1e-6);
+}
+
+TEST(Geodesy, CentralAngleKnownValues) {
+  const auto a = GeoPoint::from_degrees(0.0, 0.0);
+  const auto b = GeoPoint::from_degrees(0.0, 90.0);
+  EXPECT_NEAR(central_angle(a, b), kPi / 2.0, 1e-14);
+  const auto pole = GeoPoint::from_degrees(90.0, 45.0);
+  EXPECT_NEAR(central_angle(a, pole), kPi / 2.0, 1e-14);
+  EXPECT_NEAR(central_angle(a, a), 0.0, 1e-14);
+}
+
+TEST(Geodesy, GreatCircleDistanceQuarterEquator) {
+  const auto a = GeoPoint::from_degrees(0.0, 0.0);
+  const auto b = GeoPoint::from_degrees(0.0, 90.0);
+  EXPECT_NEAR(great_circle_km(a, b), kEarthRadiusKm * kPi / 2.0, 1e-9);
+}
+
+TEST(Geodesy, InitialBearingCardinals) {
+  const auto origin = GeoPoint::from_degrees(0.0, 0.0);
+  EXPECT_NEAR(initial_bearing(origin, GeoPoint::from_degrees(10.0, 0.0)), 0.0,
+              1e-12);
+  EXPECT_NEAR(initial_bearing(origin, GeoPoint::from_degrees(0.0, 10.0)),
+              kPi / 2.0, 1e-12);
+  EXPECT_NEAR(initial_bearing(origin, GeoPoint::from_degrees(-10.0, 0.0)), kPi,
+              1e-12);
+}
+
+TEST(Geodesy, DestinationInvertsBearing) {
+  const auto a = GeoPoint::from_degrees(30.0, -118.0);
+  const double bearing = deg2rad(63.0);
+  const double angle = deg2rad(20.0);
+  const auto b = destination(a, bearing, angle);
+  EXPECT_NEAR(central_angle(a, b), angle, 1e-12);
+  EXPECT_NEAR(initial_bearing(a, b), bearing, 1e-9);
+}
+
+TEST(Geodesy, DestinationAlongEquator) {
+  const auto a = GeoPoint::from_degrees(0.0, 10.0);
+  const auto b = destination(a, kPi / 2.0, deg2rad(15.0));
+  EXPECT_NEAR(b.lat_deg(), 0.0, 1e-10);
+  EXPECT_NEAR(b.lon_deg(), 25.0, 1e-10);
+}
+
+TEST(Geodesy, DestinationWrapsLongitude) {
+  const auto a = GeoPoint::from_degrees(0.0, 175.0);
+  const auto b = destination(a, kPi / 2.0, deg2rad(10.0));
+  EXPECT_NEAR(b.lon_deg(), -175.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace oaq

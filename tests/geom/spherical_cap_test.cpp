@@ -1,0 +1,104 @@
+#include "geom/spherical_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(SphericalCap, ContainsCenterAndBoundary) {
+  const SphericalCap cap(GeoPoint::from_degrees(30.0, 0.0), deg2rad(18.0));
+  EXPECT_TRUE(cap.contains(GeoPoint::from_degrees(30.0, 0.0)));
+  EXPECT_TRUE(cap.contains(GeoPoint::from_degrees(47.9, 0.0)));
+  EXPECT_FALSE(cap.contains(GeoPoint::from_degrees(48.5, 0.0)));
+}
+
+TEST(SphericalCap, RejectsDegenerateRadius) {
+  EXPECT_THROW(SphericalCap(GeoPoint{}, 0.0), PreconditionError);
+  EXPECT_THROW(SphericalCap(GeoPoint{}, 4.0), PreconditionError);
+}
+
+TEST(SphericalCap, AreaMatchesClosedForm) {
+  const double psi = deg2rad(18.0);
+  const SphericalCap cap(GeoPoint{}, psi);
+  const double expected =
+      2.0 * kPi * kEarthRadiusKm * kEarthRadiusKm * (1.0 - std::cos(psi));
+  EXPECT_NEAR(cap.area_km2(), expected, 1e-6);
+  // Hemisphere sanity: 2πR².
+  const SphericalCap hemi(GeoPoint{}, kPi / 2.0);
+  EXPECT_NEAR(hemi.area_km2(1.0), 2.0 * kPi, 1e-12);
+}
+
+TEST(SphericalCap, OverlapPredicate) {
+  const double psi = deg2rad(18.0);
+  const SphericalCap a(GeoPoint::from_degrees(0.0, 0.0), psi);
+  const SphericalCap near(GeoPoint::from_degrees(0.0, 20.0), psi);
+  const SphericalCap far(GeoPoint::from_degrees(0.0, 40.0), psi);
+  EXPECT_TRUE(a.overlaps(near));
+  EXPECT_FALSE(a.overlaps(far));
+}
+
+TEST(SphericalCap, IntersectionDisjointIsZero) {
+  const SphericalCap a(GeoPoint::from_degrees(0.0, 0.0), deg2rad(10.0));
+  const SphericalCap b(GeoPoint::from_degrees(0.0, 30.0), deg2rad(10.0));
+  EXPECT_DOUBLE_EQ(a.intersection_area_km2(b), 0.0);
+}
+
+TEST(SphericalCap, IntersectionNestedIsSmallerCap) {
+  const SphericalCap big(GeoPoint::from_degrees(0.0, 0.0), deg2rad(30.0));
+  const SphericalCap small(GeoPoint::from_degrees(0.0, 5.0), deg2rad(10.0));
+  EXPECT_NEAR(big.intersection_area_km2(small), small.area_km2(), 1e-6);
+  EXPECT_NEAR(small.intersection_area_km2(big), small.area_km2(), 1e-6);
+}
+
+TEST(SphericalCap, IntersectionIdenticalCapsIsCapArea) {
+  const SphericalCap a(GeoPoint::from_degrees(12.0, 34.0), deg2rad(18.0));
+  EXPECT_NEAR(a.intersection_area_km2(a), a.area_km2(), 1e-6);
+}
+
+TEST(SphericalCap, IntersectionOfOrthogonalHemispheresIsLune) {
+  // Two hemispheres with orthogonal axes intersect in a lune of area πR².
+  const SphericalCap h1(GeoPoint::from_degrees(90.0, 0.0), kPi / 2.0);
+  const SphericalCap h2(GeoPoint::from_degrees(0.0, 0.0), kPi / 2.0);
+  EXPECT_NEAR(h1.intersection_area_km2(h2, 1.0), kPi, 1e-9);
+}
+
+TEST(SphericalCap, IntersectionMonotoneInSeparation) {
+  const double psi = deg2rad(18.0);
+  const SphericalCap a(GeoPoint::from_degrees(0.0, 0.0), psi);
+  double prev = a.area_km2();
+  for (double sep = 2.0; sep < 36.0; sep += 2.0) {
+    const SphericalCap b(GeoPoint::from_degrees(0.0, sep), psi);
+    const double inter = a.intersection_area_km2(b);
+    EXPECT_LT(inter, prev + 1e-9) << "sep " << sep;
+    EXPECT_GE(inter, 0.0);
+    prev = inter;
+  }
+}
+
+TEST(SphericalCap, IntersectionMatchesMonteCarloEstimate) {
+  // Cross-check the Gauss–Bonnet formula against area quadrature on a
+  // latitude/longitude grid (deterministic, no RNG needed).
+  const double psi = deg2rad(18.0);
+  const SphericalCap a(GeoPoint::from_degrees(10.0, 0.0), psi);
+  const SphericalCap b(GeoPoint::from_degrees(10.0, 24.0), psi);
+  const int nlat = 600, nlon = 1200;
+  double covered = 0.0;
+  for (int i = 0; i < nlat; ++i) {
+    const double lat = -kPi / 2.0 + kPi * (i + 0.5) / nlat;
+    const double cell = (kPi / nlat) * (2.0 * kPi / nlon) * std::cos(lat);
+    for (int j = 0; j < nlon; ++j) {
+      const double lon = -kPi + 2.0 * kPi * (j + 0.5) / nlon;
+      const GeoPoint p{lat, lon};
+      if (a.contains(p) && b.contains(p)) covered += cell;
+    }
+  }
+  const double exact = a.intersection_area_km2(b, 1.0);
+  EXPECT_NEAR(covered, exact, exact * 0.02);
+}
+
+}  // namespace
+}  // namespace oaq

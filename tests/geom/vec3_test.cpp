@@ -1,0 +1,52 @@
+#include "geom/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, -3.0, 9.0}));
+  EXPECT_EQ(a - b, (Vec3{-3.0, 7.0, -3.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.cross(y), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(y.cross(x), (Vec3{0.0, 0.0, -1.0}));
+  EXPECT_DOUBLE_EQ((Vec3{1.0, 2.0, 3.0}).dot(Vec3{4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3.0, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const auto u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});
+}
+
+TEST(Vec3, AngleBetweenIsStable) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_NEAR(angle_between(x, y), kPi / 2.0, 1e-15);
+  EXPECT_NEAR(angle_between(x, x), 0.0, 1e-15);
+  EXPECT_NEAR(angle_between(x, -x), kPi, 1e-15);
+  // Tiny angle: acos would lose precision, atan2 must not.
+  const Vec3 almost{1.0, 1e-9, 0.0};
+  EXPECT_NEAR(angle_between(x, almost), 1e-9, 1e-15);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,166 @@
+#include "net/crosslink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+CrosslinkNetwork::Options tight_options() {
+  CrosslinkNetwork::Options opt;
+  opt.min_delay = Duration::seconds(10);
+  opt.max_delay = Duration::seconds(30);
+  return opt;
+}
+
+TEST(CrosslinkNetwork, DeliversWithinDelayBounds) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(1));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({0, 1});
+  std::vector<Envelope> inbox;
+  net.register_node(b, [&](const Envelope& e) { inbox.push_back(e); });
+
+  for (int i = 0; i < 50; ++i) net.send(a, b, Ping{i});
+  sim.run();
+
+  ASSERT_EQ(inbox.size(), 50u);
+  for (const auto& e : inbox) {
+    const auto delay = e.delivered - e.sent;
+    EXPECT_GE(delay.to_seconds(), 10.0);
+    EXPECT_LE(delay.to_seconds(), 30.0);
+    EXPECT_EQ(e.from, a);
+    EXPECT_EQ(e.to, b);
+  }
+  EXPECT_EQ(net.stats().sent, 50u);
+  EXPECT_EQ(net.stats().delivered, 50u);
+}
+
+TEST(CrosslinkNetwork, PayloadTypeRoundTrips) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(2));
+  const auto b = Address::sat({0, 1});
+  int got = -1;
+  std::string text;
+  net.register_node(b, [&](const Envelope& e) {
+    if (const auto* p = std::any_cast<Ping>(&e.payload)) got = p->value;
+    if (const auto* s = std::any_cast<std::string>(&e.payload)) text = *s;
+  });
+  net.send(Address::sat({0, 0}), b, Ping{42});
+  net.send(Address::ground(), b, std::string("alert"));
+  sim.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(text, "alert");
+}
+
+TEST(CrosslinkNetwork, FailSilentReceiverDropsQuietly) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(3));
+  const auto b = Address::sat({0, 1});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 1);
+
+  net.fail_silent(b);
+  EXPECT_TRUE(net.is_failed(b));
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.stats().dropped_dead_receiver, 1u);
+}
+
+TEST(CrosslinkNetwork, FailSilentSenderCannotSend) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(4));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({0, 1});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  net.fail_silent(a);
+  net.send(a, b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().dropped_dead_sender, 1u);
+}
+
+TEST(CrosslinkNetwork, FailureMidFlightDropsDelivery) {
+  // The receiver fails after the message is sent but before delivery:
+  // fail-silent means the message vanishes.
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(5));
+  const auto b = Address::sat({0, 1});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.schedule_after(Duration::seconds(1), [&] { net.fail_silent(b); });
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().dropped_dead_receiver, 1u);
+}
+
+TEST(CrosslinkNetwork, ReregisteringRevivesNode) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(6));
+  const auto b = Address::sat({0, 1});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  net.fail_silent(b);
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  EXPECT_FALSE(net.is_failed(b));
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(CrosslinkNetwork, UnregisteredDestinationCounted) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(7));
+  net.send(Address::sat({0, 0}), Address::sat({3, 3}), Ping{});
+  sim.run();
+  EXPECT_EQ(net.stats().dropped_unregistered, 1u);
+}
+
+TEST(CrosslinkNetwork, LossProbabilityDropsExpectedShare) {
+  Simulator sim;
+  auto opt = tight_options();
+  opt.loss_probability = 0.25;
+  CrosslinkNetwork net(sim, opt, Rng(8));
+  const auto b = Address::sat({0, 1});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) net.send(Address::sat({0, 0}), b, Ping{i});
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.75, 0.03);
+  EXPECT_EQ(net.stats().dropped_loss + net.stats().delivered,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(CrosslinkNetwork, RejectsBadOptions) {
+  Simulator sim;
+  CrosslinkNetwork::Options bad;
+  bad.min_delay = Duration::seconds(-1);
+  EXPECT_THROW(CrosslinkNetwork(sim, bad, Rng(9)), PreconditionError);
+  bad = tight_options();
+  bad.max_delay = Duration::seconds(5);
+  EXPECT_THROW(CrosslinkNetwork(sim, bad, Rng(9)), PreconditionError);
+  bad = tight_options();
+  bad.loss_probability = 1.5;
+  EXPECT_THROW(CrosslinkNetwork(sim, bad, Rng(9)), PreconditionError);
+  CrosslinkNetwork net(sim, tight_options(), Rng(9));
+  EXPECT_THROW(net.register_node(Address::ground(), nullptr),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,147 @@
+#include "net/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+CrosslinkNetwork::Options fast_links() {
+  CrosslinkNetwork::Options opt;
+  opt.min_delay = Duration::seconds(0.5);
+  opt.max_delay = Duration::seconds(2.0);
+  return opt;
+}
+
+MembershipConfig config() {
+  MembershipConfig c;
+  c.heartbeat_period = Duration::seconds(30);
+  c.suspicion_timeout = Duration::seconds(120);
+  return c;
+}
+
+std::vector<SatelliteId> ring(int n) {
+  std::vector<SatelliteId> out;
+  for (int s = 0; s < n; ++s) out.push_back({0, s});
+  return out;
+}
+
+TEST(Membership, StableGroupNeverSuspects) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fast_links(), Rng(1));
+  MembershipGroup group(sim, net, ring(9), config());
+  sim.run_until(TimePoint::at(Duration::minutes(30)));
+  const auto members = ring(9);
+  const std::set<SatelliteId> all(members.begin(), members.end());
+  EXPECT_TRUE(group.converged(all));
+}
+
+TEST(Membership, SingleFailureConvergesEverywhere) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fast_links(), Rng(2));
+  MembershipGroup group(sim, net, ring(9), config());
+  // Satellite {0,4} fails silently at t = 5 min.
+  sim.schedule_after(Duration::minutes(5),
+                     [&] { net.fail_silent(Address::sat({0, 4})); });
+  sim.run_until(TimePoint::at(Duration::minutes(20)));
+  const auto members = ring(9);
+  std::set<SatelliteId> live(members.begin(), members.end());
+  live.erase({0, 4});
+  EXPECT_TRUE(group.converged(live));
+  // Every survivor routes around the failure.
+  EXPECT_EQ(group.node({0, 3}).live_successor(), (SatelliteId{0, 5}));
+  EXPECT_EQ(group.node({0, 5}).live_predecessor(), (SatelliteId{0, 3}));
+}
+
+TEST(Membership, DetectionLatencyIsBoundedBySuspicionTimeout) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fast_links(), Rng(3));
+  MembershipGroup group(sim, net, ring(6), config());
+  sim.schedule_after(Duration::minutes(5),
+                     [&] { net.fail_silent(Address::sat({0, 2})); });
+  // Neighbors must suspect within suspicion_timeout + heartbeat_period.
+  sim.run_until(TimePoint::at(Duration::minutes(5) +
+                              Duration::seconds(120 + 30 + 5)));
+  EXPECT_FALSE(group.node({0, 1}).considers_alive({0, 2}));
+  EXPECT_FALSE(group.node({0, 3}).considers_alive({0, 2}));
+}
+
+TEST(Membership, AdjacentDoubleFailureConverges) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fast_links(), Rng(4));
+  MembershipGroup group(sim, net, ring(9), config());
+  sim.schedule_after(Duration::minutes(5), [&] {
+    net.fail_silent(Address::sat({0, 4}));
+    net.fail_silent(Address::sat({0, 5}));
+  });
+  sim.run_until(TimePoint::at(Duration::minutes(30)));
+  const auto members = ring(9);
+  std::set<SatelliteId> live(members.begin(), members.end());
+  live.erase({0, 4});
+  live.erase({0, 5});
+  EXPECT_TRUE(group.converged(live));
+  EXPECT_EQ(group.node({0, 3}).live_successor(), (SatelliteId{0, 6}));
+}
+
+TEST(Membership, StaggeredFailuresConverge) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fast_links(), Rng(5));
+  MembershipGroup group(sim, net, ring(10), config());
+  sim.schedule_after(Duration::minutes(3),
+                     [&] { net.fail_silent(Address::sat({0, 1})); });
+  sim.schedule_after(Duration::minutes(12),
+                     [&] { net.fail_silent(Address::sat({0, 7})); });
+  sim.run_until(TimePoint::at(Duration::minutes(40)));
+  const auto members = ring(10);
+  std::set<SatelliteId> live(members.begin(), members.end());
+  live.erase({0, 1});
+  live.erase({0, 7});
+  EXPECT_TRUE(group.converged(live));
+}
+
+TEST(Membership, LossyLinksDoNotCauseFalseSuspicion) {
+  // 10% message loss with a 150-second suspicion timeout: suspicion needs
+  // five consecutive heartbeat losses (1e-5 per sliding window), so false
+  // suspicion over a 30-minute run is vanishingly unlikely.
+  Simulator sim;
+  auto opt = fast_links();
+  opt.loss_probability = 0.1;
+  CrosslinkNetwork net(sim, opt, Rng(6));
+  MembershipConfig lossy = config();
+  lossy.suspicion_timeout = Duration::seconds(150);
+  MembershipGroup group(sim, net, ring(8), lossy);
+  sim.run_until(TimePoint::at(Duration::minutes(30)));
+  const auto members = ring(8);
+  const std::set<SatelliteId> all(members.begin(), members.end());
+  EXPECT_TRUE(group.converged(all));
+}
+
+TEST(Membership, ViewFeedsLiveNeighborQueries) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fast_links(), Rng(7));
+  MembershipGroup group(sim, net, ring(4), config());
+  sim.run_until(TimePoint::at(Duration::minutes(2)));
+  EXPECT_EQ(group.node({0, 0}).live_successor(), (SatelliteId{0, 1}));
+  EXPECT_EQ(group.node({0, 0}).live_predecessor(), (SatelliteId{0, 3}));
+  EXPECT_TRUE(group.node({0, 0}).considers_alive({0, 2}));
+}
+
+TEST(Membership, RejectsDegenerateConfigs) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fast_links(), Rng(8));
+  EXPECT_THROW(MembershipNode(sim, net, {0, 0}, {{0, 0}}, config()),
+               PreconditionError);
+  EXPECT_THROW(MembershipNode(sim, net, {9, 9}, ring(4), config()),
+               PreconditionError);
+  MembershipConfig bad = config();
+  bad.suspicion_timeout = bad.heartbeat_period;
+  EXPECT_THROW(MembershipNode(sim, net, {0, 0}, ring(4), bad),
+               PreconditionError);
+  MembershipNode node(sim, net, {0, 0}, ring(4), config());
+  node.start();
+  EXPECT_THROW(node.start(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,52 @@
+#include "net/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "orbit/plane.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(PlaneRouter, NextVisitorIsTrailingSlot) {
+  const PlaneRouter router(2, 10);
+  EXPECT_EQ(router.next_visitor({2, 5}), (SatelliteId{2, 4}));
+  EXPECT_EQ(router.next_visitor({2, 0}), (SatelliteId{2, 9}));  // wraps
+  EXPECT_EQ(router.previous_visitor({2, 4}), (SatelliteId{2, 5}));
+  EXPECT_EQ(router.previous_visitor({2, 9}), (SatelliteId{2, 0}));
+}
+
+TEST(PlaneRouter, NextThenPreviousIsIdentity) {
+  const PlaneRouter router(0, 14);
+  for (int s = 0; s < 14; ++s) {
+    const SatelliteId id{0, s};
+    EXPECT_EQ(router.previous_visitor(router.next_visitor(id)), id);
+    EXPECT_EQ(router.next_visitor(router.previous_visitor(id)), id);
+  }
+}
+
+TEST(PlaneRouter, NextVisitorMatchesOrbitGeometry) {
+  // Geometric ground truth: the next slot to pass over a point covered by
+  // slot s is s-1 (mod k) — its sub-satellite point reaches s's after Tr.
+  OrbitalPlane plane(0, Duration::minutes(90), deg2rad(90.0), 0.0, 0.0, 10);
+  const PlaneRouter router(0, plane.active_count());
+  const auto t = Duration::minutes(4.0);
+  const auto tr = plane.revisit_time();
+  for (int s = 0; s < plane.active_count(); ++s) {
+    const auto here = plane.subsatellite_point(s, t);
+    const auto next = router.next_visitor({0, s});
+    const auto later = plane.subsatellite_point(next.slot, t + tr);
+    EXPECT_NEAR(central_angle(here, later), 0.0, 1e-9) << "slot " << s;
+  }
+}
+
+TEST(PlaneRouter, RejectsForeignSatellites) {
+  const PlaneRouter router(1, 8);
+  EXPECT_THROW((void)router.next_visitor({0, 3}), PreconditionError);
+  EXPECT_THROW((void)router.next_visitor({1, 8}), PreconditionError);
+  EXPECT_THROW((void)router.previous_visitor({1, -1}), PreconditionError);
+  EXPECT_THROW(PlaneRouter(0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,51 @@
+#include "oaq/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace oaq {
+namespace {
+
+TEST(QosLevelTest, IntegerMappingMatchesPaper) {
+  EXPECT_EQ(to_int(QosLevel::kMissed), 0);
+  EXPECT_EQ(to_int(QosLevel::kSingle), 1);
+  EXPECT_EQ(to_int(QosLevel::kSequentialDual), 2);
+  EXPECT_EQ(to_int(QosLevel::kSimultaneousDual), 3);
+}
+
+TEST(QosLevelTest, Names) {
+  EXPECT_EQ(to_string(QosLevel::kMissed), "missed");
+  EXPECT_EQ(to_string(QosLevel::kSimultaneousDual), "simultaneous-dual");
+}
+
+TEST(QosLevelTest, RateResultByCoverageBasis) {
+  EXPECT_EQ(rate_result(0, false), QosLevel::kMissed);
+  EXPECT_EQ(rate_result(1, false), QosLevel::kSingle);
+  EXPECT_EQ(rate_result(2, false), QosLevel::kSequentialDual);
+  EXPECT_EQ(rate_result(5, false), QosLevel::kSequentialDual);
+  EXPECT_EQ(rate_result(2, true), QosLevel::kSimultaneousDual);
+  EXPECT_EQ(rate_result(3, true), QosLevel::kSimultaneousDual);
+}
+
+TEST(QosLevelTest, TableOneRows) {
+  const auto over = achievable_levels(true);
+  EXPECT_NE(std::find(over.begin(), over.end(), QosLevel::kSimultaneousDual),
+            over.end());
+  EXPECT_NE(std::find(over.begin(), over.end(), QosLevel::kSingle), over.end());
+  EXPECT_EQ(std::find(over.begin(), over.end(), QosLevel::kSequentialDual),
+            over.end());
+  EXPECT_EQ(std::find(over.begin(), over.end(), QosLevel::kMissed), over.end());
+
+  const auto under = achievable_levels(false);
+  EXPECT_NE(std::find(under.begin(), under.end(), QosLevel::kSequentialDual),
+            under.end());
+  EXPECT_NE(std::find(under.begin(), under.end(), QosLevel::kMissed),
+            under.end());
+  EXPECT_EQ(std::find(under.begin(), under.end(),
+                      QosLevel::kSimultaneousDual),
+            under.end());
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,92 @@
+#include "orbit/constellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(Constellation, ReferenceDesignMatchesPaper) {
+  const auto c = Constellation::reference();
+  EXPECT_EQ(c.num_planes(), 7);
+  EXPECT_EQ(c.total_active(), 98);
+  EXPECT_EQ(c.design().in_orbit_spares_per_plane, 2);
+  EXPECT_NEAR(c.design().period.to_minutes(), 90.0, 1e-12);
+  EXPECT_NEAR(c.design().coverage_time.to_minutes(), 9.0, 1e-12);
+  EXPECT_NEAR(rad2deg(c.footprint().angular_radius_rad()), 18.0, 1e-12);
+  EXPECT_EQ(static_cast<int>(c.active_satellites().size()), 98);
+}
+
+TEST(Constellation, PlanesSpreadAcrossNodes) {
+  const auto c = Constellation::reference();
+  for (int j = 0; j < 7; ++j) {
+    EXPECT_NEAR(c.plane(j).raan_rad(), kPi * j / 7.0, 1e-12);
+    EXPECT_EQ(c.plane(j).plane_index(), j);
+  }
+  EXPECT_THROW((void)c.plane(7), PreconditionError);
+  EXPECT_THROW((void)c.plane(-1), PreconditionError);
+}
+
+TEST(Constellation, DegradingOnePlaneOnlyAffectsThatPlane) {
+  auto c = Constellation::reference();
+  c.plane(3).set_active_count(10);
+  EXPECT_EQ(c.total_active(), 94);
+  EXPECT_EQ(c.plane(3).active_count(), 10);
+  EXPECT_EQ(c.plane(2).active_count(), 14);
+  EXPECT_NEAR(c.plane(3).revisit_time().to_minutes(), 9.0, 1e-12);
+  EXPECT_NEAR(c.plane(2).revisit_time().to_minutes(), 90.0 / 14.0, 1e-12);
+}
+
+TEST(Constellation, FullConstellationCoversTheEarth) {
+  // Paper, Fig. 1: "when the constellation has 98 operational satellites,
+  // it offers a full earth coverage." Sample a coarse global grid.
+  const auto c = Constellation::reference();
+  for (double lat = -85.0; lat <= 85.0; lat += 10.0) {
+    for (double lon = -180.0; lon < 180.0; lon += 15.0) {
+      const auto covering = c.covering_satellites(
+          GeoPoint::from_degrees(lat, lon), Duration::minutes(0.0));
+      EXPECT_GE(covering.size(), 1u) << "uncovered at " << lat << "," << lon;
+    }
+  }
+}
+
+TEST(Constellation, CoveringSatellitesConsistentWithFootprint) {
+  const auto c = Constellation::reference();
+  const auto target = GeoPoint::from_degrees(30.0, 12.0);
+  const auto t = Duration::minutes(17.0);
+  const auto covering = c.covering_satellites(target, t);
+  for (const auto id : covering) {
+    const auto subsat = c.subsatellite_point(id, t);
+    EXPECT_LE(central_angle(subsat, target),
+              c.footprint().angular_radius_rad() + 1e-9);
+  }
+}
+
+TEST(Constellation, HighLatitudeSeesMoreOverlapThanEquator) {
+  // Fig. 1: overlapped-footprint share grows toward the poles.
+  const auto c = Constellation::reference();
+  const auto t = Duration::minutes(11.0);
+  auto mean_multiplicity = [&](double lat_deg) {
+    double sum = 0.0;
+    int n = 0;
+    for (double lon = -180.0; lon < 180.0; lon += 5.0, ++n) {
+      sum += static_cast<double>(
+          c.covering_satellites(GeoPoint::from_degrees(lat_deg, lon), t).size());
+    }
+    return sum / n;
+  };
+  EXPECT_GT(mean_multiplicity(70.0), mean_multiplicity(0.0));
+}
+
+TEST(Constellation, RejectsDegenerateDesign) {
+  ConstellationDesign d;
+  d.num_planes = 0;
+  EXPECT_THROW(Constellation{d}, PreconditionError);
+  d.num_planes = 3;
+  d.sats_per_plane = 0;
+  EXPECT_THROW(Constellation{d}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,79 @@
+#include "orbit/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(CoverageAnalyzer, FullConstellationCoversEverywhere) {
+  const auto c = Constellation::reference();
+  const CoverageAnalyzer cov(c);
+  const auto g = cov.global(Duration::zero(), 24, 72);
+  EXPECT_GT(g.covered_fraction, 0.995);
+  EXPECT_GT(g.overlap_fraction, 0.2);
+}
+
+TEST(CoverageAnalyzer, OverlapGrowsTowardPoles) {
+  // The paper: "the ratio is the lowest at the equator and the highest at
+  // the poles".
+  const auto c = Constellation::reference();
+  const CoverageAnalyzer cov(c);
+  const auto bands = cov.by_latitude_time_averaged(4, 18, 72);
+  double equator = 0.0, pole = 0.0;
+  for (const auto& b : bands) {
+    if (std::abs(b.lat_deg) < 10.0) equator = std::max(equator, b.overlap_fraction);
+    if (std::abs(b.lat_deg) > 70.0) pole = std::max(pole, b.overlap_fraction);
+  }
+  EXPECT_GT(pole, equator);
+}
+
+TEST(CoverageAnalyzer, ThirtyDegreesIsModeratelyOverlapped) {
+  // Paper: "in our assumed area of interest, around 30° north latitude,
+  // the ratio is moderately high" — between equator and pole.
+  const auto c = Constellation::reference();
+  const CoverageAnalyzer cov(c);
+  const auto bands = cov.by_latitude_time_averaged(4, 36, 72);
+  double equator = 0.0, thirty = 0.0, pole = 0.0;
+  for (const auto& b : bands) {
+    if (std::abs(b.lat_deg) < 5.0) equator += b.overlap_fraction / 2.0;
+    if (std::abs(b.lat_deg - 30.0) < 5.0) thirty += b.overlap_fraction / 2.0;
+    if (b.lat_deg > 75.0) pole += b.overlap_fraction / 3.0;
+  }
+  EXPECT_GE(thirty, equator * 0.9);
+  EXPECT_LT(thirty, pole);
+}
+
+TEST(CoverageAnalyzer, DegradedConstellationLosesCoverage) {
+  auto c = Constellation::reference();
+  for (int j = 0; j < 7; ++j) c.plane(j).set_active_count(9);
+  const CoverageAnalyzer cov(c);
+  const auto degraded = cov.global(Duration::zero(), 24, 72);
+  const auto full = CoverageAnalyzer(Constellation::reference())
+                        .global(Duration::zero(), 24, 72);
+  EXPECT_LT(degraded.covered_fraction, full.covered_fraction);
+  EXPECT_LT(degraded.overlap_fraction, full.overlap_fraction);
+}
+
+TEST(CoverageAnalyzer, MeanMultiplicityConsistentWithFractions) {
+  const auto c = Constellation::reference();
+  const CoverageAnalyzer cov(c);
+  for (const auto& b : cov.by_latitude(Duration::zero(), 12, 36)) {
+    EXPECT_GE(b.mean_multiplicity, b.covered_fraction - 1e-12);
+    EXPECT_GE(b.covered_fraction, b.overlap_fraction - 1e-12);
+    EXPECT_GE(b.overlap_fraction, 0.0);
+    EXPECT_LE(b.covered_fraction, 1.0);
+  }
+}
+
+TEST(CoverageAnalyzer, RejectsEmptyGrid) {
+  const auto c = Constellation::reference();
+  const CoverageAnalyzer cov(c);
+  EXPECT_THROW((void)cov.by_latitude(Duration::zero(), 0, 10),
+               PreconditionError);
+  EXPECT_THROW((void)cov.by_latitude_time_averaged(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

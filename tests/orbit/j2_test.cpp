@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/kepler.hpp"
+
+namespace oaq {
+namespace {
+
+Orbit leo(double incl_deg) {
+  return Orbit::circular_with_period(Duration::minutes(90), deg2rad(incl_deg),
+                                     deg2rad(40.0), 0.3);
+}
+
+TEST(J2, SecularRatesMatchTextbookFormulas) {
+  // Sun-synchronous check: at ~97-98° inclination the node rate for a
+  // ~560-km orbit is +0.9856°/day (the solar rate). Our 275-km orbit at
+  // 97° should be in that ballpark.
+  const auto orbit = Orbit::circular(560.0, deg2rad(97.64), 0.0, 0.0);
+  const auto rates = orbit.j2_secular_rates();
+  const double deg_per_day = rad2deg(rates.raan_rate) * 86400.0;
+  EXPECT_NEAR(deg_per_day, 0.9856, 0.08);
+}
+
+TEST(J2, NodeRegressesWestwardForPrograde) {
+  const auto rates = leo(85.0).j2_secular_rates();
+  EXPECT_LT(rates.raan_rate, 0.0);  // cos i > 0 → regression
+  // Polar orbit: no node drift.
+  const auto polar = leo(90.0).j2_secular_rates();
+  EXPECT_NEAR(polar.raan_rate, 0.0, 1e-12);
+  // Retrograde: progression.
+  EXPECT_GT(leo(100.0).j2_secular_rates().raan_rate, 0.0);
+}
+
+TEST(J2, CriticalInclinationFreezesPerigee) {
+  // dω/dt = 0 at sin²i = 4/5 → i = 63.435°.
+  const auto rates = leo(63.434948822922).j2_secular_rates();
+  EXPECT_NEAR(rates.arg_perigee_rate, 0.0, 1e-15);
+  EXPECT_GT(leo(40.0).j2_secular_rates().arg_perigee_rate, 0.0);
+  EXPECT_LT(leo(80.0).j2_secular_rates().arg_perigee_rate, 0.0);
+}
+
+TEST(J2, DisabledByDefaultEnabledByWith) {
+  const auto base = leo(85.0);
+  EXPECT_FALSE(base.j2_enabled());
+  const auto pert = base.with_j2();
+  EXPECT_TRUE(pert.j2_enabled());
+  // At t = 0 both agree.
+  EXPECT_NEAR((base.position_eci(Duration::zero()) -
+               pert.position_eci(Duration::zero()))
+                  .norm(),
+              0.0, 1e-9);
+}
+
+TEST(J2, NodeDriftDisplacesOrbitOverADay) {
+  const auto base = leo(85.0);
+  const auto pert = base.with_j2();
+  const auto t = Duration::days(1);
+  const double displacement =
+      (base.position_eci(t) - pert.position_eci(t)).norm();
+  // Expected from the secular rates: dominated by the in-track mean-
+  // anomaly correction plus node drift — several hundred km after a day.
+  EXPECT_GT(displacement, 50.0);
+  EXPECT_LT(displacement, 5000.0);
+}
+
+TEST(J2, DriftMatchesPredictedNodeShift) {
+  // The sub-satellite longitude shift at the ascending node after N whole
+  // (Keplerian) orbits equals the accumulated node drift plus the mean-
+  // anomaly correction converted to along-track phase.
+  const auto base = Orbit::circular_with_period(Duration::minutes(90),
+                                                deg2rad(85.0), 0.0, 0.0);
+  const auto pert = base.with_j2();
+  const auto rates = base.j2_secular_rates();
+  const auto t = base.period() * 16.0;  // one day
+  const auto p_base = base.subsatellite_point(t);
+  const auto p_pert = pert.subsatellite_point(t);
+  // Longitude difference ≈ node drift (the mean-anomaly correction moves
+  // the satellite along the (near-polar) track, mostly in latitude).
+  const double expected_node_shift = rates.raan_rate * t.to_seconds();
+  EXPECT_NEAR(wrap_pi(p_pert.lon_rad - p_base.lon_rad), expected_node_shift,
+              std::abs(expected_node_shift) * 0.5 + 0.01);
+}
+
+TEST(J2, RadiusStaysConstantForCircular) {
+  // Secular J2 does not change the semi-major axis.
+  const auto pert = leo(85.0).with_j2();
+  const double r0 = pert.position_eci(Duration::zero()).norm();
+  for (double days : {0.5, 1.0, 5.0}) {
+    EXPECT_NEAR(pert.position_eci(Duration::days(days)).norm(), r0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,134 @@
+#include "orbit/kepler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(SolveKepler, CircularIsIdentity) {
+  for (double m : {0.0, 0.5, 2.0, -1.3}) {
+    EXPECT_NEAR(solve_kepler(m, 0.0), wrap_pi(m), 1e-13);
+  }
+}
+
+TEST(SolveKepler, SatisfiesKeplerEquation) {
+  for (double e : {0.01, 0.3, 0.7, 0.95}) {
+    for (double m : {-2.5, -0.7, 0.1, 1.9, 3.0}) {
+      const double E = solve_kepler(m, e);
+      EXPECT_NEAR(E - e * std::sin(E), wrap_pi(m), 1e-11)
+          << "e=" << e << " m=" << m;
+    }
+  }
+}
+
+TEST(SolveKepler, RejectsHyperbolic) {
+  EXPECT_THROW((void)solve_kepler(0.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)solve_kepler(0.0, -0.1), PreconditionError);
+}
+
+TEST(Orbit, NinetyMinutePeriodAltitude) {
+  // The paper's θ = 90 min orbit sits at ~275 km on a spherical Earth.
+  const double a = Orbit::semi_major_for_period(Duration::minutes(90));
+  EXPECT_NEAR(a - kEarthRadiusKm, 275.0, 10.0);
+  const auto orbit = Orbit::circular_with_period(Duration::minutes(90), 0.0,
+                                                 0.0, 0.0);
+  EXPECT_NEAR(orbit.period().to_minutes(), 90.0, 1e-9);
+}
+
+TEST(Orbit, CircularRadiusIsConstant) {
+  const auto orbit = Orbit::circular(500.0, deg2rad(85.0), 1.0, 0.3);
+  const double r0 = orbit.position_eci(Duration::zero()).norm();
+  EXPECT_NEAR(r0, kEarthRadiusKm + 500.0, 1e-9);
+  for (double frac : {0.1, 0.37, 0.5, 0.93}) {
+    const double r = orbit.position_eci(orbit.period() * frac).norm();
+    EXPECT_NEAR(r, r0, 1e-6);
+  }
+}
+
+TEST(Orbit, PeriodReturnsToStart) {
+  const auto orbit = Orbit::circular(400.0, deg2rad(63.0), 0.7, 1.1);
+  const Vec3 p0 = orbit.position_eci(Duration::zero());
+  const Vec3 p1 = orbit.position_eci(orbit.period());
+  EXPECT_NEAR((p1 - p0).norm(), 0.0, 1e-6);
+}
+
+TEST(Orbit, VelocityMagnitudeMatchesVisViva) {
+  const auto orbit = Orbit::circular(500.0, deg2rad(45.0), 0.0, 0.0);
+  const auto state = orbit.state_at(Duration::minutes(13.0));
+  const double r = state.position_km.norm();
+  const double v_expected = std::sqrt(kEarthMuKm3PerS2 / r);
+  EXPECT_NEAR(state.velocity_km_s.norm(), v_expected, 1e-9);
+  // Velocity perpendicular to position for circular orbits.
+  EXPECT_NEAR(state.position_km.dot(state.velocity_km_s), 0.0, 1e-6);
+}
+
+TEST(Orbit, EllipticalConservesAngularMomentumAndEnergy) {
+  KeplerianElements el;
+  el.semi_major_km = 8000.0;
+  el.eccentricity = 0.2;
+  el.inclination_rad = deg2rad(30.0);
+  el.raan_rad = 0.5;
+  el.arg_perigee_rad = 1.2;
+  el.mean_anomaly_rad = 0.0;
+  const Orbit orbit(el);
+  const auto s0 = orbit.state_at(Duration::zero());
+  const double h0 = s0.position_km.cross(s0.velocity_km_s).norm();
+  const double e0 = 0.5 * s0.velocity_km_s.norm2() -
+                    kEarthMuKm3PerS2 / s0.position_km.norm();
+  for (double frac : {0.2, 0.5, 0.8}) {
+    const auto s = orbit.state_at(orbit.period() * frac);
+    const double h = s.position_km.cross(s.velocity_km_s).norm();
+    const double e = 0.5 * s.velocity_km_s.norm2() -
+                     kEarthMuKm3PerS2 / s.position_km.norm();
+    EXPECT_NEAR(h, h0, h0 * 1e-10);
+    EXPECT_NEAR(e, e0, std::abs(e0) * 1e-10);
+  }
+  // Perigee and apogee radii.
+  const double rp = orbit.state_at(Duration::zero()).position_km.norm();
+  EXPECT_NEAR(rp, el.semi_major_km * (1.0 - el.eccentricity), 1e-6);
+  const double ra = orbit.state_at(orbit.period() * 0.5).position_km.norm();
+  EXPECT_NEAR(ra, el.semi_major_km * (1.0 + el.eccentricity), 1e-6);
+}
+
+TEST(Orbit, InclinationBoundsLatitude) {
+  const double incl = deg2rad(55.0);
+  const auto orbit = Orbit::circular(600.0, incl, 0.0, 0.0);
+  double max_lat = 0.0;
+  for (int i = 0; i < 360; ++i) {
+    const auto p = orbit.subsatellite_point(orbit.period() * (i / 360.0));
+    max_lat = std::max(max_lat, std::abs(p.lat_rad));
+  }
+  EXPECT_NEAR(max_lat, incl, 0.01);
+}
+
+TEST(Orbit, SubsatellitePointStartsAtAscendingNode) {
+  const auto orbit = Orbit::circular(500.0, deg2rad(85.0), deg2rad(40.0), 0.0);
+  const auto p = orbit.subsatellite_point(Duration::zero());
+  EXPECT_NEAR(p.lat_deg(), 0.0, 1e-9);
+  EXPECT_NEAR(p.lon_deg(), 40.0, 1e-9);
+}
+
+TEST(Orbit, EarthRotationShiftsGroundTrackWest) {
+  const auto orbit = Orbit::circular_with_period(Duration::minutes(90),
+                                                 deg2rad(85.0), 0.0, 0.0);
+  const auto fixed = orbit.subsatellite_point(orbit.period(), false);
+  const auto rotating = orbit.subsatellite_point(orbit.period(), true);
+  EXPECT_NEAR(fixed.lon_deg(), 0.0, 1e-6);
+  // One 90-min orbit: the Earth turns ~22.6° east, track shifts west.
+  EXPECT_NEAR(rotating.lon_deg(), -rad2deg(kEarthRotationRadPerS * 5400.0),
+              1e-6);
+}
+
+TEST(Orbit, RejectsSubterraneanOrbit) {
+  KeplerianElements el;
+  el.semi_major_km = 6000.0;
+  EXPECT_THROW(Orbit{el}, PreconditionError);
+  EXPECT_THROW((void)Orbit::circular(-10.0, 0.0, 0.0, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,103 @@
+#include "orbit/plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "orbit/footprint.hpp"
+
+namespace oaq {
+namespace {
+
+OrbitalPlane make_plane(int design_count = 14) {
+  return OrbitalPlane(0, Duration::minutes(90), deg2rad(85.0), 0.0, 0.0,
+                      design_count);
+}
+
+TEST(FootprintModel, ReferenceConstellationPsiIs18Degrees) {
+  const auto fp = FootprintModel::from_coverage_time(Duration::minutes(9),
+                                                     Duration::minutes(90));
+  EXPECT_NEAR(rad2deg(fp.angular_radius_rad()), 18.0, 1e-12);
+  EXPECT_NEAR(fp.coverage_time(Duration::minutes(90)).to_minutes(), 9.0, 1e-12);
+}
+
+TEST(FootprintModel, CoversWithinRadius) {
+  const FootprintModel fp(deg2rad(18.0));
+  const auto subsat = GeoPoint::from_degrees(30.0, 0.0);
+  EXPECT_TRUE(fp.covers(subsat, GeoPoint::from_degrees(30.0, 0.0)));
+  EXPECT_TRUE(fp.covers(subsat, GeoPoint::from_degrees(45.0, 0.0)));
+  EXPECT_FALSE(fp.covers(subsat, GeoPoint::from_degrees(49.0, 0.0)));
+  EXPECT_EQ(fp.cap_at(subsat).radius_rad(), deg2rad(18.0));
+}
+
+TEST(FootprintModel, RejectsDegenerate) {
+  EXPECT_THROW(FootprintModel(0.0), PreconditionError);
+  EXPECT_THROW(FootprintModel(2.0), PreconditionError);
+  EXPECT_THROW((void)FootprintModel::from_coverage_time(Duration::minutes(91),
+                                                  Duration::minutes(90)),
+               PreconditionError);
+}
+
+TEST(OrbitalPlane, RevisitTimeMatchesPaperTable) {
+  auto plane = make_plane();
+  // Tr[k] = θ / k: 90/14 ≈ 6.43, 90/12 = 7.5, 90/10 = 9, 90/9 = 10.
+  EXPECT_NEAR(plane.revisit_time_for(14).to_minutes(), 90.0 / 14.0, 1e-12);
+  EXPECT_NEAR(plane.revisit_time_for(12).to_minutes(), 7.5, 1e-12);
+  EXPECT_NEAR(plane.revisit_time_for(10).to_minutes(), 9.0, 1e-12);
+  EXPECT_NEAR(plane.revisit_time_for(9).to_minutes(), 10.0, 1e-12);
+  plane.set_active_count(12);
+  EXPECT_NEAR(plane.revisit_time().to_minutes(), 7.5, 1e-12);
+  EXPECT_THROW((void)plane.revisit_time_for(0), PreconditionError);
+}
+
+TEST(OrbitalPlane, PhasingAdjustmentRedistributesEvenly) {
+  auto plane = make_plane();
+  EXPECT_NEAR(plane.slot_spacing_rad(), 2.0 * kPi / 14.0, 1e-14);
+  plane.set_active_count(10);
+  EXPECT_EQ(plane.active_count(), 10);
+  EXPECT_NEAR(plane.slot_spacing_rad(), 2.0 * kPi / 10.0, 1e-14);
+  // Adjacent satellites are separated by the slot spacing at all times.
+  const auto p0 = plane.position_eci(0, Duration::minutes(7.0));
+  const auto p1 = plane.position_eci(1, Duration::minutes(7.0));
+  EXPECT_NEAR(angle_between(p0, p1), plane.slot_spacing_rad(), 1e-10);
+}
+
+TEST(OrbitalPlane, SuccessorPassesSameGroundPointAfterRevisitTime) {
+  // The satellite "behind" (lower slot phase) revisits the point covered by
+  // its predecessor Tr later — the paper's sequential-coverage mechanism.
+  auto plane = make_plane();
+  plane.set_active_count(10);
+  const Duration tr = plane.revisit_time();
+  const auto pt_now = plane.subsatellite_point(1, Duration::minutes(3.0));
+  const auto pt_later = plane.subsatellite_point(0, Duration::minutes(3.0) + tr);
+  EXPECT_NEAR(central_angle(pt_now, pt_later), 0.0, 1e-10);
+}
+
+TEST(OrbitalPlane, ActiveSatelliteIdsAreSlotOrdered) {
+  auto plane = make_plane();
+  plane.set_active_count(3);
+  const auto ids = plane.active_satellites();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], (SatelliteId{0, 0}));
+  EXPECT_EQ(ids[2], (SatelliteId{0, 2}));
+}
+
+TEST(OrbitalPlane, SlotRangeChecked) {
+  auto plane = make_plane();
+  plane.set_active_count(5);
+  EXPECT_THROW((void)plane.orbit_of(5), PreconditionError);
+  EXPECT_THROW((void)plane.orbit_of(-1), PreconditionError);
+  EXPECT_THROW(plane.set_active_count(15), PreconditionError);
+  EXPECT_THROW(plane.set_active_count(-1), PreconditionError);
+}
+
+TEST(OrbitalPlane, AllSatellitesShareOrbitGeometry) {
+  const auto plane = make_plane();
+  for (int s = 0; s < plane.active_count(); ++s) {
+    const auto orbit = plane.orbit_of(s);
+    EXPECT_NEAR(orbit.period().to_minutes(), 90.0, 1e-9);
+    EXPECT_DOUBLE_EQ(orbit.elements().inclination_rad, deg2rad(85.0));
+  }
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,75 @@
+// Property suite: plane-capacity dependability model over a (λ, η) grid.
+#include <gtest/gtest.h>
+
+#include "fault/plane_capacity.hpp"
+
+namespace oaq {
+namespace {
+
+struct DepPoint {
+  double lambda;
+  int eta;
+};
+
+class CapacityGrid : public ::testing::TestWithParam<DepPoint> {
+ protected:
+  [[nodiscard]] PlaneDependability model() const {
+    PlaneDependability m;
+    m.satellite_failure_rate = Rate::per_hour(GetParam().lambda);
+    m.policy.ground_threshold = GetParam().eta;
+    return m;
+  }
+};
+
+TEST_P(CapacityGrid, PmfIsNormalizedWithBoundedSupport) {
+  const auto pmf = plane_capacity_pmf(model(), 3, 150);
+  double total = 0.0;
+  for (const auto& [k, w] : pmf.weights()) {
+    EXPECT_GE(k, 0);
+    EXPECT_LE(k, 14);
+    total += w / pmf.total_weight();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_P(CapacityGrid, RarelyFallsFarBelowThreshold) {
+  // The expedited policy keeps capacity within ~2 of the threshold.
+  const auto pmf = plane_capacity_pmf(model(), 4, 150);
+  double far_below = 0.0;
+  for (const auto& [k, w] : pmf.weights()) {
+    if (k < GetParam().eta - 2) far_below += w / pmf.total_weight();
+  }
+  EXPECT_LT(far_below, 0.05);
+}
+
+TEST_P(CapacityGrid, DeterministicAcrossRuns) {
+  const auto a = plane_capacity_pmf(model(), 5, 60);
+  const auto b = plane_capacity_pmf(model(), 5, 60);
+  for (int k = 0; k <= 14; ++k) {
+    EXPECT_DOUBLE_EQ(a.probability(k), b.probability(k));
+  }
+}
+
+TEST_P(CapacityGrid, FullCapacityProbabilityFallsWithLambda) {
+  const auto here = plane_capacity_pmf(model(), 6, 200);
+  PlaneDependability harsher = model();
+  harsher.satellite_failure_rate =
+      Rate::per_hour(GetParam().lambda * 2.0);
+  const auto worse = plane_capacity_pmf(harsher, 6, 200);
+  EXPECT_GT(here.probability(14), worse.probability(14) - 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaEtaGrid, CapacityGrid,
+    ::testing::Values(DepPoint{1e-5, 10}, DepPoint{5e-5, 10},
+                      DepPoint{1e-4, 10}, DepPoint{1e-5, 12},
+                      DepPoint{5e-5, 12}, DepPoint{1e-4, 12},
+                      DepPoint{5e-5, 8}),
+    [](const auto& info) {
+      return "lam" + std::to_string(static_cast<int>(
+                         info.param.lambda * 1e6)) +
+             "_eta" + std::to_string(info.param.eta);
+    });
+
+}  // namespace
+}  // namespace oaq

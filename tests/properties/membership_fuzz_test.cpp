@@ -1,0 +1,65 @@
+// Property suite: membership convergence under randomized failure
+// schedules (fuzz-style, parameterized over seeds).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/membership.hpp"
+
+namespace oaq {
+namespace {
+
+class MembershipFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MembershipFuzz, ConvergesAfterRandomFailureSchedule) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  Simulator sim;
+  CrosslinkNetwork::Options links;
+  links.min_delay = Duration::seconds(0.5);
+  links.max_delay = Duration::seconds(2.0);
+  CrosslinkNetwork net(sim, links, rng.fork(1));
+
+  const int n = 3 + static_cast<int>(rng.uniform_index(10));  // 3..12
+  std::vector<SatelliteId> ring;
+  for (int s = 0; s < n; ++s) ring.push_back({0, s});
+  MembershipConfig config;
+  config.heartbeat_period = Duration::seconds(30);
+  config.suspicion_timeout = Duration::seconds(120);
+  MembershipGroup group(sim, net, ring, config);
+
+  // Kill a random subset (leaving at least 2 alive), at random times
+  // spread over the first 20 minutes.
+  std::set<SatelliteId> live(ring.begin(), ring.end());
+  const int kills =
+      static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n - 1)));
+  for (int i = 0; i < kills && static_cast<int>(live.size()) > 2; ++i) {
+    const int victim = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(n)));
+    const SatelliteId id{0, victim};
+    if (!live.contains(id)) continue;
+    live.erase(id);
+    const Duration at = rng.uniform(Duration::minutes(1),
+                                    Duration::minutes(20));
+    sim.schedule_at(TimePoint::at(at),
+                    [&net, id] { net.fail_silent(Address::sat(id)); });
+  }
+
+  // Converge within: last kill (20 min) + suspicion + gossip slack.
+  sim.run_until(TimePoint::at(Duration::minutes(20) +
+                              Duration::seconds(4 * 120 + 60)));
+  EXPECT_TRUE(group.converged(live))
+      << "seed " << seed << " n=" << n << " kills=" << kills;
+  // Ring queries stay within the live set.
+  for (const auto id : live) {
+    EXPECT_TRUE(live.contains(group.node(id).live_successor()));
+    EXPECT_TRUE(live.contains(group.node(id).live_predecessor()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MembershipFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace oaq

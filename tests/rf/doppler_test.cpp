@@ -1,0 +1,155 @@
+#include "rf/doppler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oaq {
+namespace {
+
+Orbit test_orbit() {
+  return Orbit::circular_with_period(Duration::minutes(90), deg2rad(85.0),
+                                     0.0, deg2rad(-30.0));
+}
+
+TEST(Emitter, EmissionWindow) {
+  Emitter e;
+  e.start = TimePoint::at(Duration::minutes(10));
+  e.duration = Duration::minutes(4);
+  EXPECT_FALSE(e.emitting_at(TimePoint::at(Duration::minutes(9.9))));
+  EXPECT_TRUE(e.emitting_at(TimePoint::at(Duration::minutes(10))));
+  EXPECT_TRUE(e.emitting_at(TimePoint::at(Duration::minutes(13.9))));
+  EXPECT_FALSE(e.emitting_at(TimePoint::at(Duration::minutes(14))));
+  Emitter forever;
+  forever.start = TimePoint::origin();
+  EXPECT_TRUE(forever.emitting_at(TimePoint::at(Duration::hours(10000))));
+}
+
+TEST(Emitter, EciPositionRespectsRotationFlag) {
+  Emitter e;
+  e.position = GeoPoint::from_degrees(30.0, 40.0);
+  const auto fixed = e.position_eci(Duration::hours(1), false);
+  EXPECT_NEAR((fixed - geo_to_ecef(e.position)).norm(), 0.0, 1e-12);
+  const auto rotated = e.position_eci(Duration::hours(1), true);
+  EXPECT_GT((rotated - fixed).norm(), 100.0);
+  EXPECT_NEAR(rotated.norm(), kEarthRadiusKm, 1e-9);
+  // Velocity magnitude = ω·R·cos(lat).
+  const auto v = e.velocity_eci(Duration::zero(), true);
+  EXPECT_NEAR(v.norm(),
+              kEarthRotationRadPerS * kEarthRadiusKm * std::cos(deg2rad(30.0)),
+              1e-9);
+  EXPECT_EQ(e.velocity_eci(Duration::zero(), false), Vec3{});
+}
+
+TEST(DopplerModel, ZeroShiftAtClosestApproach) {
+  // When the satellite passes directly over the emitter, the range rate
+  // vanishes and the received frequency equals the carrier.
+  const auto orbit = test_orbit();
+  const DopplerModel model(false);
+  Emitter e;
+  // Sub-satellite point at u = 0 (ascending node): lat 0, lon 0.
+  e.position = GeoPoint::from_degrees(0.0, 0.0);
+  // Satellite reaches u = 0 at t = 30/360 * period (started at u = -30°).
+  const auto t_over = Duration::minutes(90.0 * 30.0 / 360.0);
+  const auto state = orbit.state_at(t_over);
+  EXPECT_NEAR(model.range_rate_km_s(state, e.position, t_over), 0.0, 1e-6);
+  EXPECT_NEAR(model.predicted_frequency_hz(state, e.position, 400e6, t_over),
+              400e6, 1.0);
+}
+
+TEST(DopplerModel, ApproachingRaisesFrequencyRecedingLowers) {
+  const auto orbit = test_orbit();
+  const DopplerModel model(false);
+  Emitter e;
+  e.position = GeoPoint::from_degrees(0.0, 0.0);
+  const auto t_over = Duration::minutes(90.0 * 30.0 / 360.0);
+  const auto before = t_over - Duration::minutes(2);
+  const auto after = t_over + Duration::minutes(2);
+  const double f_before = model.predicted_frequency_hz(
+      orbit.state_at(before), e.position, 400e6, before);
+  const double f_after = model.predicted_frequency_hz(
+      orbit.state_at(after), e.position, 400e6, after);
+  EXPECT_GT(f_before, 400e6);
+  EXPECT_LT(f_after, 400e6);
+  // LEO Doppler magnitude at 400 MHz is on the order of kHz.
+  EXPECT_GT(f_before - 400e6, 1e3);
+  EXPECT_LT(f_before - 400e6, 2e4);
+}
+
+TEST(DopplerModel, ShiftScalesWithCarrier) {
+  const auto orbit = test_orbit();
+  const DopplerModel model(false);
+  const auto t = Duration::minutes(3.0);
+  const auto state = orbit.state_at(t);
+  const GeoPoint p = GeoPoint::from_degrees(0.0, 0.0);
+  const double s400 = model.predicted_frequency_hz(state, p, 400e6, t) - 400e6;
+  const double s800 = model.predicted_frequency_hz(state, p, 800e6, t) - 800e6;
+  EXPECT_NEAR(s800, 2.0 * s400, std::abs(s400) * 1e-9);
+  EXPECT_THROW(
+      (void)model.predicted_frequency_hz(state, p, 0.0, t),
+      PreconditionError);
+}
+
+TEST(DopplerModel, TakeMeasurementsFiltersFootprintAndEmission) {
+  const auto orbit = test_orbit();
+  const DopplerModel model(false);
+  Rng rng(1);
+  Emitter e;
+  e.position = GeoPoint::from_degrees(0.0, 0.0);
+  e.start = TimePoint::at(Duration::minutes(4));
+  e.duration = Duration::minutes(6);
+  // Satellite is within 18° of the emitter between u = -18°..18°, i.e.
+  // t in [3, 12] min; emission limits it to [4, 10) min.
+  const auto epochs = measurement_epochs(Duration::zero(),
+                                         Duration::minutes(20), 41);
+  const auto ms = model.take_measurements(orbit, {0, 3}, e, epochs,
+                                          deg2rad(18.0), 2.0, rng);
+  ASSERT_FALSE(ms.empty());
+  for (const auto& m : ms) {
+    EXPECT_GE(m.time.to_minutes(), 4.0 - 1e-9);
+    EXPECT_LT(m.time.to_minutes(), 10.0 + 1e-9);
+    EXPECT_EQ(m.satellite, (SatelliteId{0, 3}));
+    EXPECT_DOUBLE_EQ(m.sigma_hz, 2.0);
+    EXPECT_NEAR(m.frequency_hz, 400e6, 2e4);
+  }
+}
+
+TEST(DopplerModel, MeasurementNoiseHasRequestedSigma) {
+  const auto orbit = test_orbit();
+  const DopplerModel model(false);
+  Rng rng(7);
+  Emitter e;
+  e.position = GeoPoint::from_degrees(0.0, 0.0);
+  e.start = TimePoint::origin();
+  const auto t = Duration::minutes(7.0);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 4000;
+  const double truth = model.predicted_frequency_hz(orbit.state_at(t),
+                                                    e.position, 400e6, t);
+  for (int i = 0; i < n; ++i) {
+    const auto ms = model.take_measurements(orbit, {0, 0}, e, {t},
+                                            deg2rad(18.0), 3.0, rng);
+    ASSERT_EQ(ms.size(), 1u);
+    const double d = ms[0].frequency_hz - truth;
+    sum += d;
+    sum2 += d * d;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.15);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 3.0, 0.15);
+}
+
+TEST(MeasurementEpochs, EvenSpacing) {
+  const auto ep = measurement_epochs(Duration::minutes(2),
+                                     Duration::minutes(4), 5);
+  ASSERT_EQ(ep.size(), 5u);
+  EXPECT_DOUBLE_EQ(ep.front().to_minutes(), 2.0);
+  EXPECT_DOUBLE_EQ(ep.back().to_minutes(), 4.0);
+  EXPECT_DOUBLE_EQ(ep[2].to_minutes(), 3.0);
+  EXPECT_THROW((void)measurement_epochs(Duration::zero(), Duration::zero(), 2),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,133 @@
+#include "rf/tdoa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace oaq {
+namespace {
+
+struct Pair {
+  Orbit a;
+  Orbit b;
+};
+
+/// Two satellites of one plane, one slot (36°) apart, overlapping over the
+/// emitter region around t ≈ 8-9 min.
+Pair make_pair() {
+  return {Orbit::circular_with_period(Duration::minutes(90), deg2rad(85.0),
+                                      deg2rad(30.0), 0.0),
+          Orbit::circular_with_period(Duration::minutes(90), deg2rad(85.0),
+                                      deg2rad(30.0), deg2rad(-20.0))};
+}
+
+TEST(TdoaModel, TdoaIsZeroOnThePerpendicularBisector) {
+  // A point equidistant from both satellites has zero TDOA. Construct it:
+  // take the two sub-satellite points' midpoint on the great circle.
+  const auto pair = make_pair();
+  const TdoaModel model(false);
+  const auto t = Duration::minutes(10.0);
+  const auto sa = pair.a.state_at(t);
+  const auto sb = pair.b.state_at(t);
+  const Vec3 mid_dir = (sa.position_km + sb.position_km).normalized();
+  const GeoPoint mid = ecef_to_geo(mid_dir * kEarthRadiusKm);
+  EXPECT_NEAR(model.predicted_tdoa_s(sa, sb, mid, t), 0.0, 1e-12);
+}
+
+TEST(TdoaModel, TdoaSignFollowsProximity) {
+  const auto pair = make_pair();
+  const TdoaModel model(false);
+  const auto t = Duration::minutes(10.0);
+  const auto sa = pair.a.state_at(t);
+  const auto sb = pair.b.state_at(t);
+  const GeoPoint under_a = ecef_to_geo(sa.position_km);
+  const GeoPoint under_b = ecef_to_geo(sb.position_km);
+  // Directly under A, range to A is smaller: TDOA = (ra-rb)/c < 0.
+  EXPECT_LT(model.predicted_tdoa_s(sa, sb, under_a, t), 0.0);
+  EXPECT_GT(model.predicted_tdoa_s(sa, sb, under_b, t), 0.0);
+  // Magnitude bounded by the inter-satellite distance / c.
+  const double bound =
+      (sa.position_km - sb.position_km).norm() / kSpeedOfLightKmPerS;
+  EXPECT_LE(std::abs(model.predicted_tdoa_s(sa, sb, under_a, t)), bound);
+}
+
+TEST(TdoaModel, FdoaScalesWithCarrier) {
+  const auto pair = make_pair();
+  const TdoaModel model(false);
+  const auto t = Duration::minutes(9.0);
+  const auto sa = pair.a.state_at(t);
+  const auto sb = pair.b.state_at(t);
+  const GeoPoint p = GeoPoint::from_degrees(28.0, 30.0);
+  const double f400 = model.predicted_fdoa_hz(sa, sb, p, 400e6, t);
+  const double f800 = model.predicted_fdoa_hz(sa, sb, p, 800e6, t);
+  EXPECT_NEAR(f800, 2.0 * f400, std::abs(f400) * 1e-9 + 1e-12);
+}
+
+TEST(TdoaModel, TakeMeasurementsRequiresDualVisibility) {
+  const auto pair = make_pair();
+  const TdoaModel model(true);
+  Rng rng(1);
+  Emitter e;
+  e.position = GeoPoint::from_degrees(30.0, 31.0);
+  e.start = TimePoint::origin();
+  const auto epochs = measurement_epochs(Duration::zero(),
+                                         Duration::minutes(30), 121);
+  const auto ms = model.take_measurements(pair.a, {0, 0}, pair.b, {0, 1}, e,
+                                          epochs, deg2rad(18.0), 1e-6, 1.0,
+                                          rng);
+  ASSERT_FALSE(ms.empty());
+  for (const auto& m : ms) {
+    // Both footprints must cover the emitter at each retained epoch.
+    const auto sub_a = pair.a.subsatellite_point(m.time, true);
+    const auto sub_b = pair.b.subsatellite_point(m.time, true);
+    EXPECT_LE(central_angle(sub_a, e.position), deg2rad(18.0) + 1e-9);
+    EXPECT_LE(central_angle(sub_b, e.position), deg2rad(18.0) + 1e-9);
+    EXPECT_EQ(m.sat_a, (SatelliteId{0, 0}));
+    EXPECT_EQ(m.sat_b, (SatelliteId{0, 1}));
+  }
+  // Dual-visibility epochs are strictly fewer than single-visibility ones.
+  const DopplerModel single(true);
+  Rng rng2(2);
+  const auto singles = single.take_measurements(pair.a, {0, 0}, e, epochs,
+                                                deg2rad(18.0), 1.0, rng2);
+  EXPECT_LT(ms.size(), singles.size());
+}
+
+TEST(TdoaModel, MeasurementNoiseMatchesSigmas) {
+  const auto pair = make_pair();
+  const TdoaModel model(false);
+  Rng rng(3);
+  Emitter e;
+  e.position = GeoPoint::from_degrees(30.0, 31.0);
+  e.start = TimePoint::origin();
+  const auto t = Duration::minutes(10.0);
+  const double truth_td = model.predicted_tdoa_s(pair.a.state_at(t),
+                                                 pair.b.state_at(t),
+                                                 e.position, t);
+  RunningStat td_err;
+  for (int i = 0; i < 3000; ++i) {
+    const auto ms = model.take_measurements(pair.a, {0, 0}, pair.b, {0, 1},
+                                            e, {t}, deg2rad(18.0), 2e-6, 1.0,
+                                            rng);
+    ASSERT_EQ(ms.size(), 1u);
+    td_err.add(ms[0].tdoa_s - truth_td);
+  }
+  EXPECT_NEAR(td_err.mean(), 0.0, 2e-7);
+  EXPECT_NEAR(td_err.stddev(), 2e-6, 2e-7);
+}
+
+TEST(TdoaModel, RejectsBadNoise) {
+  const auto pair = make_pair();
+  const TdoaModel model(false);
+  Rng rng(4);
+  Emitter e;
+  EXPECT_THROW((void)model.take_measurements(pair.a, {0, 0}, pair.b, {0, 1},
+                                             e, {}, 0.3, 0.0, 1.0, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,147 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oaq {
+namespace {
+
+TEST(Simulator, StartsAtOriginWithEmptyQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::minutes(3), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::minutes(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::minutes(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().since_origin().to_minutes(), 3.0);
+  EXPECT_EQ(sim.processed_count(), 3u);
+}
+
+TEST(Simulator, SimultaneousEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const auto t = TimePoint::at(Duration::minutes(5));
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_after(Duration::minutes(7.5),
+                     [&] { seen = sim.now().since_origin().to_minutes(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_after(Duration::minutes(1), chain);
+  };
+  sim.schedule_after(Duration::minutes(1), chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now().since_origin().to_minutes(), 5.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_after(Duration::minutes(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.is_pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.is_pending(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.processed_count(), 0u);
+}
+
+TEST(Simulator, CancelOneOfManyLeavesOthers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::minutes(1), [&] { order.push_back(1); });
+  const auto id = sim.schedule_after(Duration::minutes(2),
+                                     [&] { order.push_back(2); });
+  sim.schedule_after(Duration::minutes(3), [&] { order.push_back(3); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::minutes(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::minutes(5), [&] { order.push_back(5); });
+  sim.run_until(TimePoint::at(Duration::minutes(3)));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(sim.now().since_origin().to_minutes(), 3.0);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(Duration::minutes(3), [&] { fired = true; });
+  sim.run_until(TimePoint::at(Duration::minutes(3)));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RejectsPastSchedulingAndBackwardRun) {
+  Simulator sim;
+  sim.schedule_after(Duration::minutes(2), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::at(Duration::minutes(1)), [] {}),
+               PreconditionError);
+  EXPECT_THROW(sim.schedule_after(Duration::minutes(-1), [] {}),
+               PreconditionError);
+  EXPECT_THROW(sim.run_until(TimePoint::at(Duration::minutes(1))),
+               PreconditionError);
+  EXPECT_THROW(sim.schedule_after(Duration::minutes(1), nullptr),
+               PreconditionError);
+}
+
+TEST(Simulator, MaxEventsBoundsRunawayChains) {
+  Simulator sim;
+  std::uint64_t fired = 0;
+  std::function<void()> forever = [&] {
+    ++fired;
+    sim.schedule_after(Duration::minutes(1), forever);
+  };
+  sim.schedule_after(Duration::minutes(1), forever);
+  sim.run(100);
+  EXPECT_EQ(fired, 100u);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(Simulator, CancelInsideEventCallback) {
+  Simulator sim;
+  bool second_fired = false;
+  EventId second{};
+  second = sim.schedule_after(Duration::minutes(2),
+                              [&] { second_fired = true; });
+  sim.schedule_after(Duration::minutes(1), [&] { sim.cancel(second); });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+}  // namespace
+}  // namespace oaq

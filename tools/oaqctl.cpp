@@ -1,0 +1,267 @@
+// oaqctl — command-line front end to the oaq-constellation library.
+//
+//   oaqctl qos       --k 12 --tau 5 --mu 0.5 --nu 30
+//   oaqctl measure   --lambda 5e-5 --eta 12 --tau 5 --mu 0.2
+//   oaqctl capacity  --lambda 7e-5 --eta 10 --cycles 400
+//   oaqctl plan      --k 9 --tau 5 --at 2.0
+//   oaqctl simulate  --k 9 --tau 5 --mu 0.5 --episodes 20000 [--baq]
+//   oaqctl coverage  [--bands 18]
+//
+// Every subcommand prints an aligned table; see `oaqctl help`.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analytic/measure.hpp"
+#include "common/table.hpp"
+#include "fault/plane_capacity.hpp"
+#include "oaq/montecarlo.hpp"
+#include "oaq/campaign.hpp"
+#include "oaq/planner.hpp"
+#include "orbit/coverage.hpp"
+
+namespace oaq {
+namespace {
+
+/// Minimal --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      OAQ_REQUIRE(key.rfind("--", 0) == 0, "flags must start with --");
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      // Trailing boolean flag.
+      std::string key = argv[argc - 1];
+      OAQ_REQUIRE(key.rfind("--", 0) == 0, "flags must start with --");
+      values_[key.substr(2)] = "true";
+    }
+  }
+
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] int integer(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+QosModel make_model(const Args& args) {
+  QosModelParams p;
+  p.tau = Duration::minutes(args.number("tau", 5.0));
+  p.mu = Rate::per_minute(args.number("mu", 0.5));
+  p.nu = Rate::per_minute(args.number("nu", 30.0));
+  return QosModel(PlaneGeometry{}, p);
+}
+
+PlaneDependability make_dependability(const Args& args) {
+  PlaneDependability dep;
+  dep.satellite_failure_rate = Rate::per_hour(args.number("lambda", 5e-5));
+  dep.policy.ground_threshold = args.integer("eta", 10);
+  dep.policy.launch_lead_time =
+      Duration::hours(args.number("launch-lead", 8000.0));
+  dep.policy.expedited_lead_time =
+      Duration::hours(args.number("expedited-lead", 150.0));
+  dep.policy.scheduled_period =
+      Duration::hours(args.number("phi", 30000.0));
+  return dep;
+}
+
+int cmd_qos(const Args& args) {
+  const auto model = make_model(args);
+  const int k = args.integer("k", 12);
+  TablePrinter table({"scheme", "P(Y=0)", "P(Y=1)", "P(Y=2)", "P(Y=3)",
+                      "P(Y>=2)"},
+                     4);
+  for (const Scheme s : {Scheme::kOaq, Scheme::kBaq}) {
+    const auto pmf = model.conditional_pmf(k, s);
+    table.add_row({std::string(s == Scheme::kOaq ? "OAQ" : "BAQ"), pmf[0],
+                   pmf[1], pmf[2], pmf[3],
+                   model.conditional_tail(k, 2, s)});
+  }
+  std::cout << "P(Y = y | k = " << k << "), tau = "
+            << model.params().tau.to_minutes() << " min, mu = "
+            << model.params().mu.per_minute_value() << "/min\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_capacity(const Args& args) {
+  const auto dep = make_dependability(args);
+  const auto pmf = plane_capacity_pmf(
+      dep, static_cast<std::uint64_t>(args.integer("seed", 42)),
+      args.integer("cycles", 400));
+  TablePrinter table({"k", "P(K = k)"}, 4);
+  for (int k = dep.design_active; k >= 0; --k) {
+    if (pmf.probability(k) < 1e-6) continue;
+    table.add_row({static_cast<long long>(k), pmf.probability(k)});
+  }
+  std::cout << "Steady-state plane capacity, lambda = "
+            << sci(dep.satellite_failure_rate.per_hour_value())
+            << "/hr, eta = " << dep.policy.ground_threshold << "\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_measure(const Args& args) {
+  const auto model = make_model(args);
+  const auto dep = make_dependability(args);
+  const auto pk = plane_capacity_pmf(dep, 42, args.integer("cycles", 400));
+  TablePrinter table({"scheme", "P(Y>=1)", "P(Y>=2)", "P(Y>=3)"}, 4);
+  for (const Scheme s : {Scheme::kOaq, Scheme::kBaq}) {
+    const auto m = qos_measure(model, pk, s);
+    table.add_row({std::string(s == Scheme::kOaq ? "OAQ" : "BAQ"), m.tail(1),
+                   m.tail(2), m.tail(3)});
+  }
+  std::cout << "Eq. (3) QoS measure, lambda = "
+            << sci(dep.satellite_failure_rate.per_hour_value()) << "/hr\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const int k = args.integer("k", 9);
+  const AnalyticSchedule sched(PlaneGeometry{}, k,
+                               Duration::minutes(args.number("phase", 0.0)));
+  ProtocolConfig cfg;
+  cfg.tau = Duration::minutes(args.number("tau", 5.0));
+  const OpportunityPlanner planner(sched, cfg);
+  const auto t0 = TimePoint::at(Duration::minutes(args.number("at", 2.0)));
+  const auto plan = planner.plan(t0);
+
+  std::cout << "Opportunity from detection at t = "
+            << t0.since_origin().to_minutes() << " min (k = " << k
+            << ", tau = " << cfg.tau.to_minutes() << "):\n";
+  if (plan.simultaneous_at) {
+    std::cout << "  simultaneous coverage at t = "
+              << plan.simultaneous_at->to_minutes() << " min\n";
+  }
+  TablePrinter table({"ordinal", "satellite slot", "arrival min",
+                      "expected err km"},
+                     2);
+  for (const auto& step : plan.chain) {
+    table.add_row({static_cast<long long>(step.ordinal),
+                   static_cast<long long>(step.satellite.slot),
+                   step.arrival.to_minutes(), step.expected_error_km});
+  }
+  table.print(std::cout);
+  std::cout << "best achievable: " << to_string(plan.best_achievable)
+            << " (" << plan.best_error_km << " km)\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  QosSimulationConfig cfg;
+  cfg.k = args.integer("k", 9);
+  cfg.episodes = args.integer("episodes", 20000);
+  cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+  cfg.mu = Rate::per_minute(args.number("mu", 0.5));
+  cfg.opportunity_adaptive = !args.flag("baq");
+  cfg.protocol.tau = Duration::minutes(args.number("tau", 5.0));
+  cfg.protocol.delta = Duration::seconds(args.number("delta-s", 12.0));
+  cfg.protocol.tg = Duration::seconds(args.number("tg-s", 6.0));
+  cfg.protocol.computation_cap = cfg.protocol.tg;
+  const auto sim = simulate_qos(cfg);
+  TablePrinter table({"level", "probability"}, 4);
+  for (int y = 0; y <= 3; ++y) {
+    table.add_row({std::string(to_string(static_cast<QosLevel>(y))),
+                   sim.level_pmf.probability(y)});
+  }
+  std::cout << (cfg.opportunity_adaptive ? "OAQ" : "BAQ")
+            << " Monte-Carlo, k = " << cfg.k << ", " << cfg.episodes
+            << " episodes:\n";
+  table.print(std::cout);
+  std::cout << "mean chain " << sim.mean_chain_length << ", duplicates "
+            << sim.duplicates << ", late alerts " << sim.untimely << "\n";
+  return 0;
+}
+
+int cmd_campaign(const Args& args) {
+  CampaignConfig cfg;
+  cfg.k = args.integer("k", 9);
+  cfg.signal_arrival_rate = Rate::per_hour(args.number("per-hour", 10.0));
+  cfg.horizon = Duration::hours(args.number("hours", 100.0));
+  cfg.protocol.tau = Duration::minutes(args.number("tau", 5.0));
+  cfg.protocol.nu = Rate::per_minute(args.number("nu", 30.0));
+  cfg.protocol.computation_cap =
+      Duration::seconds(args.number("cap-s", 6.0));
+  cfg.compute_contention = !args.flag("no-contention");
+  cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+  const auto r = run_campaign(cfg);
+  TablePrinter table({"metric", "value"}, 4);
+  table.add_row({std::string("signals"), static_cast<long long>(r.signals)});
+  table.add_row({std::string("delivered"),
+                 static_cast<long long>(r.delivered)});
+  table.add_row({std::string("P(Y>=2)"),
+                 r.tail(QosLevel::kSequentialDual)});
+  table.add_row({std::string("P(missed)"),
+                 r.probability(QosLevel::kMissed)});
+  table.add_row({std::string("mean latency min"), r.mean_latency_min});
+  table.add_row({std::string("contended computations"),
+                 static_cast<long long>(r.contended_computations)});
+  std::cout << "Campaign: k = " << cfg.k << ", "
+            << args.number("per-hour", 10.0) << " signals/hour over "
+            << cfg.horizon.to_hours() << " h\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_coverage(const Args& args) {
+  const auto c = Constellation::reference();
+  const CoverageAnalyzer analyzer(c);
+  const int bands = args.integer("bands", 18);
+  TablePrinter table({"lat_deg", "covered", "overlap(>=2)"}, 3);
+  for (const auto& b : analyzer.by_latitude_time_averaged(4, bands, 96)) {
+    table.add_row({b.lat_deg, b.covered_fraction, b.overlap_fraction});
+  }
+  std::cout << "Reference constellation coverage by latitude:\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int help() {
+  std::cout <<
+      "oaqctl — OAQ constellation toolkit\n"
+      "  qos      --k K --tau MIN --mu R --nu R        conditional QoS pmf\n"
+      "  capacity --lambda R --eta K --cycles N        plane capacity P(k)\n"
+      "  measure  --lambda R --eta K --tau MIN --mu R  Eq. (3) P(Y>=y)\n"
+      "  plan     --k K --tau MIN --at MIN             opportunity plan\n"
+      "  simulate --k K --episodes N [--baq]           protocol Monte-Carlo\n"
+      "  campaign --k K --per-hour R --hours H         multi-target load run\n"
+      "  coverage [--bands N]                          coverage by latitude\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace oaq
+
+int main(int argc, char** argv) {
+  using namespace oaq;
+  if (argc < 2) return help();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "qos") return cmd_qos(args);
+    if (cmd == "capacity") return cmd_capacity(args);
+    if (cmd == "measure") return cmd_measure(args);
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "coverage") return cmd_coverage(args);
+    return help();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
