@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ideal_geometry.dir/ablation_ideal_geometry.cpp.o"
+  "CMakeFiles/ablation_ideal_geometry.dir/ablation_ideal_geometry.cpp.o.d"
+  "ablation_ideal_geometry"
+  "ablation_ideal_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ideal_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

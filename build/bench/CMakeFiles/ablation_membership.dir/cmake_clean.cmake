@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_membership.dir/ablation_membership.cpp.o"
+  "CMakeFiles/ablation_membership.dir/ablation_membership.cpp.o.d"
+  "ablation_membership"
+  "ablation_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

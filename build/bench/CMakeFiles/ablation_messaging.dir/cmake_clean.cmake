@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_messaging.dir/ablation_messaging.cpp.o"
+  "CMakeFiles/ablation_messaging.dir/ablation_messaging.cpp.o.d"
+  "ablation_messaging"
+  "ablation_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sim_vs_analytic.dir/ablation_sim_vs_analytic.cpp.o"
+  "CMakeFiles/ablation_sim_vs_analytic.dir/ablation_sim_vs_analytic.cpp.o.d"
+  "ablation_sim_vs_analytic"
+  "ablation_sim_vs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sim_vs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

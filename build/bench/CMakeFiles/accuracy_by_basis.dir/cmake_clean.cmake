@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_by_basis.dir/accuracy_by_basis.cpp.o"
+  "CMakeFiles/accuracy_by_basis.dir/accuracy_by_basis.cpp.o.d"
+  "accuracy_by_basis"
+  "accuracy_by_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_by_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_constellation_availability.dir/ext_constellation_availability.cpp.o"
+  "CMakeFiles/ext_constellation_availability.dir/ext_constellation_availability.cpp.o.d"
+  "ext_constellation_availability"
+  "ext_constellation_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_constellation_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

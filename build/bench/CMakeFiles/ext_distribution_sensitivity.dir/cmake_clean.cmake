@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_distribution_sensitivity.dir/ext_distribution_sensitivity.cpp.o"
+  "CMakeFiles/ext_distribution_sensitivity.dir/ext_distribution_sensitivity.cpp.o.d"
+  "ext_distribution_sensitivity"
+  "ext_distribution_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_distribution_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_duration_sweep.cpp" "bench/CMakeFiles/ext_duration_sweep.dir/ext_duration_sweep.cpp.o" "gcc" "bench/CMakeFiles/ext_duration_sweep.dir/ext_duration_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytic/CMakeFiles/oaq_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/oaq_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

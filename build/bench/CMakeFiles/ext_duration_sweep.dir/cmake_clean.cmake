@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_duration_sweep.dir/ext_duration_sweep.cpp.o"
+  "CMakeFiles/ext_duration_sweep.dir/ext_duration_sweep.cpp.o.d"
+  "ext_duration_sweep"
+  "ext_duration_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_duration_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

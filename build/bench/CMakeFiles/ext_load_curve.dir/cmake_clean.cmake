@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_load_curve.dir/ext_load_curve.cpp.o"
+  "CMakeFiles/ext_load_curve.dir/ext_load_curve.cpp.o.d"
+  "ext_load_curve"
+  "ext_load_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_load_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tau_sweep.dir/ext_tau_sweep.cpp.o"
+  "CMakeFiles/ext_tau_sweep.dir/ext_tau_sweep.cpp.o.d"
+  "ext_tau_sweep"
+  "ext_tau_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tau_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_geometry.dir/fig2_geometry.cpp.o"
+  "CMakeFiles/fig2_geometry.dir/fig2_geometry.cpp.o.d"
+  "fig2_geometry"
+  "fig2_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_plane_capacity.dir/fig7_plane_capacity.cpp.o"
+  "CMakeFiles/fig7_plane_capacity.dir/fig7_plane_capacity.cpp.o.d"
+  "fig7_plane_capacity"
+  "fig7_plane_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_plane_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

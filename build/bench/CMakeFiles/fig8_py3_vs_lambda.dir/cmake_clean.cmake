@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_py3_vs_lambda.dir/fig8_py3_vs_lambda.cpp.o"
+  "CMakeFiles/fig8_py3_vs_lambda.dir/fig8_py3_vs_lambda.cpp.o.d"
+  "fig8_py3_vs_lambda"
+  "fig8_py3_vs_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_py3_vs_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

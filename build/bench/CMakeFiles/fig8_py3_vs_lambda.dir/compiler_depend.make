@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_py3_vs_lambda.
+# This may be replaced when dependencies are built.

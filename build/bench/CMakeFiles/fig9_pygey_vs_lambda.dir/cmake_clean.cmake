@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pygey_vs_lambda.dir/fig9_pygey_vs_lambda.cpp.o"
+  "CMakeFiles/fig9_pygey_vs_lambda.dir/fig9_pygey_vs_lambda.cpp.o.d"
+  "fig9_pygey_vs_lambda"
+  "fig9_pygey_vs_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pygey_vs_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoloc_accuracy.dir/geoloc_accuracy.cpp.o"
+  "CMakeFiles/geoloc_accuracy.dir/geoloc_accuracy.cpp.o.d"
+  "geoloc_accuracy"
+  "geoloc_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoloc_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_qos_levels.dir/tab1_qos_levels.cpp.o"
+  "CMakeFiles/tab1_qos_levels.dir/tab1_qos_levels.cpp.o.d"
+  "tab1_qos_levels"
+  "tab1_qos_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_qos_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mk_chain.dir/tab_mk_chain.cpp.o"
+  "CMakeFiles/tab_mk_chain.dir/tab_mk_chain.cpp.o.d"
+  "tab_mk_chain"
+  "tab_mk_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mk_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

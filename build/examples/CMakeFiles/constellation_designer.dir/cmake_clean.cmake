@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_designer.dir/constellation_designer.cpp.o"
+  "CMakeFiles/constellation_designer.dir/constellation_designer.cpp.o.d"
+  "constellation_designer"
+  "constellation_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

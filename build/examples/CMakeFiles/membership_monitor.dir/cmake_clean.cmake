@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_monitor.dir/membership_monitor.cpp.o"
+  "CMakeFiles/membership_monitor.dir/membership_monitor.cpp.o.d"
+  "membership_monitor"
+  "membership_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

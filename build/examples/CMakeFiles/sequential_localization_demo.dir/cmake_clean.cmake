@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_localization_demo.dir/sequential_localization_demo.cpp.o"
+  "CMakeFiles/sequential_localization_demo.dir/sequential_localization_demo.cpp.o.d"
+  "sequential_localization_demo"
+  "sequential_localization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_localization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_campaign.dir/surveillance_campaign.cpp.o"
+  "CMakeFiles/surveillance_campaign.dir/surveillance_campaign.cpp.o.d"
+  "surveillance_campaign"
+  "surveillance_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

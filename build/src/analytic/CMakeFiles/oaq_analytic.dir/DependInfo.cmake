@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/geometry.cpp" "src/analytic/CMakeFiles/oaq_analytic.dir/geometry.cpp.o" "gcc" "src/analytic/CMakeFiles/oaq_analytic.dir/geometry.cpp.o.d"
+  "/root/repo/src/analytic/measure.cpp" "src/analytic/CMakeFiles/oaq_analytic.dir/measure.cpp.o" "gcc" "src/analytic/CMakeFiles/oaq_analytic.dir/measure.cpp.o.d"
+  "/root/repo/src/analytic/qos_model.cpp" "src/analytic/CMakeFiles/oaq_analytic.dir/qos_model.cpp.o" "gcc" "src/analytic/CMakeFiles/oaq_analytic.dir/qos_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_analytic.dir/geometry.cpp.o"
+  "CMakeFiles/oaq_analytic.dir/geometry.cpp.o.d"
+  "CMakeFiles/oaq_analytic.dir/measure.cpp.o"
+  "CMakeFiles/oaq_analytic.dir/measure.cpp.o.d"
+  "CMakeFiles/oaq_analytic.dir/qos_model.cpp.o"
+  "CMakeFiles/oaq_analytic.dir/qos_model.cpp.o.d"
+  "liboaq_analytic.a"
+  "liboaq_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_common.dir/distribution.cpp.o"
+  "CMakeFiles/oaq_common.dir/distribution.cpp.o.d"
+  "CMakeFiles/oaq_common.dir/matrix.cpp.o"
+  "CMakeFiles/oaq_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/oaq_common.dir/numeric.cpp.o"
+  "CMakeFiles/oaq_common.dir/numeric.cpp.o.d"
+  "CMakeFiles/oaq_common.dir/stats.cpp.o"
+  "CMakeFiles/oaq_common.dir/stats.cpp.o.d"
+  "CMakeFiles/oaq_common.dir/table.cpp.o"
+  "CMakeFiles/oaq_common.dir/table.cpp.o.d"
+  "liboaq_common.a"
+  "liboaq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

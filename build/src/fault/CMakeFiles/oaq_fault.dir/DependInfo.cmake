@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/constellation_availability.cpp" "src/fault/CMakeFiles/oaq_fault.dir/constellation_availability.cpp.o" "gcc" "src/fault/CMakeFiles/oaq_fault.dir/constellation_availability.cpp.o.d"
+  "/root/repo/src/fault/ctmc.cpp" "src/fault/CMakeFiles/oaq_fault.dir/ctmc.cpp.o" "gcc" "src/fault/CMakeFiles/oaq_fault.dir/ctmc.cpp.o.d"
+  "/root/repo/src/fault/plane_capacity.cpp" "src/fault/CMakeFiles/oaq_fault.dir/plane_capacity.cpp.o" "gcc" "src/fault/CMakeFiles/oaq_fault.dir/plane_capacity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_fault.dir/constellation_availability.cpp.o"
+  "CMakeFiles/oaq_fault.dir/constellation_availability.cpp.o.d"
+  "CMakeFiles/oaq_fault.dir/ctmc.cpp.o"
+  "CMakeFiles/oaq_fault.dir/ctmc.cpp.o.d"
+  "CMakeFiles/oaq_fault.dir/plane_capacity.cpp.o"
+  "CMakeFiles/oaq_fault.dir/plane_capacity.cpp.o.d"
+  "liboaq_fault.a"
+  "liboaq_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

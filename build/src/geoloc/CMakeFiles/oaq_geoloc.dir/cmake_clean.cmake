@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_geoloc.dir/crlb.cpp.o"
+  "CMakeFiles/oaq_geoloc.dir/crlb.cpp.o.d"
+  "CMakeFiles/oaq_geoloc.dir/dual_fix.cpp.o"
+  "CMakeFiles/oaq_geoloc.dir/dual_fix.cpp.o.d"
+  "CMakeFiles/oaq_geoloc.dir/sequential.cpp.o"
+  "CMakeFiles/oaq_geoloc.dir/sequential.cpp.o.d"
+  "CMakeFiles/oaq_geoloc.dir/wls.cpp.o"
+  "CMakeFiles/oaq_geoloc.dir/wls.cpp.o.d"
+  "liboaq_geoloc.a"
+  "liboaq_geoloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

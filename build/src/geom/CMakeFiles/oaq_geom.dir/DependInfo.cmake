@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/geodesy.cpp" "src/geom/CMakeFiles/oaq_geom.dir/geodesy.cpp.o" "gcc" "src/geom/CMakeFiles/oaq_geom.dir/geodesy.cpp.o.d"
+  "/root/repo/src/geom/spherical_cap.cpp" "src/geom/CMakeFiles/oaq_geom.dir/spherical_cap.cpp.o" "gcc" "src/geom/CMakeFiles/oaq_geom.dir/spherical_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

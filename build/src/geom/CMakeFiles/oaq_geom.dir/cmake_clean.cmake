@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_geom.dir/geodesy.cpp.o"
+  "CMakeFiles/oaq_geom.dir/geodesy.cpp.o.d"
+  "CMakeFiles/oaq_geom.dir/spherical_cap.cpp.o"
+  "CMakeFiles/oaq_geom.dir/spherical_cap.cpp.o.d"
+  "liboaq_geom.a"
+  "liboaq_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

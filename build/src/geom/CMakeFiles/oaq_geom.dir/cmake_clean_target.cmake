@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboaq_geom.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/crosslink.cpp" "src/net/CMakeFiles/oaq_net.dir/crosslink.cpp.o" "gcc" "src/net/CMakeFiles/oaq_net.dir/crosslink.cpp.o.d"
+  "/root/repo/src/net/membership.cpp" "src/net/CMakeFiles/oaq_net.dir/membership.cpp.o" "gcc" "src/net/CMakeFiles/oaq_net.dir/membership.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/oaq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/oaq_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oaq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_net.dir/crosslink.cpp.o"
+  "CMakeFiles/oaq_net.dir/crosslink.cpp.o.d"
+  "CMakeFiles/oaq_net.dir/membership.cpp.o"
+  "CMakeFiles/oaq_net.dir/membership.cpp.o.d"
+  "liboaq_net.a"
+  "liboaq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

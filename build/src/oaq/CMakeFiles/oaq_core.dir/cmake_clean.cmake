@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_core.dir/campaign.cpp.o"
+  "CMakeFiles/oaq_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/oaq_core.dir/episode.cpp.o"
+  "CMakeFiles/oaq_core.dir/episode.cpp.o.d"
+  "CMakeFiles/oaq_core.dir/montecarlo.cpp.o"
+  "CMakeFiles/oaq_core.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/oaq_core.dir/planner.cpp.o"
+  "CMakeFiles/oaq_core.dir/planner.cpp.o.d"
+  "CMakeFiles/oaq_core.dir/schedule.cpp.o"
+  "CMakeFiles/oaq_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/oaq_core.dir/target_episode.cpp.o"
+  "CMakeFiles/oaq_core.dir/target_episode.cpp.o.d"
+  "liboaq_core.a"
+  "liboaq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/constellation.cpp" "src/orbit/CMakeFiles/oaq_orbit.dir/constellation.cpp.o" "gcc" "src/orbit/CMakeFiles/oaq_orbit.dir/constellation.cpp.o.d"
+  "/root/repo/src/orbit/coverage.cpp" "src/orbit/CMakeFiles/oaq_orbit.dir/coverage.cpp.o" "gcc" "src/orbit/CMakeFiles/oaq_orbit.dir/coverage.cpp.o.d"
+  "/root/repo/src/orbit/footprint.cpp" "src/orbit/CMakeFiles/oaq_orbit.dir/footprint.cpp.o" "gcc" "src/orbit/CMakeFiles/oaq_orbit.dir/footprint.cpp.o.d"
+  "/root/repo/src/orbit/kepler.cpp" "src/orbit/CMakeFiles/oaq_orbit.dir/kepler.cpp.o" "gcc" "src/orbit/CMakeFiles/oaq_orbit.dir/kepler.cpp.o.d"
+  "/root/repo/src/orbit/plane.cpp" "src/orbit/CMakeFiles/oaq_orbit.dir/plane.cpp.o" "gcc" "src/orbit/CMakeFiles/oaq_orbit.dir/plane.cpp.o.d"
+  "/root/repo/src/orbit/visibility.cpp" "src/orbit/CMakeFiles/oaq_orbit.dir/visibility.cpp.o" "gcc" "src/orbit/CMakeFiles/oaq_orbit.dir/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/oaq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_orbit.dir/constellation.cpp.o"
+  "CMakeFiles/oaq_orbit.dir/constellation.cpp.o.d"
+  "CMakeFiles/oaq_orbit.dir/coverage.cpp.o"
+  "CMakeFiles/oaq_orbit.dir/coverage.cpp.o.d"
+  "CMakeFiles/oaq_orbit.dir/footprint.cpp.o"
+  "CMakeFiles/oaq_orbit.dir/footprint.cpp.o.d"
+  "CMakeFiles/oaq_orbit.dir/kepler.cpp.o"
+  "CMakeFiles/oaq_orbit.dir/kepler.cpp.o.d"
+  "CMakeFiles/oaq_orbit.dir/plane.cpp.o"
+  "CMakeFiles/oaq_orbit.dir/plane.cpp.o.d"
+  "CMakeFiles/oaq_orbit.dir/visibility.cpp.o"
+  "CMakeFiles/oaq_orbit.dir/visibility.cpp.o.d"
+  "liboaq_orbit.a"
+  "liboaq_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

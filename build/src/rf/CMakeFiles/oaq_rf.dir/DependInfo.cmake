@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/doppler.cpp" "src/rf/CMakeFiles/oaq_rf.dir/doppler.cpp.o" "gcc" "src/rf/CMakeFiles/oaq_rf.dir/doppler.cpp.o.d"
+  "/root/repo/src/rf/tdoa.cpp" "src/rf/CMakeFiles/oaq_rf.dir/tdoa.cpp.o" "gcc" "src/rf/CMakeFiles/oaq_rf.dir/tdoa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orbit/CMakeFiles/oaq_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oaq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_rf.dir/doppler.cpp.o"
+  "CMakeFiles/oaq_rf.dir/doppler.cpp.o.d"
+  "CMakeFiles/oaq_rf.dir/tdoa.cpp.o"
+  "CMakeFiles/oaq_rf.dir/tdoa.cpp.o.d"
+  "liboaq_rf.a"
+  "liboaq_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/oaq_sim.dir/simulator.cpp.o.d"
+  "liboaq_sim.a"
+  "liboaq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboaq_sim.a"
+)

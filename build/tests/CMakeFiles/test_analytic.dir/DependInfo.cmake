@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytic/general_distribution_test.cpp" "tests/CMakeFiles/test_analytic.dir/analytic/general_distribution_test.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/analytic/general_distribution_test.cpp.o.d"
+  "/root/repo/tests/analytic/geometry_test.cpp" "tests/CMakeFiles/test_analytic.dir/analytic/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/analytic/geometry_test.cpp.o.d"
+  "/root/repo/tests/analytic/measure_test.cpp" "tests/CMakeFiles/test_analytic.dir/analytic/measure_test.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/analytic/measure_test.cpp.o.d"
+  "/root/repo/tests/analytic/qos_model_test.cpp" "tests/CMakeFiles/test_analytic.dir/analytic/qos_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/analytic/qos_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytic/CMakeFiles/oaq_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

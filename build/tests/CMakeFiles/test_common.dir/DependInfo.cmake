@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/distribution_test.cpp" "tests/CMakeFiles/test_common.dir/common/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/distribution_test.cpp.o.d"
+  "/root/repo/tests/common/matrix_test.cpp" "tests/CMakeFiles/test_common.dir/common/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/matrix_test.cpp.o.d"
+  "/root/repo/tests/common/numeric_test.cpp" "tests/CMakeFiles/test_common.dir/common/numeric_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/numeric_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/units_test.cpp" "tests/CMakeFiles/test_common.dir/common/units_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

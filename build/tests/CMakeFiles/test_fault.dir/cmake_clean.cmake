@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault.dir/fault/constellation_availability_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/constellation_availability_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/ctmc_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/ctmc_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/plane_capacity_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/plane_capacity_test.cpp.o.d"
+  "test_fault"
+  "test_fault.pdb"
+  "test_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

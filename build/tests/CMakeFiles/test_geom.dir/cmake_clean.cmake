@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom.dir/geom/geodesy_test.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/geodesy_test.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/spherical_cap_test.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/spherical_cap_test.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/vec3_test.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/vec3_test.cpp.o.d"
+  "test_geom"
+  "test_geom.pdb"
+  "test_geom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oaq.dir/oaq/campaign_test.cpp.o"
+  "CMakeFiles/test_oaq.dir/oaq/campaign_test.cpp.o.d"
+  "CMakeFiles/test_oaq.dir/oaq/episode_test.cpp.o"
+  "CMakeFiles/test_oaq.dir/oaq/episode_test.cpp.o.d"
+  "CMakeFiles/test_oaq.dir/oaq/montecarlo_test.cpp.o"
+  "CMakeFiles/test_oaq.dir/oaq/montecarlo_test.cpp.o.d"
+  "CMakeFiles/test_oaq.dir/oaq/planner_test.cpp.o"
+  "CMakeFiles/test_oaq.dir/oaq/planner_test.cpp.o.d"
+  "CMakeFiles/test_oaq.dir/oaq/qos_test.cpp.o"
+  "CMakeFiles/test_oaq.dir/oaq/qos_test.cpp.o.d"
+  "CMakeFiles/test_oaq.dir/oaq/schedule_test.cpp.o"
+  "CMakeFiles/test_oaq.dir/oaq/schedule_test.cpp.o.d"
+  "test_oaq"
+  "test_oaq.pdb"
+  "test_oaq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oaq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

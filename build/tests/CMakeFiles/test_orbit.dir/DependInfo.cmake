@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/orbit/constellation_test.cpp" "tests/CMakeFiles/test_orbit.dir/orbit/constellation_test.cpp.o" "gcc" "tests/CMakeFiles/test_orbit.dir/orbit/constellation_test.cpp.o.d"
+  "/root/repo/tests/orbit/coverage_test.cpp" "tests/CMakeFiles/test_orbit.dir/orbit/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/test_orbit.dir/orbit/coverage_test.cpp.o.d"
+  "/root/repo/tests/orbit/j2_test.cpp" "tests/CMakeFiles/test_orbit.dir/orbit/j2_test.cpp.o" "gcc" "tests/CMakeFiles/test_orbit.dir/orbit/j2_test.cpp.o.d"
+  "/root/repo/tests/orbit/kepler_test.cpp" "tests/CMakeFiles/test_orbit.dir/orbit/kepler_test.cpp.o" "gcc" "tests/CMakeFiles/test_orbit.dir/orbit/kepler_test.cpp.o.d"
+  "/root/repo/tests/orbit/plane_test.cpp" "tests/CMakeFiles/test_orbit.dir/orbit/plane_test.cpp.o" "gcc" "tests/CMakeFiles/test_orbit.dir/orbit/plane_test.cpp.o.d"
+  "/root/repo/tests/orbit/visibility_test.cpp" "tests/CMakeFiles/test_orbit.dir/orbit/visibility_test.cpp.o" "gcc" "tests/CMakeFiles/test_orbit.dir/orbit/visibility_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orbit/CMakeFiles/oaq_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oaq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

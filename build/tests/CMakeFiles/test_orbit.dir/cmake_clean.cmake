@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orbit.dir/orbit/constellation_test.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/constellation_test.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/coverage_test.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/coverage_test.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/j2_test.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/j2_test.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/kepler_test.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/kepler_test.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/plane_test.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/plane_test.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/visibility_test.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/visibility_test.cpp.o.d"
+  "test_orbit"
+  "test_orbit.pdb"
+  "test_orbit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/analytic_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/analytic_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/capacity_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/capacity_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/episode_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/episode_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/lossy_links_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/lossy_links_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/membership_fuzz_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/membership_fuzz_test.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

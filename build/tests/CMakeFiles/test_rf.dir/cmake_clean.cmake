@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rf.dir/rf/doppler_test.cpp.o"
+  "CMakeFiles/test_rf.dir/rf/doppler_test.cpp.o.d"
+  "CMakeFiles/test_rf.dir/rf/tdoa_test.cpp.o"
+  "CMakeFiles/test_rf.dir/rf/tdoa_test.cpp.o.d"
+  "test_rf"
+  "test_rf.pdb"
+  "test_rf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oaqctl.dir/oaqctl.cpp.o"
+  "CMakeFiles/oaqctl.dir/oaqctl.cpp.o.d"
+  "oaqctl"
+  "oaqctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oaqctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(oaqctl_qos "/root/repo/build/tools/oaqctl" "qos" "--k" "12")
+set_tests_properties(oaqctl_qos PROPERTIES  PASS_REGULAR_EXPRESSION "0.4444" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(oaqctl_capacity "/root/repo/build/tools/oaqctl" "capacity" "--lambda" "7e-5" "--cycles" "60")
+set_tests_properties(oaqctl_capacity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(oaqctl_measure "/root/repo/build/tools/oaqctl" "measure" "--lambda" "5e-5" "--eta" "12" "--mu" "0.2" "--cycles" "60")
+set_tests_properties(oaqctl_measure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(oaqctl_plan "/root/repo/build/tools/oaqctl" "plan" "--k" "9" "--tau" "25" "--at" "2")
+set_tests_properties(oaqctl_plan PROPERTIES  PASS_REGULAR_EXPRESSION "sequential-dual" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(oaqctl_simulate "/root/repo/build/tools/oaqctl" "simulate" "--k" "9" "--episodes" "2000")
+set_tests_properties(oaqctl_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(oaqctl_coverage "/root/repo/build/tools/oaqctl" "coverage" "--bands" "12")
+set_tests_properties(oaqctl_coverage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(oaqctl_help "/root/repo/build/tools/oaqctl" "help")
+set_tests_properties(oaqctl_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(oaqctl_campaign "/root/repo/build/tools/oaqctl" "campaign" "--k" "9" "--per-hour" "5" "--hours" "50")
+set_tests_properties(oaqctl_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
