@@ -1,6 +1,7 @@
 // E10 — Model validation (not in the paper): the event-driven protocol
 // simulator, run under the analytic model's assumptions (δ = Tg = 0,
 // Exp(ν) computations), reproduces the closed-form P(Y = y | k).
+#include <cstdlib>
 #include <iostream>
 
 #include "analytic/qos_model.hpp"
@@ -9,7 +10,10 @@
 
 using namespace oaq;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional worker-count override: ablation_sim_vs_analytic [jobs];
+  // 0 = auto (OAQ_JOBS env, else all cores). Results are jobs-invariant.
+  const int jobs = argc > 1 ? std::atoi(argv[1]) : 0;
   std::cout << "=== Ablation: protocol Monte-Carlo vs closed-form model "
                "(tau = 5, mu = 0.5, nu = 30, 20000 episodes/cell) ===\n\n";
   QosModelParams p;
@@ -30,6 +34,7 @@ int main() {
       cfg.protocol.delta = Duration::zero();
       cfg.protocol.tg = Duration::zero();
       cfg.protocol.nu = p.nu;
+      cfg.jobs = jobs;
       const auto sim = simulate_qos(cfg);
       const auto ana =
           model.conditional_pmf(k, oaq ? Scheme::kOaq : Scheme::kBaq);

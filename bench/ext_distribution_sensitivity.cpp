@@ -4,6 +4,7 @@
 // (Weibull shape 0.5) and ageing (Weibull shape 3) duration laws with the
 // SAME mean? The analytic model generalizes (only the survival function
 // enters); the Monte-Carlo protocol simulation cross-checks it.
+#include <cstdlib>
 #include <iostream>
 
 #include "analytic/qos_model.hpp"
@@ -33,7 +34,10 @@ std::shared_ptr<const DurationDistribution> make_law(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional worker-count override: ext_distribution_sensitivity [jobs];
+  // 0 = auto (OAQ_JOBS env, else all cores). Results are jobs-invariant.
+  const int jobs = argc > 1 ? std::atoi(argv[1]) : 0;
   std::cout << "=== Sensitivity to the signal-duration law (equal mean "
                "2 min, tau = 5, nu = 30) ===\n\n";
   const Duration mean = Duration::minutes(2);
@@ -57,6 +61,7 @@ int main() {
       cfg.protocol.delta = Duration::zero();
       cfg.protocol.tg = Duration::zero();
       cfg.protocol.nu = Rate::per_minute(30);
+      cfg.jobs = jobs;
       return simulate_qos(cfg);
     };
     const auto sim12 = simulate(12);

@@ -6,6 +6,7 @@
 // geolocation computations (mean 1 min, capped at 2 min — a deliberately
 // heavy payload to expose contention). As load grows, queueing eats into
 // the window of opportunity and the sequential-dual share erodes.
+#include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
@@ -13,9 +14,17 @@
 
 using namespace oaq;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional overrides: ext_load_curve [replications] [jobs]. Extra
+  // replications tighten every row's confidence interval; the parallel
+  // engine spreads them across jobs workers (0 = auto). Row statistics
+  // are jobs-invariant.
+  const int replications = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int jobs = argc > 2 ? std::atoi(argv[2]) : 0;
   std::cout << "=== QoS vs signal load (k = 9, tau = 5, computation mean "
-               "1 min cap 2 min, 100-hour campaigns) ===\n\n";
+               "1 min cap 2 min, 100-hour campaigns";
+  if (replications > 1) std::cout << " x " << replications;
+  std::cout << ") ===\n\n";
   TablePrinter table({"signals/hour", "signals", "P(Y>=2)", "P(missed)",
                       "mean latency min", "contended", "mean queue s"},
                      3);
@@ -32,6 +41,8 @@ int main() {
     cfg.signal_arrival_rate = Rate::per_hour(per_hour);
     cfg.horizon = Duration::hours(100);
     cfg.seed = 2024;
+    cfg.replications = replications;
+    cfg.jobs = jobs;
     const auto r = run_campaign(cfg);
     table.add_row({per_hour, static_cast<long long>(r.signals),
                    r.tail(QosLevel::kSequentialDual),

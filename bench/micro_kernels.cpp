@@ -3,10 +3,12 @@
 
 #include "analytic/qos_model.hpp"
 #include "common/numeric.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "fault/plane_capacity.hpp"
 #include "geoloc/wls.hpp"
 #include "oaq/episode.hpp"
+#include "oaq/montecarlo.hpp"
 #include "orbit/kepler.hpp"
 
 namespace {
@@ -102,6 +104,43 @@ void BM_WlsSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WlsSolve);
+
+// Dispatch + merge cost of the thread-pool reduction on a near-trivial map
+// (integer range sum, 16 shards). Serial (jobs = 1) vs pooled runs bound
+// the overhead a Monte-Carlo caller pays per parallel_reduce invocation.
+void BM_ParallelReduceOverhead(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto sum = parallel_reduce<std::int64_t>(
+        4096, 16, jobs,
+        [](std::int64_t begin, std::int64_t end, int) {
+          std::int64_t s = 0;
+          for (std::int64_t i = begin; i < end; ++i) s += i;
+          return s;
+        },
+        [](std::int64_t& into, std::int64_t from) { into += from; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ParallelReduceOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// One episode through the full simulate_qos path (per-episode RNG
+// derivation, schedule construction, protocol run, accumulator fold) —
+// the unit of work the parallel engine shards.
+void BM_SimulateQosStep(benchmark::State& state) {
+  QosSimulationConfig cfg;
+  cfg.k = 9;
+  cfg.episodes = 1;
+  cfg.jobs = 1;
+  cfg.protocol.delta = Duration::zero();
+  cfg.protocol.tg = Duration::zero();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(simulate_qos(cfg));
+  }
+}
+BENCHMARK(BM_SimulateQosStep);
 
 void BM_Xoshiro(benchmark::State& state) {
   Rng rng(1);

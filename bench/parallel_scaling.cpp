@@ -1,0 +1,97 @@
+// Parallel-execution scaling harness (tentpole of the parallel engine PR).
+//
+// Runs the same simulate_qos experiment at jobs = 1, 2, 4, 8, verifies the
+// results are bit-identical across thread counts, and reports episodes/sec
+// and speedup per worker count — as a human table and as one
+// machine-readable summary line prefixed "BENCH_JSON " (the repo's
+// BENCH_*.json data format) for tracking across commits.
+//
+//   parallel_scaling [episodes] [seed]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "oaq/montecarlo.hpp"
+
+using namespace oaq;
+
+namespace {
+
+QosSimulationConfig scaling_config(int episodes, std::uint64_t seed) {
+  // Realistic-delay protocol (nonzero delta/Tg, bounded computation): the
+  // configuration every extension bench sweeps around.
+  QosSimulationConfig cfg;
+  cfg.k = 9;
+  cfg.episodes = episodes;
+  cfg.seed = seed;
+  cfg.mu = Rate::per_minute(0.3);
+  cfg.protocol.tau = Duration::minutes(5);
+  cfg.protocol.delta = Duration::seconds(12);
+  cfg.protocol.tg = Duration::seconds(6);
+  cfg.protocol.nu = Rate::per_minute(30);
+  cfg.protocol.computation_cap = Duration::seconds(6);
+  return cfg;
+}
+
+bool identical(const SimulatedQos& a, const SimulatedQos& b) {
+  return a.level_pmf.weights() == b.level_pmf.weights() &&
+         a.duplicates == b.duplicates && a.unresolved == b.unresolved &&
+         a.untimely == b.untimely &&
+         a.mean_chain_length == b.mean_chain_length &&
+         a.max_chain_length == b.max_chain_length;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 20000;
+  const auto seed =
+      static_cast<std::uint64_t>(argc > 2 ? std::atoll(argv[2]) : 99);
+
+  std::cout << "=== Monte-Carlo parallel scaling (" << episodes
+            << " episodes, k = 9, hardware concurrency " << hardware_jobs()
+            << ") ===\n\n";
+
+  TablePrinter table({"jobs", "seconds", "episodes/sec", "speedup"}, 3);
+  std::ostringstream json;
+  json << "{\"bench\":\"parallel_scaling\",\"episodes\":" << episodes
+       << ",\"hardware_jobs\":" << hardware_jobs() << ",\"results\":[";
+
+  SimulatedQos reference;
+  double serial_seconds = 0.0;
+  bool all_identical = true;
+  bool first = true;
+  for (const int jobs : {1, 2, 4, 8}) {
+    auto cfg = scaling_config(episodes, seed);
+    cfg.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sim = simulate_qos(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (jobs == 1) {
+      reference = sim;
+      serial_seconds = seconds;
+    } else if (!identical(sim, reference)) {
+      all_identical = false;
+    }
+    const double eps = static_cast<double>(episodes) / seconds;
+    const double speedup = serial_seconds / seconds;
+    table.add_row({static_cast<long long>(jobs), seconds, eps, speedup});
+    json << (first ? "" : ",") << "{\"jobs\":" << jobs
+         << ",\"seconds\":" << seconds << ",\"episodes_per_sec\":" << eps
+         << ",\"speedup\":" << speedup << "}";
+    first = false;
+  }
+  json << "],\"bit_identical\":" << (all_identical ? "true" : "false") << "}";
+
+  table.print(std::cout);
+  std::cout << "\nbit-identical across jobs: "
+            << (all_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  std::cout << "BENCH_JSON " << json.str() << "\n";
+  return all_identical ? 0 : 1;
+}

@@ -245,9 +245,22 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/fault/plane_capacity.hpp /root/repo/src/common/stats.hpp \
- /root/repo/src/fault/ctmc.hpp /root/repo/src/geoloc/wls.hpp \
- /usr/include/c++/12/optional /root/repo/src/common/matrix.hpp \
+ /root/repo/src/common/parallel.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/optional \
+ /usr/include/c++/12/thread /root/repo/src/fault/plane_capacity.hpp \
+ /root/repo/src/common/stats.hpp /root/repo/src/fault/ctmc.hpp \
+ /root/repo/src/geoloc/wls.hpp /root/repo/src/common/matrix.hpp \
  /root/repo/src/rf/doppler.hpp /root/repo/src/orbit/kepler.hpp \
  /root/repo/src/geom/geodesy.hpp /root/repo/src/geom/vec3.hpp \
  /root/repo/src/orbit/plane.hpp /root/repo/src/orbit/footprint.hpp \
@@ -255,8 +268,7 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o: \
  /root/repo/src/oaq/episode.hpp /root/repo/src/geoloc/accuracy.hpp \
  /root/repo/src/net/crosslink.hpp /usr/include/c++/12/any \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/oaq/messages.hpp /root/repo/src/oaq/qos.hpp \
- /root/repo/src/oaq/schedule.hpp /root/repo/src/orbit/visibility.hpp \
- /root/repo/src/orbit/constellation.hpp
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/oaq/messages.hpp \
+ /root/repo/src/oaq/qos.hpp /root/repo/src/oaq/schedule.hpp \
+ /root/repo/src/orbit/visibility.hpp \
+ /root/repo/src/orbit/constellation.hpp /root/repo/src/oaq/montecarlo.hpp

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/distribution.cpp" "src/common/CMakeFiles/oaq_common.dir/distribution.cpp.o" "gcc" "src/common/CMakeFiles/oaq_common.dir/distribution.cpp.o.d"
   "/root/repo/src/common/matrix.cpp" "src/common/CMakeFiles/oaq_common.dir/matrix.cpp.o" "gcc" "src/common/CMakeFiles/oaq_common.dir/matrix.cpp.o.d"
   "/root/repo/src/common/numeric.cpp" "src/common/CMakeFiles/oaq_common.dir/numeric.cpp.o" "gcc" "src/common/CMakeFiles/oaq_common.dir/numeric.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/oaq_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/oaq_common.dir/parallel.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/oaq_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/oaq_common.dir/stats.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/oaq_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/oaq_common.dir/table.cpp.o.d"
   )

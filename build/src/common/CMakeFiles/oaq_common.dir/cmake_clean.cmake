@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/oaq_common.dir/matrix.cpp.o.d"
   "CMakeFiles/oaq_common.dir/numeric.cpp.o"
   "CMakeFiles/oaq_common.dir/numeric.cpp.o.d"
+  "CMakeFiles/oaq_common.dir/parallel.cpp.o"
+  "CMakeFiles/oaq_common.dir/parallel.cpp.o.d"
   "CMakeFiles/oaq_common.dir/stats.cpp.o"
   "CMakeFiles/oaq_common.dir/stats.cpp.o.d"
   "CMakeFiles/oaq_common.dir/table.cpp.o"

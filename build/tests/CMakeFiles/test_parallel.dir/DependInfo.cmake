@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/parallel_test.cpp" "tests/CMakeFiles/test_parallel.dir/common/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/common/parallel_test.cpp.o.d"
+  "/root/repo/tests/oaq/determinism_test.cpp" "tests/CMakeFiles/test_parallel.dir/oaq/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/oaq/determinism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oaq/CMakeFiles/oaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/oaq_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oaq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geoloc/CMakeFiles/oaq_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/oaq_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/oaq_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oaq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oaq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_geom[1]_include.cmake")
 include("/root/repo/build/tests/test_orbit[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")

@@ -1,0 +1,126 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace oaq {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int env_jobs() {
+  const char* raw = std::getenv("OAQ_JOBS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed < 1) return 0;
+  return static_cast<int>(std::min(parsed, 1024L));
+}
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  const int from_env = env_jobs();
+  return from_env > 0 ? from_env : hardware_jobs();
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(threads, 0);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::for_each_shard(int n_shards, int jobs,
+                                const std::function<void(int)>& shard_fn) {
+  OAQ_REQUIRE(n_shards > 0, "for_each_shard needs at least one shard");
+  OAQ_REQUIRE(jobs >= 1, "for_each_shard needs at least one executor");
+  if (jobs == 1 || n_shards == 1 || size() == 0) {
+    for (int s = 0; s < n_shards; ++s) shard_fn(s);
+    return;
+  }
+
+  // Shared pull state. Helpers enqueued beyond pool capacity simply run
+  // late, find the counter exhausted and return — work never waits on them,
+  // because the caller also pulls until the counter is drained.
+  struct State {
+    explicit State(int total_shards, std::function<void(int)> fn)
+        : total(total_shards), run(std::move(fn)) {}
+    const int total;
+    const std::function<void(int)> run;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex m;
+    std::condition_variable all_done;
+    std::exception_ptr error;
+  };
+  auto st = std::make_shared<State>(n_shards, shard_fn);
+
+  const auto pull = [st] {
+    while (true) {
+      const int s = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= st->total) return;
+      try {
+        st->run(s);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st->m);
+        if (!st->error) st->error = std::current_exception();
+      }
+      if (st->done.fetch_add(1) + 1 == st->total) {
+        std::lock_guard<std::mutex> lock(st->m);
+        st->all_done.notify_all();
+      }
+    }
+  };
+
+  const int helpers = std::min(jobs - 1, n_shards - 1);
+  for (int h = 0; h < helpers; ++h) submit(pull);
+  pull();  // the calling thread is an executor too
+
+  std::unique_lock<std::mutex> lock(st->m);
+  st->all_done.wait(lock, [&] { return st->done.load() >= st->total; });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  // Workers plus the participating caller give at least
+  // max(hardware, OAQ_JOBS, 4) concurrent executors.
+  static ThreadPool pool(std::max({hardware_jobs(), env_jobs(), 4}) - 1);
+  return pool;
+}
+
+}  // namespace oaq

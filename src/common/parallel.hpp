@@ -1,0 +1,127 @@
+// Fixed-size thread pool and deterministic parallel reduction.
+//
+// The Monte-Carlo harnesses (oaq/montecarlo, oaq/campaign) and every sweep
+// bench built on them fan work out through `parallel_reduce`. The contract
+// that makes this safe for regression-tested simulations:
+//
+//   * The shard decomposition depends only on (n_items, n_shards), never on
+//     the worker count, and shard results are merged sequentially in shard
+//     order on the calling thread. A caller whose per-item computation is
+//     order-independent (e.g. per-episode RNG streams derived by
+//     `Rng::fork(item)`) therefore gets BIT-IDENTICAL results for any
+//     `jobs` value — threads only change which worker computes a shard.
+//   * `jobs == 1` never touches the pool: the map/merge loop runs inline on
+//     the calling thread, exactly the pre-parallel serial path.
+//
+// Worker count resolution (`resolve_jobs`): an explicit positive request
+// wins; otherwise the OAQ_JOBS environment variable; otherwise hardware
+// concurrency. The shared pool is lazily created and lives for the process.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oaq {
+
+/// Detected hardware concurrency, at least 1.
+[[nodiscard]] int hardware_jobs();
+
+/// OAQ_JOBS environment override clamped to [1, 1024]; 0 when unset/invalid.
+[[nodiscard]] int env_jobs();
+
+/// Worker count for a run: `requested` if positive, else OAQ_JOBS, else
+/// hardware concurrency.
+[[nodiscard]] int resolve_jobs(int requested);
+
+/// Fixed-size worker pool. Construction spawns the workers; destruction
+/// drains the queue and joins them. Tasks must not block on other queued
+/// tasks (shard pulling below never does).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task for any worker. Fire-and-forget; use `for_each_shard`
+  /// when completion matters.
+  void submit(std::function<void()> task);
+
+  /// Run `shard_fn(s)` for every s in [0, n_shards) using at most `jobs`
+  /// concurrent executors (the caller participates as one of them) and
+  /// block until all shards completed. The first exception thrown by a
+  /// shard is rethrown on the calling thread after completion.
+  void for_each_shard(int n_shards, int jobs,
+                      const std::function<void(int)>& shard_fn);
+
+  /// Process-wide pool shared by all simulations. Sized so that at least
+  /// max(hardware, OAQ_JOBS, 4) executors (pool workers + the caller) are
+  /// available — the floor keeps multi-thread determinism tests honest on
+  /// small CI machines.
+  [[nodiscard]] static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Half-open item range covered by shard `s` of `n_shards` over `n_items`:
+/// contiguous, exhaustive, and balanced to within one item.
+[[nodiscard]] constexpr std::pair<std::int64_t, std::int64_t> shard_range(
+    std::int64_t n_items, int n_shards, int s) {
+  const auto shards = static_cast<std::int64_t>(n_shards);
+  return {n_items * s / shards, n_items * (s + 1) / shards};
+}
+
+/// Map-reduce over [0, n_items): each shard builds a private `Accum` via
+/// `map(begin, end, shard)`, and shards are folded left-to-right with
+/// `merge(into, from)` on the calling thread. Deterministic in `jobs`
+/// (see file header); `jobs <= 1` runs fully inline.
+template <typename Accum, typename MapFn, typename MergeFn>
+[[nodiscard]] Accum parallel_reduce(std::int64_t n_items, int n_shards,
+                                    int jobs, MapFn&& map, MergeFn&& merge) {
+  OAQ_REQUIRE(n_items > 0, "parallel_reduce needs at least one item");
+  OAQ_REQUIRE(n_shards > 0, "parallel_reduce needs at least one shard");
+  if (n_shards > n_items) n_shards = static_cast<int>(n_items);
+  jobs = std::min(resolve_jobs(jobs), n_shards);
+
+  if (jobs <= 1) {
+    auto [lo, hi] = shard_range(n_items, n_shards, 0);
+    Accum acc = map(lo, hi, 0);
+    for (int s = 1; s < n_shards; ++s) {
+      auto [b, e] = shard_range(n_items, n_shards, s);
+      merge(acc, map(b, e, s));
+    }
+    return acc;
+  }
+
+  std::vector<std::optional<Accum>> parts(static_cast<std::size_t>(n_shards));
+  ThreadPool::global().for_each_shard(n_shards, jobs, [&](int s) {
+    auto [b, e] = shard_range(n_items, n_shards, s);
+    parts[static_cast<std::size_t>(s)].emplace(map(b, e, s));
+  });
+  Accum acc = std::move(*parts[0]);
+  for (int s = 1; s < n_shards; ++s) {
+    merge(acc, std::move(*parts[static_cast<std::size_t>(s)]));
+  }
+  return acc;
+}
+
+}  // namespace oaq

@@ -139,7 +139,9 @@ class Rng {
   }
 
   /// Derives an independent child stream; `tag` distinguishes siblings.
-  [[nodiscard]] Rng fork(std::uint64_t tag) {
+  /// Const (reads the state without advancing it), so shards may fork
+  /// per-item streams from one shared parent concurrently.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
     std::uint64_t sm = state_[0] ^ (tag * 0xD1B54A32D192ED03ull) ^ state_[2];
     Rng child(splitmix64_next(sm));
     return child;

@@ -13,6 +13,22 @@ double RunningStat::sem() const {
 
 double RunningStat::ci95_halfwidth() const { return 1.959963984540054 * sem(); }
 
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
 std::pair<double, double> ProportionEstimate::wilson95() const {
   if (n_ == 0) return {0.0, 1.0};
   const double z = 1.959963984540054;
@@ -47,6 +63,16 @@ void Histogram::add(double x) {
     bin = std::min(bin, counts_.size() - 1);
   }
   ++counts_[bin];
+}
+
+void Histogram::merge(const Histogram& other) {
+  OAQ_REQUIRE(lo_ == other.lo_ && hi_ == other.hi_ &&
+                  counts_.size() == other.counts_.size(),
+              "histogram merge needs identical layouts");
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
 }
 
 std::uint64_t Histogram::count(std::size_t bin) const {

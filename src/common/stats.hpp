@@ -35,6 +35,11 @@ class RunningStat {
   /// Half-width of the ~95% normal confidence interval on the mean.
   [[nodiscard]] double ci95_halfwidth() const;
 
+  /// Folds another stream in (Chan et al. parallel Welford combination):
+  /// the merged stat matches a one-pass stream over both inputs to
+  /// floating-point combination accuracy, and extrema/counts exactly.
+  void merge(const RunningStat& other);
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -59,6 +64,12 @@ class ProportionEstimate {
   /// Wilson score interval at ~95% confidence: {lower, upper}.
   [[nodiscard]] std::pair<double, double> wilson95() const;
 
+  /// Adds another estimate's trials in; exact.
+  void merge(const ProportionEstimate& other) {
+    n_ += other.n_;
+    successes_ += other.successes_;
+  }
+
  private:
   std::uint64_t n_ = 0;
   std::uint64_t successes_ = 0;
@@ -81,6 +92,10 @@ class Histogram {
   [[nodiscard]] double bin_hi(std::size_t bin) const;
   /// Empirical quantile in [0,1] by linear interpolation within bins.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Adds another histogram's counts in; exact. Both histograms must share
+  /// the same [lo, hi) range and bin count.
+  void merge(const Histogram& other);
 
  private:
   double lo_;
@@ -105,6 +120,15 @@ class DiscretePmf {
   [[nodiscard]] double tail_probability(int x) const;
   [[nodiscard]] double total_weight() const { return total_; }
   [[nodiscard]] const std::map<int, double>& weights() const { return weights_; }
+
+  /// Adds another pmf's weights in. Integer-valued weights (episode counts)
+  /// merge exactly regardless of how samples were grouped.
+  void merge(const DiscretePmf& other) {
+    for (const auto& [outcome, weight] : other.weights_) {
+      weights_[outcome] += weight;
+    }
+    total_ += other.total_;
+  }
 
  private:
   std::map<int, double> weights_;

@@ -1,16 +1,43 @@
 #include "oaq/campaign.hpp"
 
+#include <cstdint>
+#include <utility>
+
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace oaq {
+namespace {
 
-CampaignResult run_campaign(const CampaignConfig& config) {
-  OAQ_REQUIRE(config.k > 0, "need at least one satellite");
-  OAQ_REQUIRE(config.horizon > Duration::zero(), "horizon must be positive");
-  OAQ_REQUIRE(config.signal_arrival_rate > Rate::zero(),
-              "arrival rate must be positive");
+/// Mergeable tallies for one or more campaign replications. Counters and
+/// pmf weights are integral, so any grouping merges exactly; the latency
+/// RunningStat is folded in a fixed replication order (one shard per
+/// replication), so the floating-point result is also independent of the
+/// worker count.
+struct CampaignAccum {
+  std::int64_t signals = 0;
+  DiscretePmf levels;
+  std::int64_t delivered = 0;
+  std::int64_t untimely = 0;
+  std::int64_t duplicates = 0;
+  RunningStat latency_min;
+  std::int64_t contended = 0;
+  double queueing_delay_s = 0.0;
 
-  Rng master(config.seed);
+  void merge(const CampaignAccum& other) {
+    signals += other.signals;
+    levels.merge(other.levels);
+    delivered += other.delivered;
+    untimely += other.untimely;
+    duplicates += other.duplicates;
+    latency_min.merge(other.latency_min);
+    contended += other.contended;
+    queueing_delay_s += other.queueing_delay_s;
+  }
+};
+
+/// One replication: the pre-parallel run_campaign body, seeded by `master`.
+CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master) {
   Rng arrivals_rng = master.fork(1);
   Rng durations_rng = master.fork(2);
   Rng net_rng = master.fork(3);
@@ -46,7 +73,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   TimePoint t = TimePoint::origin() + Duration::minutes(60);
   const TimePoint end = TimePoint::origin() + config.horizon;
   int target_id = 0;
-  CampaignResult out;
+  CampaignAccum out;
   while (true) {
     t = t + arrivals_rng.exponential(config.signal_arrival_rate);
     if (t >= end) break;
@@ -82,7 +109,6 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
   sim.run(static_cast<std::uint64_t>(episodes.size() + 1) * 100000);
 
-  RunningStat latency;
   for (auto& ep : episodes) {
     ep->finalize();
     const auto& r = ep->result();
@@ -90,16 +116,60 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     if (r.alert_delivered) {
       ++out.delivered;
       if (!r.timely) ++out.untimely;
-      latency.add((r.first_alert_sent - r.detection).to_minutes());
+      out.latency_min.add((r.first_alert_sent - r.detection).to_minutes());
     }
     if (r.alerts_sent > 1) ++out.duplicates;
   }
-  out.mean_latency_min = latency.mean();
-  out.contended_computations = calendar.contended_reservations();
+  out.contended = calendar.contended_reservations();
+  out.queueing_delay_s = calendar.total_queueing_delay().to_seconds();
+  return out;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  OAQ_REQUIRE(config.k > 0, "need at least one satellite");
+  OAQ_REQUIRE(config.horizon > Duration::zero(), "horizon must be positive");
+  OAQ_REQUIRE(config.signal_arrival_rate > Rate::zero(),
+              "arrival rate must be positive");
+  OAQ_REQUIRE(config.replications > 0, "need at least one replication");
+
+  CampaignAccum total;
+  if (config.replications == 1) {
+    total = run_single_campaign(config, Rng(config.seed));
+  } else {
+    // One shard per replication, merged in replication order, so the
+    // aggregate is bit-identical for any jobs value. Child seeds are
+    // forked from a dedicated stream so they cannot collide with the
+    // per-process streams a single run forks from Rng(seed) itself.
+    const Rng replication_seeds = Rng(config.seed).fork(5);
+    total = parallel_reduce<CampaignAccum>(
+        config.replications, config.replications, config.jobs,
+        [&](std::int64_t begin, std::int64_t end, int /*shard*/) {
+          CampaignAccum acc;
+          for (std::int64_t r = begin; r < end; ++r) {
+            acc.merge(run_single_campaign(
+                config,
+                replication_seeds.fork(static_cast<std::uint64_t>(r))));
+          }
+          return acc;
+        },
+        [](CampaignAccum& into, CampaignAccum&& from) { into.merge(from); });
+  }
+
+  CampaignResult out;
+  out.signals = total.signals;
+  out.levels = std::move(total.levels);
+  out.delivered = total.delivered;
+  out.untimely = total.untimely;
+  out.duplicates = total.duplicates;
+  out.replications = config.replications;
+  out.latency_min = total.latency_min;
+  out.mean_latency_min = total.latency_min.mean();
+  out.contended_computations = total.contended;
   out.mean_queueing_delay_s =
-      calendar.contended_reservations() > 0
-          ? calendar.total_queueing_delay().to_seconds() /
-                calendar.contended_reservations()
+      total.contended > 0
+          ? total.queueing_delay_s / static_cast<double>(total.contended)
           : 0.0;
   return out;
 }

@@ -10,6 +10,7 @@
 // (bench/ext_load_curve).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,17 +34,30 @@ struct CampaignConfig {
   /// computations overlap freely — the single-target idealization.
   bool compute_contention = true;
   std::uint64_t seed = 1;
+  /// Independent campaign replications to aggregate. 1 reproduces the
+  /// single-run behaviour for `seed` exactly; > 1 derives one child seed
+  /// per replication and merges the results (tighter confidence
+  /// intervals without lengthening the simulated horizon).
+  int replications = 1;
+  /// Worker threads across replications: 0 = auto (OAQ_JOBS env, else
+  /// hardware), 1 = serial. Bit-identical results for any value.
+  int jobs = 0;
 };
 
-/// Aggregated campaign outcome.
+/// Aggregated campaign outcome (over all replications). Counters are
+/// 64-bit so replicated campaigns cannot overflow.
 struct CampaignResult {
-  int signals = 0;
+  std::int64_t signals = 0;
   DiscretePmf levels;
-  int delivered = 0;
-  int untimely = 0;
-  int duplicates = 0;
-  double mean_latency_min = 0.0;      ///< detection → first alert
-  int contended_computations = 0;     ///< reservations that had to queue
+  std::int64_t delivered = 0;
+  std::int64_t untimely = 0;
+  std::int64_t duplicates = 0;
+  int replications = 1;
+  /// Detection → first alert, minutes, over delivered alerts; `.mean()` is
+  /// the headline latency, `.ci95_halfwidth()` its confidence interval.
+  RunningStat latency_min;
+  double mean_latency_min = 0.0;      ///< == latency_min.mean()
+  std::int64_t contended_computations = 0;  ///< reservations that queued
   double mean_queueing_delay_s = 0.0; ///< over contended reservations
 
   [[nodiscard]] double probability(QosLevel level) const {

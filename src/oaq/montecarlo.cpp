@@ -1,18 +1,59 @@
 #include "oaq/montecarlo.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace oaq {
+namespace {
+
+/// Episode-count shard target: enough shards for good load balance at any
+/// realistic worker count, few enough that per-shard setup is negligible.
+/// Fixed (never derived from the worker count) so the merge tree — and
+/// with it every floating-point fold — is identical for all `jobs`.
+constexpr int kEpisodeShards = 64;
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  OAQ_REQUIRE(!__builtin_add_overflow(a, b, &out),
+              "episode statistics counter overflow");
+  return out;
+}
+
+/// Private per-shard tallies; merging in shard order is exact because every
+/// field is integral (DiscretePmf weights are integer-valued doubles).
+struct EpisodeAccum {
+  DiscretePmf level_pmf;
+  std::int64_t duplicates = 0;
+  std::int64_t unresolved = 0;
+  std::int64_t untimely = 0;
+  std::int64_t detected = 0;
+  std::int64_t chain_sum = 0;
+  int max_chain_length = 0;
+
+  void merge(const EpisodeAccum& other) {
+    level_pmf.merge(other.level_pmf);
+    duplicates = checked_add(duplicates, other.duplicates);
+    unresolved = checked_add(unresolved, other.unresolved);
+    untimely = checked_add(untimely, other.untimely);
+    detected = checked_add(detected, other.detected);
+    chain_sum = checked_add(chain_sum, other.chain_sum);
+    max_chain_length = std::max(max_chain_length, other.max_chain_length);
+  }
+};
+
+}  // namespace
 
 SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   OAQ_REQUIRE(config.k > 0, "need at least one satellite");
   OAQ_REQUIRE(config.episodes > 0, "need at least one episode");
   OAQ_REQUIRE(config.mu > Rate::zero(), "termination rate must be positive");
 
-  Rng master(config.seed);
-  Rng phase_rng = master.fork(1);
-  Rng duration_rng = master.fork(2);
-  Rng episode_rng = master.fork(3);
+  const Rng master(config.seed);
+  const Rng episode_rng = master.fork(3);
   const std::shared_ptr<const DurationDistribution> duration_law =
       config.duration_distribution
           ? config.duration_distribution
@@ -23,32 +64,54 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   const TimePoint signal_start = TimePoint::at(Duration::minutes(60));
   const Duration tr = config.geometry.tr(config.k);
 
-  SimulatedQos out;
-  out.episodes = config.episodes;
-  long chain_sum = 0;
-  int detected = 0;
-
-  for (int e = 0; e < config.episodes; ++e) {
+  // Every random stream an episode consumes (phase, duration, protocol
+  // noise) derives from episode_rng.fork(e): episode e's outcome does not
+  // depend on which shard — or thread — runs it, making the reduction
+  // bit-identical for any jobs value.
+  const auto run_episode = [&](std::int64_t e, EpisodeAccum& acc) {
+    const Rng ep = episode_rng.fork(static_cast<std::uint64_t>(e));
+    Rng phase_rng = ep.fork(1);
+    Rng duration_rng = ep.fork(2);
+    Rng protocol_rng = ep.fork(3);
     const Duration phase = phase_rng.uniform(Duration::zero(), tr);
     const AnalyticSchedule schedule(config.geometry, config.k, phase);
     const EpisodeEngine engine(schedule, config.protocol,
                                config.opportunity_adaptive);
     const Duration duration = duration_law->sample(duration_rng);
-    Rng rng = episode_rng.fork(static_cast<std::uint64_t>(e));
-    const EpisodeResult r = engine.run(signal_start, duration, rng);
+    const EpisodeResult r = engine.run(signal_start, duration, protocol_rng);
 
-    out.level_pmf.add(to_int(r.alert_delivered ? r.level : QosLevel::kMissed));
-    if (r.alerts_sent > 1) ++out.duplicates;
-    if (!r.all_participants_resolved) ++out.unresolved;
-    if (r.alert_delivered && !r.timely) ++out.untimely;
+    acc.level_pmf.add(to_int(r.alert_delivered ? r.level : QosLevel::kMissed));
+    if (r.alerts_sent > 1) ++acc.duplicates;
+    if (!r.all_participants_resolved) ++acc.unresolved;
+    if (r.alert_delivered && !r.timely) ++acc.untimely;
     if (r.detected) {
-      ++detected;
-      chain_sum += r.chain_length;
-      out.max_chain_length = std::max(out.max_chain_length, r.chain_length);
+      ++acc.detected;
+      acc.chain_sum = checked_add(acc.chain_sum, r.chain_length);
+      acc.max_chain_length = std::max(acc.max_chain_length, r.chain_length);
     }
-  }
+  };
+
+  EpisodeAccum total = parallel_reduce<EpisodeAccum>(
+      config.episodes, kEpisodeShards, config.jobs,
+      [&](std::int64_t begin, std::int64_t end, int /*shard*/) {
+        EpisodeAccum acc;
+        for (std::int64_t e = begin; e < end; ++e) run_episode(e, acc);
+        return acc;
+      },
+      [](EpisodeAccum& into, EpisodeAccum&& from) { into.merge(from); });
+
+  SimulatedQos out;
+  out.episodes = config.episodes;
+  out.level_pmf = std::move(total.level_pmf);
+  out.duplicates = total.duplicates;
+  out.unresolved = total.unresolved;
+  out.untimely = total.untimely;
+  out.max_chain_length = total.max_chain_length;
   out.mean_chain_length =
-      detected > 0 ? static_cast<double>(chain_sum) / detected : 0.0;
+      total.detected > 0
+          ? static_cast<double>(total.chain_sum) /
+                static_cast<double>(total.detected)
+          : 0.0;
   return out;
 }
 

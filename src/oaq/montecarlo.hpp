@@ -5,6 +5,7 @@
 // (DESIGN.md experiment E10).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "analytic/geometry.hpp"
@@ -25,15 +26,20 @@ struct QosSimulationConfig {
   bool opportunity_adaptive = true;  ///< OAQ (true) or BAQ (false)
   int episodes = 20000;
   std::uint64_t seed = 1;
+  /// Worker threads for the episode loop: 0 = auto (OAQ_JOBS env, else
+  /// hardware concurrency), 1 = serial. Results are bit-identical for any
+  /// value — episodes derive their random streams per-index.
+  int jobs = 0;
 };
 
-/// Aggregated outcome of a Monte-Carlo QoS experiment.
+/// Aggregated outcome of a Monte-Carlo QoS experiment. Counters are 64-bit
+/// so shard merges and long campaigns cannot overflow a narrow `long`.
 struct SimulatedQos {
   DiscretePmf level_pmf;        ///< episode counts per QoS level
-  int episodes = 0;
-  int duplicates = 0;           ///< episodes with more than one alert
-  int unresolved = 0;           ///< episodes leaving a participant hanging
-  int untimely = 0;             ///< alerts sent after the deadline
+  std::int64_t episodes = 0;
+  std::int64_t duplicates = 0;  ///< episodes with more than one alert
+  std::int64_t unresolved = 0;  ///< episodes leaving a participant hanging
+  std::int64_t untimely = 0;    ///< alerts sent after the deadline
   double mean_chain_length = 0.0;  ///< over detected episodes
   int max_chain_length = 0;
 

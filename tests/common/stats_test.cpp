@@ -82,6 +82,89 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
 }
 
+TEST(MergeRunningStat, HalvesAgreeWithOnePassStream) {
+  Rng rng(17);
+  RunningStat one_pass, left, right;
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) samples.push_back(rng.normal(3.0, 2.0));
+  for (double x : samples) one_pass.add(x);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i < samples.size() / 3 ? left : right).add(samples[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), one_pass.count());
+  EXPECT_NEAR(left.mean(), one_pass.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), one_pass.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), one_pass.min());
+  EXPECT_DOUBLE_EQ(left.max(), one_pass.max());
+}
+
+TEST(MergeRunningStat, EmptySidesAreIdentity) {
+  RunningStat stat, empty;
+  stat.add(1.0);
+  stat.add(5.0);
+  stat.merge(empty);
+  EXPECT_EQ(stat.count(), 2u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+
+  RunningStat target;
+  target.merge(stat);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 5.0);
+}
+
+TEST(MergeProportion, TrialsAndSuccessesAdd) {
+  ProportionEstimate a, b;
+  for (int i = 0; i < 30; ++i) a.add(i < 21);
+  for (int i = 0; i < 70; ++i) b.add(i < 49);
+  a.merge(b);
+  EXPECT_EQ(a.trials(), 100u);
+  EXPECT_EQ(a.successes(), 70u);
+  EXPECT_DOUBLE_EQ(a.value(), 0.7);
+}
+
+TEST(MergeDiscretePmf, CountsAddExactly) {
+  DiscretePmf a, b;
+  a.add(0, 3.0);
+  a.add(2, 1.0);
+  b.add(2, 4.0);
+  b.add(5, 2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 10.0);
+  EXPECT_DOUBLE_EQ(a.weights().at(0), 3.0);
+  EXPECT_DOUBLE_EQ(a.weights().at(2), 5.0);
+  EXPECT_DOUBLE_EQ(a.weights().at(5), 2.0);
+  EXPECT_DOUBLE_EQ(a.probability(2), 0.5);
+}
+
+TEST(MergeHistogram, CountsOverflowAndQuantilesCombine) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10), whole(0.0, 10.0, 10);
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-1.0, 12.0);
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), whole.total());
+  EXPECT_EQ(a.underflow(), whole.underflow());
+  EXPECT_EQ(a.overflow(), whole.overflow());
+  for (std::size_t bin = 0; bin < whole.bins(); ++bin) {
+    EXPECT_EQ(a.count(bin), whole.count(bin)) << "bin " << bin;
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), whole.quantile(0.5));
+}
+
+TEST(MergeHistogram, RejectsMismatchedLayout) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram different_range(0.0, 5.0, 10);
+  Histogram different_bins(0.0, 10.0, 20);
+  EXPECT_THROW(a.merge(different_range), PreconditionError);
+  EXPECT_THROW(a.merge(different_bins), PreconditionError);
+}
+
 TEST(DiscretePmf, ProbabilitiesAndTail) {
   DiscretePmf pmf;
   pmf.add(0, 1.0);

@@ -1,0 +1,131 @@
+// Determinism contract of the parallel Monte-Carlo engine: for a fixed
+// seed, results are BIT-identical for every jobs value — threads only
+// change which worker computes a shard, never what is computed or the
+// order results are merged in.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "oaq/campaign.hpp"
+#include "oaq/montecarlo.hpp"
+
+namespace oaq {
+namespace {
+
+QosSimulationConfig sim_config(int jobs) {
+  QosSimulationConfig cfg;
+  cfg.k = 9;
+  cfg.episodes = 4000;
+  cfg.seed = 2718;
+  cfg.mu = Rate::per_minute(0.3);
+  cfg.protocol.tau = Duration::minutes(5);
+  cfg.protocol.delta = Duration::seconds(12);
+  cfg.protocol.tg = Duration::seconds(6);
+  cfg.protocol.nu = Rate::per_minute(30);
+  cfg.protocol.computation_cap = Duration::seconds(6);
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+CampaignConfig campaign_config(int replications, int jobs) {
+  CampaignConfig cfg;
+  cfg.k = 9;
+  cfg.protocol.tau = Duration::minutes(5);
+  cfg.protocol.delta = Duration::seconds(12);
+  cfg.protocol.tg = Duration::seconds(6);
+  cfg.protocol.nu = Rate::per_minute(1.0);
+  cfg.protocol.computation_cap = Duration::minutes(2);
+  cfg.signal_arrival_rate = Rate::per_hour(12.0);
+  cfg.horizon = Duration::hours(25);
+  cfg.seed = 31;
+  cfg.replications = replications;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+void expect_identical(const SimulatedQos& a, const SimulatedQos& b,
+                      int jobs) {
+  EXPECT_EQ(a.level_pmf.weights(), b.level_pmf.weights()) << "jobs=" << jobs;
+  EXPECT_EQ(a.episodes, b.episodes) << "jobs=" << jobs;
+  EXPECT_EQ(a.duplicates, b.duplicates) << "jobs=" << jobs;
+  EXPECT_EQ(a.unresolved, b.unresolved) << "jobs=" << jobs;
+  EXPECT_EQ(a.untimely, b.untimely) << "jobs=" << jobs;
+  // Exact: same integer chain_sum / detected division on both sides.
+  EXPECT_EQ(a.mean_chain_length, b.mean_chain_length) << "jobs=" << jobs;
+  EXPECT_EQ(a.max_chain_length, b.max_chain_length) << "jobs=" << jobs;
+}
+
+TEST(ParallelDeterminism, SimulateQosBitIdenticalAcrossJobs) {
+  const auto serial = simulate_qos(sim_config(1));
+  EXPECT_DOUBLE_EQ(serial.level_pmf.total_weight(), 4000.0);
+  for (const int jobs : {2, 4, 8}) {
+    expect_identical(simulate_qos(sim_config(jobs)), serial, jobs);
+  }
+}
+
+TEST(ParallelDeterminism, SimulateQosAutoJobsMatchesSerial) {
+  // jobs = 0 resolves to hardware/OAQ_JOBS — still the same result.
+  expect_identical(simulate_qos(sim_config(0)), simulate_qos(sim_config(1)),
+                   0);
+}
+
+TEST(ParallelDeterminism, SimulateQosBaqPathToo) {
+  auto serial = sim_config(1);
+  serial.opportunity_adaptive = false;
+  auto wide = sim_config(4);
+  wide.opportunity_adaptive = false;
+  expect_identical(simulate_qos(wide), simulate_qos(serial), 4);
+}
+
+TEST(ParallelDeterminism, CampaignBitIdenticalAcrossJobs) {
+  const auto serial = run_campaign(campaign_config(6, 1));
+  ASSERT_GT(serial.signals, 100);
+  for (const int jobs : {2, 4, 8}) {
+    const auto wide = run_campaign(campaign_config(6, jobs));
+    EXPECT_EQ(wide.signals, serial.signals) << "jobs=" << jobs;
+    EXPECT_EQ(wide.delivered, serial.delivered) << "jobs=" << jobs;
+    EXPECT_EQ(wide.duplicates, serial.duplicates) << "jobs=" << jobs;
+    EXPECT_EQ(wide.untimely, serial.untimely) << "jobs=" << jobs;
+    EXPECT_EQ(wide.levels.weights(), serial.levels.weights())
+        << "jobs=" << jobs;
+    // Bit-equality (not tolerance): latency stats are folded one shard per
+    // replication in replication order, independent of the worker count.
+    EXPECT_EQ(wide.mean_latency_min, serial.mean_latency_min)
+        << "jobs=" << jobs;
+    EXPECT_EQ(wide.latency_min.variance(), serial.latency_min.variance())
+        << "jobs=" << jobs;
+    EXPECT_EQ(wide.mean_queueing_delay_s, serial.mean_queueing_delay_s)
+        << "jobs=" << jobs;
+    EXPECT_EQ(wide.contended_computations, serial.contended_computations)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelDeterminism, CampaignReplicationsAggregate) {
+  const auto one = run_campaign(campaign_config(1, 1));
+  const auto six = run_campaign(campaign_config(6, 1));
+  EXPECT_EQ(six.replications, 6);
+  // Six independent 25-hour campaigns see roughly six times the signals.
+  EXPECT_GT(six.signals, 4 * one.signals);
+  EXPECT_EQ(six.delivered, static_cast<std::int64_t>(six.latency_min.count()));
+  // More replications tighten the latency confidence interval.
+  EXPECT_LT(six.latency_min.ci95_halfwidth(),
+            one.latency_min.ci95_halfwidth());
+}
+
+TEST(ParallelDeterminism, CampaignSingleReplicationPreservesSeedPath) {
+  // replications = 1 must be byte-for-byte the historical run for `seed`,
+  // whatever jobs is set to (there is nothing to parallelize over).
+  const auto a = run_campaign(campaign_config(1, 1));
+  const auto b = run_campaign(campaign_config(1, 8));
+  EXPECT_EQ(a.signals, b.signals);
+  EXPECT_EQ(a.levels.weights(), b.levels.weights());
+  EXPECT_EQ(a.mean_latency_min, b.mean_latency_min);
+}
+
+TEST(ParallelDeterminism, RejectsBadReplicationCount) {
+  auto cfg = campaign_config(0, 1);
+  EXPECT_THROW((void)run_campaign(cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

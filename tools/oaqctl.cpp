@@ -172,6 +172,7 @@ int cmd_simulate(const Args& args) {
   cfg.protocol.delta = Duration::seconds(args.number("delta-s", 12.0));
   cfg.protocol.tg = Duration::seconds(args.number("tg-s", 6.0));
   cfg.protocol.computation_cap = cfg.protocol.tg;
+  cfg.jobs = args.integer("jobs", 0);
   const auto sim = simulate_qos(cfg);
   TablePrinter table({"level", "probability"}, 4);
   for (int y = 0; y <= 3; ++y) {
@@ -198,8 +199,12 @@ int cmd_campaign(const Args& args) {
       Duration::seconds(args.number("cap-s", 6.0));
   cfg.compute_contention = !args.flag("no-contention");
   cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+  cfg.replications = args.integer("replications", 1);
+  cfg.jobs = args.integer("jobs", 0);
   const auto r = run_campaign(cfg);
   TablePrinter table({"metric", "value"}, 4);
+  table.add_row({std::string("replications"),
+                 static_cast<long long>(r.replications)});
   table.add_row({std::string("signals"), static_cast<long long>(r.signals)});
   table.add_row({std::string("delivered"),
                  static_cast<long long>(r.delivered)});
@@ -237,9 +242,13 @@ int help() {
       "  capacity --lambda R --eta K --cycles N        plane capacity P(k)\n"
       "  measure  --lambda R --eta K --tau MIN --mu R  Eq. (3) P(Y>=y)\n"
       "  plan     --k K --tau MIN --at MIN             opportunity plan\n"
-      "  simulate --k K --episodes N [--baq]           protocol Monte-Carlo\n"
-      "  campaign --k K --per-hour R --hours H         multi-target load run\n"
-      "  coverage [--bands N]                          coverage by latitude\n";
+      "  simulate --k K --episodes N [--baq] [--jobs J]  protocol Monte-Carlo\n"
+      "  campaign --k K --per-hour R --hours H\n"
+      "           [--replications R] [--jobs J]         multi-target load run\n"
+      "  coverage [--bands N]                          coverage by latitude\n"
+      "Monte-Carlo commands run on all cores by default; --jobs N (or the\n"
+      "OAQ_JOBS env var) overrides, --jobs 1 is the serial path. Results\n"
+      "are bit-identical for any jobs value.\n";
   return 0;
 }
 
