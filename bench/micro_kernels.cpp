@@ -9,6 +9,8 @@
 #include "geoloc/wls.hpp"
 #include "oaq/episode.hpp"
 #include "oaq/montecarlo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orbit/kepler.hpp"
 
 namespace {
@@ -141,6 +143,58 @@ void BM_SimulateQosStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateQosStep);
+
+// Same step with every observer attached (trace + metrics + profile).
+// Compare against BM_SimulateQosStep: the plain run IS the disabled-
+// tracer case (null sinks, one branch per recording site) and must stay
+// within the < 2% overhead budget of the pre-observability engine; this
+// variant measures the cost of turning everything on.
+void BM_SimulateQosStepTraced(benchmark::State& state) {
+  QosSimulationConfig cfg;
+  cfg.k = 9;
+  cfg.episodes = 1;
+  cfg.jobs = 1;
+  cfg.protocol.delta = Duration::zero();
+  cfg.protocol.tg = Duration::zero();
+  TraceCollector trace(1 << 12);
+  MetricsRegistry metrics;
+  ReduceProfile profile;
+  cfg.trace = &trace;
+  cfg.metrics = &metrics;
+  cfg.profile = &profile;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(simulate_qos(cfg));
+  }
+}
+BENCHMARK(BM_SimulateQosStepTraced);
+
+// Raw ring-buffer push: the per-event cost an *enabled* tracer adds to
+// the protocol hot path.
+void BM_TracePush(benchmark::State& state) {
+  ShardTraceBuffer buf(1 << 12);
+  TraceEvent ev;
+  ev.type = TraceEventType::kChainHop;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    ev.episode = ++i;
+    buf.push(ev);
+    benchmark::DoNotOptimize(buf.recorded());
+  }
+}
+BENCHMARK(BM_TracePush);
+
+// Counter increment through the registry map — the per-record cost of
+// enabled harness metrics.
+void BM_MetricsAdd(benchmark::State& state) {
+  MetricsRegistry m;
+  for (auto _ : state) {
+    m.add("xlink.sent");
+    benchmark::DoNotOptimize(m.counter("xlink.sent"));
+  }
+}
+BENCHMARK(BM_MetricsAdd);
 
 void BM_Xoshiro(benchmark::State& state) {
   Rng rng(1);

@@ -3,8 +3,43 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <ostream>
 
 namespace oaq {
+
+double ReduceProfile::max_shard_run_s() const {
+  double out = 0.0;
+  for (const auto& s : shards) out = std::max(out, s.run_s);
+  return out;
+}
+
+double ReduceProfile::sum_shard_run_s() const {
+  double out = 0.0;
+  for (const auto& s : shards) out += s.run_s;
+  return out;
+}
+
+double ReduceProfile::sum_queue_wait_s() const {
+  double out = 0.0;
+  for (const auto& s : shards) out += s.queue_wait_s;
+  return out;
+}
+
+void ReduceProfile::write_bench_json(std::ostream& os,
+                                     std::string_view bench_name) const {
+  os << "{\"bench\":\"" << bench_name << "\",\"jobs\":" << jobs_resolved
+     << ",\"shards_used\":" << shards_used << ",\"total_s\":" << total_s
+     << ",\"merge_s\":" << merge_s
+     << ",\"shard_run_sum_s\":" << sum_shard_run_s()
+     << ",\"shard_run_max_s\":" << max_shard_run_s()
+     << ",\"queue_wait_sum_s\":" << sum_queue_wait_s() << ",\"shards\":[";
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    os << (s == 0 ? "" : ",") << "{\"shard\":" << s
+       << ",\"queue_wait_s\":" << shards[s].queue_wait_s
+       << ",\"run_s\":" << shards[s].run_s << "}";
+  }
+  os << "]}";
+}
 
 int hardware_jobs() {
   const unsigned n = std::thread::hardware_concurrency();

@@ -19,12 +19,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -90,36 +93,108 @@ class ThreadPool {
   return {n_items * s / shards, n_items * (s + 1) / shards};
 }
 
+/// Wall-clock profile of one parallel_reduce call: how long each shard
+/// waited for an executor (queue wait, from dispatch to shard start) and
+/// ran, plus the sequential merge and the whole call. Filled when a
+/// profile pointer is passed to `parallel_reduce`; shard entries are
+/// written by the worker that runs the shard (one writer per slot, no
+/// synchronization needed) and kept in shard order.
+///
+/// Unlike the reduction *results*, wall times are not deterministic — the
+/// profile is a performance observation, emitted in the repo's BENCH_JSON
+/// style by `write_bench_json`.
+struct ReduceProfile {
+  struct ShardTiming {
+    double queue_wait_s = 0.0;
+    double run_s = 0.0;
+  };
+  int jobs_resolved = 0;  ///< executors actually used
+  int shards_used = 0;    ///< after the n_items clamp
+  double total_s = 0.0;   ///< whole parallel_reduce call
+  double merge_s = 0.0;   ///< sequential shard-order fold
+  std::vector<ShardTiming> shards;  ///< indexed by shard
+
+  [[nodiscard]] double max_shard_run_s() const;
+  [[nodiscard]] double sum_shard_run_s() const;
+  [[nodiscard]] double sum_queue_wait_s() const;
+
+  /// One-line machine-readable summary:
+  ///   BENCH_JSON {"bench":<name>,"jobs":..,"shards":[...],...}
+  /// (the caller prints the "BENCH_JSON " prefix convention via this).
+  void write_bench_json(std::ostream& os, std::string_view bench_name) const;
+};
+
 /// Map-reduce over [0, n_items): each shard builds a private `Accum` via
 /// `map(begin, end, shard)`, and shards are folded left-to-right with
 /// `merge(into, from)` on the calling thread. Deterministic in `jobs`
-/// (see file header); `jobs <= 1` runs fully inline.
+/// (see file header); `jobs <= 1` runs fully inline. A non-null `profile`
+/// receives wall-clock timings (which never influence the result).
 template <typename Accum, typename MapFn, typename MergeFn>
 [[nodiscard]] Accum parallel_reduce(std::int64_t n_items, int n_shards,
-                                    int jobs, MapFn&& map, MergeFn&& merge) {
+                                    int jobs, MapFn&& map, MergeFn&& merge,
+                                    ReduceProfile* profile = nullptr) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
   OAQ_REQUIRE(n_items > 0, "parallel_reduce needs at least one item");
   OAQ_REQUIRE(n_shards > 0, "parallel_reduce needs at least one shard");
   if (n_shards > n_items) n_shards = static_cast<int>(n_items);
   jobs = std::min(resolve_jobs(jobs), n_shards);
 
+  const auto t_start = Clock::now();
+  if (profile != nullptr) {
+    profile->jobs_resolved = jobs;
+    profile->shards_used = n_shards;
+    profile->merge_s = 0.0;
+    profile->shards.assign(static_cast<std::size_t>(n_shards), {});
+  }
+
   if (jobs <= 1) {
     auto [lo, hi] = shard_range(n_items, n_shards, 0);
     Accum acc = map(lo, hi, 0);
+    if (profile != nullptr) {
+      profile->shards[0].run_s = seconds_between(t_start, Clock::now());
+    }
     for (int s = 1; s < n_shards; ++s) {
       auto [b, e] = shard_range(n_items, n_shards, s);
-      merge(acc, map(b, e, s));
+      const auto t_map = Clock::now();
+      Accum part = map(b, e, s);
+      const auto t_merge = Clock::now();
+      merge(acc, std::move(part));
+      if (profile != nullptr) {
+        auto& timing = profile->shards[static_cast<std::size_t>(s)];
+        timing.run_s = seconds_between(t_map, t_merge);
+        profile->merge_s += seconds_between(t_merge, Clock::now());
+      }
+    }
+    if (profile != nullptr) {
+      profile->total_s = seconds_between(t_start, Clock::now());
     }
     return acc;
   }
 
   std::vector<std::optional<Accum>> parts(static_cast<std::size_t>(n_shards));
   ThreadPool::global().for_each_shard(n_shards, jobs, [&](int s) {
+    const auto t_shard = Clock::now();
     auto [b, e] = shard_range(n_items, n_shards, s);
     parts[static_cast<std::size_t>(s)].emplace(map(b, e, s));
+    if (profile != nullptr) {
+      auto& timing = profile->shards[static_cast<std::size_t>(s)];
+      timing.queue_wait_s = seconds_between(t_start, t_shard);
+      timing.run_s = seconds_between(t_shard, Clock::now());
+    }
   });
+  const auto t_fold = Clock::now();
   Accum acc = std::move(*parts[0]);
   for (int s = 1; s < n_shards; ++s) {
     merge(acc, std::move(*parts[static_cast<std::size_t>(s)]));
+  }
+  if (profile != nullptr) {
+    const auto t_end = Clock::now();
+    profile->merge_s = seconds_between(t_fold, t_end);
+    profile->total_s = seconds_between(t_start, t_end);
   }
   return acc;
 }

@@ -30,20 +30,45 @@ bool CrosslinkNetwork::is_failed(const Address& node) const {
   return it != failed_.end() && it->second;
 }
 
+void CrosslinkNetwork::trace_event(TraceEventType type, const Address& from,
+                                   const Address& to, std::int32_t a,
+                                   double v) const {
+  TraceEvent ev;
+  ev.episode = trace_episode_;
+  ev.t_min = sim_->now().since_origin().to_minutes();
+  ev.type = type;
+  ev.sat = trace_slot(from);
+  ev.peer = trace_slot(to);
+  ev.a = a;
+  ev.v = v;
+  trace_->push(ev);
+}
+
 void CrosslinkNetwork::send(const Address& from, const Address& to,
                             std::any payload) {
   ++stats_.sent;
   if (is_failed(from)) {
     ++stats_.dropped_dead_sender;
+    if (trace_ != nullptr) {
+      trace_event(TraceEventType::kXlinkDrop, from, to,
+                  static_cast<std::int32_t>(DropReason::kDeadSender), 0.0);
+    }
     return;
   }
   const bool loss_exempt =
       options_.lossless_to_ground && to.kind == Address::Kind::kGround;
   if (!loss_exempt && rng_.bernoulli(options_.loss_probability)) {
     ++stats_.dropped_loss;
+    if (trace_ != nullptr) {
+      trace_event(TraceEventType::kXlinkDrop, from, to,
+                  static_cast<std::int32_t>(DropReason::kLoss), 0.0);
+    }
     return;
   }
   const Duration delay = rng_.uniform(options_.min_delay, options_.max_delay);
+  if (trace_ != nullptr) {
+    trace_event(TraceEventType::kXlinkSend, from, to, 0, delay.to_seconds());
+  }
   Envelope env;
   env.from = from;
   env.to = to;
@@ -52,15 +77,29 @@ void CrosslinkNetwork::send(const Address& from, const Address& to,
   sim_->schedule_after(delay, [this, env = std::move(env)]() mutable {
     if (is_failed(env.to)) {
       ++stats_.dropped_dead_receiver;
+      if (trace_ != nullptr) {
+        trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
+                    static_cast<std::int32_t>(DropReason::kDeadReceiver),
+                    0.0);
+      }
       return;
     }
     const auto it = handlers_.find(env.to);
     if (it == handlers_.end()) {
       ++stats_.dropped_unregistered;
+      if (trace_ != nullptr) {
+        trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
+                    static_cast<std::int32_t>(DropReason::kUnregistered),
+                    0.0);
+      }
       return;
     }
     env.delivered = sim_->now();
     ++stats_.delivered;
+    if (trace_ != nullptr) {
+      trace_event(TraceEventType::kXlinkRecv, env.from, env.to, 0,
+                  (env.delivered - env.sent).to_seconds());
+    }
     it->second(env);
   });
 }

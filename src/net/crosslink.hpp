@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "orbit/plane.hpp"
 #include "sim/simulator.hpp"
 
@@ -92,13 +93,33 @@ class CrosslinkNetwork {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Attach a trace sink: every send/recv/drop is recorded as an
+  /// xlink_* event stamped with `episode_id` (-1 when the network is
+  /// shared by many episodes, as in campaigns). Null disables tracing —
+  /// the recording sites are a single branch on the pointer.
+  void set_trace(ShardTraceBuffer* trace, std::int64_t episode_id) {
+    trace_ = trace;
+    trace_episode_ = episode_id;
+  }
+
  private:
+  /// Trace encoding of an address: satellite slot, or -1 for the ground.
+  [[nodiscard]] static std::int16_t trace_slot(const Address& addr) {
+    return addr.kind == Address::Kind::kGround
+               ? std::int16_t{-1}
+               : static_cast<std::int16_t>(addr.satellite.slot);
+  }
+  void trace_event(TraceEventType type, const Address& from,
+                   const Address& to, std::int32_t a, double v) const;
+
   Simulator* sim_;
   Options options_;
   Rng rng_;
   std::map<Address, Handler> handlers_;
   std::map<Address, bool> failed_;
   NetworkStats stats_;
+  ShardTraceBuffer* trace_ = nullptr;
+  std::int64_t trace_episode_ = -1;
 };
 
 }  // namespace oaq

@@ -1,5 +1,6 @@
 #include "oaq/campaign.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <utility>
 
@@ -23,6 +24,7 @@ struct CampaignAccum {
   RunningStat latency_min;
   std::int64_t contended = 0;
   double queueing_delay_s = 0.0;
+  MetricsRegistry metrics;  ///< per-replication; empty when metrics are off
 
   void merge(const CampaignAccum& other) {
     signals += other.signals;
@@ -33,11 +35,16 @@ struct CampaignAccum {
     latency_min.merge(other.latency_min);
     contended += other.contended;
     queueing_delay_s += other.queueing_delay_s;
+    metrics.merge(other.metrics);
   }
 };
 
 /// One replication: the pre-parallel run_campaign body, seeded by `master`.
-CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master) {
+/// `trace` is this replication's shard buffer (null = tracing disabled);
+/// `want_metrics` fills the accumulator's registry.
+CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
+                                  ShardTraceBuffer* trace,
+                                  bool want_metrics) {
   Rng arrivals_rng = master.fork(1);
   Rng durations_rng = master.fork(2);
   Rng net_rng = master.fork(3);
@@ -55,6 +62,8 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master) {
   net_opt.loss_probability = config.protocol.crosslink_loss_probability;
   net_opt.lossless_to_ground = true;
   CrosslinkNetwork net(sim, net_opt, net_rng);
+  // Episodes share the network; network events cannot name one episode.
+  net.set_trace(trace, /*episode_id=*/-1);
 
   // One plane, one pass pattern for the whole campaign; signal arrival
   // times are uniform over the pattern period by Poisson stationarity.
@@ -83,7 +92,7 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master) {
     auto episode = std::make_unique<TargetEpisode>(
         target_id, sim, net, schedule, config.protocol,
         config.opportunity_adaptive, *episode_rngs.back(), calendar_ptr,
-        nullptr);
+        nullptr, trace);
     if (episode->arm(t, duration)) {
       episodes.push_back(std::move(episode));
     } else {
@@ -122,6 +131,39 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master) {
   }
   out.contended = calendar.contended_reservations();
   out.queueing_delay_s = calendar.total_queueing_delay().to_seconds();
+
+  if (want_metrics) {
+    MetricsRegistry& m = out.metrics;
+    m.add("campaign.replications", 1);
+    m.add("campaign.signals", out.signals);
+    m.add("alerts.delivered", out.delivered);
+    m.add("alerts.untimely", out.untimely);
+    m.add("alerts.duplicate_episodes", out.duplicates);
+    m.add("compute.contended", out.contended);
+    const NetworkStats& net_stats = net.stats();
+    m.add("xlink.sent", static_cast<std::int64_t>(net_stats.sent));
+    m.add("xlink.delivered", static_cast<std::int64_t>(net_stats.delivered));
+    m.add("xlink.dropped_loss",
+          static_cast<std::int64_t>(net_stats.dropped_loss));
+    m.add("xlink.dropped_dead",
+          static_cast<std::int64_t>(net_stats.dropped_dead_sender +
+                                    net_stats.dropped_dead_receiver +
+                                    net_stats.dropped_unregistered));
+    m.add("sim.events", static_cast<std::int64_t>(sim.processed_count()));
+    m.observe("sim.peak_pending",
+              static_cast<double>(sim.peak_pending_count()));
+    m.observe("compute.queueing_delay_s", out.queueing_delay_s);
+    for (auto& ep : episodes) {
+      const auto& r = ep->result();
+      if (r.alert_delivered) {
+        m.observe("alerts.latency_min",
+                  (r.first_alert_sent - r.detection).to_minutes());
+      }
+      if (r.detected) {
+        m.observe("chain.length", static_cast<double>(r.chain_length));
+      }
+    }
+  }
   return out;
 }
 
@@ -134,9 +176,30 @@ CampaignResult run_campaign(const CampaignConfig& config) {
               "arrival rate must be positive");
   OAQ_REQUIRE(config.replications > 0, "need at least one replication");
 
+  // One trace shard per replication (a replication's stream depends only
+  // on its child seed, so the shard-order export is jobs-independent).
+  if (config.trace != nullptr) config.trace->prepare(config.replications);
+  const bool want_metrics = config.metrics != nullptr;
+  const auto shard_trace = [&config](int shard) {
+    return config.trace != nullptr ? config.trace->shard(shard) : nullptr;
+  };
+
   CampaignAccum total;
   if (config.replications == 1) {
-    total = run_single_campaign(config, Rng(config.seed));
+    using Clock = std::chrono::steady_clock;
+    const auto t_start = Clock::now();
+    total =
+        run_single_campaign(config, Rng(config.seed), shard_trace(0),
+                            want_metrics);
+    if (config.profile != nullptr) {
+      // No fan-out: a one-shard profile keeps the BENCH_JSON shape.
+      config.profile->jobs_resolved = 1;
+      config.profile->shards_used = 1;
+      config.profile->merge_s = 0.0;
+      config.profile->shards.assign(1, {});
+      config.profile->shards[0].run_s = config.profile->total_s =
+          std::chrono::duration<double>(Clock::now() - t_start).count();
+    }
   } else {
     // One shard per replication, merged in replication order, so the
     // aggregate is bit-identical for any jobs value. Child seeds are
@@ -145,17 +208,19 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     const Rng replication_seeds = Rng(config.seed).fork(5);
     total = parallel_reduce<CampaignAccum>(
         config.replications, config.replications, config.jobs,
-        [&](std::int64_t begin, std::int64_t end, int /*shard*/) {
+        [&](std::int64_t begin, std::int64_t end, int shard) {
           CampaignAccum acc;
           for (std::int64_t r = begin; r < end; ++r) {
             acc.merge(run_single_campaign(
-                config,
-                replication_seeds.fork(static_cast<std::uint64_t>(r))));
+                config, replication_seeds.fork(static_cast<std::uint64_t>(r)),
+                shard_trace(shard), want_metrics));
           }
           return acc;
         },
-        [](CampaignAccum& into, CampaignAccum&& from) { into.merge(from); });
+        [](CampaignAccum& into, CampaignAccum&& from) { into.merge(from); },
+        config.profile);
   }
+  if (want_metrics) *config.metrics = std::move(total.metrics);
 
   CampaignResult out;
   out.signals = total.signals;

@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "common/distribution.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "oaq/target_episode.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oaq {
 
@@ -42,6 +45,16 @@ struct CampaignConfig {
   /// Worker threads across replications: 0 = auto (OAQ_JOBS env, else
   /// hardware), 1 = serial. Bit-identical results for any value.
   int jobs = 0;
+
+  // --- Observability (all optional; null = disabled). ---
+  /// Protocol event streams, one shard per replication. Campaign episodes
+  /// share one network, so network-level events carry episode = -1 while
+  /// protocol-level events carry the target id.
+  TraceCollector* trace = nullptr;
+  /// Receives the merged campaign metrics (deterministic; see montecarlo).
+  MetricsRegistry* metrics = nullptr;
+  /// Per-replication wall-time profile of the replication fan-out.
+  ReduceProfile* profile = nullptr;
 };
 
 /// Aggregated campaign outcome (over all replications). Counters are

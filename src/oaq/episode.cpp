@@ -19,7 +19,8 @@ EpisodeEngine::EpisodeEngine(const CoverageSchedule& schedule,
 EpisodeResult EpisodeEngine::run(TimePoint signal_start,
                                  Duration signal_duration, Rng& rng,
                                  const std::vector<Fault>& faults,
-                                 const std::set<SatelliteId>& known_failed)
+                                 const std::set<SatelliteId>& known_failed,
+                                 ShardTraceBuffer* trace, int episode_id)
     const {
   OAQ_REQUIRE(signal_duration > Duration::zero(),
               "signal duration must be positive");
@@ -30,9 +31,10 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
   net_opt.loss_probability = config_.crosslink_loss_probability;
   net_opt.lossless_to_ground = true;
   CrosslinkNetwork net(sim, net_opt, rng.fork(0x6e6574));
+  net.set_trace(trace, episode_id);
 
-  TargetEpisode episode(0, sim, net, *schedule_, config_, oaq_, rng,
-                        /*calendar=*/nullptr, &known_failed);
+  TargetEpisode episode(episode_id, sim, net, *schedule_, config_, oaq_, rng,
+                        /*calendar=*/nullptr, &known_failed, trace);
   if (!episode.arm(signal_start, signal_duration)) {
     // The signal escapes surveillance entirely (paper §2, worst case).
     return episode.result();
@@ -58,7 +60,18 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
 
   sim.run(200000);
   episode.finalize();
-  return episode.result();
+
+  EpisodeResult result = episode.result();
+  const NetworkStats& net_stats = net.stats();
+  result.telemetry.messages_sent = net_stats.sent;
+  result.telemetry.messages_delivered = net_stats.delivered;
+  result.telemetry.messages_dropped_loss = net_stats.dropped_loss;
+  result.telemetry.messages_dropped_dead = net_stats.dropped_dead_sender +
+                                           net_stats.dropped_dead_receiver +
+                                           net_stats.dropped_unregistered;
+  result.telemetry.sim_events = sim.processed_count();
+  result.telemetry.sim_peak_pending = sim.peak_pending_count();
+  return result;
 }
 
 }  // namespace oaq

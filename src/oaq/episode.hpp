@@ -59,6 +59,18 @@ struct ProtocolConfig {
   AccuracyModel accuracy{};
 };
 
+/// Infrastructure-level telemetry of one episode run, filled by
+/// EpisodeEngine::run from the network and DES kernel counters — the raw
+/// material of the harness-level metrics registry.
+struct EpisodeTelemetry {
+  std::uint64_t messages_sent = 0;       ///< crosslink + downlink sends
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped_loss = 0;
+  std::uint64_t messages_dropped_dead = 0;  ///< dead sender/receiver/unknown
+  std::uint64_t sim_events = 0;             ///< DES events processed
+  std::uint64_t sim_peak_pending = 0;       ///< DES queue-depth high water
+};
+
 /// What happened in one episode.
 struct EpisodeResult {
   QosLevel level = QosLevel::kMissed;  ///< level of the first alert
@@ -78,6 +90,7 @@ struct EpisodeResult {
   /// Every chain participant either delivered, received "done", or timed
   /// out by its local deadline — nobody is left waiting (§3.2).
   bool all_participants_resolved = true;
+  EpisodeTelemetry telemetry;
 };
 
 /// Runs one signal episode against a coverage schedule.
@@ -97,10 +110,14 @@ class EpisodeEngine {
   /// `known_failed`: satellites the group-membership service (src/net/
   /// membership) has already removed from the view — the coordination
   /// chain skips their passes instead of paying a wait-deadline timeout.
+  /// `trace`: optional per-shard event buffer (null = tracing disabled);
+  /// `episode_id` stamps the trace events (and the message target id) so
+  /// a sharded Monte-Carlo run can attribute events to episodes.
   [[nodiscard]] EpisodeResult run(
       TimePoint signal_start, Duration signal_duration, Rng& rng,
       const std::vector<Fault>& faults = {},
-      const std::set<SatelliteId>& known_failed = {}) const;
+      const std::set<SatelliteId>& known_failed = {},
+      ShardTraceBuffer* trace = nullptr, int episode_id = 0) const;
 
  private:
   const CoverageSchedule* schedule_;

@@ -10,12 +10,6 @@
 namespace oaq {
 namespace {
 
-/// Episode-count shard target: enough shards for good load balance at any
-/// realistic worker count, few enough that per-shard setup is negligible.
-/// Fixed (never derived from the worker count) so the merge tree — and
-/// with it every floating-point fold — is identical for all `jobs`.
-constexpr int kEpisodeShards = 64;
-
 std::int64_t checked_add(std::int64_t a, std::int64_t b) {
   std::int64_t out = 0;
   OAQ_REQUIRE(!__builtin_add_overflow(a, b, &out),
@@ -24,7 +18,9 @@ std::int64_t checked_add(std::int64_t a, std::int64_t b) {
 }
 
 /// Private per-shard tallies; merging in shard order is exact because every
-/// field is integral (DiscretePmf weights are integer-valued doubles).
+/// field is integral (DiscretePmf weights are integer-valued doubles) and
+/// MetricsRegistry merges counters integrally / stats via the same
+/// left-to-right Chan fold as RunningStat.
 struct EpisodeAccum {
   DiscretePmf level_pmf;
   std::int64_t duplicates = 0;
@@ -33,8 +29,9 @@ struct EpisodeAccum {
   std::int64_t detected = 0;
   std::int64_t chain_sum = 0;
   int max_chain_length = 0;
+  MetricsRegistry metrics;  ///< shard-local; empty when metrics are off
 
-  void merge(const EpisodeAccum& other) {
+  void merge(EpisodeAccum&& other) {
     level_pmf.merge(other.level_pmf);
     duplicates = checked_add(duplicates, other.duplicates);
     unresolved = checked_add(unresolved, other.unresolved);
@@ -42,8 +39,38 @@ struct EpisodeAccum {
     detected = checked_add(detected, other.detected);
     chain_sum = checked_add(chain_sum, other.chain_sum);
     max_chain_length = std::max(max_chain_length, other.max_chain_length);
+    metrics.merge(other.metrics);
   }
 };
+
+/// Record one episode's outcome into a shard-local registry. Every value
+/// derives from the episode result / telemetry (simulation time), so the
+/// merged registry is deterministic for any worker count.
+void record_episode_metrics(MetricsRegistry& m, const EpisodeResult& r) {
+  m.add("episodes", 1);
+  if (r.detected) m.add("episodes.detected", 1);
+  if (r.alert_delivered) m.add("alerts.delivered", 1);
+  if (r.alert_delivered && r.timely) m.add("alerts.timely", 1);
+  if (r.alert_delivered && !r.timely) m.add("alerts.untimely", 1);
+  if (r.alerts_sent > 1) m.add("alerts.duplicate_episodes", 1);
+  if (!r.all_participants_resolved) m.add("episodes.unresolved", 1);
+  m.add("alerts.sent", r.alerts_sent);
+  m.add("coordination.requests", r.coordination_requests);
+  m.add("xlink.sent", static_cast<std::int64_t>(r.telemetry.messages_sent));
+  m.add("xlink.delivered",
+        static_cast<std::int64_t>(r.telemetry.messages_delivered));
+  m.add("xlink.dropped_loss",
+        static_cast<std::int64_t>(r.telemetry.messages_dropped_loss));
+  m.add("xlink.dropped_dead",
+        static_cast<std::int64_t>(r.telemetry.messages_dropped_dead));
+  m.add("sim.events", static_cast<std::int64_t>(r.telemetry.sim_events));
+  m.observe("sim.peak_pending",
+            static_cast<double>(r.telemetry.sim_peak_pending));
+  if (r.detected) {
+    m.observe("chain.length", static_cast<double>(r.chain_length));
+    m.observe("alerts.reported_error_km", r.reported_error_km);
+  }
+}
 
 }  // namespace
 
@@ -64,11 +91,21 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   const TimePoint signal_start = TimePoint::at(Duration::minutes(60));
   const Duration tr = config.geometry.tr(config.k);
 
+  // Tracing: one ring buffer per shard, sized up front. A shard's stream
+  // depends only on its episode indices (episodes within a shard run
+  // sequentially), so the shard-order JSONL export is bit-identical for
+  // any jobs value.
+  const int n_shards = static_cast<int>(std::min<std::int64_t>(
+      kQosEpisodeShards, config.episodes));  // parallel_reduce's own clamp
+  if (config.trace != nullptr) config.trace->prepare(n_shards);
+  const bool want_metrics = config.metrics != nullptr;
+
   // Every random stream an episode consumes (phase, duration, protocol
   // noise) derives from episode_rng.fork(e): episode e's outcome does not
   // depend on which shard — or thread — runs it, making the reduction
   // bit-identical for any jobs value.
-  const auto run_episode = [&](std::int64_t e, EpisodeAccum& acc) {
+  const auto run_episode = [&](std::int64_t e, EpisodeAccum& acc,
+                               ShardTraceBuffer* trace) {
     const Rng ep = episode_rng.fork(static_cast<std::uint64_t>(e));
     Rng phase_rng = ep.fork(1);
     Rng duration_rng = ep.fork(2);
@@ -78,7 +115,9 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
     const EpisodeEngine engine(schedule, config.protocol,
                                config.opportunity_adaptive);
     const Duration duration = duration_law->sample(duration_rng);
-    const EpisodeResult r = engine.run(signal_start, duration, protocol_rng);
+    const EpisodeResult r =
+        engine.run(signal_start, duration, protocol_rng, /*faults=*/{},
+                   /*known_failed=*/{}, trace, static_cast<int>(e));
 
     acc.level_pmf.add(to_int(r.alert_delivered ? r.level : QosLevel::kMissed));
     if (r.alerts_sent > 1) ++acc.duplicates;
@@ -89,16 +128,24 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
       acc.chain_sum = checked_add(acc.chain_sum, r.chain_length);
       acc.max_chain_length = std::max(acc.max_chain_length, r.chain_length);
     }
+    if (want_metrics) record_episode_metrics(acc.metrics, r);
   };
 
   EpisodeAccum total = parallel_reduce<EpisodeAccum>(
-      config.episodes, kEpisodeShards, config.jobs,
-      [&](std::int64_t begin, std::int64_t end, int /*shard*/) {
+      config.episodes, n_shards, config.jobs,
+      [&](std::int64_t begin, std::int64_t end, int shard) {
         EpisodeAccum acc;
-        for (std::int64_t e = begin; e < end; ++e) run_episode(e, acc);
+        ShardTraceBuffer* trace =
+            config.trace != nullptr ? config.trace->shard(shard) : nullptr;
+        for (std::int64_t e = begin; e < end; ++e) run_episode(e, acc, trace);
         return acc;
       },
-      [](EpisodeAccum& into, EpisodeAccum&& from) { into.merge(from); });
+      [](EpisodeAccum& into, EpisodeAccum&& from) {
+        into.merge(std::move(from));
+      },
+      config.profile);
+
+  if (want_metrics) *config.metrics = std::move(total.metrics);
 
   SimulatedQos out;
   out.episodes = config.episodes;

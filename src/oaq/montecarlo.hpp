@@ -10,10 +10,19 @@
 
 #include "analytic/geometry.hpp"
 #include "common/distribution.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "oaq/episode.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oaq {
+
+/// Episode-count shard target of simulate_qos: enough shards for good load
+/// balance at any realistic worker count, few enough that per-shard setup
+/// is negligible. Fixed (never derived from the worker count) so the merge
+/// tree — and the per-shard trace streams — are identical for all `jobs`.
+inline constexpr int kQosEpisodeShards = 64;
 
 /// Configuration of a Monte-Carlo QoS experiment.
 struct QosSimulationConfig {
@@ -30,6 +39,21 @@ struct QosSimulationConfig {
   /// hardware concurrency), 1 = serial. Results are bit-identical for any
   /// value — episodes derive their random streams per-index.
   int jobs = 0;
+
+  // --- Observability (all optional; null = disabled, zero overhead
+  // beyond one branch per recording site). ---
+  /// Collects per-episode protocol events into per-shard ring buffers.
+  /// The JSONL export is bit-identical for any `jobs` value: a shard's
+  /// stream depends only on its episode indices, and shards are exported
+  /// in shard order.
+  TraceCollector* trace = nullptr;
+  /// Receives the merged run metrics (counters/stats over all episodes).
+  /// Simulation-derived metrics are deterministic; `wall.*` entries are
+  /// wall-clock and are not.
+  MetricsRegistry* metrics = nullptr;
+  /// Receives per-shard wall-time / queue-wait / merge profiling of the
+  /// episode reduction. Purely observational — never affects results.
+  ReduceProfile* profile = nullptr;
 };
 
 /// Aggregated outcome of a Monte-Carlo QoS experiment. Counters are 64-bit

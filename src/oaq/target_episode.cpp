@@ -25,10 +25,25 @@ TargetEpisode::TargetEpisode(int target_id, Simulator& sim,
                              const ProtocolConfig& cfg,
                              bool opportunity_adaptive, Rng& rng,
                              ComputeCalendar* calendar,
-                             const std::set<SatelliteId>* known_failed)
+                             const std::set<SatelliteId>* known_failed,
+                             ShardTraceBuffer* trace)
     : target_id_(target_id), sim_(&sim), net_(&net), schedule_(&schedule),
       cfg_(&cfg), oaq_(opportunity_adaptive), rng_(&rng),
-      calendar_(calendar), known_failed_(known_failed) {}
+      calendar_(calendar), known_failed_(known_failed), trace_(trace) {}
+
+void TargetEpisode::trace(TraceEventType type, SatelliteId sat, int peer_slot,
+                          int a, double v) const {
+  if (trace_ == nullptr) return;
+  TraceEvent ev;
+  ev.episode = target_id_;
+  ev.t_min = sim_->now().since_origin().to_minutes();
+  ev.type = type;
+  ev.sat = static_cast<std::int16_t>(sat.slot);
+  ev.peer = static_cast<std::int16_t>(peer_slot);
+  ev.a = a;
+  ev.v = v;
+  trace_->push(ev);
+}
 
 bool TargetEpisode::alive(TimePoint t) const {
   return t >= sig_start_ && t < sig_end_;
@@ -85,6 +100,8 @@ void TargetEpisode::send_alert(SatelliteId reporter,
   alert.summary = summary;
   alert.reporter = reporter;
   ++result_.alerts_sent;
+  trace(TraceEventType::kAlert, reporter, -1, summary.contributing_passes,
+        summary.estimated_error_km);
   net_->send(Address::sat(reporter), Address::ground(), alert);
 }
 
@@ -98,8 +115,9 @@ void TargetEpisode::send_done_downstream(SatelliteId from) {
   net_->send(Address::sat(from), Address::sat(st.downstream), done);
 }
 
-void TargetEpisode::finish(SatelliteId sat) {
+void TargetEpisode::finish(SatelliteId sat, TraceEventType cause) {
   auto& st = agents_[sat];
+  trace(cause, sat, -2, result_.chain_length, st.own.estimated_error_km);
   st.resolved = true;
   send_alert(sat, st.own);
   if (cfg_->backward_messaging) send_done_downstream(sat);
@@ -120,16 +138,22 @@ bool TargetEpisode::tc2_holds(int n) const {
 void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
   auto& st = agents_[sat];
   if (sim_->now() > deadline_) {
+    trace(TraceEventType::kTermLate, sat, -2, result_.chain_length,
+          st.own.estimated_error_km);
     st.resolved = true;  // a downstream timeout already covered the alert
     return;
   }
-  if (tc1_holds(st.own) || tc2_holds(st.ordinal)) {
-    finish(sat);
+  if (tc1_holds(st.own)) {
+    finish(sat, TraceEventType::kTermTc1);
+    return;
+  }
+  if (tc2_holds(st.ordinal)) {
+    finish(sat, TraceEventType::kTermTc2);
     return;
   }
   const auto next = next_pass_after(my_pass_start);
   if (!next || next->satellite == sat) {
-    finish(sat);  // nobody else will arrive
+    finish(sat, TraceEventType::kTermGeometry);  // nobody else will arrive
     return;
   }
   // Window-of-opportunity margin (the geometry behind Eq. (2), plus the
@@ -140,7 +164,7 @@ void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
       TimePoint::at(next->start) + cfg_->tg +
       static_cast<double>(st.ordinal) * cfg_->delta;
   if (completion_bound >= deadline_) {
-    finish(sat);
+    finish(sat, TraceEventType::kTermWindow);
     return;
   }
   CoordinationRequest req;
@@ -150,6 +174,8 @@ void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
   req.summary = st.own;
   req.requester = sat;
   ++result_.coordination_requests;
+  trace(TraceEventType::kChainHop, sat, next->satellite.slot, st.ordinal,
+        st.own.estimated_error_km);
   net_->send(Address::sat(sat), Address::sat(next->satellite), req);
 
   if (cfg_->backward_messaging) {
@@ -170,13 +196,15 @@ void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
 void TargetEpisode::on_wait_timeout(SatelliteId sat) {
   auto& st = agents_[sat];
   if (!st.waiting || st.resolved) return;
+  trace(TraceEventType::kWaitDeadline, sat, -2, st.ordinal, 0.0);
   st.waiting = false;
-  finish(sat);
+  finish(sat, TraceEventType::kTermWaitDeadline);
 }
 
 void TargetEpisode::on_done(SatelliteId sat) {
   auto& st = agents_[sat];
   if (st.resolved) return;
+  trace(TraceEventType::kDone, sat, -2, st.ordinal, 0.0);
   st.resolved = true;
   if (st.waiting) {
     st.waiting = false;
@@ -221,6 +249,8 @@ void TargetEpisode::on_request(SatelliteId self,
 
 void TargetEpisode::handle_cannot_compute(SatelliteId self, TimePoint when) {
   auto& st = agents_[self];
+  trace(TraceEventType::kTermTc3, self, -2, result_.chain_length,
+        st.own.estimated_error_km);
   st.resolved = true;
   if (!cfg_->backward_messaging) {
     // Forward responsibility: forward the predecessor's result (timeliness
@@ -240,6 +270,8 @@ void TargetEpisode::on_detection() {
   auto& st = agents_[s1];
   st.ordinal = 1;
   result_.participants.push_back(s1);
+  trace(TraceEventType::kDetection, s1, -2, static_cast<int>(cover.size()),
+        0.0);
 
   if (cover.size() >= 2) {
     start_simultaneous(s1, static_cast<int>(cover.size()));
@@ -252,7 +284,8 @@ void TargetEpisode::on_detection() {
   result_.chain_length = 1;
 
   if (!oaq_) {
-    sim_->schedule_after(cfg_->tg, [this, s1] { finish(s1); });
+    sim_->schedule_after(cfg_->tg,
+                         [this, s1] { finish(s1, TraceEventType::kTermBaq); });
     return;
   }
 
@@ -267,6 +300,8 @@ void TargetEpisode::on_detection() {
     }
   }
   if (t_sim) {
+    trace(TraceEventType::kWithhold, s1, -2, 0,
+          (*t_sim - t0_.since_origin()).to_minutes());
     sim_->schedule_at(TimePoint::at(*t_sim), [this, s1, t = *t_sim] {
       if (!alive(TimePoint::at(t))) {
         schedule_preliminary_at_deadline(s1);
@@ -289,7 +324,9 @@ void TargetEpisode::start_simultaneous(SatelliteId s1, int co_observers) {
   result_.chain_length = std::max(result_.chain_length, co_observers);
   const TimePoint done_at = computation_done(s1);
   if (done_at <= deadline_) {
-    sim_->schedule_at(done_at, [this, s1] { finish(s1); });
+    sim_->schedule_at(done_at, [this, s1] {
+      finish(s1, TraceEventType::kTermSimultaneous);
+    });
   } else {
     schedule_preliminary_at_deadline(s1);
   }
@@ -301,7 +338,7 @@ void TargetEpisode::schedule_preliminary_at_deadline(SatelliteId s1) {
     st.own.contributing_passes = 1;
     st.own.simultaneous = false;
     st.own.estimated_error_km = cfg_->accuracy.sequential_error_km(1);
-    finish(s1);
+    finish(s1, TraceEventType::kTermPreliminary);
   });
 }
 
@@ -360,6 +397,8 @@ void TargetEpisode::handle_ground_alert(const AlertMessage& alert) {
   result_.reported_error_km = alert.summary.estimated_error_km;
   result_.first_alert_sent = alert.sent;
   result_.timely = alert.sent <= deadline_;
+  trace(TraceEventType::kAlertDelivered, alert.reporter, -1,
+        to_int(result_.level), (alert.sent - t0_).to_minutes());
 }
 
 void TargetEpisode::finalize() {

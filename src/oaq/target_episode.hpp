@@ -18,6 +18,7 @@
 #include "oaq/episode.hpp"
 #include "oaq/messages.hpp"
 #include "oaq/schedule.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace oaq {
@@ -43,12 +44,15 @@ class ComputeCalendar {
 class TargetEpisode {
  public:
   /// `calendar` may be null (uncontended computations). `known_failed` may
-  /// be null (no membership view). Both must outlive the episode.
+  /// be null (no membership view). `trace` may be null (tracing disabled —
+  /// every recording site is a single branch on the pointer). All must
+  /// outlive the episode.
   TargetEpisode(int target_id, Simulator& sim, CrosslinkNetwork& net,
                 const CoverageSchedule& schedule, const ProtocolConfig& cfg,
                 bool opportunity_adaptive, Rng& rng,
                 ComputeCalendar* calendar,
-                const std::set<SatelliteId>* known_failed);
+                const std::set<SatelliteId>* known_failed,
+                ShardTraceBuffer* trace = nullptr);
 
   TargetEpisode(const TargetEpisode&) = delete;
   TargetEpisode& operator=(const TargetEpisode&) = delete;
@@ -97,7 +101,12 @@ class TargetEpisode {
                                                  Duration after) const;
   void send_alert(SatelliteId reporter, const GeolocationSummary& summary);
   void send_done_downstream(SatelliteId from);
-  void finish(SatelliteId sat);
+  /// Terminate `sat`'s part of the coordination; `cause` names why (one
+  /// of the term_* trace events — TC-1/TC-2/TC-3, geometry, window, ...).
+  void finish(SatelliteId sat, TraceEventType cause);
+  /// Records a protocol event when tracing is enabled (no-op otherwise).
+  void trace(TraceEventType type, SatelliteId sat, int peer_slot, int a,
+             double v) const;
   [[nodiscard]] bool tc1_holds(const GeolocationSummary& s) const;
   [[nodiscard]] bool tc2_holds(int n) const;
   void after_iteration(SatelliteId sat, Duration my_pass_start);
@@ -118,6 +127,7 @@ class TargetEpisode {
   Rng* rng_;
   ComputeCalendar* calendar_;
   const std::set<SatelliteId>* known_failed_;
+  ShardTraceBuffer* trace_;
 
   TimePoint sig_start_{};
   TimePoint sig_end_{};

@@ -1,0 +1,22 @@
+// Minimal JSON value formatting shared by the obs exporters.
+//
+// Doubles are rendered with std::to_chars shortest round-trip form: the
+// bytes are a pure function of the bit pattern, so any value that is
+// bit-deterministic across `jobs` serializes to identical text — the
+// property the trace/metrics determinism suite diffs on.
+#pragma once
+
+#include <charconv>
+#include <ostream>
+#include <string_view>
+
+namespace oaq {
+
+/// Writes a finite double as its shortest round-trip decimal form.
+inline void write_json_double(std::ostream& os, double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  os << std::string_view(buf, static_cast<std::size_t>(end - buf));
+}
+
+}  // namespace oaq

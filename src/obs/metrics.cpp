@@ -1,0 +1,100 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/jsonfmt.hpp"
+
+namespace oaq {
+
+void MetricsRegistry::add(std::string_view counter, std::int64_t delta) {
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+    return;
+  }
+  std::int64_t out = 0;
+  OAQ_REQUIRE(!__builtin_add_overflow(it->second, delta, &out),
+              "metrics counter overflow");
+  it->second = out;
+}
+
+void MetricsRegistry::set_gauge(std::string_view gauge, double value) {
+  auto it = gauges_.find(gauge);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view stat, double value) {
+  auto it = stats_.find(stat);
+  if (it == stats_.end()) {
+    it = stats_.emplace(std::string(stat), RunningStat{}).first;
+  }
+  it->second.add(value);
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const RunningStat& MetricsRegistry::stat(std::string_view name) const {
+  static const RunningStat kEmpty;
+  const auto it = stats_.find(name);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) add(name, value);
+  for (const auto& [name, value] : other.gauges_) set_gauge(name, value);
+  for (const auto& [name, stat] : other.stats_) {
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+      stats_.emplace(name, stat);
+    } else {
+      it->second.merge(stat);
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "" : ",") << '"' << name << "\":" << value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    os << (first ? "" : ",") << '"' << name << "\":";
+    write_json_double(os, value);
+    first = false;
+  }
+  os << "},\"stats\":{";
+  first = true;
+  for (const auto& [name, stat] : stats_) {
+    os << (first ? "" : ",") << '"' << name
+       << "\":{\"count\":" << stat.count() << ",\"mean\":";
+    write_json_double(os, stat.mean());
+    os << ",\"min\":";
+    write_json_double(os, stat.count() ? stat.min() : 0.0);
+    os << ",\"max\":";
+    write_json_double(os, stat.count() ? stat.max() : 0.0);
+    os << ",\"stddev\":";
+    write_json_double(os, stat.stddev());
+    os << '}';
+    first = false;
+  }
+  os << "}}";
+}
+
+}  // namespace oaq

@@ -1,0 +1,230 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/jsonfmt.hpp"
+
+namespace oaq {
+
+namespace {
+
+struct TypeName {
+  TraceEventType type;
+  std::string_view name;
+};
+
+// Wire names are part of the trace schema — append-only, never renamed.
+constexpr TypeName kTypeNames[] = {
+    {TraceEventType::kDetection, "detection"},
+    {TraceEventType::kChainHop, "chain_hop"},
+    {TraceEventType::kXlinkSend, "xlink_send"},
+    {TraceEventType::kXlinkRecv, "xlink_recv"},
+    {TraceEventType::kXlinkDrop, "xlink_drop"},
+    {TraceEventType::kWithhold, "withhold"},
+    {TraceEventType::kDone, "done"},
+    {TraceEventType::kWaitDeadline, "wait_deadline"},
+    {TraceEventType::kAlert, "alert"},
+    {TraceEventType::kAlertDelivered, "alert_delivered"},
+    {TraceEventType::kTermTc1, "term_tc1"},
+    {TraceEventType::kTermTc2, "term_tc2"},
+    {TraceEventType::kTermTc3, "term_tc3"},
+    {TraceEventType::kTermWaitDeadline, "term_wait_deadline"},
+    {TraceEventType::kTermGeometry, "term_geometry"},
+    {TraceEventType::kTermWindow, "term_window"},
+    {TraceEventType::kTermSimultaneous, "term_simultaneous"},
+    {TraceEventType::kTermPreliminary, "term_preliminary"},
+    {TraceEventType::kTermBaq, "term_baq"},
+    {TraceEventType::kTermLate, "term_late"},
+};
+
+}  // namespace
+
+std::string_view to_string(TraceEventType type) {
+  for (const auto& entry : kTypeNames) {
+    if (entry.type == type) return entry.name;
+  }
+  return "unknown";
+}
+
+std::optional<TraceEventType> trace_event_type_from(std::string_view name) {
+  for (const auto& entry : kTypeNames) {
+    if (entry.name == name) return entry.type;
+  }
+  return std::nullopt;
+}
+
+ShardTraceBuffer::ShardTraceBuffer(std::size_t capacity)
+    : capacity_(capacity) {
+  OAQ_REQUIRE(capacity > 0, "trace buffer capacity must be positive");
+}
+
+void ShardTraceBuffer::push(const TraceEvent& event) {
+  ++recorded_;
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  events_[head_] = event;  // overwrite the oldest: flight-recorder semantics
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> ShardTraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+void ShardTraceBuffer::clear() {
+  events_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+TraceCollector::TraceCollector(std::size_t capacity_per_shard)
+    : capacity_(capacity_per_shard) {
+  OAQ_REQUIRE(capacity_per_shard > 0,
+              "trace buffer capacity must be positive");
+}
+
+void TraceCollector::prepare(int n_shards) {
+  OAQ_REQUIRE(n_shards > 0, "need at least one shard");
+  buffers_.clear();
+  for (int s = 0; s < n_shards; ++s) buffers_.emplace_back(capacity_);
+}
+
+ShardTraceBuffer* TraceCollector::shard(int s) {
+  OAQ_REQUIRE(s >= 0 && s < shards(), "trace shard out of range");
+  return &buffers_[static_cast<std::size_t>(s)];
+}
+
+const ShardTraceBuffer& TraceCollector::shard_buffer(int s) const {
+  OAQ_REQUIRE(s >= 0 && s < shards(), "trace shard out of range");
+  return buffers_[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t TraceCollector::total_recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) total += b.recorded();
+  return total;
+}
+
+std::uint64_t TraceCollector::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) total += b.dropped();
+  return total;
+}
+
+void TraceCollector::write_jsonl(std::ostream& os) const {
+  for (int s = 0; s < shards(); ++s) {
+    for (const TraceEvent& ev : buffers_[static_cast<std::size_t>(s)]
+                                    .events()) {
+      os << "{\"shard\":" << s << ",\"ep\":" << ev.episode << ",\"t\":";
+      write_json_double(os, ev.t_min);
+      os << ",\"type\":\"" << to_string(ev.type)
+         << "\",\"sat\":" << ev.sat << ",\"peer\":" << ev.peer
+         << ",\"a\":" << ev.a << ",\"v\":";
+      write_json_double(os, ev.v);
+      os << "}\n";
+    }
+  }
+}
+
+namespace {
+
+/// Value text of `"key":` in a flat one-object JSON line, or nullopt.
+std::optional<std::string_view> json_field(std::string_view line,
+                                           std::string_view key) {
+  const std::string pattern = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return std::nullopt;
+  auto value = line.substr(pos + pattern.size());
+  const auto end = value.find_first_of(",}");
+  if (end == std::string_view::npos) return std::nullopt;
+  return value.substr(0, end);
+}
+
+template <typename T>
+std::optional<T> parse_number(std::string_view text) {
+  T out{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<ParsedTraceEvent> parse_trace_line(std::string_view line) {
+  const auto shard = json_field(line, "shard");
+  const auto ep = json_field(line, "ep");
+  const auto t = json_field(line, "t");
+  const auto type = json_field(line, "type");
+  const auto sat = json_field(line, "sat");
+  const auto peer = json_field(line, "peer");
+  const auto a = json_field(line, "a");
+  const auto v = json_field(line, "v");
+  if (!shard || !ep || !t || !type || !sat || !peer || !a || !v) {
+    return std::nullopt;
+  }
+  auto type_text = *type;
+  if (type_text.size() < 2 || type_text.front() != '"' ||
+      type_text.back() != '"') {
+    return std::nullopt;
+  }
+  const auto event_type =
+      trace_event_type_from(type_text.substr(1, type_text.size() - 2));
+  const auto shard_n = parse_number<int>(*shard);
+  const auto ep_n = parse_number<std::int64_t>(*ep);
+  const auto t_n = parse_number<double>(*t);
+  const auto sat_n = parse_number<int>(*sat);
+  const auto peer_n = parse_number<int>(*peer);
+  const auto a_n = parse_number<std::int32_t>(*a);
+  const auto v_n = parse_number<double>(*v);
+  if (!event_type || !shard_n || !ep_n || !t_n || !sat_n || !peer_n || !a_n ||
+      !v_n) {
+    return std::nullopt;
+  }
+  ParsedTraceEvent out;
+  out.shard = *shard_n;
+  out.event.episode = *ep_n;
+  out.event.t_min = *t_n;
+  out.event.type = *event_type;
+  out.event.sat = static_cast<std::int16_t>(*sat_n);
+  out.event.peer = static_cast<std::int16_t>(*peer_n);
+  out.event.a = *a_n;
+  out.event.v = *v_n;
+  return out;
+}
+
+void TraceSummary::add(const ParsedTraceEvent& parsed) {
+  ++events;
+  const TraceEvent& ev = parsed.event;
+  if (ev.type == TraceEventType::kDetection) ++detections;
+  if (ev.type == TraceEventType::kAlertDelivered) ++alerts_delivered;
+  if (is_termination(ev.type)) {
+    ++terminations;
+    const int chain = std::max(0, static_cast<int>(ev.a));
+    ++termination[std::string(to_string(ev.type))][chain];
+    max_chain = std::max(max_chain, chain);
+  }
+}
+
+TraceSummary summarize_trace(std::istream& is) {
+  TraceSummary summary;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (const auto parsed = parse_trace_line(line)) summary.add(*parsed);
+  }
+  return summary;
+}
+
+}  // namespace oaq

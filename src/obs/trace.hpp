@@ -1,0 +1,183 @@
+// Structured per-episode protocol event tracing.
+//
+// The OAQ protocol's QoS pmf is explained by *why* chains terminate —
+// TC-1 accuracy, TC-2 deadline margin, TC-3 signal loss, wait-deadline
+// rescue under fail-silence (paper §3.2, Fig. 4). The tracer records those
+// protocol events (detection, chain hop S_n→S_{n+1}, crosslink
+// send/recv/drop, overlap withhold, termination, done-notification,
+// wait-deadline firing) into per-shard ring buffers and exports them as
+// JSONL.
+//
+// Determinism contract (mirrors the parallel accumulators): the shard
+// decomposition is fixed by (episodes, n_shards), episodes within a shard
+// run sequentially, and every event is derived from simulation state — so
+// each shard's buffer content is independent of the worker count, and the
+// canonical export (shard buffers concatenated in shard order) is
+// BIT-identical for any `jobs` value. Ring overflow drops the *oldest*
+// events per shard; since per-shard event streams are jobs-independent, so
+// is what gets dropped.
+//
+// Cost contract: a disabled tracer is a null `ShardTraceBuffer*` at every
+// recording site — one predictable branch, no virtual call, no allocation
+// (verified by the micro_kernels disabled-tracer case).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oaq {
+
+/// Protocol event kinds. `term_*` events mark a chain member terminating
+/// its part of the coordination, tagged with the cause; an episode can
+/// emit several (e.g. a TC-3 silent peer plus the predecessor's
+/// wait-deadline rescue).
+enum class TraceEventType : std::uint8_t {
+  kDetection = 0,      ///< t0: first satellite sees the signal
+  kChainHop,           ///< coordination request S_n → S_{n+1}
+  kXlinkSend,          ///< crosslink/downlink message queued
+  kXlinkRecv,          ///< message delivered (v = delay seconds)
+  kXlinkDrop,          ///< message dropped (a = DropReason)
+  kWithhold,           ///< OAQ withholds for an overlap window (v = wait min)
+  kDone,               ///< "coordination done" received downstream
+  kWaitDeadline,       ///< a member's wait deadline τ−(n−1)δ fired
+  kAlert,              ///< alert sent toward the ground (v = err km)
+  kAlertDelivered,     ///< first alert reached the ground (a = QoS level)
+  kTermTc1,            ///< TC-1: estimated error under threshold
+  kTermTc2,            ///< TC-2: deadline margin exhausted
+  kTermTc3,            ///< TC-3: signal gone / member cannot compute
+  kTermWaitDeadline,   ///< terminated by the wait-deadline rescue
+  kTermGeometry,       ///< no further pass arrives — chain exhausted
+  kTermWindow,         ///< next pass outside the opportunity window
+  kTermSimultaneous,   ///< simultaneous fix computed — nothing to chain
+  kTermPreliminary,    ///< preliminary fallback forced at the deadline
+  kTermBaq,            ///< BAQ: delivered after the initial computation
+  kTermLate,           ///< iteration completed after the deadline passed
+};
+
+/// Reason codes carried in `TraceEvent::a` for kXlinkDrop.
+enum class DropReason : std::uint8_t {
+  kDeadSender = 0,
+  kLoss = 1,
+  kDeadReceiver = 2,
+  kUnregistered = 3,
+};
+
+/// Stable wire name of an event type (the JSONL "type" value).
+[[nodiscard]] std::string_view to_string(TraceEventType type);
+
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<TraceEventType> trace_event_type_from(
+    std::string_view name);
+
+/// True for the `term_*` family (the trace-summary rows).
+[[nodiscard]] constexpr bool is_termination(TraceEventType type) {
+  return type >= TraceEventType::kTermTc1;
+}
+
+/// One protocol event. Flat and POD-sized so ring buffers stay cheap.
+/// `sat`/`peer` are satellite slots (-1 = ground, -2 = none); `a` is a
+/// small integer detail (chain length for term_*, ordinal for chain hops,
+/// QoS level for deliveries, DropReason for drops); `v` is a double detail
+/// (error km, delay s, wait min) — see each type's comment.
+struct TraceEvent {
+  std::int64_t episode = 0;  ///< episode index / campaign target id (-1 n/a)
+  double t_min = 0.0;        ///< simulation time, minutes since origin
+  TraceEventType type = TraceEventType::kDetection;
+  std::int16_t sat = -2;
+  std::int16_t peer = -2;
+  std::int32_t a = 0;
+  double v = 0.0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Fixed-capacity ring buffer of one shard's events. Keeps the most
+/// recent `capacity` events; `dropped()` counts overwritten ones.
+class ShardTraceBuffer {
+ public:
+  explicit ShardTraceBuffer(std::size_t capacity);
+
+  void push(const TraceEvent& event);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ - events_.size();
+  }
+
+  /// Events in recording order (oldest surviving first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< index of the oldest event once wrapped
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Owns one ring buffer per shard. The harness calls `prepare(n_shards)`
+/// before fanning out; each shard then records into its private buffer
+/// with no synchronization (a shard is processed by exactly one worker).
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t capacity_per_shard = 1 << 16);
+
+  /// Drops previous buffers and allocates `n_shards` empty ones.
+  void prepare(int n_shards);
+
+  [[nodiscard]] int shards() const { return static_cast<int>(buffers_.size()); }
+  [[nodiscard]] ShardTraceBuffer* shard(int s);
+  [[nodiscard]] const ShardTraceBuffer& shard_buffer(int s) const;
+
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// Canonical JSONL export: shard buffers concatenated in shard order,
+  /// one event per line:
+  ///   {"shard":S,"ep":E,"t":T,"type":"...","sat":A,"peer":B,"a":N,"v":V}
+  /// Deterministic bytes for any jobs value (see file header).
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<ShardTraceBuffer> buffers_;  // deque: buffers never relocate
+};
+
+/// One JSONL line parsed back into an event (plus its shard).
+struct ParsedTraceEvent {
+  int shard = 0;
+  TraceEvent event;
+};
+
+/// Parses a line written by TraceCollector::write_jsonl. Returns nullopt
+/// for blank or foreign lines.
+[[nodiscard]] std::optional<ParsedTraceEvent> parse_trace_line(
+    std::string_view line);
+
+/// Aggregation of a trace: termination-cause × chain-length counts (the
+/// `oaqctl trace-summary` table) plus stream totals.
+struct TraceSummary {
+  /// cause name → chain length → event count.
+  std::map<std::string, std::map<int, std::int64_t>> termination;
+  std::int64_t events = 0;        ///< parsed events
+  std::int64_t terminations = 0;  ///< events in the term_* family
+  std::int64_t detections = 0;
+  std::int64_t alerts_delivered = 0;
+  int max_chain = 0;
+
+  void add(const ParsedTraceEvent& parsed);
+};
+
+/// Summarizes a JSONL stream line by line (unparseable lines are skipped).
+[[nodiscard]] TraceSummary summarize_trace(std::istream& is);
+
+}  // namespace oaq

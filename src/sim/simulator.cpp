@@ -13,6 +13,7 @@ EventId Simulator::schedule_at(TimePoint t, Callback cb) {
   ev->callback = std::move(cb);
   queue_.push(ev);
   live_.emplace(ev->seq, ev);
+  if (live_.size() > peak_pending_) peak_pending_ = live_.size();
   return EventId{ev->seq};
 }
 

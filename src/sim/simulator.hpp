@@ -59,6 +59,9 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_count() const { return live_.size(); }
   [[nodiscard]] std::uint64_t processed_count() const { return processed_; }
+  /// High-water mark of the pending-event set over the simulator's life —
+  /// the DES queue-depth gauge the observability layer reports.
+  [[nodiscard]] std::size_t peak_pending_count() const { return peak_pending_; }
 
  private:
   struct Event {
@@ -81,6 +84,7 @@ class Simulator {
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t peak_pending_ = 0;
   std::priority_queue<std::shared_ptr<Event>,
                       std::vector<std::shared_ptr<Event>>, Later>
       queue_;

@@ -1,0 +1,146 @@
+// MetricsRegistry: counters/gauges/stats semantics and the shard-order
+// merge contract (mirrors the Monte-Carlo accumulator discipline).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace oaq {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.counter("episodes"), 0);
+  m.add("episodes");
+  m.add("episodes", 4);
+  EXPECT_EQ(m.counter("episodes"), 5);
+  EXPECT_FALSE(m.empty());
+}
+
+TEST(MetricsRegistry, CounterOverflowIsGuarded) {
+  MetricsRegistry m;
+  m.add("big", std::numeric_limits<std::int64_t>::max());
+  EXPECT_THROW(m.add("big", 1), PreconditionError);
+}
+
+TEST(MetricsRegistry, GaugesLastWriteWins) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.gauge("queue"), 0.0);
+  m.set_gauge("queue", 3.5);
+  m.set_gauge("queue", 1.25);
+  EXPECT_EQ(m.gauge("queue"), 1.25);
+}
+
+TEST(MetricsRegistry, ObserveFeedsRunningStat) {
+  MetricsRegistry m;
+  m.observe("chain.length", 1.0);
+  m.observe("chain.length", 3.0);
+  const RunningStat& s = m.stat("chain.length");
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  // Unknown stat: an empty RunningStat, not an error.
+  EXPECT_EQ(m.stat("absent").count(), 0u);
+}
+
+TEST(MetricsRegistry, MergeMatchesSerialRecording) {
+  // Two shard registries merged in shard order must equal one registry
+  // fed the same stream serially — the same invariant the Monte-Carlo
+  // accumulators rely on.
+  MetricsRegistry serial;
+  MetricsRegistry shard0;
+  MetricsRegistry shard1;
+  const double xs0[] = {1.0, 4.0, 2.5};
+  const double xs1[] = {7.0, 0.5};
+  for (const double x : xs0) {
+    serial.observe("v", x);
+    shard0.observe("v", x);
+    serial.add("n");
+    shard0.add("n");
+  }
+  for (const double x : xs1) {
+    serial.observe("v", x);
+    shard1.observe("v", x);
+    serial.add("n");
+    shard1.add("n");
+  }
+  shard0.set_gauge("g", 1.0);
+  shard1.set_gauge("g", 2.0);
+
+  MetricsRegistry merged = shard0;
+  merged.merge(shard1);
+  EXPECT_EQ(merged.counter("n"), serial.counter("n"));
+  EXPECT_EQ(merged.stat("v").count(), serial.stat("v").count());
+  EXPECT_DOUBLE_EQ(merged.stat("v").min(), serial.stat("v").min());
+  EXPECT_DOUBLE_EQ(merged.stat("v").max(), serial.stat("v").max());
+  EXPECT_NEAR(merged.stat("v").mean(), serial.stat("v").mean(), 1e-12);
+  EXPECT_NEAR(merged.stat("v").variance(), serial.stat("v").variance(),
+              1e-12);
+  EXPECT_EQ(merged.gauge("g"), 2.0);  // right-hand (later shard) wins
+}
+
+TEST(MetricsRegistry, MergeIsDeterministicForAnyGrouping) {
+  // ((a ⊕ b) ⊕ c) must give bit-identical counters and stat moments to
+  // a ⊕ (b-then-c recorded as one shard) when fold order is preserved —
+  // the property that makes parallel_reduce's shard-order fold safe.
+  auto record = [](MetricsRegistry& m, int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      m.add("count");
+      m.observe("x", 0.1 * i);
+    }
+  };
+  MetricsRegistry a;
+  MetricsRegistry b;
+  MetricsRegistry c;
+  record(a, 0, 5);
+  record(b, 5, 9);
+  record(c, 9, 12);
+  MetricsRegistry left = a;
+  left.merge(b);
+  left.merge(c);
+
+  MetricsRegistry bc;
+  record(bc, 5, 9);
+  record(bc, 9, 12);
+  MetricsRegistry right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.counter("count"), right.counter("count"));
+  EXPECT_EQ(left.stat("x").count(), right.stat("x").count());
+  EXPECT_EQ(left.stat("x").mean(), right.stat("x").mean());
+}
+
+TEST(MetricsRegistry, ScopedTimerObservesUnderWallPrefix) {
+  MetricsRegistry m;
+  {
+    const auto timer = m.time("wall.block");
+    (void)timer;
+  }
+  EXPECT_EQ(m.stat("wall.block").count(), 1u);
+  EXPECT_GE(m.stat("wall.block").min(), 0.0);
+}
+
+TEST(MetricsRegistry, WriteJsonIsSortedAndParseable) {
+  MetricsRegistry m;
+  m.add("b.counter", 2);
+  m.add("a.counter", 1);
+  m.set_gauge("g", 0.5);
+  m.observe("s", 2.0);
+  std::ostringstream os;
+  m.write_json(os);
+  const std::string json = os.str();
+  // Keys appear sorted (map order) — deterministic bytes.
+  EXPECT_LT(json.find("a.counter"), json.find("b.counter"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oaq

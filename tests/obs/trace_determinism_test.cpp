@@ -1,0 +1,168 @@
+// Determinism contract of the observability layer: for a fixed seed, the
+// exported trace JSONL and the merged metrics registry are BIT-identical
+// for every jobs value, and attaching observers never perturbs results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "oaq/campaign.hpp"
+#include "oaq/montecarlo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace oaq {
+namespace {
+
+QosSimulationConfig sim_config(int jobs) {
+  QosSimulationConfig cfg;
+  cfg.k = 9;
+  cfg.episodes = 1500;
+  cfg.seed = 97;
+  cfg.mu = Rate::per_minute(0.3);
+  cfg.protocol.tau = Duration::minutes(5);
+  cfg.protocol.delta = Duration::seconds(12);
+  cfg.protocol.tg = Duration::seconds(6);
+  cfg.protocol.nu = Rate::per_minute(30);
+  cfg.protocol.computation_cap = Duration::seconds(6);
+  cfg.protocol.crosslink_loss_probability = 0.05;  // exercise drop events
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+std::string traced_jsonl(int jobs, MetricsRegistry* metrics) {
+  TraceCollector collector;
+  auto cfg = sim_config(jobs);
+  cfg.trace = &collector;
+  cfg.metrics = metrics;
+  (void)simulate_qos(cfg);
+  std::ostringstream os;
+  collector.write_jsonl(os);
+  return os.str();
+}
+
+TEST(TraceDeterminism, SimulateQosJsonlBitIdenticalAcrossJobs) {
+  MetricsRegistry serial_metrics;
+  const std::string serial = traced_jsonl(1, &serial_metrics);
+  EXPECT_FALSE(serial.empty());
+  for (const int jobs : {2, 4, 8}) {
+    MetricsRegistry metrics;
+    const std::string parallel = traced_jsonl(jobs, &metrics);
+    EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+    // The merged registries must also match exactly: counters are
+    // integral and stats fold in shard order on both sides.
+    EXPECT_EQ(metrics.counters(), serial_metrics.counters())
+        << "jobs=" << jobs;
+    ASSERT_EQ(metrics.stats().size(), serial_metrics.stats().size());
+    for (const auto& [name, stat] : serial_metrics.stats()) {
+      const RunningStat& other = metrics.stat(name);
+      EXPECT_EQ(stat.count(), other.count()) << name;
+      EXPECT_EQ(stat.mean(), other.mean()) << name;
+      EXPECT_EQ(stat.variance(), other.variance()) << name;
+      EXPECT_EQ(stat.min(), other.min()) << name;
+      EXPECT_EQ(stat.max(), other.max()) << name;
+    }
+  }
+}
+
+TEST(TraceDeterminism, ObserversDoNotPerturbResults) {
+  const SimulatedQos plain = simulate_qos(sim_config(2));
+
+  TraceCollector collector;
+  MetricsRegistry metrics;
+  ReduceProfile profile;
+  auto cfg = sim_config(2);
+  cfg.trace = &collector;
+  cfg.metrics = &metrics;
+  cfg.profile = &profile;
+  const SimulatedQos observed = simulate_qos(cfg);
+
+  EXPECT_EQ(plain.level_pmf.weights(), observed.level_pmf.weights());
+  EXPECT_EQ(plain.duplicates, observed.duplicates);
+  EXPECT_EQ(plain.unresolved, observed.unresolved);
+  EXPECT_EQ(plain.untimely, observed.untimely);
+  EXPECT_EQ(plain.mean_chain_length, observed.mean_chain_length);
+  EXPECT_EQ(plain.max_chain_length, observed.max_chain_length);
+  EXPECT_GT(collector.total_recorded(), 0u);
+  EXPECT_EQ(profile.shards_used, 64);
+}
+
+TEST(TraceDeterminism, MetricsAgreeWithResultCounters) {
+  TraceCollector collector;
+  MetricsRegistry metrics;
+  auto cfg = sim_config(4);
+  cfg.trace = &collector;
+  cfg.metrics = &metrics;
+  const SimulatedQos r = simulate_qos(cfg);
+
+  EXPECT_EQ(metrics.counter("episodes"), r.episodes);
+  EXPECT_EQ(metrics.counter("alerts.duplicate_episodes"), r.duplicates);
+  EXPECT_EQ(metrics.counter("episodes.unresolved"), r.unresolved);
+  EXPECT_EQ(metrics.counter("alerts.untimely"), r.untimely);
+  EXPECT_EQ(static_cast<double>(metrics.stat("chain.length").count()),
+            // chain.length is observed once per detected episode
+            static_cast<double>(metrics.counter("episodes.detected")));
+  EXPECT_EQ(metrics.stat("chain.length").max(),
+            static_cast<double>(r.max_chain_length));
+
+  // The trace tells the same story as the aggregate counters.
+  std::ostringstream os;
+  collector.write_jsonl(os);
+  std::istringstream is(os.str());
+  const TraceSummary summary = summarize_trace(is);
+  EXPECT_EQ(summary.detections, metrics.counter("episodes.detected"));
+  EXPECT_EQ(summary.alerts_delivered, metrics.counter("alerts.delivered"));
+  EXPECT_GE(summary.max_chain, r.max_chain_length);
+}
+
+CampaignConfig campaign_config(int jobs) {
+  CampaignConfig cfg;
+  cfg.k = 9;
+  cfg.protocol.tau = Duration::minutes(5);
+  cfg.protocol.delta = Duration::seconds(12);
+  cfg.protocol.tg = Duration::seconds(6);
+  cfg.protocol.nu = Rate::per_minute(1.0);
+  cfg.protocol.computation_cap = Duration::minutes(2);
+  cfg.signal_arrival_rate = Rate::per_hour(12.0);
+  cfg.horizon = Duration::hours(6);
+  cfg.seed = 31;
+  cfg.replications = 4;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+TEST(TraceDeterminism, CampaignJsonlBitIdenticalAcrossJobs) {
+  auto run = [](int jobs) {
+    TraceCollector collector;
+    auto cfg = campaign_config(jobs);
+    cfg.trace = &collector;
+    (void)run_campaign(cfg);
+    std::ostringstream os;
+    collector.write_jsonl(os);
+    return os.str();
+  };
+  const std::string serial = run(1);
+  EXPECT_FALSE(serial.empty());
+  for (const int jobs : {2, 4}) {
+    EXPECT_EQ(serial, run(jobs)) << "jobs=" << jobs;
+  }
+}
+
+TEST(TraceDeterminism, CampaignMetricsMatchResult) {
+  TraceCollector collector;
+  MetricsRegistry metrics;
+  auto cfg = campaign_config(2);
+  cfg.trace = &collector;
+  cfg.metrics = &metrics;
+  const CampaignResult r = run_campaign(cfg);
+  EXPECT_EQ(metrics.counter("campaign.replications"), r.replications);
+  EXPECT_EQ(metrics.counter("campaign.signals"), r.signals);
+  EXPECT_EQ(metrics.counter("alerts.delivered"), r.delivered);
+  EXPECT_EQ(metrics.counter("compute.contended"), r.contended_computations);
+  EXPECT_EQ(metrics.stat("alerts.latency_min").count(),
+            r.latency_min.count());
+  EXPECT_GT(collector.total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace oaq

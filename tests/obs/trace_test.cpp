@@ -1,0 +1,166 @@
+// ShardTraceBuffer / TraceCollector: flight-recorder semantics, the
+// canonical JSONL export, and the parse/summarize round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace oaq {
+namespace {
+
+TraceEvent make_event(int i) {
+  TraceEvent ev;
+  ev.episode = i;
+  ev.t_min = 0.5 * i;
+  ev.type = TraceEventType::kChainHop;
+  ev.sat = static_cast<std::int16_t>(i % 9);
+  ev.peer = static_cast<std::int16_t>((i + 1) % 9);
+  ev.a = i;
+  ev.v = 1.0 / (i + 1);
+  return ev;
+}
+
+TEST(ShardTraceBuffer, KeepsEventsInOrderBelowCapacity) {
+  ShardTraceBuffer buf(8);
+  for (int i = 0; i < 5; ++i) buf.push(make_event(i));
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.recorded(), 5u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  const auto events = buf.events();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(events[i], make_event(i));
+}
+
+TEST(ShardTraceBuffer, OverwritesOldestWhenFull) {
+  ShardTraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) buf.push(make_event(i));
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.recorded(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  const auto events = buf.events();
+  // Flight recorder: the last 4 events survive, oldest first.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[i], make_event(6 + i));
+}
+
+TEST(ShardTraceBuffer, ClearResets) {
+  ShardTraceBuffer buf(4);
+  for (int i = 0; i < 6; ++i) buf.push(make_event(i));
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.recorded(), 0u);
+  buf.push(make_event(42));
+  EXPECT_EQ(buf.events()[0], make_event(42));
+}
+
+TEST(TraceEventType, WireNamesRoundTrip) {
+  for (int t = 0; t <= static_cast<int>(TraceEventType::kTermLate); ++t) {
+    const auto type = static_cast<TraceEventType>(t);
+    const auto name = to_string(type);
+    EXPECT_NE(name, "unknown") << t;
+    const auto back = trace_event_type_from(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(trace_event_type_from("no_such_event").has_value());
+}
+
+TEST(TraceEventType, TerminationFamilyIsContiguous) {
+  EXPECT_FALSE(is_termination(TraceEventType::kAlertDelivered));
+  EXPECT_TRUE(is_termination(TraceEventType::kTermTc1));
+  EXPECT_TRUE(is_termination(TraceEventType::kTermLate));
+}
+
+TEST(TraceCollector, ShardBuffersAreIndependentAndStable) {
+  TraceCollector collector(16);
+  collector.prepare(3);
+  ASSERT_EQ(collector.shards(), 3);
+  ShardTraceBuffer* s0 = collector.shard(0);
+  collector.shard(1)->push(make_event(1));
+  s0->push(make_event(0));  // pointer still valid after other-shard pushes
+  EXPECT_EQ(collector.shard_buffer(0).size(), 1u);
+  EXPECT_EQ(collector.shard_buffer(1).size(), 1u);
+  EXPECT_EQ(collector.shard_buffer(2).size(), 0u);
+  EXPECT_EQ(collector.total_recorded(), 2u);
+  EXPECT_EQ(collector.total_dropped(), 0u);
+}
+
+TEST(TraceCollector, JsonlRoundTripsThroughParser) {
+  TraceCollector collector(16);
+  collector.prepare(2);
+  collector.shard(0)->push(make_event(3));
+  collector.shard(1)->push(make_event(7));
+  std::ostringstream os;
+  collector.write_jsonl(os);
+
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<ParsedTraceEvent> parsed;
+  while (std::getline(is, line)) {
+    const auto ev = parse_trace_line(line);
+    ASSERT_TRUE(ev.has_value()) << line;
+    parsed.push_back(*ev);
+  }
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].shard, 0);
+  EXPECT_EQ(parsed[0].event, make_event(3));
+  EXPECT_EQ(parsed[1].shard, 1);
+  EXPECT_EQ(parsed[1].event, make_event(7));
+}
+
+TEST(TraceCollector, ExportConcatenatesInShardOrder) {
+  TraceCollector collector(16);
+  collector.prepare(2);
+  // Push into shard 1 first: export order must still be shard 0 first.
+  collector.shard(1)->push(make_event(1));
+  collector.shard(0)->push(make_event(0));
+  std::ostringstream os;
+  collector.write_jsonl(os);
+  const std::string text = os.str();
+  EXPECT_LT(text.find("\"shard\":0"), text.find("\"shard\":1"));
+}
+
+TEST(ParseTraceLine, RejectsForeignLines) {
+  EXPECT_FALSE(parse_trace_line("").has_value());
+  EXPECT_FALSE(parse_trace_line("not json").has_value());
+  EXPECT_FALSE(parse_trace_line("{\"shard\":0}").has_value());
+  EXPECT_FALSE(
+      parse_trace_line("{\"shard\":0,\"ep\":1,\"t\":2,\"type\":\"bogus\","
+                       "\"sat\":0,\"peer\":0,\"a\":0,\"v\":0}")
+          .has_value());
+}
+
+TEST(TraceSummary, CountsTerminationsByCauseAndChainLength) {
+  TraceCollector collector(16);
+  collector.prepare(1);
+  TraceEvent det;
+  det.type = TraceEventType::kDetection;
+  collector.shard(0)->push(det);
+  TraceEvent term;
+  term.type = TraceEventType::kTermTc2;
+  term.a = 2;
+  collector.shard(0)->push(term);
+  term.type = TraceEventType::kTermWindow;
+  term.a = 1;
+  collector.shard(0)->push(term);
+  collector.shard(0)->push(term);
+  TraceEvent delivered;
+  delivered.type = TraceEventType::kAlertDelivered;
+  collector.shard(0)->push(delivered);
+
+  std::ostringstream os;
+  collector.write_jsonl(os);
+  std::istringstream is(os.str() + "garbage line\n");
+  const TraceSummary summary = summarize_trace(is);
+  EXPECT_EQ(summary.events, 5);
+  EXPECT_EQ(summary.detections, 1);
+  EXPECT_EQ(summary.alerts_delivered, 1);
+  EXPECT_EQ(summary.terminations, 3);
+  EXPECT_EQ(summary.max_chain, 2);
+  EXPECT_EQ(summary.termination.at("term_tc2").at(2), 1);
+  EXPECT_EQ(summary.termination.at("term_window").at(1), 2);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -5,10 +5,13 @@
 //   oaqctl capacity  --lambda 7e-5 --eta 10 --cycles 400
 //   oaqctl plan      --k 9 --tau 5 --at 2.0
 //   oaqctl simulate  --k 9 --tau 5 --mu 0.5 --episodes 20000 [--baq]
+//                    [--trace out.jsonl] [--metrics out.json] [--profile]
 //   oaqctl coverage  [--bands 18]
+//   oaqctl trace-summary trace.jsonl
 //
 // Every subcommand prints an aligned table; see `oaqctl help`.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -19,6 +22,8 @@
 #include "oaq/montecarlo.hpp"
 #include "oaq/campaign.hpp"
 #include "oaq/planner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orbit/coverage.hpp"
 
 namespace oaq {
@@ -52,9 +57,67 @@ class Args {
   [[nodiscard]] bool flag(const std::string& key) const {
     return values_.contains(key);
   }
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
 
  private:
   std::map<std::string, std::string> values_;
+};
+
+/// Observability file sinks shared by `simulate` and `campaign`:
+/// --trace PATH (JSONL events), --metrics PATH (JSON registry), --profile
+/// (BENCH_JSON reduce timings on stdout).
+struct ObsSinks {
+  std::string trace_path;
+  std::string metrics_path;
+  bool want_profile = false;
+  TraceCollector trace;
+  MetricsRegistry metrics;
+  ReduceProfile profile;
+
+  explicit ObsSinks(const Args& args)
+      : trace_path(args.str("trace")),
+        metrics_path(args.str("metrics")),
+        want_profile(args.flag("profile")) {}
+
+  [[nodiscard]] TraceCollector* trace_ptr() {
+    return trace_path.empty() ? nullptr : &trace;
+  }
+  [[nodiscard]] MetricsRegistry* metrics_ptr() {
+    return metrics_path.empty() ? nullptr : &metrics;
+  }
+  [[nodiscard]] ReduceProfile* profile_ptr() {
+    return want_profile ? &profile : nullptr;
+  }
+
+  /// Write the requested files and print the BENCH_JSON profile line.
+  void finish(const std::string& bench_name) const {
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      OAQ_REQUIRE(os.good(), "cannot open trace output file");
+      trace.write_jsonl(os);
+      std::cout << "trace: " << trace.total_recorded() << " events ("
+                << trace.total_dropped() << " dropped) -> " << trace_path
+                << "\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      OAQ_REQUIRE(os.good(), "cannot open metrics output file");
+      metrics.write_json(os);
+      os << "\n";
+      std::cout << "metrics: " << metrics.counters().size() << " counters, "
+                << metrics.stats().size() << " stats -> " << metrics_path
+                << "\n";
+    }
+    if (want_profile) {
+      std::cout << "BENCH_JSON ";
+      profile.write_bench_json(std::cout, bench_name);
+      std::cout << "\n";
+    }
+  }
 };
 
 QosModel make_model(const Args& args) {
@@ -173,6 +236,12 @@ int cmd_simulate(const Args& args) {
   cfg.protocol.tg = Duration::seconds(args.number("tg-s", 6.0));
   cfg.protocol.computation_cap = cfg.protocol.tg;
   cfg.jobs = args.integer("jobs", 0);
+
+  ObsSinks obs(args);
+  cfg.trace = obs.trace_ptr();
+  cfg.metrics = obs.metrics_ptr();
+  cfg.profile = obs.profile_ptr();
+
   const auto sim = simulate_qos(cfg);
   TablePrinter table({"level", "probability"}, 4);
   for (int y = 0; y <= 3; ++y) {
@@ -184,7 +253,9 @@ int cmd_simulate(const Args& args) {
             << " episodes:\n";
   table.print(std::cout);
   std::cout << "mean chain " << sim.mean_chain_length << ", duplicates "
-            << sim.duplicates << ", late alerts " << sim.untimely << "\n";
+            << sim.duplicates << ", unresolved " << sim.unresolved
+            << ", late alerts " << sim.untimely << "\n";
+  obs.finish("oaqctl.simulate");
   return 0;
 }
 
@@ -201,6 +272,12 @@ int cmd_campaign(const Args& args) {
   cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
   cfg.replications = args.integer("replications", 1);
   cfg.jobs = args.integer("jobs", 0);
+
+  ObsSinks obs(args);
+  cfg.trace = obs.trace_ptr();
+  cfg.metrics = obs.metrics_ptr();
+  cfg.profile = obs.profile_ptr();
+
   const auto r = run_campaign(cfg);
   TablePrinter table({"metric", "value"}, 4);
   table.add_row({std::string("replications"),
@@ -218,6 +295,47 @@ int cmd_campaign(const Args& args) {
   std::cout << "Campaign: k = " << cfg.k << ", "
             << args.number("per-hour", 10.0) << " signals/hour over "
             << cfg.horizon.to_hours() << " h\n";
+  table.print(std::cout);
+  obs.finish("oaqctl.campaign");
+  return 0;
+}
+
+/// `oaqctl trace-summary trace.jsonl` — termination-cause × chain-length
+/// table over a JSONL trace written by --trace.
+int cmd_trace_summary(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::cerr << "error: cannot open trace file: " << path << '\n';
+    return 1;
+  }
+  const TraceSummary summary = summarize_trace(is);
+  std::cout << "Trace " << path << ": " << summary.events << " events, "
+            << summary.detections << " detections, "
+            << summary.alerts_delivered << " alerts delivered, "
+            << summary.terminations << " terminations\n";
+  if (summary.termination.empty()) {
+    std::cout << "no termination events\n";
+    return 0;
+  }
+
+  std::vector<std::string> headers{"termination cause"};
+  for (int chain = 0; chain <= summary.max_chain; ++chain) {
+    headers.push_back("n=" + std::to_string(chain));
+  }
+  headers.emplace_back("total");
+  TablePrinter table(headers, 0);
+  for (const auto& [cause, by_chain] : summary.termination) {
+    std::vector<Cell> row{cause};
+    long long total = 0;
+    for (int chain = 0; chain <= summary.max_chain; ++chain) {
+      const auto it = by_chain.find(chain);
+      const long long count = it == by_chain.end() ? 0 : it->second;
+      row.emplace_back(count);
+      total += count;
+    }
+    row.emplace_back(total);
+    table.add_row(row);
+  }
   table.print(std::cout);
   return 0;
 }
@@ -246,9 +364,14 @@ int help() {
       "  campaign --k K --per-hour R --hours H\n"
       "           [--replications R] [--jobs J]         multi-target load run\n"
       "  coverage [--bands N]                          coverage by latitude\n"
+      "  trace-summary FILE.jsonl          termination-cause x chain table\n"
       "Monte-Carlo commands run on all cores by default; --jobs N (or the\n"
       "OAQ_JOBS env var) overrides, --jobs 1 is the serial path. Results\n"
-      "are bit-identical for any jobs value.\n";
+      "are bit-identical for any jobs value.\n"
+      "Observability (simulate & campaign): --trace FILE writes protocol\n"
+      "events as JSONL (bit-identical for any --jobs), --metrics FILE\n"
+      "writes the run metrics registry as JSON, --profile prints a\n"
+      "BENCH_JSON line with per-shard wall times.\n";
   return 0;
 }
 
@@ -260,6 +383,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return help();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "trace-summary") {
+      if (argc < 3) {
+        std::cerr << "usage: oaqctl trace-summary FILE.jsonl\n";
+        return 1;
+      }
+      return cmd_trace_summary(argv[2]);
+    }
     const Args args(argc, argv, 2);
     if (cmd == "qos") return cmd_qos(args);
     if (cmd == "capacity") return cmd_capacity(args);
