@@ -1,0 +1,19 @@
+// Global heap-allocation counter for bench binaries (ISSUE 3).
+//
+// Linking alloc_counter.cpp into a binary replaces the global operator
+// new/delete with malloc/free wrappers that bump an atomic counter per
+// allocation. Bench-only: the library itself is never built with this —
+// it exists to *prove* the steady-state zero-allocation claim of the
+// pooled DES kernel, not to instrument production runs.
+#pragma once
+
+#include <cstdint>
+
+namespace oaq::benchutil {
+
+/// Number of global operator-new calls since process start. Only counts
+/// when alloc_counter.cpp is linked into the binary; the delta across a
+/// code region is that region's allocation count (single-threaded use).
+[[nodiscard]] std::uint64_t allocation_count() noexcept;
+
+}  // namespace oaq::benchutil

@@ -1,0 +1,139 @@
+// The pre-pooling DES kernel (ISSUE 3 baseline), kept verbatim for honest
+// old-vs-new benchmarking: shared_ptr-per-event priority queue plus a
+// live-event hash map, with std::function callbacks. Bench-only — the
+// library's kernel is src/sim/simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace oaq::legacy {
+
+struct EventId {
+  std::uint64_t value = 0;
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+/// Event-driven simulator with a monotonic virtual clock (seed-kernel
+/// semantics: identical observable behaviour to the pooled kernel).
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  EventId schedule_at(TimePoint t, Callback cb) {
+    OAQ_REQUIRE(t >= now_, "cannot schedule an event in the past");
+    OAQ_REQUIRE(cb != nullptr, "event callback must be callable");
+    auto ev = std::make_shared<Event>();
+    ev->at = t;
+    ev->seq = next_seq_++;
+    ev->callback = std::move(cb);
+    queue_.push(ev);
+    live_.emplace(ev->seq, ev);
+    if (live_.size() > peak_pending_) peak_pending_ = live_.size();
+    return EventId{ev->seq};
+  }
+
+  EventId schedule_after(Duration delay, Callback cb) {
+    OAQ_REQUIRE(delay >= Duration::zero(), "delay must be nonnegative");
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  bool cancel(EventId id) {
+    const auto it = live_.find(id.value);
+    if (it == live_.end()) return false;
+    it->second->cancelled = true;
+    live_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool is_pending(EventId id) const {
+    return live_.contains(id.value);
+  }
+
+  bool step() {
+    auto ev = pop_next();
+    if (!ev) return false;
+    OAQ_ENSURE(ev->at >= now_, "event queue violated time order");
+    now_ = ev->at;
+    ++processed_;
+    ev->callback();
+    return true;
+  }
+
+  void run(std::uint64_t max_events = UINT64_MAX) {
+    for (std::uint64_t i = 0; i < max_events; ++i) {
+      if (!step()) return;
+    }
+  }
+
+  void run_until(TimePoint t) {
+    OAQ_REQUIRE(t >= now_, "cannot run backwards");
+    while (!queue_.empty()) {
+      auto top = queue_.top();
+      if (top->cancelled) {
+        queue_.pop();
+        continue;
+      }
+      if (top->at > t) break;
+      step();
+    }
+    now_ = t;
+  }
+
+  [[nodiscard]] std::size_t pending_count() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t processed_count() const { return processed_; }
+  [[nodiscard]] std::size_t peak_pending_count() const {
+    return peak_pending_;
+  }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    Callback callback;
+    bool cancelled = false;
+  };
+  struct Later {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::shared_ptr<Event> pop_next() {
+    while (!queue_.empty()) {
+      auto ev = queue_.top();
+      queue_.pop();
+      if (!ev->cancelled) {
+        live_.erase(ev->seq);
+        return ev;
+      }
+    }
+    return nullptr;
+  }
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t peak_pending_ = 0;
+  std::priority_queue<std::shared_ptr<Event>,
+                      std::vector<std::shared_ptr<Event>>, Later>
+      queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Event>> live_;
+};
+
+}  // namespace oaq::legacy

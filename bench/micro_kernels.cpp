@@ -9,9 +9,12 @@
 #include "geoloc/wls.hpp"
 #include "oaq/episode.hpp"
 #include "oaq/montecarlo.hpp"
+#include "legacy_simulator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orbit/kepler.hpp"
+#include "orbit/visibility_cache.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -195,6 +198,95 @@ void BM_MetricsAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MetricsAdd);
+
+// Schedule+fire round trip through a DES kernel (ISSUE 3): a batch of
+// timers armed and drained per iteration. Template lets the same workload
+// hit the pooled kernel and the seed-era shared_ptr kernel.
+template <typename Sim>
+void BM_DesScheduleFire(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Sim sim;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    for (int b = 0; b < batch; ++b) {
+      sim.schedule_after(Duration::seconds(static_cast<double>(b % 32)),
+                         [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DesScheduleFire<Simulator>)->Arg(256);
+BENCHMARK(BM_DesScheduleFire<legacy::Simulator>)->Arg(256);
+
+// Cancel-dominated workload: arm a batch, cancel half (the protocol's
+// wait-deadline pattern), drain the rest. The pooled kernel tombstones in
+// O(1); the legacy kernel pays a hash erase plus queue-top skipping.
+template <typename Sim>
+void BM_DesCancelHeavy(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Sim sim;
+  std::uint64_t fired = 0;
+  std::vector<decltype(sim.schedule_after(Duration::zero(),
+                                          typename Sim::Callback{}))>
+      ids;
+  ids.reserve(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    ids.clear();
+    for (int b = 0; b < batch; ++b) {
+      ids.push_back(sim.schedule_after(
+          Duration::seconds(static_cast<double>(b % 32)), [&fired] { ++fired; }));
+    }
+    for (int b = 0; b < batch; b += 2) {
+      sim.cancel(ids[static_cast<std::size_t>(b)]);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 2);
+}
+BENCHMARK(BM_DesCancelHeavy<Simulator>)->Arg(256);
+BENCHMARK(BM_DesCancelHeavy<legacy::Simulator>)->Arg(256);
+
+// Pass-window queries through a warm VisibilityCache vs a cold
+// PassPredictor sweep — the per-episode geometry cost in geometric
+// Monte-Carlo mode.
+void BM_VisibilityCachedQuery(benchmark::State& state) {
+  ConstellationDesign d;
+  d.num_planes = 1;
+  d.sats_per_plane = 10;
+  d.inclination_rad = deg2rad(90.0);
+  const Constellation c(d);
+  VisibilityCache cache(c);
+  const GeoPoint target{0.0, 0.0};
+  std::uint64_t salt = 1;
+  for (auto _ : state) {
+    salt = salt * 2862933555777941757ull + 3037000493ull;
+    const auto from = Duration::minutes(static_cast<double>(salt % 180));
+    benchmark::DoNotOptimize(
+        cache.passes_window(target, from, from + Duration::minutes(90)));
+  }
+}
+BENCHMARK(BM_VisibilityCachedQuery);
+
+void BM_VisibilityUncachedQuery(benchmark::State& state) {
+  ConstellationDesign d;
+  d.num_planes = 1;
+  d.sats_per_plane = 10;
+  d.inclination_rad = deg2rad(90.0);
+  const Constellation c(d);
+  const PassPredictor predictor(c);
+  const GeoPoint target{0.0, 0.0};
+  std::uint64_t salt = 1;
+  for (auto _ : state) {
+    salt = salt * 2862933555777941757ull + 3037000493ull;
+    const auto from = Duration::minutes(static_cast<double>(salt % 180));
+    benchmark::DoNotOptimize(
+        predictor.passes(target, from, from + Duration::minutes(90)));
+  }
+}
+BENCHMARK(BM_VisibilityUncachedQuery);
 
 void BM_Xoshiro(benchmark::State& state) {
   Rng rng(1);

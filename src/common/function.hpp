@@ -1,0 +1,156 @@
+// Small-buffer-optimized callable wrapper for hot paths.
+//
+// The DES kernel schedules millions of short-lived callbacks per campaign;
+// std::function heap-allocates every capture larger than two pointers, which
+// made per-event allocation the dominant Monte-Carlo cost (ISSUE 3). A
+// SmallFunction stores callables up to `InlineBytes` in place — sized so
+// every protocol callback (this + a Pass + a TimePoint and change) fits —
+// and falls back to the heap only for oversized captures. Move-only, so
+// captured state is never duplicated.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace oaq {
+
+template <typename Signature, std::size_t InlineBytes = 64>
+class SmallFunction;  // primary template left undefined
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFunction<R(Args...), InlineBytes> {
+ public:
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-*)
+
+  /// Wraps any callable invocable as R(Args...). Callables that fit the
+  /// inline buffer (and are nothrow-movable, so buffer-to-buffer moves
+  /// cannot throw mid-transfer) are stored in place; others on the heap.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-*)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_))
+          Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+  friend bool operator==(const SmallFunction& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const SmallFunction& f, std::nullptr_t) noexcept {
+    return f.ops_ != nullptr;
+  }
+
+  /// True when the held callable lives in the inline buffer (diagnostic;
+  /// the allocation-counter bench asserts the kernel's callbacks qualify).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* buf, Args&&... args);
+    void (*move)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= InlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* buf, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* buf) noexcept {
+        std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+      },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* buf, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(Fn*));  // steal the owning pointer
+      },
+      [](void* buf) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(buf));
+      },
+      /*inline_storage=*/false,
+  };
+
+  void move_from(SmallFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  static_assert(InlineBytes >= sizeof(void*), "buffer must hold a pointer");
+  alignas(std::max_align_t) unsigned char buffer_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace oaq

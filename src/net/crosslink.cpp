@@ -15,19 +15,52 @@ CrosslinkNetwork::CrosslinkNetwork(Simulator& sim, Options options, Rng rng)
               "loss probability must be in [0,1]");
 }
 
+const CrosslinkNetwork::NodeState* CrosslinkNetwork::find(
+    const Address& addr) const {
+  if (addr.kind == Address::Kind::kGround) return &ground_;
+  const int plane = addr.satellite.plane;
+  const int slot = addr.satellite.slot;
+  if (plane < 0 || slot < 0 ||
+      static_cast<std::size_t>(plane) >= sats_.size()) {
+    return nullptr;
+  }
+  const auto& ring = sats_[static_cast<std::size_t>(plane)];
+  if (static_cast<std::size_t>(slot) >= ring.size()) return nullptr;
+  return &ring[static_cast<std::size_t>(slot)];
+}
+
+CrosslinkNetwork::NodeState& CrosslinkNetwork::ensure(const Address& addr) {
+  if (addr.kind == Address::Kind::kGround) return ground_;
+  const int plane = addr.satellite.plane;
+  const int slot = addr.satellite.slot;
+  OAQ_REQUIRE(plane >= 0 && slot >= 0,
+              "satellite addresses must have nonnegative plane and slot");
+  if (static_cast<std::size_t>(plane) >= sats_.size()) {
+    sats_.resize(static_cast<std::size_t>(plane) + 1);
+  }
+  auto& ring = sats_[static_cast<std::size_t>(plane)];
+  if (static_cast<std::size_t>(slot) >= ring.size()) {
+    ring.resize(static_cast<std::size_t>(slot) + 1);
+  }
+  return ring[static_cast<std::size_t>(slot)];
+}
+
 void CrosslinkNetwork::register_node(const Address& node, Handler handler) {
   OAQ_REQUIRE(handler != nullptr, "handler must be callable");
-  handlers_[node] = std::move(handler);
-  failed_[node] = false;
+  NodeState& state = ensure(node);
+  OAQ_REQUIRE(state.handler == nullptr || state.failed,
+              "duplicate handler registration for a live address");
+  state.handler = std::move(handler);
+  state.failed = false;
 }
 
 void CrosslinkNetwork::fail_silent(const Address& node) {
-  failed_[node] = true;
+  ensure(node).failed = true;
 }
 
 bool CrosslinkNetwork::is_failed(const Address& node) const {
-  const auto it = failed_.find(node);
-  return it != failed_.end() && it->second;
+  const NodeState* state = find(node);
+  return state != nullptr && state->failed;
 }
 
 void CrosslinkNetwork::trace_event(TraceEventType type, const Address& from,
@@ -69,39 +102,55 @@ void CrosslinkNetwork::send(const Address& from, const Address& to,
   if (trace_ != nullptr) {
     trace_event(TraceEventType::kXlinkSend, from, to, 0, delay.to_seconds());
   }
-  Envelope env;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Envelope& env = pool_[slot];
   env.from = from;
   env.to = to;
   env.sent = sim_->now();
   env.payload = std::move(payload);
-  sim_->schedule_after(delay, [this, env = std::move(env)]() mutable {
-    if (is_failed(env.to)) {
-      ++stats_.dropped_dead_receiver;
-      if (trace_ != nullptr) {
-        trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
-                    static_cast<std::int32_t>(DropReason::kDeadReceiver),
-                    0.0);
-      }
-      return;
-    }
-    const auto it = handlers_.find(env.to);
-    if (it == handlers_.end()) {
-      ++stats_.dropped_unregistered;
-      if (trace_ != nullptr) {
-        trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
-                    static_cast<std::int32_t>(DropReason::kUnregistered),
-                    0.0);
-      }
-      return;
-    }
-    env.delivered = sim_->now();
-    ++stats_.delivered;
+  // The capture is two words, so the DES kernel stores it inline: a send
+  // costs no allocation beyond the payload's own std::any storage.
+  sim_->schedule_after(delay, [this, slot] { deliver(slot); });
+}
+
+void CrosslinkNetwork::deliver(std::uint32_t slot) {
+  // Move the envelope out and free the slot before dispatching: the
+  // handler may send (growing the pool) or the caller may reuse the slot,
+  // neither of which must invalidate the envelope the handler sees.
+  Envelope env = std::move(pool_[slot]);
+  pool_[slot].payload.reset();
+  free_slots_.push_back(slot);
+  if (is_failed(env.to)) {
+    ++stats_.dropped_dead_receiver;
     if (trace_ != nullptr) {
-      trace_event(TraceEventType::kXlinkRecv, env.from, env.to, 0,
-                  (env.delivered - env.sent).to_seconds());
+      trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
+                  static_cast<std::int32_t>(DropReason::kDeadReceiver), 0.0);
     }
-    it->second(env);
-  });
+    return;
+  }
+  const NodeState* state = find(env.to);
+  if (state == nullptr || state->handler == nullptr) {
+    ++stats_.dropped_unregistered;
+    if (trace_ != nullptr) {
+      trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
+                  static_cast<std::int32_t>(DropReason::kUnregistered), 0.0);
+    }
+    return;
+  }
+  env.delivered = sim_->now();
+  ++stats_.delivered;
+  if (trace_ != nullptr) {
+    trace_event(TraceEventType::kXlinkRecv, env.from, env.to, 0,
+                (env.delivered - env.sent).to_seconds());
+  }
+  state->handler(env);
 }
 
 }  // namespace oaq

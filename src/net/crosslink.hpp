@@ -6,13 +6,18 @@
 // bounded random delay (the paper's δ is the *maximum* inter-satellite
 // message-delivery delay), optional loss, and fail-silent node injection.
 // The protocol layer (src/oaq) defines the payload types.
+//
+// Hot-path layout (ISSUE 3): per-address state lives in dense vectors
+// indexed by (plane, slot) — no ordered-map lookups per delivery — and
+// in-flight envelopes are pooled with a free list, so the delivery event
+// captures only a pool slot and the DES kernel keeps it inline.
 #pragma once
 
 #include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "obs/trace.hpp"
@@ -76,7 +81,11 @@ class CrosslinkNetwork {
   CrosslinkNetwork(Simulator& sim, Options options, Rng rng);
 
   /// Attach a handler for messages addressed to `node`. One handler per
-  /// address; re-registering replaces it (and revives a failed node).
+  /// address: registering over a live handler is a precondition error
+  /// (it would silently swallow the first handler's traffic). The one
+  /// sanctioned re-registration is of a fail-silent node, which replaces
+  /// the handler and revives it. Must not be called from inside a handler
+  /// (the dense tables may grow under the executing handler).
   void register_node(const Address& node, Handler handler);
 
   /// Make a node fail-silent: it no longer receives or sends, with no
@@ -103,6 +112,21 @@ class CrosslinkNetwork {
   }
 
  private:
+  /// Per-address state, held in dense per-plane vectors (plus one ground
+  /// entry). A default-constructed entry means "never seen".
+  struct NodeState {
+    Handler handler;  ///< null = unregistered
+    bool failed = false;
+  };
+
+  /// Dense lookup; null when the address was never registered or failed.
+  [[nodiscard]] const NodeState* find(const Address& addr) const;
+  /// Dense lookup, growing the per-plane tables on demand.
+  [[nodiscard]] NodeState& ensure(const Address& addr);
+
+  /// Deliver the pooled envelope in `slot` (the DES callback body).
+  void deliver(std::uint32_t slot);
+
   /// Trace encoding of an address: satellite slot, or -1 for the ground.
   [[nodiscard]] static std::int16_t trace_slot(const Address& addr) {
     return addr.kind == Address::Kind::kGround
@@ -115,8 +139,10 @@ class CrosslinkNetwork {
   Simulator* sim_;
   Options options_;
   Rng rng_;
-  std::map<Address, Handler> handlers_;
-  std::map<Address, bool> failed_;
+  NodeState ground_;
+  std::vector<std::vector<NodeState>> sats_;  ///< [plane][slot]
+  std::vector<Envelope> pool_;                ///< in-flight envelope slab
+  std::vector<std::uint32_t> free_slots_;
   NetworkStats stats_;
   ShardTraceBuffer* trace_ = nullptr;
   std::int64_t trace_episode_ = -1;

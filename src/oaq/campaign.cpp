@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -65,11 +66,22 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
   // Episodes share the network; network events cannot name one episode.
   net.set_trace(trace, /*episode_id=*/-1);
 
-  // One plane, one pass pattern for the whole campaign; signal arrival
-  // times are uniform over the pattern period by Poisson stationarity.
-  const AnalyticSchedule schedule(
-      config.geometry, config.k,
-      phase_rng.uniform(Duration::zero(), config.geometry.tr(config.k)));
+  // One pass pattern for the whole campaign; signal arrival times are
+  // uniform over the pattern period by Poisson stationarity. Geometric
+  // mode swaps the analytic plane for real constellation geometry with a
+  // replication-local visibility cache (episodes along the horizon ask
+  // for overlapping windows, so most queries hit).
+  std::optional<VisibilityCache> vis_cache;
+  std::unique_ptr<const CoverageSchedule> schedule;
+  if (config.constellation != nullptr) {
+    vis_cache.emplace(*config.constellation, config.earth_rotation);
+    schedule =
+        std::make_unique<GeometricSchedule>(*vis_cache, config.target);
+  } else {
+    schedule = std::make_unique<AnalyticSchedule>(
+        config.geometry, config.k,
+        phase_rng.uniform(Duration::zero(), config.geometry.tr(config.k)));
+  }
 
   ComputeCalendar calendar;
   ComputeCalendar* calendar_ptr =
@@ -90,7 +102,7 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
     episode_rngs.push_back(std::make_unique<Rng>(
         master.fork(100 + static_cast<std::uint64_t>(target_id))));
     auto episode = std::make_unique<TargetEpisode>(
-        target_id, sim, net, schedule, config.protocol,
+        target_id, sim, net, *schedule, config.protocol,
         config.opportunity_adaptive, *episode_rngs.back(), calendar_ptr,
         nullptr, trace);
     if (episode->arm(t, duration)) {
@@ -103,9 +115,15 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
   }
 
   // One handler per satellite routes envelopes to every episode (each
-  // filters by target id); likewise for the ground station.
-  for (int slot = 0; slot < config.k; ++slot) {
-    const SatelliteId id{0, slot};
+  // filters by target id); likewise for the ground station. Geometric
+  // passes can involve any active satellite of the constellation.
+  std::vector<SatelliteId> sats;
+  if (config.constellation != nullptr) {
+    sats = config.constellation->active_satellites();
+  } else {
+    for (int slot = 0; slot < config.k; ++slot) sats.push_back({0, slot});
+  }
+  for (const SatelliteId id : sats) {
     net.register_node(Address::sat(id), [&episodes, id](const Envelope& env) {
       for (auto& ep : episodes) ep->handle_satellite_message(id, env);
     });
@@ -152,6 +170,15 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
     m.add("sim.events", static_cast<std::int64_t>(sim.processed_count()));
     m.observe("sim.peak_pending",
               static_cast<double>(sim.peak_pending_count()));
+    if (vis_cache) {
+      const VisibilityCacheStats& vs = vis_cache->stats();
+      m.add("visibility.pass_queries",
+            static_cast<std::int64_t>(vs.pass_queries));
+      m.add("visibility.pass_hits",
+            static_cast<std::int64_t>(vs.pass_hits));
+      m.add("visibility.cache_entries",
+            static_cast<std::int64_t>(vis_cache->entry_count()));
+    }
     m.observe("compute.queueing_delay_s", out.queueing_delay_s);
     for (auto& ep : episodes) {
       const auto& r = ep->result();

@@ -46,6 +46,15 @@ struct CampaignConfig {
   /// hardware), 1 = serial. Bit-identical results for any value.
   int jobs = 0;
 
+  // --- Geometric mode (optional). When `constellation` is set, the
+  // campaign runs against real orbital geometry over `target` instead of
+  // the analytic plane; every replication owns a VisibilityCache so the
+  // many per-episode pass queries along the horizon share their
+  // Kepler-heavy window computations. ---
+  const Constellation* constellation = nullptr;
+  GeoPoint target{};
+  bool earth_rotation = false;
+
   // --- Observability (all optional; null = disabled). ---
   /// Protocol event streams, one shard per replication. Campaign episodes
   /// share one network, so network-level events carry episode = -1 while

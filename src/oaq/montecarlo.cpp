@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
@@ -103,21 +104,35 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   // Every random stream an episode consumes (phase, duration, protocol
   // noise) derives from episode_rng.fork(e): episode e's outcome does not
   // depend on which shard — or thread — runs it, making the reduction
-  // bit-identical for any jobs value.
+  // bit-identical for any jobs value. In geometric mode the schedule is
+  // shard-shared (backed by the shard's VisibilityCache) and the phase
+  // jitters the episode's start time instead of the pass pattern.
+  const bool geometric = config.constellation != nullptr;
   const auto run_episode = [&](std::int64_t e, EpisodeAccum& acc,
-                               ShardTraceBuffer* trace) {
+                               ShardTraceBuffer* trace,
+                               const GeometricSchedule* geo_schedule) {
     const Rng ep = episode_rng.fork(static_cast<std::uint64_t>(e));
     Rng phase_rng = ep.fork(1);
     Rng duration_rng = ep.fork(2);
     Rng protocol_rng = ep.fork(3);
-    const Duration phase = phase_rng.uniform(Duration::zero(), tr);
-    const AnalyticSchedule schedule(config.geometry, config.k, phase);
-    const EpisodeEngine engine(schedule, config.protocol,
-                               config.opportunity_adaptive);
+    const Duration phase = phase_rng.uniform(
+        Duration::zero(),
+        geometric ? config.constellation->design().period : tr);
     const Duration duration = duration_law->sample(duration_rng);
-    const EpisodeResult r =
-        engine.run(signal_start, duration, protocol_rng, /*faults=*/{},
-                   /*known_failed=*/{}, trace, static_cast<int>(e));
+    EpisodeResult r;
+    if (geometric) {
+      const EpisodeEngine engine(*geo_schedule, config.protocol,
+                                 config.opportunity_adaptive);
+      r = engine.run(signal_start + phase, duration, protocol_rng,
+                     /*faults=*/{}, /*known_failed=*/{}, trace,
+                     static_cast<int>(e));
+    } else {
+      const AnalyticSchedule schedule(config.geometry, config.k, phase);
+      const EpisodeEngine engine(schedule, config.protocol,
+                                 config.opportunity_adaptive);
+      r = engine.run(signal_start, duration, protocol_rng, /*faults=*/{},
+                     /*known_failed=*/{}, trace, static_cast<int>(e));
+    }
 
     acc.level_pmf.add(to_int(r.alert_delivered ? r.level : QosLevel::kMissed));
     if (r.alerts_sent > 1) ++acc.duplicates;
@@ -137,7 +152,34 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         EpisodeAccum acc;
         ShardTraceBuffer* trace =
             config.trace != nullptr ? config.trace->shard(shard) : nullptr;
-        for (std::int64_t e = begin; e < end; ++e) run_episode(e, acc, trace);
+        // Shard-private cache + schedule: no locks, and the shard's
+        // results depend only on its own episode indices. The quantum is
+        // sized to cover every episode window (start jitter ≤ one period,
+        // pass horizon ≤ signal cap + τ + post-roll), so the whole shard
+        // shares a single Kepler sweep.
+        std::optional<VisibilityCache> cache;
+        std::optional<GeometricSchedule> geo_schedule;
+        if (geometric) {
+          VisibilityCache::Options vopt;
+          vopt.window_quantum = signal_start.since_origin() +
+                                config.constellation->design().period +
+                                config.protocol.tau + Duration::hours(2);
+          cache.emplace(*config.constellation, config.earth_rotation, vopt);
+          geo_schedule.emplace(*cache, config.target);
+        }
+        for (std::int64_t e = begin; e < end; ++e) {
+          run_episode(e, acc, trace,
+                      geo_schedule ? &*geo_schedule : nullptr);
+        }
+        if (geometric && want_metrics) {
+          const VisibilityCacheStats& vs = cache->stats();
+          acc.metrics.add("visibility.pass_queries",
+                          static_cast<std::int64_t>(vs.pass_queries));
+          acc.metrics.add("visibility.pass_hits",
+                          static_cast<std::int64_t>(vs.pass_hits));
+          acc.metrics.add("visibility.cache_entries",
+                          static_cast<std::int64_t>(cache->entry_count()));
+        }
         return acc;
       },
       [](EpisodeAccum& into, EpisodeAccum&& from) {

@@ -40,6 +40,19 @@ struct QosSimulationConfig {
   /// value — episodes derive their random streams per-index.
   int jobs = 0;
 
+  // --- Geometric mode (optional). When `constellation` is set, episodes
+  // run against real orbital geometry (GeometricSchedule over `target`)
+  // instead of the analytic timing diagram; `geometry`/`k` no longer
+  // shape the pass pattern. Each shard owns a VisibilityCache, so the
+  // Kepler-heavy pass extraction is paid per distinct (quantized) window
+  // rather than per episode — and results stay bit-identical for any
+  // `jobs` value because cached results are pure functions of the query.
+  // Episode start times are jittered uniformly over one orbital period
+  // (the PASTA phase randomization of the analytic mode). ---
+  const Constellation* constellation = nullptr;
+  GeoPoint target{};
+  bool earth_rotation = false;
+
   // --- Observability (all optional; null = disabled, zero overhead
   // beyond one branch per recording site). ---
   /// Collects per-episode protocol events into per-shard ring buffers.

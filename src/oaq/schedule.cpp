@@ -42,8 +42,13 @@ GeometricSchedule::GeometricSchedule(const Constellation& constellation,
     : constellation_(&constellation), target_(target),
       earth_rotation_(earth_rotation) {}
 
+GeometricSchedule::GeometricSchedule(VisibilityCache& cache, GeoPoint target)
+    : constellation_(cache.constellation()), target_(target),
+      earth_rotation_(cache.earth_rotation()), cache_(&cache) {}
+
 std::vector<Pass> GeometricSchedule::passes(Duration from, Duration to) const {
   OAQ_REQUIRE(to > from, "pass window must be nonempty");
+  if (cache_ != nullptr) return cache_->passes_window(target_, from, to);
   const PassPredictor predictor(*constellation_, earth_rotation_);
   // PassPredictor requires a nonnegative horizon start.
   const Duration t0 = std::max(from, Duration::zero());

@@ -16,6 +16,7 @@
 
 #include "analytic/geometry.hpp"
 #include "orbit/visibility.hpp"
+#include "orbit/visibility_cache.hpp"
 
 namespace oaq {
 
@@ -54,6 +55,13 @@ class GeometricSchedule final : public CoverageSchedule {
   GeometricSchedule(const Constellation& constellation, GeoPoint target,
                     bool earth_rotation = false);
 
+  /// Cached variant: queries go through `cache` (quantized windows, see
+  /// VisibilityCache::passes_window), so many episodes sharing one
+  /// schedule pay the Kepler cost per distinct window instead of per
+  /// call. The cache must outlive the schedule; the schedule is intended
+  /// for single-threaded (per-shard) use, like the cache itself.
+  GeometricSchedule(VisibilityCache& cache, GeoPoint target);
+
   [[nodiscard]] std::vector<Pass> passes(Duration from,
                                          Duration to) const override;
 
@@ -61,6 +69,7 @@ class GeometricSchedule final : public CoverageSchedule {
   const Constellation* constellation_;
   GeoPoint target_;
   bool earth_rotation_;
+  VisibilityCache* cache_ = nullptr;
 };
 
 /// Overlap windows (≥2 satellites simultaneously covering) in a pass list.

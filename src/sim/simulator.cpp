@@ -1,20 +1,150 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace oaq {
 
+namespace {
+
+/// Run-count ceiling before everything is merged into one. Small enough
+/// that the per-pop tournament stays a handful of compares, large enough
+/// that bursts of immediate events don't force merges.
+constexpr std::size_t kMaxRuns = 8;
+
+constexpr unsigned __int128 kNoKey = ~static_cast<unsigned __int128>(0);
+
+/// Time bits for the ordering key. Sim times are nonnegative (schedule_at
+/// requires t >= now and the clock starts at the origin), so the IEEE bit
+/// pattern compares like an unsigned integer; +0.0 normalizes a possible
+/// negative zero, and +infinity orders above every finite time.
+std::uint64_t time_bits(TimePoint t) {
+  return std::bit_cast<std::uint64_t>(t.since_origin().to_seconds() + 0.0);
+}
+
+}  // namespace
+
+std::vector<Simulator::QueueEntry> Simulator::take_buffer() {
+  if (buffer_pool_.empty()) return {};
+  std::vector<QueueEntry> buf = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void Simulator::merge_runs() {
+  std::vector<QueueEntry> out = take_buffer();
+  std::size_t total = 0;
+  for (const Run& r : runs_) total += r.entries.size() - r.head;
+  // Round up so a slowly creeping high-water merge size settles on one
+  // capacity instead of reallocating at every new maximum.
+  out.reserve(std::bit_ceil(total + 1));
+  while (true) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(runs_.size()); ++i) {
+      Run& r = runs_[i];
+      while (r.head < r.entries.size() && !entry_live(r.entries[r.head])) {
+        ++r.head;  // purge tombstones while streaming
+      }
+      if (r.head >= r.entries.size()) continue;
+      if (best < 0 ||
+          r.entries[r.head].key() < runs_[best].entries[runs_[best].head].key()) {
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    out.push_back(runs_[best].entries[runs_[best].head++]);
+  }
+  for (Run& r : runs_) buffer_pool_.push_back(std::move(r.entries));
+  runs_.clear();
+  if (!out.empty()) {
+    runs_.push_back(Run{std::move(out), 0});
+  } else {
+    buffer_pool_.push_back(std::move(out));
+  }
+}
+
+void Simulator::flush_spill() {
+  std::erase_if(spill_, [this](const QueueEntry& e) { return !entry_live(e); });
+  spill_min_ = kNoKey;
+  if (spill_.empty()) return;
+  std::sort(spill_.begin(), spill_.end(),
+            [](const QueueEntry& a, const QueueEntry& b) {
+              return a.key() < b.key();
+            });
+  if (runs_.size() >= kMaxRuns) merge_runs();
+  // Both bookkeeping vectors are bounded by the run limit; reserving the
+  // bound once keeps later first-time-maximum growth off the hot path.
+  if (runs_.capacity() < kMaxRuns + 1) {
+    runs_.reserve(kMaxRuns + 1);
+    buffer_pool_.reserve(kMaxRuns + 2);
+  }
+  Run r;
+  r.entries = take_buffer();
+  r.entries.swap(spill_);
+  runs_.push_back(std::move(r));
+}
+
+int Simulator::settle() {
+  if (live_ == 0) return -1;
+  while (true) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(runs_.size());) {
+      Run& r = runs_[i];
+      while (r.head < r.entries.size() && !entry_live(r.entries[r.head])) {
+        ++r.head;
+      }
+      if (r.head >= r.entries.size()) {  // exhausted: recycle, swap-erase
+        buffer_pool_.push_back(std::move(r.entries));
+        runs_[i] = std::move(runs_.back());
+        runs_.pop_back();
+        continue;
+      }
+      if (best < 0 ||
+          r.entries[r.head].key() < runs_[best].entries[runs_[best].head].key()) {
+        best = i;
+      }
+      ++i;
+    }
+    // The spill's tracked minimum is conservative (a cancelled event can
+    // leave it lower than any live entry), so flushing when it wins never
+    // skips an event — at worst it sorts the spill slightly early.
+    if (!spill_.empty() &&
+        (best < 0 || spill_min_ < runs_[best].entries[runs_[best].head].key())) {
+      flush_spill();
+      continue;
+    }
+    return best;
+  }
+}
+
 EventId Simulator::schedule_at(TimePoint t, Callback cb) {
   OAQ_REQUIRE(t >= now_, "cannot schedule an event in the past");
   OAQ_REQUIRE(cb != nullptr, "event callback must be callable");
-  auto ev = std::make_shared<Event>();
-  ev->at = t;
-  ev->seq = next_seq_++;
-  ev->callback = std::move(cb);
-  queue_.push(ev);
-  live_.emplace(ev->seq, ev);
-  if (live_.size() > peak_pending_) peak_pending_ = live_.size();
-  return EventId{ev->seq};
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+    // The free list holds at most one entry per slab slot; growing it in
+    // lockstep keeps the later disarm path (cancel/fire, incl. queue
+    // drain) allocation-free.
+    free_.reserve(slab_.capacity());
+  }
+  Event& ev = slab_[slot];
+  ev.at = t;
+  ev.seq = next_seq_++;
+  ev.callback = std::move(cb);
+  ++ev.gen;  // arm: generation becomes odd
+  QueueEntry entry{time_bits(t), ev.seq, slot, ev.gen};
+  if (entry.key() < spill_min_) spill_min_ = entry.key();
+  spill_.push_back(entry);
+  ++live_;
+  if (live_ > peak_pending_) peak_pending_ = live_;
+  return pack(slot, ev.gen);
 }
 
 EventId Simulator::schedule_after(Duration delay, Callback cb) {
@@ -23,36 +153,37 @@ EventId Simulator::schedule_after(Duration delay, Callback cb) {
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto it = live_.find(id.value);
-  if (it == live_.end()) return false;
-  it->second->cancelled = true;
-  live_.erase(it);
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slab_.size()) return false;
+  Event& ev = slab_[slot];
+  if (ev.gen != gen_of(id) || (ev.gen & 1u) == 0) return false;
+  ++ev.gen;  // disarm: the queue entry becomes a tombstone
+  ev.callback = nullptr;  // release captured state now, not at pop time
+  free_.push_back(slot);
+  --live_;
   return true;
 }
 
 bool Simulator::is_pending(EventId id) const {
-  return live_.contains(id.value);
-}
-
-std::shared_ptr<Simulator::Event> Simulator::pop_next() {
-  while (!queue_.empty()) {
-    auto ev = queue_.top();
-    queue_.pop();
-    if (!ev->cancelled) {
-      live_.erase(ev->seq);
-      return ev;
-    }
-  }
-  return nullptr;
+  const std::uint32_t slot = slot_of(id);
+  return slot < slab_.size() && slab_[slot].gen == gen_of(id) &&
+         (gen_of(id) & 1u) != 0;
 }
 
 bool Simulator::step() {
-  auto ev = pop_next();
-  if (!ev) return false;
-  OAQ_ENSURE(ev->at >= now_, "event queue violated time order");
-  now_ = ev->at;
+  const int best = settle();
+  if (best < 0) return false;
+  Run& r = runs_[best];
+  const QueueEntry top = r.entries[r.head++];
+  Event& ev = slab_[top.slot];
+  OAQ_ENSURE(ev.at >= now_, "event queue violated time order");
+  ++ev.gen;  // disarm before invoking: the own id reads "already fired"
+  Callback cb = std::move(ev.callback);
+  free_.push_back(top.slot);
+  --live_;
+  now_ = ev.at;
   ++processed_;
-  ev->callback();
+  cb();  // may grow the slab; `ev` must not be touched past this point
   return true;
 }
 
@@ -64,17 +195,21 @@ void Simulator::run(std::uint64_t max_events) {
 
 void Simulator::run_until(TimePoint t) {
   OAQ_REQUIRE(t >= now_, "cannot run backwards");
-  while (!queue_.empty()) {
-    // Peek without firing events beyond the boundary.
-    auto top = queue_.top();
-    if (top->cancelled) {
-      queue_.pop();
-      continue;
-    }
-    if (top->at > t) break;
+  const std::uint64_t limit = time_bits(t);
+  while (true) {
+    const int best = settle();
+    if (best < 0) break;
+    const Run& r = runs_[best];
+    if (r.entries[r.head].at_bits > limit) break;
     step();
   }
   now_ = t;
+}
+
+void Simulator::reserve(std::size_t events) {
+  slab_.reserve(events);
+  free_.reserve(events);
+  spill_.reserve(events);
 }
 
 }  // namespace oaq

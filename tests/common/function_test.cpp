@@ -1,0 +1,105 @@
+#include "common/function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace oaq {
+namespace {
+
+TEST(SmallFunction, DefaultConstructedIsEmpty) {
+  SmallFunction<int()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  SmallFunction<int()> g(nullptr);
+  EXPECT_TRUE(g == nullptr);
+}
+
+TEST(SmallFunction, InvokesSmallCapturesInline) {
+  int x = 41;
+  SmallFunction<int()> f([&x] { return x + 1; });
+  ASSERT_TRUE(f != nullptr);
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(SmallFunction, ForwardsArgumentsAndReturn) {
+  SmallFunction<int(int, int)> f([](int a, int b) { return a * 10 + b; });
+  EXPECT_EQ(f(3, 4), 34);
+}
+
+TEST(SmallFunction, OversizedCaptureFallsBackToHeap) {
+  std::array<double, 32> big{};  // 256 bytes > the 64-byte default buffer
+  big[7] = 3.5;
+  SmallFunction<double()> f([big] { return big[7]; });
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 3.5);
+}
+
+TEST(SmallFunction, MoveTransfersOwnership) {
+  auto owned = std::make_unique<int>(7);
+  SmallFunction<int()> f([p = std::move(owned)] { return *p; });
+  SmallFunction<int()> g(std::move(f));
+  EXPECT_TRUE(f == nullptr);  // NOLINT(bugprone-use-after-move): contract
+  ASSERT_TRUE(g != nullptr);
+  EXPECT_EQ(g(), 7);
+  SmallFunction<int()> h;
+  h = std::move(g);
+  EXPECT_TRUE(g == nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(h(), 7);
+}
+
+TEST(SmallFunction, MoveTransfersHeapCallableWithoutCopy) {
+  std::array<std::string, 8> big{};
+  big[0] = "payload";
+  SmallFunction<std::string()> f([big] { return big[0]; });
+  ASSERT_FALSE(f.is_inline());
+  SmallFunction<std::string()> g(std::move(f));
+  EXPECT_EQ(g(), "payload");
+}
+
+TEST(SmallFunction, NullAssignmentDestroysCapture) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    ~Probe() {
+      if (c) ++*c;
+    }
+    Probe(std::shared_ptr<int> c) : c(std::move(c)) {}
+    Probe(Probe&&) noexcept = default;
+    Probe(const Probe& o) : c(o.c) {}
+    void operator()() const {}
+  };
+  {
+    SmallFunction<void()> f(Probe{counter});
+    const int after_construction = *counter;
+    f = nullptr;
+    EXPECT_EQ(*counter, after_construction + 1);
+    EXPECT_TRUE(f == nullptr);
+  }
+}
+
+TEST(SmallFunction, ReassignmentReplacesCallable) {
+  SmallFunction<int()> f([] { return 1; });
+  f = SmallFunction<int()>([] { return 2; });
+  EXPECT_EQ(f(), 2);
+}
+
+TEST(SmallFunction, MutableCallableKeepsStateAcrossCalls) {
+  SmallFunction<int()> f([n = 0]() mutable { return ++n; });
+  EXPECT_EQ(f(), 1);
+  EXPECT_EQ(f(), 2);
+  EXPECT_EQ(f(), 3);
+}
+
+TEST(SmallFunction, WrapsFunctionPointers) {
+  SmallFunction<int(int)> f(+[](int v) { return v * v; });
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(9), 81);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,68 @@ TEST(CrosslinkNetwork, ReregisteringRevivesNode) {
   net.send(Address::sat({0, 0}), b, Ping{});
   sim.run();
   EXPECT_EQ(received, 1);
+}
+
+TEST(CrosslinkNetwork, RejectsDuplicateRegistrationOfLiveAddress) {
+  // Overwriting a live handler would silently swallow the first handler's
+  // traffic — two episodes wiring the same satellite is a caller bug.
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(6));
+  const auto b = Address::sat({0, 1});
+  const auto g = Address::ground();
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  EXPECT_THROW(net.register_node(b, [](const Envelope&) {}),
+               PreconditionError);
+  net.register_node(g, [](const Envelope&) {});
+  EXPECT_THROW(net.register_node(g, [](const Envelope&) {}),
+               PreconditionError);
+  // The original handler keeps working after the rejected duplicate.
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 1);
+  // A failed node is the one sanctioned re-registration (revival).
+  net.fail_silent(b);
+  net.register_node(b, [&](const Envelope&) { received += 10; });
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 11);
+}
+
+TEST(CrosslinkNetwork, RejectsNegativeSatelliteAddress) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(6));
+  EXPECT_THROW(net.register_node(Address::sat({-1, 0}), [](const Envelope&) {}),
+               PreconditionError);
+  // Sending TO a bogus address is a countable drop, not an error.
+  net.send(Address::sat({0, 0}), Address::sat({-1, 2}), Ping{});
+  sim.run();
+  EXPECT_EQ(net.stats().dropped_unregistered, 1u);
+}
+
+TEST(CrosslinkNetwork, PooledEnvelopesSurviveNestedSends) {
+  // A handler that sends while its envelope is in scope must observe its
+  // own envelope unchanged (the pool may grow during the nested send).
+  Simulator sim;
+  CrosslinkNetwork net(sim, tight_options(), Rng(11));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({0, 1});
+  const auto c = Address::sat({0, 2});
+  std::vector<int> b_seen;
+  int c_seen = 0;
+  net.register_node(b, [&](const Envelope& e) {
+    const int v = std::any_cast<Ping>(e.payload).value;
+    for (int i = 0; i < 4; ++i) net.send(b, c, Ping{100 + i});
+    b_seen.push_back(std::any_cast<Ping>(e.payload).value);
+    EXPECT_EQ(b_seen.back(), v);
+  });
+  net.register_node(c, [&](const Envelope&) { ++c_seen; });
+  for (int i = 0; i < 8; ++i) net.send(a, b, Ping{i});
+  sim.run();
+  // Random delays permute delivery order; every payload must arrive once.
+  std::sort(b_seen.begin(), b_seen.end());
+  EXPECT_EQ(b_seen, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(c_seen, 32);
 }
 
 TEST(CrosslinkNetwork, UnregisteredDestinationCounted) {

@@ -143,5 +143,152 @@ TEST(Simulator, CancelInsideEventCallback) {
   EXPECT_FALSE(second_fired);
 }
 
+// --- Semantics locked before the pooled-kernel rewrite. These pin the
+// exact contract (cancel visibility, FIFO ties, clock advance, gauge
+// behaviour) that the old and new kernels must share. ---
+
+TEST(Simulator, CancelDuringCallbackOfSimultaneousEvent) {
+  // Two events at the SAME timestamp: the first one's callback cancels the
+  // second, which must then not fire even though it is already at the top
+  // of the queue region being drained.
+  Simulator sim;
+  bool second_fired = false;
+  const auto t = TimePoint::at(Duration::minutes(1));
+  EventId second{};
+  sim.schedule_at(t, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  second = sim.schedule_at(t, [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(sim.processed_count(), 1u);
+}
+
+TEST(Simulator, CancelOfAlreadyFiredIdIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_after(Duration::minutes(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.is_pending(id));
+  EXPECT_FALSE(sim.cancel(id));
+  // A later event must be unaffected by the stale cancel.
+  sim.schedule_after(Duration::minutes(1), [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, OwnIdNotPendingDuringCallback) {
+  // While an event's callback runs, the event has left the pending set:
+  // cancelling or querying the own id reports "already fired".
+  Simulator sim;
+  EventId self{};
+  bool checked = false;
+  self = sim.schedule_after(Duration::minutes(1), [&] {
+    EXPECT_FALSE(sim.is_pending(self));
+    EXPECT_FALSE(sim.cancel(self));
+    checked = true;
+  });
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Simulator, EqualTimestampFifoSurvivesInterleavedCancels) {
+  // FIFO among simultaneous events must hold even when some of the
+  // interleaved events are cancelled before the timestamp drains.
+  Simulator sim;
+  const auto t = TimePoint::at(Duration::minutes(2));
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(sim.schedule_at(t, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 12; i += 3) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 7, 8, 10, 11}));
+}
+
+TEST(Simulator, ScheduleAtCurrentTimeDuringCallbackFiresAfterQueue) {
+  // An event scheduled at now() from inside a callback runs after the
+  // events already queued at that timestamp (sequence order).
+  Simulator sim;
+  const auto t = TimePoint::at(Duration::minutes(1));
+  std::vector<int> order;
+  sim.schedule_at(t, [&] {
+    order.push_back(0);
+    sim.schedule_at(sim.now(), [&] { order.push_back(2); });
+  });
+  sim.schedule_at(t, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastCancelledTail) {
+  // run_until must advance the clock to the boundary even when every
+  // remaining event beneath it was cancelled.
+  Simulator sim;
+  const auto id = sim.schedule_after(Duration::minutes(2), [] {});
+  sim.cancel(id);
+  sim.run_until(TimePoint::at(Duration::minutes(4)));
+  EXPECT_DOUBLE_EQ(sim.now().since_origin().to_minutes(), 4.0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.processed_count(), 0u);
+  // And scheduling before the advanced clock must now throw.
+  EXPECT_THROW(sim.schedule_at(TimePoint::at(Duration::minutes(3)), [] {}),
+               PreconditionError);
+}
+
+TEST(Simulator, RunUntilOnEmptyQueueStillAdvancesClock) {
+  Simulator sim;
+  sim.run_until(TimePoint::at(Duration::minutes(9)));
+  EXPECT_DOUBLE_EQ(sim.now().since_origin().to_minutes(), 9.0);
+}
+
+TEST(Simulator, PeakPendingTracksHighWaterMonotonically) {
+  Simulator sim;
+  EXPECT_EQ(sim.peak_pending_count(), 0u);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sim.schedule_after(Duration::minutes(i + 1), [] {}));
+    EXPECT_EQ(sim.peak_pending_count(), static_cast<std::size_t>(i + 1));
+  }
+  // Cancelling shrinks the pending set but never the high-water mark.
+  sim.cancel(ids[0]);
+  sim.cancel(ids[1]);
+  EXPECT_EQ(sim.pending_count(), 6u);
+  EXPECT_EQ(sim.peak_pending_count(), 8u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.peak_pending_count(), 8u);
+  // Refilling below the mark leaves it unchanged; exceeding it moves it.
+  for (int i = 0; i < 9; ++i) {
+    sim.schedule_after(Duration::minutes(i + 1), [] {});
+  }
+  EXPECT_EQ(sim.peak_pending_count(), 9u);
+}
+
+TEST(Simulator, IdsStayDistinctAcrossHeavyChurn) {
+  // Schedule/cancel/fire churn must never produce an id that aliases a
+  // live event (the generation-tag contract of the pooled kernel).
+  Simulator sim;
+  std::vector<EventId> live;
+  int fired = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      live.push_back(
+          sim.schedule_after(Duration::seconds(1 + (round + i) % 7),
+                             [&] { ++fired; }));
+    }
+    // Cancel half; every cancel must report success exactly once.
+    for (std::size_t i = 0; i < live.size(); i += 2) {
+      EXPECT_TRUE(sim.cancel(live[i]));
+      EXPECT_FALSE(sim.cancel(live[i]));
+    }
+    sim.run();
+    for (const auto id : live) EXPECT_FALSE(sim.is_pending(id));
+    live.clear();
+  }
+  EXPECT_EQ(fired, 200 * 4);
+}
+
 }  // namespace
 }  // namespace oaq

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the ISSUE 3 performance benches and aggregates their BENCH_JSON
+# lines into BENCH_3.json at the repo root.
+#
+#   tools/run_bench.sh [build-dir]
+#
+# Configures a Release build (default build-bench/), builds des_kernel and
+# parallel_scaling, runs both, and joins every line of the form
+#   BENCH_JSON {...}
+# into a single JSON document (see tools/README.md for the schema). The
+# des_kernel binary itself enforces the acceptance gates (>= 2x
+# schedule/cancel speedup over the legacy kernel, zero steady-state
+# allocations per event), so a failing gate fails this script.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-bench"}"
+out="${repo_root}/BENCH_3.json"
+
+cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_dir}" -j --target des_kernel parallel_scaling >/dev/null
+
+log="$(mktemp)"
+trap 'rm -f "${log}"' EXIT
+
+echo "== des_kernel ==" >&2
+"${build_dir}/bench/des_kernel" | tee -a "${log}" >&2
+echo "== parallel_scaling ==" >&2
+"${build_dir}/bench/parallel_scaling" | tee -a "${log}" >&2
+
+# Join the BENCH_JSON payloads into {"benchmarks": [...]}.
+grep '^BENCH_JSON ' "${log}" | sed 's/^BENCH_JSON //' |
+  awk 'BEGIN { printf "{\"schema\":\"oaq-bench-v1\",\"benchmarks\":[" }
+       { printf "%s%s", (NR > 1 ? "," : ""), $0 }
+       END { printf "]}\n" }' > "${out}"
+
+echo "wrote ${out}" >&2
