@@ -7,9 +7,21 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "orbit/shared_visibility_cache.hpp"
 
 namespace oaq {
 namespace {
+
+/// Visibility-window quantum covering every episode a replication can arm:
+/// arrivals start 60 min into the run, the horizon bounds the last start,
+/// and an episode's pass queries extend at most τ plus post-roll past it.
+/// One quantized window — one Kepler sweep — therefore serves the whole
+/// replication, where the former fixed 1 h default recomputed a sweep per
+/// hour of horizon.
+Duration campaign_visibility_quantum(const CampaignConfig& config) {
+  return Duration::minutes(60) + config.horizon + config.protocol.tau +
+         Duration::hours(2);
+}
 
 /// Mergeable tallies for one or more campaign replications. Counters and
 /// pmf weights are integral, so any grouping merges exactly; the latency
@@ -44,8 +56,8 @@ struct CampaignAccum {
 /// `trace` is this replication's shard buffer (null = tracing disabled);
 /// `want_metrics` fills the accumulator's registry.
 CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
-                                  ShardTraceBuffer* trace,
-                                  bool want_metrics) {
+                                  ShardTraceBuffer* trace, bool want_metrics,
+                                  const SharedVisibilityCache* shared_cache) {
   Rng arrivals_rng = master.fork(1);
   Rng durations_rng = master.fork(2);
   Rng net_rng = master.fork(3);
@@ -68,13 +80,21 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
 
   // One pass pattern for the whole campaign; signal arrival times are
   // uniform over the pattern period by Poisson stationarity. Geometric
-  // mode swaps the analytic plane for real constellation geometry with a
-  // replication-local visibility cache (episodes along the horizon ask
-  // for overlapping windows, so most queries hit).
+  // mode swaps the analytic plane for real constellation geometry, read
+  // either from the run-wide frozen shared cache (replication-local hit
+  // stats) or from a replication-private cache; both use the
+  // horizon-covering quantum, so a replication needs one Kepler sweep.
   std::optional<VisibilityCache> vis_cache;
+  VisibilityCacheStats shared_stats;
   std::unique_ptr<const CoverageSchedule> schedule;
-  if (config.constellation != nullptr) {
-    vis_cache.emplace(*config.constellation, config.earth_rotation);
+  if (shared_cache != nullptr) {
+    schedule = std::make_unique<GeometricSchedule>(*shared_cache,
+                                                   config.target,
+                                                   &shared_stats);
+  } else if (config.constellation != nullptr) {
+    VisibilityCache::Options vopt;
+    vopt.window_quantum = campaign_visibility_quantum(config);
+    vis_cache.emplace(*config.constellation, config.earth_rotation, vopt);
     schedule =
         std::make_unique<GeometricSchedule>(*vis_cache, config.target);
   } else {
@@ -170,14 +190,28 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
     m.add("sim.events", static_cast<std::int64_t>(sim.processed_count()));
     m.observe("sim.peak_pending",
               static_cast<double>(sim.peak_pending_count()));
-    if (vis_cache) {
-      const VisibilityCacheStats& vs = vis_cache->stats();
+    if (config.queue_metrics) {
+      const QueueStats& qs = sim.queue_stats();
+      m.add("sim.queue.runs_created",
+            static_cast<std::int64_t>(qs.runs_created));
+      m.add("sim.queue.run_merges",
+            static_cast<std::int64_t>(qs.run_merges));
+      m.add("sim.queue.tombstones_purged",
+            static_cast<std::int64_t>(qs.tombstones_purged));
+      m.observe("sim.queue.max_run_length",
+                static_cast<double>(qs.max_run_length));
+    }
+    if (shared_cache != nullptr || vis_cache) {
+      const VisibilityCacheStats& vs =
+          shared_cache != nullptr ? shared_stats : vis_cache->stats();
       m.add("visibility.pass_queries",
             static_cast<std::int64_t>(vs.pass_queries));
       m.add("visibility.pass_hits",
             static_cast<std::int64_t>(vs.pass_hits));
-      m.add("visibility.cache_entries",
-            static_cast<std::int64_t>(vis_cache->entry_count()));
+      if (vis_cache) {
+        m.add("visibility.cache_entries",
+              static_cast<std::int64_t>(vis_cache->entry_count()));
+      }
     }
     m.observe("compute.queueing_delay_s", out.queueing_delay_s);
     for (auto& ep : episodes) {
@@ -211,13 +245,35 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     return config.trace != nullptr ? config.trace->shard(shard) : nullptr;
   };
 
+  // Run-wide shared cache: the horizon window is seeded once on the
+  // calling thread and frozen before any replication runs — every
+  // replication then reads the same sweep lock-free.
+  std::optional<SharedVisibilityCache> shared_cache;
+  SeedFreezeHook seed_hook;
+  if (config.constellation != nullptr && config.shared_visibility) {
+    VisibilityCache::Options vopt;
+    vopt.window_quantum = campaign_visibility_quantum(config);
+    shared_cache.emplace(*config.constellation, config.earth_rotation, vopt);
+    seed_hook.seed = [&shared_cache, &config, &vopt] {
+      shared_cache->seed_window(config.target, Duration::zero(),
+                                vopt.window_quantum);
+    };
+    seed_hook.freeze = [&shared_cache] { shared_cache->freeze(); };
+  }
+  const SharedVisibilityCache* shared_ptr =
+      shared_cache ? &*shared_cache : nullptr;
+
   CampaignAccum total;
   if (config.replications == 1) {
     using Clock = std::chrono::steady_clock;
     const auto t_start = Clock::now();
+    if (shared_cache) {
+      seed_hook.seed();
+      seed_hook.freeze();
+    }
     total =
         run_single_campaign(config, Rng(config.seed), shard_trace(0),
-                            want_metrics);
+                            want_metrics, shared_ptr);
     if (config.profile != nullptr) {
       // No fan-out: a one-shard profile keeps the BENCH_JSON shape.
       config.profile->jobs_resolved = 1;
@@ -240,12 +296,19 @@ CampaignResult run_campaign(const CampaignConfig& config) {
           for (std::int64_t r = begin; r < end; ++r) {
             acc.merge(run_single_campaign(
                 config, replication_seeds.fork(static_cast<std::uint64_t>(r)),
-                shard_trace(shard), want_metrics));
+                shard_trace(shard), want_metrics, shared_ptr));
           }
           return acc;
         },
         [](CampaignAccum& into, CampaignAccum&& from) { into.merge(from); },
-        config.profile);
+        config.profile, shared_cache ? &seed_hook : nullptr);
+  }
+  if (shared_cache && want_metrics) {
+    // Global cache size, once — not per replication.
+    total.metrics.add(
+        "visibility.cache_entries",
+        static_cast<std::int64_t>(shared_cache->frozen_entries() +
+                                  shared_cache->overflow_entries()));
   }
   if (want_metrics) *config.metrics = std::move(total.metrics);
 

@@ -48,12 +48,21 @@ struct CampaignConfig {
 
   // --- Geometric mode (optional). When `constellation` is set, the
   // campaign runs against real orbital geometry over `target` instead of
-  // the analytic plane; every replication owns a VisibilityCache so the
-  // many per-episode pass queries along the horizon share their
-  // Kepler-heavy window computations. ---
+  // the analytic plane. The visibility cache quantum is derived from the
+  // horizon (one Kepler sweep covers every episode window of a
+  // replication), and by default one seed-then-frozen cache is shared by
+  // all replications. ---
   const Constellation* constellation = nullptr;
   GeoPoint target{};
   bool earth_rotation = false;
+  /// Share one frozen visibility cache across replications instead of one
+  /// private cache per replication. Results are bit-identical either way;
+  /// the knob exists for A/B benchmarking (see montecarlo).
+  bool shared_visibility = true;
+
+  /// Export `sim.queue.*` DES ready-queue telemetry into `metrics` (off by
+  /// default: the golden metrics files predate these keys).
+  bool queue_metrics = false;
 
   // --- Observability (all optional; null = disabled). ---
   /// Protocol event streams, one shard per replication. Campaign episodes

@@ -69,6 +69,11 @@ struct EpisodeTelemetry {
   std::uint64_t messages_dropped_dead = 0;  ///< dead sender/receiver/unknown
   std::uint64_t sim_events = 0;             ///< DES events processed
   std::uint64_t sim_peak_pending = 0;       ///< DES queue-depth high water
+  // Merge-run ready-queue maintenance counters (Simulator::QueueStats).
+  std::uint64_t sim_runs_created = 0;
+  std::uint64_t sim_run_merges = 0;
+  std::uint64_t sim_tombstones_purged = 0;
+  std::uint64_t sim_max_run_length = 0;
 };
 
 /// What happened in one episode.

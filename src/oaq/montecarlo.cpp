@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "orbit/shared_visibility_cache.hpp"
 
 namespace oaq {
 namespace {
@@ -46,8 +47,11 @@ struct EpisodeAccum {
 
 /// Record one episode's outcome into a shard-local registry. Every value
 /// derives from the episode result / telemetry (simulation time), so the
-/// merged registry is deterministic for any worker count.
-void record_episode_metrics(MetricsRegistry& m, const EpisodeResult& r) {
+/// merged registry is deterministic for any worker count. `queue_metrics`
+/// additionally exports the DES ready-queue telemetry (off by default: the
+/// golden metrics files predate the sim.queue.* keys).
+void record_episode_metrics(MetricsRegistry& m, const EpisodeResult& r,
+                            bool queue_metrics) {
   m.add("episodes", 1);
   if (r.detected) m.add("episodes.detected", 1);
   if (r.alert_delivered) m.add("alerts.delivered", 1);
@@ -67,6 +71,16 @@ void record_episode_metrics(MetricsRegistry& m, const EpisodeResult& r) {
   m.add("sim.events", static_cast<std::int64_t>(r.telemetry.sim_events));
   m.observe("sim.peak_pending",
             static_cast<double>(r.telemetry.sim_peak_pending));
+  if (queue_metrics) {
+    m.add("sim.queue.runs_created",
+          static_cast<std::int64_t>(r.telemetry.sim_runs_created));
+    m.add("sim.queue.run_merges",
+          static_cast<std::int64_t>(r.telemetry.sim_run_merges));
+    m.add("sim.queue.tombstones_purged",
+          static_cast<std::int64_t>(r.telemetry.sim_tombstones_purged));
+    m.observe("sim.queue.max_run_length",
+              static_cast<double>(r.telemetry.sim_max_run_length));
+  }
   if (r.detected) {
     m.observe("chain.length", static_cast<double>(r.chain_length));
     m.observe("alerts.reported_error_km", r.reported_error_km);
@@ -143,8 +157,36 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
       acc.chain_sum = checked_add(acc.chain_sum, r.chain_length);
       acc.max_chain_length = std::max(acc.max_chain_length, r.chain_length);
     }
-    if (want_metrics) record_episode_metrics(acc.metrics, r);
+    if (want_metrics) {
+      record_episode_metrics(acc.metrics, r, config.queue_metrics);
+    }
   };
+
+  // The quantum is sized to cover every episode window (start jitter ≤ one
+  // period, pass horizon ≤ signal cap + τ + post-roll), so virtually every
+  // episode query quantizes to the same [0, quantum] window — one Kepler
+  // sweep serves the whole run.
+  VisibilityCache::Options vopt;
+  if (geometric) {
+    vopt.window_quantum = signal_start.since_origin() +
+                          config.constellation->design().period +
+                          config.protocol.tau + Duration::hours(2);
+  }
+
+  // Shared mode: that one sweep is computed ONCE on the calling thread
+  // (seed), frozen, and then read lock-free by every shard — instead of
+  // once per shard with private caches. Cached values are pure functions
+  // of the query either way, so both modes are bit-identical at any jobs.
+  std::optional<SharedVisibilityCache> shared_cache;
+  SeedFreezeHook seed_hook;
+  if (geometric && config.shared_visibility) {
+    shared_cache.emplace(*config.constellation, config.earth_rotation, vopt);
+    seed_hook.seed = [&shared_cache, &config, &vopt] {
+      shared_cache->seed_window(config.target, Duration::zero(),
+                                vopt.window_quantum);
+    };
+    seed_hook.freeze = [&shared_cache] { shared_cache->freeze(); };
+  }
 
   EpisodeAccum total = parallel_reduce<EpisodeAccum>(
       config.episodes, n_shards, config.jobs,
@@ -152,18 +194,15 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         EpisodeAccum acc;
         ShardTraceBuffer* trace =
             config.trace != nullptr ? config.trace->shard(shard) : nullptr;
-        // Shard-private cache + schedule: no locks, and the shard's
-        // results depend only on its own episode indices. The quantum is
-        // sized to cover every episode window (start jitter ≤ one period,
-        // pass horizon ≤ signal cap + τ + post-roll), so the whole shard
-        // shares a single Kepler sweep.
+        // Per-shard schedule over either the frozen shared cache (with
+        // shard-local stats — hit accounting is per-shard deterministic)
+        // or a shard-private VisibilityCache.
+        VisibilityCacheStats shared_stats;
         std::optional<VisibilityCache> cache;
         std::optional<GeometricSchedule> geo_schedule;
-        if (geometric) {
-          VisibilityCache::Options vopt;
-          vopt.window_quantum = signal_start.since_origin() +
-                                config.constellation->design().period +
-                                config.protocol.tau + Duration::hours(2);
+        if (shared_cache) {
+          geo_schedule.emplace(*shared_cache, config.target, &shared_stats);
+        } else if (geometric) {
           cache.emplace(*config.constellation, config.earth_rotation, vopt);
           geo_schedule.emplace(*cache, config.target);
         }
@@ -172,20 +211,32 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
                       geo_schedule ? &*geo_schedule : nullptr);
         }
         if (geometric && want_metrics) {
-          const VisibilityCacheStats& vs = cache->stats();
+          const VisibilityCacheStats& vs =
+              shared_cache ? shared_stats : cache->stats();
           acc.metrics.add("visibility.pass_queries",
                           static_cast<std::int64_t>(vs.pass_queries));
           acc.metrics.add("visibility.pass_hits",
                           static_cast<std::int64_t>(vs.pass_hits));
-          acc.metrics.add("visibility.cache_entries",
-                          static_cast<std::int64_t>(cache->entry_count()));
+          if (!shared_cache) {
+            acc.metrics.add("visibility.cache_entries",
+                            static_cast<std::int64_t>(cache->entry_count()));
+          }
         }
         return acc;
       },
       [](EpisodeAccum& into, EpisodeAccum&& from) {
         into.merge(std::move(from));
       },
-      config.profile);
+      config.profile, shared_cache ? &seed_hook : nullptr);
+
+  if (shared_cache && want_metrics) {
+    // Global cache size, added once after the reduce (a per-shard export
+    // would multiply the shared count by the shard count).
+    total.metrics.add(
+        "visibility.cache_entries",
+        static_cast<std::int64_t>(shared_cache->frozen_entries() +
+                                  shared_cache->overflow_entries()));
+  }
 
   if (want_metrics) *config.metrics = std::move(total.metrics);
 

@@ -52,6 +52,17 @@ struct QosSimulationConfig {
   const Constellation* constellation = nullptr;
   GeoPoint target{};
   bool earth_rotation = false;
+  /// Share one seed-then-frozen visibility cache across all shards (the
+  /// common episode window is computed once per run instead of once per
+  /// shard). `false` restores the shard-private VisibilityCache path —
+  /// results are bit-identical either way (both caches quantize and
+  /// compute windows identically); the knob exists for A/B benchmarking.
+  bool shared_visibility = true;
+
+  /// Export the DES ready-queue telemetry (`sim.queue.*` counters:
+  /// run/merge/tombstone accounting) into `metrics`. Off by default: the
+  /// golden metrics files predate these keys.
+  bool queue_metrics = false;
 
   // --- Observability (all optional; null = disabled, zero overhead
   // beyond one branch per recording site). ---

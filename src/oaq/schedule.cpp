@@ -46,8 +46,18 @@ GeometricSchedule::GeometricSchedule(VisibilityCache& cache, GeoPoint target)
     : constellation_(cache.constellation()), target_(target),
       earth_rotation_(cache.earth_rotation()), cache_(&cache) {}
 
+GeometricSchedule::GeometricSchedule(const SharedVisibilityCache& cache,
+                                     GeoPoint target,
+                                     VisibilityCacheStats* stats)
+    : constellation_(cache.constellation()), target_(target),
+      earth_rotation_(cache.earth_rotation()), shared_cache_(&cache),
+      shared_stats_(stats) {}
+
 std::vector<Pass> GeometricSchedule::passes(Duration from, Duration to) const {
   OAQ_REQUIRE(to > from, "pass window must be nonempty");
+  if (shared_cache_ != nullptr) {
+    return shared_cache_->passes_window(target_, from, to, shared_stats_);
+  }
   if (cache_ != nullptr) return cache_->passes_window(target_, from, to);
   const PassPredictor predictor(*constellation_, earth_rotation_);
   // PassPredictor requires a nonnegative horizon start.

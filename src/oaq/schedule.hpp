@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analytic/geometry.hpp"
+#include "orbit/shared_visibility_cache.hpp"
 #include "orbit/visibility.hpp"
 #include "orbit/visibility_cache.hpp"
 
@@ -62,6 +63,15 @@ class GeometricSchedule final : public CoverageSchedule {
   /// for single-threaded (per-shard) use, like the cache itself.
   GeometricSchedule(VisibilityCache& cache, GeoPoint target);
 
+  /// Shared-cache variant: queries hit the frozen cross-shard cache
+  /// lock-free (hot-path callers that want the allocation-free form use
+  /// SharedVisibilityCache::passes_window_into directly). The cache must
+  /// be frozen before the first passes() call and outlive the schedule.
+  /// Create one schedule per shard; `stats`, when given, accumulates that
+  /// shard's deterministic hit/miss counts and must outlive the schedule.
+  GeometricSchedule(const SharedVisibilityCache& cache, GeoPoint target,
+                    VisibilityCacheStats* stats = nullptr);
+
   [[nodiscard]] std::vector<Pass> passes(Duration from,
                                          Duration to) const override;
 
@@ -70,6 +80,8 @@ class GeometricSchedule final : public CoverageSchedule {
   GeoPoint target_;
   bool earth_rotation_;
   VisibilityCache* cache_ = nullptr;
+  const SharedVisibilityCache* shared_cache_ = nullptr;
+  VisibilityCacheStats* shared_stats_ = nullptr;
 };
 
 /// Overlap windows (≥2 satellites simultaneously covering) in a pass list.

@@ -90,6 +90,13 @@ class Orbit {
 
   [[nodiscard]] bool j2_enabled() const { return j2_; }
 
+  /// Precomputed perifocal→ECI rotation columns (images of the perifocal
+  /// x and y axes). Exposed so the batched kernel (orbit/batch_kepler)
+  /// reuses the exact same values instead of re-deriving them — a
+  /// prerequisite of its bit-identity contract with this propagator.
+  [[nodiscard]] const Vec3& perifocal_x_eci() const { return p_hat_; }
+  [[nodiscard]] const Vec3& perifocal_y_eci() const { return q_hat_; }
+
  private:
   /// Elements propagated to time t (secular drift applied when enabled).
   [[nodiscard]] const Orbit& self_or_drifted(Duration t, Orbit& scratch) const;

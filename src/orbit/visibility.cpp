@@ -5,19 +5,9 @@
 
 #include "common/error.hpp"
 #include "common/numeric.hpp"
+#include "orbit/batch_kepler.hpp"
 
 namespace oaq {
-namespace {
-
-/// Elevation-like margin: positive when the satellite covers the target.
-double coverage_margin(const Orbit& orbit, const FootprintModel& fp,
-                       const GeoPoint& target, Duration t,
-                       bool earth_rotation) {
-  const GeoPoint subsat = orbit.subsatellite_point(t, earth_rotation);
-  return fp.angular_radius_rad() - central_angle(subsat, target);
-}
-
-}  // namespace
 
 PassPredictor::PassPredictor(const Constellation& constellation,
                              bool earth_rotation)
@@ -29,6 +19,13 @@ std::vector<Pass> PassPredictor::passes(const GeoPoint& target, Duration t0,
   OAQ_REQUIRE(tol > Duration::zero(), "tolerance must be positive");
   std::vector<Pass> result;
   const auto& fp = constellation_->footprint();
+  const double psi = fp.angular_radius_rad();
+
+  // Sample grid and margin sweep, reused across satellites. The grid
+  // accumulates exactly like the pre-batch scalar loop did (t += step,
+  // clamped to t1), so crossing brackets land on the same sample times.
+  std::vector<double> times;
+  std::vector<double> margins;
 
   for (int pi = 0; pi < constellation_->num_planes(); ++pi) {
     const auto& plane = constellation_->plane(pi);
@@ -36,19 +33,38 @@ std::vector<Pass> PassPredictor::passes(const GeoPoint& target, Duration t0,
     // transit reliably brackets every crossing.
     const Duration transit = fp.coverage_time(plane.period());
     const Duration step = transit / 64.0;
+    times.clear();
+    {
+      double t = t0.to_seconds();
+      times.push_back(t);
+      while (t < t1.to_seconds()) {
+        t = std::min(t + step.to_seconds(), t1.to_seconds());
+        times.push_back(t);
+      }
+    }
     for (int slot = 0; slot < plane.active_count(); ++slot) {
       const Orbit orbit = plane.orbit_of(slot);
+      const BatchKepler batch(orbit);
+      // Root refinement evaluates single elements through the SAME batched
+      // kernel, so bracket endpoints agree bitwise with the sweep values —
+      // find_root's sign preconditions can never be violated by a
+      // sweep/refine mismatch.
       auto margin = [&](double t_sec) {
-        return coverage_margin(orbit, fp, target, Duration::seconds(t_sec),
-                               earth_rotation_);
+        double m = 0.0;
+        batch.coverage_margins(target, psi, earth_rotation_, &t_sec, 1, &m);
+        return m;
       };
 
-      double t = t0.to_seconds();
-      double m_prev = margin(t);
-      double pass_start = m_prev > 0.0 ? t : -1.0;
-      while (t < t1.to_seconds()) {
-        const double t_next = std::min(t + step.to_seconds(), t1.to_seconds());
-        const double m_next = margin(t_next);
+      margins.resize(times.size());
+      batch.coverage_margins(target, psi, earth_rotation_, times.data(),
+                             times.size(), margins.data());
+
+      double m_prev = margins[0];
+      double pass_start = m_prev > 0.0 ? times[0] : -1.0;
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        const double t = times[i - 1];
+        const double t_next = times[i];
+        const double m_next = margins[i];
         if (m_prev <= 0.0 && m_next > 0.0) {
           pass_start = find_root(margin, t, t_next, tol.to_seconds());
         } else if (m_prev > 0.0 && m_next <= 0.0) {
@@ -59,7 +75,6 @@ std::vector<Pass> PassPredictor::passes(const GeoPoint& target, Duration t0,
                             Duration::seconds(pass_end)});
           pass_start = -1.0;
         }
-        t = t_next;
         m_prev = m_next;
       }
       if (pass_start >= 0.0 && m_prev > 0.0) {

@@ -19,7 +19,7 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
-std::size_t VisibilityCache::KeyHash::operator()(const Key& k) const {
+std::size_t VisibilityKeyHash::operator()(const VisibilityKey& k) const {
   std::uint64_t h = mix64(k.lat);
   h = mix64(h ^ k.lon);
   h = mix64(h ^ k.t0);
@@ -27,12 +27,12 @@ std::size_t VisibilityCache::KeyHash::operator()(const Key& k) const {
   return static_cast<std::size_t>(h);
 }
 
-VisibilityCache::Key VisibilityCache::make_key(const GeoPoint& target,
-                                               Duration t0, Duration t1) {
-  return Key{std::bit_cast<std::uint64_t>(target.lat_rad),
-             std::bit_cast<std::uint64_t>(target.lon_rad),
-             std::bit_cast<std::uint64_t>(t0.to_seconds()),
-             std::bit_cast<std::uint64_t>(t1.to_seconds())};
+VisibilityKey make_visibility_key(const GeoPoint& target, Duration t0,
+                                  Duration t1) {
+  return VisibilityKey{std::bit_cast<std::uint64_t>(target.lat_rad),
+                       std::bit_cast<std::uint64_t>(target.lon_rad),
+                       std::bit_cast<std::uint64_t>(t0.to_seconds()),
+                       std::bit_cast<std::uint64_t>(t1.to_seconds())};
 }
 
 VisibilityCache::VisibilityCache(const Constellation& constellation,
@@ -49,7 +49,7 @@ VisibilityCache::VisibilityCache(const Constellation& constellation,
 const std::vector<Pass>& VisibilityCache::passes(const GeoPoint& target,
                                                  Duration t0, Duration t1) {
   ++stats_.pass_queries;
-  const Key key = make_key(target, t0, t1);
+  const VisibilityKey key = make_visibility_key(target, t0, t1);
   const auto it = pass_cache_.find(key);
   if (it != pass_cache_.end()) {
     ++stats_.pass_hits;
@@ -63,7 +63,7 @@ const std::vector<Pass>& VisibilityCache::passes(const GeoPoint& target,
 const std::vector<CoverageSegment>& VisibilityCache::multiplicity_timeline(
     const GeoPoint& target, Duration t0, Duration t1) {
   ++stats_.timeline_queries;
-  const Key key = make_key(target, t0, t1);
+  const VisibilityKey key = make_visibility_key(target, t0, t1);
   const auto it = timeline_cache_.find(key);
   if (it != timeline_cache_.end()) {
     ++stats_.timeline_hits;

@@ -38,6 +38,19 @@ struct VisibilityCacheStats {
   std::uint64_t timeline_hits = 0;
 };
 
+/// Bit-exact cache key shared by VisibilityCache and SharedVisibilityCache:
+/// hashing the IEEE-754 patterns makes 'same inputs' mean 'same bits' — no
+/// epsilon surprises, no false hits.
+struct VisibilityKey {
+  std::uint64_t lat = 0, lon = 0, t0 = 0, t1 = 0;
+  friend bool operator==(const VisibilityKey&, const VisibilityKey&) = default;
+};
+struct VisibilityKeyHash {
+  std::size_t operator()(const VisibilityKey& k) const;
+};
+[[nodiscard]] VisibilityKey make_visibility_key(const GeoPoint& target,
+                                                Duration t0, Duration t1);
+
 /// Tuning knobs of a VisibilityCache (namespace-scope so it can serve as
 /// a defaulted constructor argument).
 struct VisibilityCacheOptions {
@@ -86,24 +99,14 @@ class VisibilityCache {
   void clear();
 
  private:
-  /// Bit-exact key: hashing the IEEE-754 patterns makes 'same inputs'
-  /// mean 'same bits' — no epsilon surprises, no false hits.
-  struct Key {
-    std::uint64_t lat = 0, lon = 0, t0 = 0, t1 = 0;
-    friend bool operator==(const Key&, const Key&) = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
-  };
-  [[nodiscard]] static Key make_key(const GeoPoint& target, Duration t0,
-                                    Duration t1);
-
   const Constellation* constellation_;
   bool earth_rotation_;
   Options options_;
   PassPredictor predictor_;
-  std::unordered_map<Key, std::vector<Pass>, KeyHash> pass_cache_;
-  std::unordered_map<Key, std::vector<CoverageSegment>, KeyHash>
+  std::unordered_map<VisibilityKey, std::vector<Pass>, VisibilityKeyHash>
+      pass_cache_;
+  std::unordered_map<VisibilityKey, std::vector<CoverageSegment>,
+                     VisibilityKeyHash>
       timeline_cache_;
   VisibilityCacheStats stats_;
 };

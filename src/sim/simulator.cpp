@@ -34,6 +34,7 @@ std::vector<Simulator::QueueEntry> Simulator::take_buffer() {
 }
 
 void Simulator::merge_runs() {
+  ++queue_stats_.run_merges;
   std::vector<QueueEntry> out = take_buffer();
   std::size_t total = 0;
   for (const Run& r : runs_) total += r.entries.size() - r.head;
@@ -46,6 +47,7 @@ void Simulator::merge_runs() {
       Run& r = runs_[i];
       while (r.head < r.entries.size() && !entry_live(r.entries[r.head])) {
         ++r.head;  // purge tombstones while streaming
+        ++queue_stats_.tombstones_purged;
       }
       if (r.head >= r.entries.size()) continue;
       if (best < 0 ||
@@ -59,6 +61,9 @@ void Simulator::merge_runs() {
   for (Run& r : runs_) buffer_pool_.push_back(std::move(r.entries));
   runs_.clear();
   if (!out.empty()) {
+    queue_stats_.max_run_length =
+        std::max(queue_stats_.max_run_length,
+                 static_cast<std::uint64_t>(out.size()));
     runs_.push_back(Run{std::move(out), 0});
   } else {
     buffer_pool_.push_back(std::move(out));
@@ -66,7 +71,10 @@ void Simulator::merge_runs() {
 }
 
 void Simulator::flush_spill() {
+  const std::size_t before = spill_.size();
   std::erase_if(spill_, [this](const QueueEntry& e) { return !entry_live(e); });
+  queue_stats_.tombstones_purged +=
+      static_cast<std::uint64_t>(before - spill_.size());
   spill_min_ = kNoKey;
   if (spill_.empty()) return;
   std::sort(spill_.begin(), spill_.end(),
@@ -83,6 +91,10 @@ void Simulator::flush_spill() {
   Run r;
   r.entries = take_buffer();
   r.entries.swap(spill_);
+  ++queue_stats_.runs_created;
+  queue_stats_.max_run_length =
+      std::max(queue_stats_.max_run_length,
+               static_cast<std::uint64_t>(r.entries.size()));
   runs_.push_back(std::move(r));
 }
 
@@ -94,6 +106,7 @@ int Simulator::settle() {
       Run& r = runs_[i];
       while (r.head < r.entries.size() && !entry_live(r.entries[r.head])) {
         ++r.head;
+        ++queue_stats_.tombstones_purged;
       }
       if (r.head >= r.entries.size()) {  // exhausted: recycle, swap-erase
         buffer_pool_.push_back(std::move(r.entries));

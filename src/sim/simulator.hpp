@@ -29,6 +29,17 @@
 
 namespace oaq {
 
+/// Maintenance counters of the merge-run ready queue, cumulative over the
+/// simulator's life. Pure functions of the event/cancel sequence — runs
+/// with the same seed report the same numbers — so the observability layer
+/// can export them next to the deterministic simulation metrics.
+struct QueueStats {
+  std::uint64_t runs_created = 0;  ///< sorted runs materialized from spills
+  std::uint64_t run_merges = 0;    ///< full k-way consolidations (run cap hit)
+  std::uint64_t tombstones_purged = 0;  ///< cancelled entries dropped
+  std::uint64_t max_run_length = 0;     ///< largest run ever materialized
+};
+
 /// Opaque id of a scheduled event; usable to cancel it. Packs the event's
 /// slab slot (low 32 bits) and its generation tag (high 32 bits): a slot
 /// may be reused after the event fires or is cancelled, but the bumped
@@ -84,6 +95,8 @@ class Simulator {
   /// High-water mark of the pending-event set over the simulator's life —
   /// the DES queue-depth gauge the observability layer reports.
   [[nodiscard]] std::size_t peak_pending_count() const { return peak_pending_; }
+  /// Ready-queue maintenance counters (run/merge/tombstone accounting).
+  [[nodiscard]] const QueueStats& queue_stats() const { return queue_stats_; }
 
  private:
   /// Slab entry. `gen` is odd while the slot is armed (event pending) and
@@ -148,6 +161,7 @@ class Simulator {
   std::uint64_t processed_ = 0;
   std::size_t live_ = 0;
   std::size_t peak_pending_ = 0;
+  QueueStats queue_stats_;
   std::vector<Event> slab_;
   std::vector<std::uint32_t> free_;
   std::vector<Run> runs_;

@@ -52,17 +52,23 @@ TEST(GeometricMonteCarlo, ResultsAreBitIdenticalAcrossJobs) {
   const Constellation c = small_polar_plane();
   SimulatedQos base;
   std::string base_trace;
-  for (const int jobs : {1, 2, 4}) {
+  std::string base_metrics;
+  for (const int jobs : {1, 2, 4, 8}) {
     QosSimulationConfig cfg = geometric_config(c);
     cfg.jobs = jobs;
     TraceCollector trace;
     cfg.trace = &trace;
+    MetricsRegistry metrics;
+    cfg.metrics = &metrics;
     const SimulatedQos r = simulate_qos(cfg);
     std::ostringstream os;
     trace.write_jsonl(os);
+    std::ostringstream ms;
+    metrics.write_json(ms);
     if (jobs == 1) {
       base = r;
       base_trace = os.str();
+      base_metrics = ms.str();
       EXPECT_EQ(r.episodes, 24);
       continue;
     }
@@ -74,6 +80,45 @@ TEST(GeometricMonteCarlo, ResultsAreBitIdenticalAcrossJobs) {
     EXPECT_EQ(r.unresolved, base.unresolved);
     EXPECT_EQ(r.mean_chain_length, base.mean_chain_length);
     EXPECT_EQ(os.str(), base_trace) << "jobs " << jobs;
+    // The full serialized registry — counters, gauges, and stat folds,
+    // including the shared cache's hit accounting — must be byte-identical
+    // for any worker count, not just statistically equal.
+    EXPECT_EQ(ms.str(), base_metrics) << "jobs " << jobs;
+  }
+}
+
+TEST(GeometricMonteCarlo, SharedCacheMatchesPrivateCachesExactly) {
+  // The shared frozen cache is a wall-clock optimization only: cached pass
+  // lists are pure functions of the query window, so disabling it (one
+  // private VisibilityCache per shard) must reproduce results and traces
+  // byte-for-byte.
+  const Constellation c = small_polar_plane();
+  SimulatedQos base;
+  std::string base_trace;
+  for (const bool shared : {true, false}) {
+    QosSimulationConfig cfg = geometric_config(c);
+    cfg.jobs = 4;
+    cfg.shared_visibility = shared;
+    TraceCollector trace;
+    cfg.trace = &trace;
+    const SimulatedQos r = simulate_qos(cfg);
+    std::ostringstream os;
+    trace.write_jsonl(os);
+    if (shared) {
+      base = r;
+      base_trace = os.str();
+      continue;
+    }
+    for (int y = 0; y <= 3; ++y) {
+      EXPECT_EQ(r.level_pmf.probability(y), base.level_pmf.probability(y))
+          << "level " << y;
+    }
+    EXPECT_EQ(r.duplicates, base.duplicates);
+    EXPECT_EQ(r.unresolved, base.unresolved);
+    EXPECT_EQ(r.untimely, base.untimely);
+    EXPECT_EQ(r.mean_chain_length, base.mean_chain_length);
+    EXPECT_EQ(r.max_chain_length, base.max_chain_length);
+    EXPECT_EQ(os.str(), base_trace);
   }
 }
 
@@ -130,7 +175,7 @@ TEST(GeometricCampaign, ReplicationsAreBitIdenticalAcrossJobs) {
   cfg.seed = 9;
   cfg.replications = 3;
   CampaignResult base;
-  for (const int jobs : {1, 3}) {
+  for (const int jobs : {1, 3, 8}) {
     cfg.jobs = jobs;
     const CampaignResult r = run_campaign(cfg);
     if (jobs == 1) {
@@ -139,6 +184,36 @@ TEST(GeometricCampaign, ReplicationsAreBitIdenticalAcrossJobs) {
     }
     EXPECT_EQ(r.signals, base.signals);
     EXPECT_EQ(r.delivered, base.delivered);
+    EXPECT_EQ(r.mean_latency_min, base.mean_latency_min);
+    for (int y = 0; y <= 3; ++y) {
+      EXPECT_EQ(r.levels.probability(y), base.levels.probability(y));
+    }
+  }
+}
+
+TEST(GeometricCampaign, SharedCacheMatchesPrivateCachesExactly) {
+  const Constellation c = small_polar_plane();
+  CampaignConfig cfg;
+  cfg.constellation = &c;
+  cfg.target = GeoPoint{0.0, 0.0};
+  cfg.k = 10;
+  cfg.signal_arrival_rate = Rate::per_hour(4.0);
+  cfg.horizon = Duration::hours(3);
+  cfg.seed = 9;
+  cfg.replications = 3;
+  cfg.jobs = 3;
+  CampaignResult base;
+  for (const bool shared : {true, false}) {
+    cfg.shared_visibility = shared;
+    const CampaignResult r = run_campaign(cfg);
+    if (shared) {
+      base = r;
+      continue;
+    }
+    EXPECT_EQ(r.signals, base.signals);
+    EXPECT_EQ(r.delivered, base.delivered);
+    EXPECT_EQ(r.untimely, base.untimely);
+    EXPECT_EQ(r.duplicates, base.duplicates);
     EXPECT_EQ(r.mean_latency_min, base.mean_latency_min);
     for (int y = 0; y <= 3; ++y) {
       EXPECT_EQ(r.levels.probability(y), base.levels.probability(y));

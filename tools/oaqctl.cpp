@@ -7,13 +7,15 @@
 //   oaqctl simulate  --k 9 --tau 5 --mu 0.5 --episodes 20000 [--baq]
 //                    [--trace out.jsonl] [--metrics out.json] [--profile]
 //   oaqctl coverage  [--bands 18]
-//   oaqctl trace-summary trace.jsonl
+//   oaqctl trace-summary trace.jsonl [--metrics metrics.json]
 //
 // Every subcommand prints an aligned table; see `oaqctl help`.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "analytic/measure.hpp"
@@ -236,6 +238,9 @@ int cmd_simulate(const Args& args) {
   cfg.protocol.tg = Duration::seconds(args.number("tg-s", 6.0));
   cfg.protocol.computation_cap = cfg.protocol.tg;
   cfg.jobs = args.integer("jobs", 0);
+  // Queue telemetry is deterministic, so the jobs-independence contract of
+  // --metrics output holds with it enabled.
+  cfg.queue_metrics = true;
 
   ObsSinks obs(args);
   cfg.trace = obs.trace_ptr();
@@ -272,6 +277,7 @@ int cmd_campaign(const Args& args) {
   cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
   cfg.replications = args.integer("replications", 1);
   cfg.jobs = args.integer("jobs", 0);
+  cfg.queue_metrics = true;  // deterministic; see cmd_simulate
 
   ObsSinks obs(args);
   cfg.trace = obs.trace_ptr();
@@ -300,9 +306,68 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
-/// `oaqctl trace-summary trace.jsonl` — termination-cause × chain-length
-/// table over a JSONL trace written by --trace.
-int cmd_trace_summary(const std::string& path) {
+/// Number following `"key":` in a metrics JSON dump (the registry writer's
+/// flat format — deliberately not a general JSON parser).
+std::optional<double> find_metric_number(const std::string& text,
+                                         const std::string& key) {
+  const std::string needle = '"' + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::stod(text.substr(pos + needle.size()));
+}
+
+/// Print the DES ready-queue telemetry recorded in a --metrics JSON file
+/// (sim.queue.* keys; simulate and campaign export them).
+int print_queue_telemetry(const std::string& metrics_path) {
+  std::ifstream is(metrics_path);
+  if (!is.good()) {
+    std::cerr << "error: cannot open metrics file: " << metrics_path << '\n';
+    return 1;
+  }
+  const std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  const auto runs = find_metric_number(text, "sim.queue.runs_created");
+  const auto merges = find_metric_number(text, "sim.queue.run_merges");
+  const auto purged = find_metric_number(text, "sim.queue.tombstones_purged");
+  const auto events = find_metric_number(text, "sim.events");
+  if (!runs || !merges || !purged) {
+    std::cout << "no sim.queue.* metrics in " << metrics_path << "\n";
+    return 0;
+  }
+  // The stat value is an object; its "max" field follows the key.
+  double max_run = 0.0;
+  const auto stat_pos = text.find("\"sim.queue.max_run_length\":");
+  if (stat_pos != std::string::npos) {
+    const auto max_pos = text.find("\"max\":", stat_pos);
+    if (max_pos != std::string::npos) {
+      max_run = std::stod(text.substr(max_pos + 6));
+    }
+  }
+  // Share of ready-queue entries that died as tombstones instead of
+  // firing: purged / (purged + processed events).
+  const double fired = events.value_or(0.0);
+  const double ratio =
+      *purged + fired > 0.0 ? *purged / (*purged + fired) : 0.0;
+  TablePrinter table({"ready-queue metric", "value"}, 4);
+  table.add_row({std::string("runs created"),
+                 static_cast<long long>(*runs)});
+  table.add_row({std::string("run merges"),
+                 static_cast<long long>(*merges)});
+  table.add_row({std::string("tombstones purged"),
+                 static_cast<long long>(*purged)});
+  table.add_row({std::string("tombstone purge ratio"), ratio});
+  table.add_row({std::string("max run length"),
+                 static_cast<long long>(max_run)});
+  std::cout << "DES ready-queue telemetry (" << metrics_path << "):\n";
+  table.print(std::cout);
+  return 0;
+}
+
+/// `oaqctl trace-summary trace.jsonl [--metrics metrics.json]` —
+/// termination-cause × chain-length table over a JSONL trace written by
+/// --trace, plus the ready-queue telemetry of a --metrics file when given.
+int cmd_trace_summary(const std::string& path,
+                      const std::string& metrics_path) {
   std::ifstream is(path);
   if (!is.good()) {
     std::cerr << "error: cannot open trace file: " << path << '\n';
@@ -315,7 +380,7 @@ int cmd_trace_summary(const std::string& path) {
             << summary.terminations << " terminations\n";
   if (summary.termination.empty()) {
     std::cout << "no termination events\n";
-    return 0;
+    return metrics_path.empty() ? 0 : print_queue_telemetry(metrics_path);
   }
 
   std::vector<std::string> headers{"termination cause"};
@@ -337,7 +402,7 @@ int cmd_trace_summary(const std::string& path) {
     table.add_row(row);
   }
   table.print(std::cout);
-  return 0;
+  return metrics_path.empty() ? 0 : print_queue_telemetry(metrics_path);
 }
 
 int cmd_coverage(const Args& args) {
@@ -364,7 +429,9 @@ int help() {
       "  campaign --k K --per-hour R --hours H\n"
       "           [--replications R] [--jobs J]         multi-target load run\n"
       "  coverage [--bands N]                          coverage by latitude\n"
-      "  trace-summary FILE.jsonl          termination-cause x chain table\n"
+      "  trace-summary FILE.jsonl [--metrics FILE.json]\n"
+      "           termination-cause x chain table; with --metrics also the\n"
+      "           DES ready-queue telemetry (runs, merges, purge ratio)\n"
       "Monte-Carlo commands run on all cores by default; --jobs N (or the\n"
       "OAQ_JOBS env var) overrides, --jobs 1 is the serial path. Results\n"
       "are bit-identical for any jobs value.\n"
@@ -385,10 +452,12 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "trace-summary") {
       if (argc < 3) {
-        std::cerr << "usage: oaqctl trace-summary FILE.jsonl\n";
+        std::cerr << "usage: oaqctl trace-summary FILE.jsonl"
+                     " [--metrics FILE.json]\n";
         return 1;
       }
-      return cmd_trace_summary(argv[2]);
+      const Args args(argc, argv, 3);
+      return cmd_trace_summary(argv[2], args.str("metrics"));
     }
     const Args args(argc, argv, 2);
     if (cmd == "qos") return cmd_qos(args);

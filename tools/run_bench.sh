@@ -1,37 +1,46 @@
 #!/usr/bin/env bash
-# Runs the ISSUE 3 performance benches and aggregates their BENCH_JSON
-# lines into BENCH_3.json at the repo root.
+# Runs the performance benches and aggregates their BENCH_JSON lines into
+# BENCH_3.json (DES kernel + parallel scaling, ISSUE 3) and BENCH_4.json
+# (batched Kepler geometry + shared visibility cache, ISSUE 4) at the repo
+# root.
 #
 #   tools/run_bench.sh [build-dir]
 #
-# Configures a Release build (default build-bench/), builds des_kernel and
-# parallel_scaling, runs both, and joins every line of the form
+# Configures a Release build (default build-bench/), builds and runs the
+# bench binaries, and joins their lines of the form
 #   BENCH_JSON {...}
-# into a single JSON document (see tools/README.md for the schema). The
-# des_kernel binary itself enforces the acceptance gates (>= 2x
-# schedule/cancel speedup over the legacy kernel, zero steady-state
-# allocations per event), so a failing gate fails this script.
+# into single JSON documents (see tools/README.md for the schemas). The
+# des_kernel and geometry_batch binaries enforce their acceptance gates
+# (>= 2x speedups, zero steady-state allocations), so a failing gate fails
+# this script.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build-bench"}"
-out="${repo_root}/BENCH_3.json"
 
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "${build_dir}" -j --target des_kernel parallel_scaling >/dev/null
+cmake --build "${build_dir}" -j \
+  --target des_kernel parallel_scaling geometry_batch >/dev/null
 
-log="$(mktemp)"
-trap 'rm -f "${log}"' EXIT
+log3="$(mktemp)"
+log4="$(mktemp)"
+trap 'rm -f "${log3}" "${log4}"' EXIT
+
+# Join a log's BENCH_JSON payloads into {"benchmarks": [...]}.
+aggregate() {
+  grep '^BENCH_JSON ' "$1" | sed 's/^BENCH_JSON //' |
+    awk 'BEGIN { printf "{\"schema\":\"oaq-bench-v1\",\"benchmarks\":[" }
+         { printf "%s%s", (NR > 1 ? "," : ""), $0 }
+         END { printf "]}\n" }' > "$2"
+  echo "wrote $2" >&2
+}
 
 echo "== des_kernel ==" >&2
-"${build_dir}/bench/des_kernel" | tee -a "${log}" >&2
+"${build_dir}/bench/des_kernel" | tee -a "${log3}" >&2
 echo "== parallel_scaling ==" >&2
-"${build_dir}/bench/parallel_scaling" | tee -a "${log}" >&2
+"${build_dir}/bench/parallel_scaling" | tee -a "${log3}" >&2
+aggregate "${log3}" "${repo_root}/BENCH_3.json"
 
-# Join the BENCH_JSON payloads into {"benchmarks": [...]}.
-grep '^BENCH_JSON ' "${log}" | sed 's/^BENCH_JSON //' |
-  awk 'BEGIN { printf "{\"schema\":\"oaq-bench-v1\",\"benchmarks\":[" }
-       { printf "%s%s", (NR > 1 ? "," : ""), $0 }
-       END { printf "]}\n" }' > "${out}"
-
-echo "wrote ${out}" >&2
+echo "== geometry_batch ==" >&2
+"${build_dir}/bench/geometry_batch" | tee -a "${log4}" >&2
+aggregate "${log4}" "${repo_root}/BENCH_4.json"
