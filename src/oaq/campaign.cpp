@@ -254,7 +254,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     VisibilityCache::Options vopt;
     vopt.window_quantum = campaign_visibility_quantum(config);
     shared_cache.emplace(*config.constellation, config.earth_rotation, vopt);
-    seed_hook.seed = [&shared_cache, &config, &vopt] {
+    // `vopt` dies with this block but the lambda runs later (inside
+    // parallel_reduce), so capture it by value.
+    seed_hook.seed = [&shared_cache, &config, vopt] {
       shared_cache->seed_window(config.target, Duration::zero(),
                                 vopt.window_quantum);
     };
