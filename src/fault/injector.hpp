@@ -1,0 +1,71 @@
+// Deterministic DES-driven fault injection (ISSUE 5 tentpole).
+//
+// A FaultInjector replays a FaultPlan against one CrosslinkNetwork:
+// arm(anchor) schedules every clause as ordinary pooled DES events (one
+// for point clauses, activate + deactivate for windowed ones), so faults
+// interleave with protocol events under the simulator's deterministic
+// tie-breaking and the run is bit-identical at any worker count.
+//
+// Determinism contract: the injector owns a *dedicated* RNG fork handed
+// in by the caller (episode: protocol_rng.fork(0x666c74); campaign:
+// master.fork(6)). Rng::fork is const — taking the fork never advances
+// the parent — so attaching a plan, or adding clause types to it, cannot
+// perturb the protocol's own draws. Today's clauses are fully scripted
+// and draw nothing; the fork reserves the stream for randomized clauses
+// without another schema change.
+//
+// Cost contract: arm() does all allocation up front (event scheduling +
+// CrosslinkNetwork::reserve_fault_state); the firing callbacks only flip
+// pre-sized network state and push trace events — zero steady-state
+// allocations (bench/fault_storm gate).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fault/plan.hpp"
+#include "net/crosslink.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+
+class FaultInjector {
+ public:
+  struct Stats {
+    std::uint64_t clauses_armed = 0;
+    std::uint64_t activations = 0;  ///< fired activate events (a = +1)
+  };
+
+  /// The injector must outlive the simulator run (callbacks capture
+  /// `this`). `trace`/`episode_id` stamp the fault_* events like the
+  /// network's xlink_* events (null disables tracing).
+  FaultInjector(Simulator& sim, CrosslinkNetwork& net, const FaultPlan& plan,
+                Rng rng, ShardTraceBuffer* trace = nullptr,
+                std::int64_t episode_id = -1);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every clause relative to `anchor` (clause times before
+  /// `sim.now()` fire immediately, preserving causality). Call once.
+  void arm(TimePoint anchor);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void activate(std::size_t index);
+  void deactivate(std::size_t index);
+  void trace_clause(const FaultClause& clause, std::int32_t direction) const;
+
+  Simulator* sim_;
+  CrosslinkNetwork* net_;
+  const FaultPlan* plan_;
+  [[maybe_unused]] Rng rng_;  ///< reserved stream; see file header
+  ShardTraceBuffer* trace_;
+  std::int64_t episode_id_;
+  Stats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace oaq

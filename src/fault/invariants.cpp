@@ -1,0 +1,79 @@
+#include "fault/invariants.hpp"
+
+#include <sstream>
+
+namespace oaq {
+
+void InvariantChecker::check_episode(std::int64_t episode_id,
+                                     const EpisodeResult& r,
+                                     const ProtocolConfig& config) {
+  ++episodes_checked_;
+  if (r.detected && r.terminations < 1) {
+    record(episode_id, "I1", "detected episode recorded no termination");
+  }
+  if (r.double_terminations != 0) {
+    std::ostringstream os;
+    os << r.double_terminations << " agent(s) terminated twice";
+    record(episode_id, "I2", os.str());
+  }
+  if (r.alert_delivered && (!r.detected || r.alerts_sent < 1)) {
+    record(episode_id, "I3", "alert delivered without detection/alert");
+  }
+  if (r.alert_delivered) {
+    const bool should_be_timely =
+        r.first_alert_sent <= r.detection + config.tau;
+    if (r.timely != should_be_timely) {
+      record(episode_id, "I4",
+             r.timely ? "late alert counted timely"
+                      : "timely alert counted late");
+    }
+  }
+  if (r.alerts_sent > r.terminations) {
+    std::ostringstream os;
+    os << r.alerts_sent << " alerts from " << r.terminations
+       << " terminations";
+    record(episode_id, "I5", os.str());
+  }
+  if (r.alerts_sent > 1 && r.wait_rescues < 1) {
+    record(episode_id, "I6", "duplicate alert without a wait-deadline rescue");
+  }
+  const EpisodeTelemetry& t = r.telemetry;
+  const std::uint64_t drops = t.messages_dropped_loss +
+                              t.messages_dropped_dead +
+                              t.messages_dropped_link;
+  if (drops == 0 && t.faults_injected == 0 && !r.all_participants_resolved) {
+    record(episode_id, "I7", "unresolved participant in a clean episode");
+  }
+}
+
+void InvariantChecker::check_simulator(std::int64_t episode_id,
+                                       const SimAccounting& a) {
+  if (a.scheduled != a.processed + a.cancelled + a.pending) {
+    std::ostringstream os;
+    os << "event ledger imbalance: scheduled " << a.scheduled
+       << " != processed " << a.processed << " + cancelled " << a.cancelled
+       << " + pending " << a.pending;
+    record(episode_id, "I8", os.str());
+  }
+}
+
+void InvariantChecker::merge(const InvariantChecker& other) {
+  violations_ += other.violations_;
+  episodes_checked_ += other.episodes_checked_;
+  for (const std::string& sample : other.samples_) {
+    if (samples_.size() >= kMaxSamples) break;
+    samples_.push_back(sample);
+  }
+}
+
+void InvariantChecker::record(std::int64_t episode_id,
+                              std::string_view invariant,
+                              std::string_view what) {
+  ++violations_;
+  if (samples_.size() >= kMaxSamples) return;
+  std::ostringstream os;
+  os << invariant << " episode " << episode_id << ": " << what;
+  samples_.push_back(os.str());
+}
+
+}  // namespace oaq

@@ -1,0 +1,68 @@
+// Protocol invariant checking under fault injection (ISSUE 5 tentpole).
+//
+// The checker audits each finished episode's result and the DES kernel's
+// event accounting against properties the protocol must keep under *any*
+// fault plan (paper §3.2 guarantees):
+//
+//   I1 a detected episode records at least one termination cause;
+//   I2 no agent terminates twice (exactly one recorded cause each);
+//   I3 a delivered alert implies a detection and a sent alert;
+//   I4 a delivered alert is counted timely iff its first alert left by
+//      t0 + τ — no late alert is ever counted timely;
+//   I5 alerts never outnumber terminations;
+//   I6 a duplicate final alert only happens with a recorded wait-deadline
+//      rescue (the lost-done path) — never spontaneously;
+//   I7 an episode with no drops and no injected faults leaves no
+//      participant unresolved;
+//   I8 the kernel's ledger balances: scheduled = processed + cancelled +
+//      still-pending (no leaked or double-freed pooled events).
+//
+// Always compiled in; a detached checker is a null pointer at the call
+// sites (EpisodeFaultHooks), so the default path pays one branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oaq/episode.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+
+class InvariantChecker {
+ public:
+  /// Retained violation descriptions (the count is unbounded).
+  static constexpr std::size_t kMaxSamples = 32;
+
+  /// Audit one finished episode (I1–I7).
+  void check_episode(std::int64_t episode_id, const EpisodeResult& result,
+                     const ProtocolConfig& config);
+
+  /// Audit the DES kernel ledger after the run (I8).
+  void check_simulator(std::int64_t episode_id,
+                       const SimAccounting& accounting);
+
+  /// Fold another checker's findings in (shard-merge; sample list stays
+  /// capped at kMaxSamples).
+  void merge(const InvariantChecker& other);
+
+  [[nodiscard]] bool ok() const { return violations_ == 0; }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t episodes_checked() const {
+    return episodes_checked_;
+  }
+  [[nodiscard]] const std::vector<std::string>& samples() const {
+    return samples_;
+  }
+
+ private:
+  void record(std::int64_t episode_id, std::string_view invariant,
+              std::string_view what);
+
+  std::uint64_t violations_ = 0;
+  std::uint64_t episodes_checked_ = 0;
+  std::vector<std::string> samples_;
+};
+
+}  // namespace oaq

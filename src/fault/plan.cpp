@@ -1,0 +1,306 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oaq {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {
+    "fail_silent", "recover",    "link_outage",
+    "delay_spike", "burst_loss", "partition",
+};
+
+void require(bool condition, const std::string& what) {
+  if (!condition) throw std::invalid_argument("fault plan: " + what);
+}
+
+void validate_plane(int plane) {
+  require(plane >= 0 && plane < 64, "plane index must be in [0, 64)");
+}
+
+}  // namespace
+
+std::string_view to_string(FaultClauseKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < std::size(kKindNames) ? kKindNames[i] : "unknown";
+}
+
+FaultPlan& FaultPlan::add(const FaultClause& clause) {
+  switch (clause.kind) {
+    case FaultClauseKind::kFailSilent:
+    case FaultClauseKind::kRecover:
+      validate_plane(clause.satellite.plane);
+      require(clause.satellite.slot >= 0, "satellite slot must be >= 0");
+      require(clause.at >= Duration::zero(), "clause time must be >= 0");
+      break;
+    case FaultClauseKind::kLinkOutage:
+      validate_plane(clause.plane_a);
+      validate_plane(clause.plane_b);
+      break;
+    case FaultClauseKind::kDelaySpike:
+      require(clause.value > 0.0, "delay factor must be positive");
+      break;
+    case FaultClauseKind::kBurstLoss:
+      require(clause.value >= 0.0 && clause.value <= 1.0,
+              "loss probability must be in [0, 1]");
+      break;
+    case FaultClauseKind::kPartition:
+      require(clause.plane_mask != 0, "partition needs at least one plane");
+      require(clause.plane_mask != ~std::uint64_t{0},
+              "partition of every plane cuts nothing");
+      break;
+  }
+  if (clause.windowed()) {
+    require(clause.window_start >= Duration::zero(),
+            "window start must be >= 0");
+    require(clause.window_end > clause.window_start,
+            "window must end after it starts");
+  }
+  clauses_.push_back(clause);
+  return *this;
+}
+
+FaultClause FaultPlan::fail_silent(SatelliteId sat, Duration at) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kFailSilent;
+  c.satellite = sat;
+  c.at = at;
+  return c;
+}
+
+FaultClause FaultPlan::recover(SatelliteId sat, Duration at) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kRecover;
+  c.satellite = sat;
+  c.at = at;
+  return c;
+}
+
+FaultClause FaultPlan::link_outage(int plane_a, int plane_b, Duration t0,
+                                   Duration t1) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kLinkOutage;
+  c.plane_a = plane_a;
+  c.plane_b = plane_b;
+  c.window_start = t0;
+  c.window_end = t1;
+  return c;
+}
+
+FaultClause FaultPlan::delay_spike(double factor, Duration t0, Duration t1) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kDelaySpike;
+  c.value = factor;
+  c.window_start = t0;
+  c.window_end = t1;
+  return c;
+}
+
+FaultClause FaultPlan::burst_loss(double probability, Duration t0,
+                                  Duration t1) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kBurstLoss;
+  c.value = probability;
+  c.window_start = t0;
+  c.window_end = t1;
+  return c;
+}
+
+FaultClause FaultPlan::partition(std::uint64_t plane_mask, Duration t0,
+                                 Duration t1) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kPartition;
+  c.plane_mask = plane_mask;
+  c.window_start = t0;
+  c.window_end = t1;
+  return c;
+}
+
+int FaultPlan::max_plane() const {
+  int max = -1;
+  for (const FaultClause& c : clauses_) {
+    switch (c.kind) {
+      case FaultClauseKind::kFailSilent:
+      case FaultClauseKind::kRecover:
+        max = std::max(max, c.satellite.plane);
+        break;
+      case FaultClauseKind::kLinkOutage:
+        max = std::max({max, c.plane_a, c.plane_b});
+        break;
+      case FaultClauseKind::kPartition:
+        for (int p = 63; p >= 0; --p) {
+          if ((c.plane_mask >> p) & 1u) {
+            max = std::max(max, p);
+            break;
+          }
+        }
+        break;
+      case FaultClauseKind::kDelaySpike:
+      case FaultClauseKind::kBurstLoss:
+        break;  // constellation-wide; no plane reference
+    }
+  }
+  return max;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(int line_no, const std::string& what) {
+  throw std::invalid_argument("fault plan line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+double read_number(std::istringstream& fields, int line_no,
+                   std::string_view what) {
+  double value = 0.0;
+  if (!(fields >> value)) {
+    parse_fail(line_no, "expected " + std::string(what));
+  }
+  return value;
+}
+
+int read_int(std::istringstream& fields, int line_no, std::string_view what) {
+  const double value = read_number(fields, line_no, what);
+  const int as_int = static_cast<int>(value);
+  if (static_cast<double>(as_int) != value) {
+    parse_fail(line_no, std::string(what) + " must be an integer");
+  }
+  return as_int;
+}
+
+/// "1,3,7" → plane bitmask.
+std::uint64_t read_plane_set(std::istringstream& fields, int line_no) {
+  std::string text;
+  if (!(fields >> text)) parse_fail(line_no, "expected plane set");
+  std::uint64_t mask = 0;
+  std::istringstream planes(text);
+  std::string item;
+  while (std::getline(planes, item, ',')) {
+    if (item.empty()) parse_fail(line_no, "empty plane in set");
+    int plane = 0;
+    try {
+      std::size_t used = 0;
+      plane = std::stoi(item, &used);
+      if (used != item.size()) throw std::invalid_argument(item);
+    } catch (const std::exception&) {
+      parse_fail(line_no, "bad plane '" + item + "' in set");
+    }
+    if (plane < 0 || plane >= 64) {
+      parse_fail(line_no, "plane index must be in [0, 64)");
+    }
+    mask |= std::uint64_t{1} << plane;
+  }
+  if (mask == 0) parse_fail(line_no, "empty plane set");
+  return mask;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::istream& is) {
+  FaultPlan plan;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank / comment-only line
+
+    FaultClause clause;
+    if (keyword == "fail_silent" || keyword == "recover") {
+      const int plane = read_int(fields, line_no, "plane");
+      const int slot = read_int(fields, line_no, "slot");
+      const Duration at =
+          Duration::minutes(read_number(fields, line_no, "time (min)"));
+      clause = keyword == "fail_silent"
+                   ? FaultPlan::fail_silent({plane, slot}, at)
+                   : FaultPlan::recover({plane, slot}, at);
+    } else if (keyword == "link_outage") {
+      const int plane_a = read_int(fields, line_no, "plane_a");
+      const int plane_b = read_int(fields, line_no, "plane_b");
+      const Duration t0 =
+          Duration::minutes(read_number(fields, line_no, "start (min)"));
+      const Duration t1 =
+          Duration::minutes(read_number(fields, line_no, "end (min)"));
+      clause = FaultPlan::link_outage(plane_a, plane_b, t0, t1);
+    } else if (keyword == "delay_spike" || keyword == "burst_loss") {
+      const double value = read_number(
+          fields, line_no,
+          keyword == "delay_spike" ? "factor" : "loss probability");
+      const Duration t0 =
+          Duration::minutes(read_number(fields, line_no, "start (min)"));
+      const Duration t1 =
+          Duration::minutes(read_number(fields, line_no, "end (min)"));
+      clause = keyword == "delay_spike"
+                   ? FaultPlan::delay_spike(value, t0, t1)
+                   : FaultPlan::burst_loss(value, t0, t1);
+    } else if (keyword == "partition") {
+      const std::uint64_t mask = read_plane_set(fields, line_no);
+      const Duration t0 =
+          Duration::minutes(read_number(fields, line_no, "start (min)"));
+      const Duration t1 =
+          Duration::minutes(read_number(fields, line_no, "end (min)"));
+      clause = FaultPlan::partition(mask, t0, t1);
+    } else {
+      parse_fail(line_no, "unknown clause '" + keyword + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      parse_fail(line_no, "trailing text '" + extra + "'");
+    }
+    try {
+      plan.add(clause);
+    } catch (const std::invalid_argument& err) {
+      parse_fail(line_no, err.what());
+    }
+  }
+  return plan;
+}
+
+void write_fault_plan(const FaultPlan& plan, std::ostream& os) {
+  for (const FaultClause& c : plan.clauses()) {
+    os << to_string(c.kind);
+    switch (c.kind) {
+      case FaultClauseKind::kFailSilent:
+      case FaultClauseKind::kRecover:
+        os << ' ' << c.satellite.plane << ' ' << c.satellite.slot << ' '
+           << c.at.to_minutes();
+        break;
+      case FaultClauseKind::kLinkOutage:
+        os << ' ' << c.plane_a << ' ' << c.plane_b;
+        break;
+      case FaultClauseKind::kDelaySpike:
+      case FaultClauseKind::kBurstLoss:
+        os << ' ' << c.value;
+        break;
+      case FaultClauseKind::kPartition: {
+        os << ' ';
+        bool first = true;
+        for (int p = 0; p < 64; ++p) {
+          if ((c.plane_mask >> p) & 1u) {
+            if (!first) os << ',';
+            os << p;
+            first = false;
+          }
+        }
+        break;
+      }
+    }
+    if (c.windowed()) {
+      os << ' ' << c.window_start.to_minutes() << ' '
+         << c.window_end.to_minutes();
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace oaq

@@ -1,0 +1,108 @@
+// Scripted fault plans (ISSUE 5 tentpole).
+//
+// A FaultPlan is a validated list of typed degradation clauses that a
+// FaultInjector (src/fault/injector) replays as pooled DES events against
+// a CrosslinkNetwork. Clause times are *relative* — the injector anchors
+// them (episode: signal start; campaign: the origin) — so one plan can be
+// reused across episodes, replications, and campaigns.
+//
+// Clause catalogue (paper §3.2 fail-silence, generalised to link-level
+// degradation):
+//   fail_silent(sat, t)                node goes silent at t
+//   recover(sat, t)                    silent node revives at t
+//   link_outage(plane_a, plane_b, [t0, t1])  inter-plane links down
+//   delay_spike(factor, [t0, t1])      delivery delays × factor
+//   burst_loss(p, [t0, t1])            crosslink loss raised to >= p
+//   partition(plane_set, [t0, t1])     plane set cut off from the rest
+//
+// The on-disk format (tools/README.md) is line-based: one clause per
+// line, times in minutes, `#` comments. parse_fault_plan /
+// write_fault_plan round-trip it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "orbit/plane.hpp"
+
+namespace oaq {
+
+enum class FaultClauseKind : std::uint8_t {
+  kFailSilent = 0,
+  kRecover,
+  kLinkOutage,
+  kDelaySpike,
+  kBurstLoss,
+  kPartition,
+};
+
+/// Stable name of a clause kind (the plan-file keyword).
+[[nodiscard]] std::string_view to_string(FaultClauseKind kind);
+
+/// One degradation clause. Which fields are meaningful depends on `kind`;
+/// use the FaultPlan builders rather than aggregate-initialising.
+struct FaultClause {
+  FaultClauseKind kind = FaultClauseKind::kFailSilent;
+  SatelliteId satellite{};       ///< fail_silent / recover
+  int plane_a = 0;               ///< link_outage
+  int plane_b = 0;               ///< link_outage
+  std::uint64_t plane_mask = 0;  ///< partition (bit p = plane p)
+  double value = 0.0;            ///< delay factor / loss probability
+  Duration at = Duration::zero();            ///< point clauses
+  Duration window_start = Duration::zero();  ///< windowed clauses
+  Duration window_end = Duration::zero();
+
+  /// True for the windowed kinds (two scheduled events, activate +
+  /// deactivate); false for the point kinds (one event).
+  [[nodiscard]] bool windowed() const {
+    return kind != FaultClauseKind::kFailSilent &&
+           kind != FaultClauseKind::kRecover;
+  }
+};
+
+/// An ordered, validated clause list.
+class FaultPlan {
+ public:
+  /// Validates and appends; throws std::invalid_argument on a malformed
+  /// clause (negative times, empty/backwards window, loss outside [0,1],
+  /// factor <= 0, plane out of [0, 64), empty or universal partition).
+  FaultPlan& add(const FaultClause& clause);
+
+  // Clause builders.
+  [[nodiscard]] static FaultClause fail_silent(SatelliteId sat, Duration at);
+  [[nodiscard]] static FaultClause recover(SatelliteId sat, Duration at);
+  [[nodiscard]] static FaultClause link_outage(int plane_a, int plane_b,
+                                               Duration t0, Duration t1);
+  [[nodiscard]] static FaultClause delay_spike(double factor, Duration t0,
+                                               Duration t1);
+  [[nodiscard]] static FaultClause burst_loss(double probability, Duration t0,
+                                              Duration t1);
+  [[nodiscard]] static FaultClause partition(std::uint64_t plane_mask,
+                                             Duration t0, Duration t1);
+
+  [[nodiscard]] const std::vector<FaultClause>& clauses() const {
+    return clauses_;
+  }
+  [[nodiscard]] bool empty() const { return clauses_.empty(); }
+  [[nodiscard]] std::size_t size() const { return clauses_.size(); }
+
+  /// Highest plane index any clause names (-1 for an empty plan); sizes
+  /// CrosslinkNetwork::reserve_fault_state.
+  [[nodiscard]] int max_plane() const;
+
+ private:
+  std::vector<FaultClause> clauses_;
+};
+
+/// Parses the line-based plan format; throws std::invalid_argument with
+/// the offending line number on syntax or validation errors.
+[[nodiscard]] FaultPlan parse_fault_plan(std::istream& is);
+
+/// Writes a plan back in the canonical line format (round-trips through
+/// parse_fault_plan).
+void write_fault_plan(const FaultPlan& plan, std::ostream& os);
+
+}  // namespace oaq

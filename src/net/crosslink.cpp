@@ -1,5 +1,8 @@
 #include "net/crosslink.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace oaq {
@@ -13,6 +16,8 @@ CrosslinkNetwork::CrosslinkNetwork(Simulator& sim, Options options, Rng rng)
   OAQ_REQUIRE(options.loss_probability >= 0.0 &&
                   options.loss_probability <= 1.0,
               "loss probability must be in [0,1]");
+  OAQ_REQUIRE(options.retry_limit >= 0, "retry limit must be nonnegative");
+  OAQ_REQUIRE(options.backoff_base >= 1.0, "backoff base must be >= 1");
 }
 
 const CrosslinkNetwork::NodeState* CrosslinkNetwork::find(
@@ -58,6 +63,13 @@ void CrosslinkNetwork::fail_silent(const Address& node) {
   ensure(node).failed = true;
 }
 
+void CrosslinkNetwork::recover(const Address& node) {
+  NodeState& state = ensure(node);
+  // The node rejoins with its original handler; a node that never had one
+  // stays unreachable (there is nothing to revive).
+  if (state.handler != nullptr) state.failed = false;
+}
+
 bool CrosslinkNetwork::is_failed(const Address& node) const {
   const NodeState* state = find(node);
   return state != nullptr && state->failed;
@@ -77,6 +89,142 @@ void CrosslinkNetwork::trace_event(TraceEventType type, const Address& from,
   trace_->push(ev);
 }
 
+// --- Degradation hooks ------------------------------------------------------
+
+void CrosslinkNetwork::reserve_fault_state(int planes, std::size_t clauses) {
+  if (planes > link_block_planes_) {
+    std::vector<std::uint16_t> grown(
+        static_cast<std::size_t>(planes) * static_cast<std::size_t>(planes),
+        0);
+    for (int a = 0; a < link_block_planes_; ++a) {
+      for (int b = 0; b < link_block_planes_; ++b) {
+        grown[static_cast<std::size_t>(a) * static_cast<std::size_t>(planes) +
+              static_cast<std::size_t>(b)] =
+            link_blocks_[static_cast<std::size_t>(a) *
+                             static_cast<std::size_t>(link_block_planes_) +
+                         static_cast<std::size_t>(b)];
+      }
+    }
+    link_blocks_ = std::move(grown);
+    link_block_planes_ = planes;
+  }
+  partitions_.reserve(clauses);
+  loss_overrides_.reserve(clauses);
+  delay_factors_.reserve(clauses);
+}
+
+std::uint16_t& CrosslinkNetwork::link_block_count(int plane_a, int plane_b) {
+  const int needed = std::max(plane_a, plane_b) + 1;
+  if (needed > link_block_planes_) reserve_fault_state(needed, 0);
+  return link_blocks_[static_cast<std::size_t>(plane_a) *
+                          static_cast<std::size_t>(link_block_planes_) +
+                      static_cast<std::size_t>(plane_b)];
+}
+
+void CrosslinkNetwork::block_link(int plane_a, int plane_b) {
+  OAQ_REQUIRE(plane_a >= 0 && plane_b >= 0, "planes must be nonnegative");
+  ++link_block_count(plane_a, plane_b);
+  if (plane_a != plane_b) ++link_block_count(plane_b, plane_a);
+  ++active_link_blocks_;
+}
+
+void CrosslinkNetwork::unblock_link(int plane_a, int plane_b) {
+  std::uint16_t& count = link_block_count(plane_a, plane_b);
+  OAQ_REQUIRE(count > 0 && active_link_blocks_ > 0,
+              "unblock_link without a matching block_link");
+  --count;
+  if (plane_a != plane_b) --link_block_count(plane_b, plane_a);
+  --active_link_blocks_;
+}
+
+void CrosslinkNetwork::recompute_delay_scale() {
+  double scale = 1.0;
+  for (const auto& [token, factor] : delay_factors_) scale *= factor;
+  delay_scale_ = scale;
+}
+
+void CrosslinkNetwork::push_delay_scale(std::uint32_t token, double factor) {
+  OAQ_REQUIRE(factor > 0.0, "delay factor must be positive");
+  delay_factors_.emplace_back(token, factor);
+  recompute_delay_scale();
+}
+
+void CrosslinkNetwork::pop_delay_scale(std::uint32_t token) {
+  const auto it = std::find_if(
+      delay_factors_.begin(), delay_factors_.end(),
+      [token](const auto& entry) { return entry.first == token; });
+  OAQ_REQUIRE(it != delay_factors_.end(), "unknown delay-scale token");
+  *it = delay_factors_.back();
+  delay_factors_.pop_back();
+  recompute_delay_scale();
+}
+
+void CrosslinkNetwork::push_loss_override(std::uint32_t token,
+                                          double probability) {
+  OAQ_REQUIRE(probability >= 0.0 && probability <= 1.0,
+              "loss probability must be in [0,1]");
+  loss_overrides_.emplace_back(token, probability);
+}
+
+void CrosslinkNetwork::pop_loss_override(std::uint32_t token) {
+  const auto it = std::find_if(
+      loss_overrides_.begin(), loss_overrides_.end(),
+      [token](const auto& entry) { return entry.first == token; });
+  OAQ_REQUIRE(it != loss_overrides_.end(), "unknown loss-override token");
+  *it = loss_overrides_.back();
+  loss_overrides_.pop_back();
+}
+
+void CrosslinkNetwork::push_partition(std::uint32_t token,
+                                      std::uint64_t plane_mask) {
+  partitions_.emplace_back(token, plane_mask);
+}
+
+void CrosslinkNetwork::pop_partition(std::uint32_t token) {
+  const auto it = std::find_if(
+      partitions_.begin(), partitions_.end(),
+      [token](const auto& entry) { return entry.first == token; });
+  OAQ_REQUIRE(it != partitions_.end(), "unknown partition token");
+  *it = partitions_.back();
+  partitions_.pop_back();
+}
+
+bool CrosslinkNetwork::link_blocked(const Address& from,
+                                    const Address& to) const {
+  if (from.kind == Address::Kind::kGround ||
+      to.kind == Address::Kind::kGround) {
+    return false;  // outages and partitions only sever crosslinks
+  }
+  const int pa = from.satellite.plane;
+  const int pb = to.satellite.plane;
+  if (active_link_blocks_ > 0 && pa < link_block_planes_ &&
+      pb < link_block_planes_ &&
+      link_blocks_[static_cast<std::size_t>(pa) *
+                       static_cast<std::size_t>(link_block_planes_) +
+                   static_cast<std::size_t>(pb)] > 0) {
+    return true;
+  }
+  for (const auto& [token, mask] : partitions_) {
+    const bool a_in = pa >= 0 && pa < 64 && ((mask >> pa) & 1u) != 0;
+    const bool b_in = pb >= 0 && pb < 64 && ((mask >> pb) & 1u) != 0;
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+// --- Transport --------------------------------------------------------------
+
+std::uint32_t CrosslinkNetwork::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(pool_.size());
+  pool_.emplace_back();
+  return slot;
+}
+
 void CrosslinkNetwork::send(const Address& from, const Address& to,
                             std::any payload) {
   ++stats_.sent;
@@ -88,62 +236,119 @@ void CrosslinkNetwork::send(const Address& from, const Address& to,
     }
     return;
   }
-  const bool loss_exempt =
-      options_.lossless_to_ground && to.kind == Address::Kind::kGround;
-  if (!loss_exempt && rng_.bernoulli(options_.loss_probability)) {
-    ++stats_.dropped_loss;
-    if (trace_ != nullptr) {
-      trace_event(TraceEventType::kXlinkDrop, from, to,
-                  static_cast<std::int32_t>(DropReason::kLoss), 0.0);
-    }
-    return;
-  }
-  const Duration delay = rng_.uniform(options_.min_delay, options_.max_delay);
-  if (trace_ != nullptr) {
-    trace_event(TraceEventType::kXlinkSend, from, to, 0, delay.to_seconds());
-  }
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(pool_.size());
-    pool_.emplace_back();
-  }
+  const std::uint32_t slot = alloc_slot();
   Envelope& env = pool_[slot];
   env.from = from;
   env.to = to;
   env.sent = sim_->now();
+  env.attempt = 0;
   env.payload = std::move(payload);
+  attempt(slot);
+}
+
+void CrosslinkNetwork::attempt(std::uint32_t slot) {
+  Envelope& env = pool_[slot];
+  env.attempt_started = sim_->now();
+  // A sender that died between attempts stops retrying (the first attempt
+  // checked liveness in send(), preserving the pre-retry stat semantics).
+  if (env.attempt > 0 && is_failed(env.from)) {
+    final_drop(slot, DropReason::kDeadSender);
+    return;
+  }
+  if ((active_link_blocks_ > 0 || !partitions_.empty()) &&
+      link_blocked(env.from, env.to)) {
+    fail_attempt(slot, DropReason::kLinkDown);
+    return;
+  }
+  const bool loss_exempt =
+      options_.lossless_to_ground && env.to.kind == Address::Kind::kGround;
+  if (!loss_exempt && rng_.bernoulli(effective_loss())) {
+    fail_attempt(slot, DropReason::kLoss);
+    return;
+  }
+  Duration lo = options_.min_delay;
+  Duration hi = options_.max_delay;
+  if (!delay_factors_.empty()) {
+    lo = lo * delay_scale_;
+    hi = hi * delay_scale_;
+  }
+  const Duration delay = rng_.uniform(lo, hi);
+  if (trace_ != nullptr && env.attempt == 0) {
+    trace_event(TraceEventType::kXlinkSend, env.from, env.to, 0,
+                delay.to_seconds());
+  }
   // The capture is two words, so the DES kernel stores it inline: a send
   // costs no allocation beyond the payload's own std::any storage.
   sim_->schedule_after(delay, [this, slot] { deliver(slot); });
 }
 
+void CrosslinkNetwork::fail_attempt(std::uint32_t slot, DropReason reason) {
+  Envelope& env = pool_[slot];
+  if (options_.reliable && env.attempt < options_.retry_limit) {
+    // Ack-timeout retransmission: the sender detects the failure
+    // 2·max_delay·base^i after attempt i started (worst-case round trip,
+    // backed off), then re-sends. Summing the timeouts over the full
+    // budget plus one final flight gives the δ_eff bound of DESIGN.md §11.
+    const Duration ack_timeout =
+        2.0 * options_.max_delay *
+        std::pow(options_.backoff_base, static_cast<double>(env.attempt));
+    ++env.attempt;
+    ++stats_.retries;
+    if (trace_ != nullptr) {
+      trace_event(TraceEventType::kXlinkRetry, env.from, env.to,
+                  static_cast<std::int32_t>(reason),
+                  ack_timeout.to_seconds());
+    }
+    const TimePoint retry_at = env.attempt_started + ack_timeout;
+    sim_->schedule_at(std::max(retry_at, sim_->now()),
+                      [this, slot] { attempt(slot); });
+    return;
+  }
+  final_drop(slot, reason);
+}
+
+void CrosslinkNetwork::final_drop(std::uint32_t slot, DropReason reason) {
+  // Move the envelope out and free the slot before any observer runs: the
+  // drop handler may send, growing the pool.
+  Envelope env = std::move(pool_[slot]);
+  pool_[slot].payload.reset();
+  free_slots_.push_back(slot);
+  switch (reason) {
+    case DropReason::kDeadSender: ++stats_.dropped_dead_sender; break;
+    case DropReason::kLoss: ++stats_.dropped_loss; break;
+    case DropReason::kDeadReceiver: ++stats_.dropped_dead_receiver; break;
+    case DropReason::kUnregistered: ++stats_.dropped_unregistered; break;
+    case DropReason::kLinkDown: ++stats_.dropped_link; break;
+  }
+  if (options_.reliable && env.attempt > 0) ++stats_.retries_exhausted;
+  if (trace_ != nullptr) {
+    trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
+                static_cast<std::int32_t>(reason), 0.0);
+  }
+  if (drop_handler_ != nullptr && reason != DropReason::kDeadSender) {
+    drop_handler_(env, reason);
+  }
+}
+
 void CrosslinkNetwork::deliver(std::uint32_t slot) {
+  // Failure checks read the envelope in place: a reliable-mode retry keeps
+  // the slot, so the envelope must not be moved out until delivery is
+  // certain.
+  if (is_failed(pool_[slot].to)) {
+    fail_attempt(slot, DropReason::kDeadReceiver);
+    return;
+  }
+  const NodeState* state = find(pool_[slot].to);
+  if (state == nullptr || state->handler == nullptr) {
+    final_drop(slot, DropReason::kUnregistered);
+    return;
+  }
   // Move the envelope out and free the slot before dispatching: the
   // handler may send (growing the pool) or the caller may reuse the slot,
   // neither of which must invalidate the envelope the handler sees.
   Envelope env = std::move(pool_[slot]);
   pool_[slot].payload.reset();
   free_slots_.push_back(slot);
-  if (is_failed(env.to)) {
-    ++stats_.dropped_dead_receiver;
-    if (trace_ != nullptr) {
-      trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
-                  static_cast<std::int32_t>(DropReason::kDeadReceiver), 0.0);
-    }
-    return;
-  }
-  const NodeState* state = find(env.to);
-  if (state == nullptr || state->handler == nullptr) {
-    ++stats_.dropped_unregistered;
-    if (trace_ != nullptr) {
-      trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
-                  static_cast<std::int32_t>(DropReason::kUnregistered), 0.0);
-    }
-    return;
-  }
   env.delivered = sim_->now();
   ++stats_.delivered;
   if (trace_ != nullptr) {

@@ -11,6 +11,14 @@
 // indexed by (plane, slot) — no ordered-map lookups per delivery — and
 // in-flight envelopes are pooled with a free list, so the delivery event
 // captures only a pool slot and the DES kernel keeps it inline.
+//
+// Degradation hooks (ISSUE 5): the FaultInjector drives time-varying link
+// state — refcounted per-plane-pair outages, plane-set partitions,
+// multiplicative delay scaling, and windowed loss overrides — through the
+// push/pop methods below; all of it is branch-gated so the undegraded path
+// is bit-identical to the pre-fault transport. An optional reliable mode
+// retries failed attempts with exponential backoff (ack-timeout model; see
+// DESIGN.md §11 for the δ_eff bound the protocol layer consumes).
 #pragma once
 
 #include <any>
@@ -46,8 +54,10 @@ struct Address {
 struct Envelope {
   Address from;
   Address to;
-  TimePoint sent{};
+  TimePoint sent{};       ///< original send() time (first attempt)
   TimePoint delivered{};
+  int attempt = 0;        ///< retransmissions consumed (reliable mode)
+  TimePoint attempt_started{};  ///< start of the current attempt
   std::any payload;
 };
 
@@ -59,6 +69,9 @@ struct NetworkStats {
   std::uint64_t dropped_dead_sender = 0;
   std::uint64_t dropped_dead_receiver = 0;
   std::uint64_t dropped_unregistered = 0;
+  std::uint64_t dropped_link = 0;        ///< link outage / partition window
+  std::uint64_t retries = 0;             ///< reliable-mode retransmissions
+  std::uint64_t retries_exhausted = 0;   ///< final drops after >= 1 retry
 };
 
 /// Simulated crosslink / downlink message bus.
@@ -74,9 +87,22 @@ class CrosslinkNetwork {
     /// (downlinks are acknowledged/retried in practice; crosslinks are
     /// the lossy hops the protocol must tolerate).
     bool lossless_to_ground = false;
+    /// Reliable delivery: a failed attempt (loss, dead receiver, link
+    /// down) is retransmitted after an ack timeout of 2·max_delay·base^i
+    /// from the attempt's start, up to `retry_limit` retries. Worst-case
+    /// total delay is ProtocolConfig::effective_delta() — the δ_eff the
+    /// wait-deadline math consumes.
+    bool reliable = false;
+    int retry_limit = 2;
+    double backoff_base = 2.0;
   };
 
   using Handler = std::function<void(const Envelope&)>;
+  /// Observer of *final* drops (after any retry budget is spent). Called
+  /// with the dropped envelope after its pool slot is released, so the
+  /// handler may send. Not called for dead-sender drops (the would-be
+  /// retrier is gone).
+  using DropHandler = std::function<void(const Envelope&, DropReason)>;
 
   CrosslinkNetwork(Simulator& sim, Options options, Rng rng);
 
@@ -91,6 +117,10 @@ class CrosslinkNetwork {
   /// Make a node fail-silent: it no longer receives or sends, with no
   /// notification to anyone — the failure mode of §3.2.
   void fail_silent(const Address& node);
+
+  /// Revive a fail-silent node with its original handler (the injector's
+  /// `recover` clause). A node that was never registered stays dead.
+  void recover(const Address& node);
 
   [[nodiscard]] bool is_failed(const Address& node) const;
 
@@ -111,6 +141,39 @@ class CrosslinkNetwork {
     trace_episode_ = episode_id;
   }
 
+  /// Attach a final-drop observer (the episode engine's re-route hook).
+  void set_drop_handler(DropHandler handler) {
+    drop_handler_ = std::move(handler);
+  }
+
+  // --- Degradation hooks (FaultInjector). Tokens identify the pushing
+  // clause so windows may overlap in any order; all effective values are
+  // order-independent (max for loss, product for delay, set membership
+  // for partitions, refcounts for outages). ---
+
+  /// Pre-size the degradation tables so the injector's activate/deactivate
+  /// events allocate nothing in steady state.
+  void reserve_fault_state(int planes, std::size_t clauses);
+
+  /// Block every crosslink between two planes (refcounted; symmetric).
+  void block_link(int plane_a, int plane_b);
+  void unblock_link(int plane_a, int plane_b);
+
+  /// Multiply delivery delays by `factor` while active.
+  void push_delay_scale(std::uint32_t token, double factor);
+  void pop_delay_scale(std::uint32_t token);
+
+  /// Override crosslink loss while active; the effective probability is
+  /// the max of the base and every active override.
+  void push_loss_override(std::uint32_t token, double probability);
+  void pop_loss_override(std::uint32_t token);
+
+  /// Partition the constellation: links crossing the plane-set boundary
+  /// (exactly one endpoint's plane in `plane_mask`) are down. Ground
+  /// links are exempt. Planes >= 64 are never in a mask.
+  void push_partition(std::uint32_t token, std::uint64_t plane_mask);
+  void pop_partition(std::uint32_t token);
+
  private:
   /// Per-address state, held in dense per-plane vectors (plus one ground
   /// entry). A default-constructed entry means "never seen".
@@ -124,8 +187,28 @@ class CrosslinkNetwork {
   /// Dense lookup, growing the per-plane tables on demand.
   [[nodiscard]] NodeState& ensure(const Address& addr);
 
+  /// One transmission attempt of the pooled envelope in `slot`: link /
+  /// loss checks, delay draw, delivery event.
+  void attempt(std::uint32_t slot);
   /// Deliver the pooled envelope in `slot` (the DES callback body).
   void deliver(std::uint32_t slot);
+  /// A failed attempt: retry (reliable mode, budget left) or final drop.
+  void fail_attempt(std::uint32_t slot, DropReason reason);
+  /// Release the slot, count and trace the drop, notify the drop handler.
+  void final_drop(std::uint32_t slot, DropReason reason);
+
+  [[nodiscard]] std::uint32_t alloc_slot();
+  [[nodiscard]] bool link_blocked(const Address& from,
+                                  const Address& to) const;
+  [[nodiscard]] double effective_loss() const {
+    double p = options_.loss_probability;
+    for (const auto& [token, override_p] : loss_overrides_) {
+      if (override_p > p) p = override_p;
+    }
+    return p;
+  }
+  [[nodiscard]] std::uint16_t& link_block_count(int plane_a, int plane_b);
+  void recompute_delay_scale();
 
   /// Trace encoding of an address: satellite slot, or -1 for the ground.
   [[nodiscard]] static std::int16_t trace_slot(const Address& addr) {
@@ -146,6 +229,17 @@ class CrosslinkNetwork {
   NetworkStats stats_;
   ShardTraceBuffer* trace_ = nullptr;
   std::int64_t trace_episode_ = -1;
+  DropHandler drop_handler_;
+
+  // Degradation state. All empty/zero on the undegraded path, where every
+  // hot-path read collapses to one predictable branch.
+  int link_block_planes_ = 0;     ///< side length of the refcount matrix
+  int active_link_blocks_ = 0;    ///< total live block_link refs
+  std::vector<std::uint16_t> link_blocks_;  ///< [plane_a * n + plane_b]
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> partitions_;
+  std::vector<std::pair<std::uint32_t, double>> loss_overrides_;
+  std::vector<std::pair<std::uint32_t, double>> delay_factors_;
+  double delay_scale_ = 1.0;  ///< product of active factors; 1 when none
 };
 
 }  // namespace oaq

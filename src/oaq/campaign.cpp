@@ -7,6 +7,9 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
 #include "orbit/shared_visibility_cache.hpp"
 
 namespace oaq {
@@ -38,6 +41,7 @@ struct CampaignAccum {
   std::int64_t contended = 0;
   double queueing_delay_s = 0.0;
   MetricsRegistry metrics;  ///< per-replication; empty when metrics are off
+  InvariantChecker invariants;  ///< idle when checks are off
 
   void merge(const CampaignAccum& other) {
     signals += other.signals;
@@ -49,6 +53,7 @@ struct CampaignAccum {
     contended += other.contended;
     queueing_delay_s += other.queueing_delay_s;
     metrics.merge(other.metrics);
+    invariants.merge(other.invariants);
   }
 };
 
@@ -74,6 +79,9 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
   net_opt.max_delay = config.protocol.delta;
   net_opt.loss_probability = config.protocol.crosslink_loss_probability;
   net_opt.lossless_to_ground = true;
+  net_opt.reliable = config.protocol.reliable_links;
+  net_opt.retry_limit = config.protocol.link_retry_limit;
+  net_opt.backoff_base = config.protocol.link_backoff_base;
   CrosslinkNetwork net(sim, net_opt, net_rng);
   // Episodes share the network; network events cannot name one episode.
   net.set_trace(trace, /*episode_id=*/-1);
@@ -154,6 +162,26 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
     for (auto& ep : episodes) ep->handle_ground_alert(*alert);
   });
 
+  // Fault plan (times relative to the campaign origin) and graceful
+  // degradation: finally-dropped coordination requests are offered to
+  // every episode for a re-route (each filters by target id). Both stay
+  // detached on the default path, keeping it byte-identical.
+  const FaultPlan* plan =
+      config.fault_plan != nullptr && !config.fault_plan->empty()
+          ? config.fault_plan
+          : nullptr;
+  if (config.protocol.reliable_links || plan != nullptr) {
+    net.set_drop_handler([&episodes](const Envelope& env, DropReason reason) {
+      for (auto& ep : episodes) ep->handle_send_failure(env, reason);
+    });
+  }
+  std::optional<FaultInjector> injector;
+  if (plan != nullptr) {
+    injector.emplace(sim, net, *plan, master.fork(6), trace,
+                     /*episode_id=*/-1);
+    injector->arm(TimePoint::origin());
+  }
+
   sim.run(static_cast<std::uint64_t>(episodes.size() + 1) * 100000);
 
   for (auto& ep : episodes) {
@@ -166,6 +194,24 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
       out.latency_min.add((r.first_alert_sent - r.detection).to_minutes());
     }
     if (r.alerts_sent > 1) ++out.duplicates;
+    if (config.check_invariants) {
+      // Campaign episodes share one network, so per-episode telemetry is
+      // not tracked; audit against the run-wide counters (conservative:
+      // any drop anywhere marks every episode non-clean for I7).
+      EpisodeResult audited = r;
+      const NetworkStats& ns = net.stats();
+      audited.telemetry.messages_dropped_loss = ns.dropped_loss;
+      audited.telemetry.messages_dropped_dead = ns.dropped_dead_sender +
+                                                ns.dropped_dead_receiver +
+                                                ns.dropped_unregistered;
+      audited.telemetry.messages_dropped_link = ns.dropped_link;
+      audited.telemetry.faults_injected =
+          injector ? injector->stats().activations : 0;
+      out.invariants.check_episode(ep->target_id(), audited, config.protocol);
+    }
+  }
+  if (config.check_invariants) {
+    out.invariants.check_simulator(/*episode_id=*/-1, sim.accounting());
   }
   out.contended = calendar.contended_reservations();
   out.queueing_delay_s = calendar.total_queueing_delay().to_seconds();
@@ -187,6 +233,18 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
           static_cast<std::int64_t>(net_stats.dropped_dead_sender +
                                     net_stats.dropped_dead_receiver +
                                     net_stats.dropped_unregistered));
+    if (config.protocol.reliable_links || plan != nullptr) {
+      // Gated like sim.queue.*: the golden metrics files predate these.
+      m.add("xlink.dropped_link",
+            static_cast<std::int64_t>(net_stats.dropped_link));
+      m.add("net.retry.attempts",
+            static_cast<std::int64_t>(net_stats.retries));
+      m.add("net.retry.exhausted",
+            static_cast<std::int64_t>(net_stats.retries_exhausted));
+      m.add("net.fault.injected",
+            static_cast<std::int64_t>(
+                injector ? injector->stats().activations : 0));
+    }
     m.add("sim.events", static_cast<std::int64_t>(sim.processed_count()));
     m.observe("sim.peak_pending",
               static_cast<double>(sim.peak_pending_count()));
@@ -312,6 +370,11 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         static_cast<std::int64_t>(shared_cache->frozen_entries() +
                                   shared_cache->overflow_entries()));
   }
+  if (want_metrics && config.check_invariants) {
+    total.metrics.add(
+        "invariant.violations",
+        static_cast<std::int64_t>(total.invariants.violations()));
+  }
   if (want_metrics) *config.metrics = std::move(total.metrics);
 
   CampaignResult out;
@@ -328,6 +391,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       total.contended > 0
           ? total.queueing_delay_s / static_cast<double>(total.contended)
           : 0.0;
+  out.invariant_violations =
+      static_cast<std::int64_t>(total.invariants.violations());
+  out.invariant_samples = total.invariants.samples();
   return out;
 }
 

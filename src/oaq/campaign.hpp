@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/distribution.hpp"
@@ -64,6 +65,18 @@ struct CampaignConfig {
   /// default: the golden metrics files predate these keys).
   bool queue_metrics = false;
 
+  // --- Fault injection (ISSUE 5). ---
+  /// Scripted degradation clauses replayed once per replication, with
+  /// clause times relative to the campaign origin (the replication's
+  /// t = 0). Null = no injection. The injector draws from master.fork(6)
+  /// — a stream no other campaign consumer forks — so attaching a plan
+  /// never perturbs arrivals, durations, or protocol noise.
+  const FaultPlan* fault_plan = nullptr;
+  /// Audit every episode (and the DES ledger) with the InvariantChecker;
+  /// findings surface in CampaignResult::invariant_violations and — with
+  /// `metrics` — as the `invariant.violations` counter.
+  bool check_invariants = false;
+
   // --- Observability (all optional; null = disabled). ---
   /// Protocol event streams, one shard per replication. Campaign episodes
   /// share one network, so network-level events carry episode = -1 while
@@ -90,6 +103,9 @@ struct CampaignResult {
   double mean_latency_min = 0.0;      ///< == latency_min.mean()
   std::int64_t contended_computations = 0;  ///< reservations that queued
   double mean_queueing_delay_s = 0.0; ///< over contended reservations
+  /// Invariant-checker findings (0 unless check_invariants was set).
+  std::int64_t invariant_violations = 0;
+  std::vector<std::string> invariant_samples;  ///< capped descriptions
 
   [[nodiscard]] double probability(QosLevel level) const {
     return levels.probability(to_int(level));

@@ -1,8 +1,12 @@
 #include "oaq/episode.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
 #include "oaq/target_episode.hpp"
 
 namespace oaq {
@@ -20,16 +24,24 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
                                  Duration signal_duration, Rng& rng,
                                  const std::vector<Fault>& faults,
                                  const std::set<SatelliteId>& known_failed,
-                                 ShardTraceBuffer* trace, int episode_id)
-    const {
+                                 ShardTraceBuffer* trace, int episode_id,
+                                 const EpisodeFaultHooks* hooks) const {
   OAQ_REQUIRE(signal_duration > Duration::zero(),
               "signal duration must be positive");
+  const FaultPlan* plan =
+      hooks != nullptr && hooks->plan != nullptr && !hooks->plan->empty()
+          ? hooks->plan
+          : nullptr;
+
   Simulator sim;
   CrosslinkNetwork::Options net_opt;
   net_opt.min_delay = config_.delta * 0.3;
   net_opt.max_delay = config_.delta;
   net_opt.loss_probability = config_.crosslink_loss_probability;
   net_opt.lossless_to_ground = true;
+  net_opt.reliable = config_.reliable_links;
+  net_opt.retry_limit = config_.link_retry_limit;
+  net_opt.backoff_base = config_.link_backoff_base;
   CrosslinkNetwork net(sim, net_opt, rng.fork(0x6e6574));
   net.set_trace(trace, episode_id);
 
@@ -51,11 +63,30 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
     }
   });
 
+  // Graceful degradation: when links may fail for good (retry budgets or
+  // an injected plan), a finally-dropped coordination request re-routes to
+  // the next live downstream peer. Left detached otherwise so the default
+  // path is byte-identical to the pre-fault engine.
+  if (config_.reliable_links || plan != nullptr) {
+    net.set_drop_handler([&episode](const Envelope& env, DropReason reason) {
+      episode.handle_send_failure(env, reason);
+    });
+  }
+
   for (const auto& f : faults) {
     const TimePoint at = std::max(f.at, sim.now());
     sim.schedule_at(at, [&net, sat = f.satellite] {
       net.fail_silent(Address::sat(sat));
     });
+  }
+
+  // The injector draws (if a future clause type ever randomizes) from a
+  // dedicated const fork, so attaching a plan never perturbs the protocol
+  // or network streams above.
+  std::optional<FaultInjector> injector;
+  if (plan != nullptr) {
+    injector.emplace(sim, net, *plan, rng.fork(0x666c74), trace, episode_id);
+    injector->arm(signal_start);
   }
 
   sim.run(200000);
@@ -69,6 +100,10 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
   result.telemetry.messages_dropped_dead = net_stats.dropped_dead_sender +
                                            net_stats.dropped_dead_receiver +
                                            net_stats.dropped_unregistered;
+  result.telemetry.messages_dropped_link = net_stats.dropped_link;
+  result.telemetry.retries = net_stats.retries;
+  result.telemetry.retries_exhausted = net_stats.retries_exhausted;
+  if (injector) result.telemetry.faults_injected = injector->stats().activations;
   result.telemetry.sim_events = sim.processed_count();
   result.telemetry.sim_peak_pending = sim.peak_pending_count();
   const QueueStats& qs = sim.queue_stats();
@@ -76,6 +111,11 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
   result.telemetry.sim_run_merges = qs.run_merges;
   result.telemetry.sim_tombstones_purged = qs.tombstones_purged;
   result.telemetry.sim_max_run_length = qs.max_run_length;
+
+  if (hooks != nullptr && hooks->invariants != nullptr) {
+    hooks->invariants->check_episode(episode_id, result, config_);
+    hooks->invariants->check_simulator(episode_id, sim.accounting());
+  }
   return result;
 }
 

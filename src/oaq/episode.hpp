@@ -24,6 +24,7 @@
 //     but an alert is lost if that peer goes fail-silent.
 #pragma once
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <optional>
@@ -56,7 +57,29 @@ struct ProtocolConfig {
   /// loss; lost "done" notifications surface as duplicate alerts.
   double crosslink_loss_probability = 0.0;
   bool backward_messaging = true;  ///< false = forward-responsibility variant
+  /// Reliable crosslinks: failed sends are retried with exponential
+  /// backoff (ack-timeout 2δ·base^i after attempt i), at most
+  /// `link_retry_limit` times. The protocol's deadline math then uses
+  /// effective_delta() in place of δ so the TC-2 margin and wait deadlines
+  /// absorb the worst-case retry latency.
+  bool reliable_links = false;
+  int link_retry_limit = 2;
+  double link_backoff_base = 2.0;
   AccuracyModel accuracy{};
+
+  /// Worst-case delivery delay of one logical message: δ when links are
+  /// best-effort; with R retries the failed attempts cost their ack
+  /// timeouts 2δ·base^i before the final flight's δ, so
+  ///   δ_eff = 2δ·(base^R − 1)/(base − 1) + δ   (base > 1)
+  ///   δ_eff = 2δ·R + δ                         (base = 1).
+  [[nodiscard]] Duration effective_delta() const {
+    if (!reliable_links || link_retry_limit == 0) return delta;
+    const auto r = static_cast<double>(link_retry_limit);
+    const double base = link_backoff_base;
+    const double timeouts =
+        base > 1.0 ? (std::pow(base, r) - 1.0) / (base - 1.0) : r;
+    return 2.0 * timeouts * delta + delta;
+  }
 };
 
 /// Infrastructure-level telemetry of one episode run, filled by
@@ -67,6 +90,10 @@ struct EpisodeTelemetry {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped_loss = 0;
   std::uint64_t messages_dropped_dead = 0;  ///< dead sender/receiver/unknown
+  std::uint64_t messages_dropped_link = 0;  ///< outage / partition windows
+  std::uint64_t retries = 0;                ///< reliable-mode retransmissions
+  std::uint64_t retries_exhausted = 0;      ///< drops after >= 1 retry
+  std::uint64_t faults_injected = 0;        ///< FaultInjector activations
   std::uint64_t sim_events = 0;             ///< DES events processed
   std::uint64_t sim_peak_pending = 0;       ///< DES queue-depth high water
   // Merge-run ready-queue maintenance counters (Simulator::QueueStats).
@@ -95,7 +122,25 @@ struct EpisodeResult {
   /// Every chain participant either delivered, received "done", or timed
   /// out by its local deadline — nobody is left waiting (§3.2).
   bool all_participants_resolved = true;
+  // Termination accounting for the InvariantChecker: every recorded
+  // term_* cause counts one termination; a finish() on an agent that was
+  // already resolved counts a double (a protocol bug the checker flags);
+  // wait-deadline rescues explain duplicate alerts.
+  int terminations = 0;
+  int double_terminations = 0;
+  int wait_rescues = 0;
   EpisodeTelemetry telemetry;
+};
+
+class FaultPlan;         // src/fault/plan.hpp
+class InvariantChecker;  // src/fault/invariants.hpp
+
+/// Optional fault-injection hooks of one episode run. The plan's clause
+/// times are relative to the signal start; the checker (when attached)
+/// audits the episode result and the DES accounting after finalize.
+struct EpisodeFaultHooks {
+  const FaultPlan* plan = nullptr;
+  InvariantChecker* invariants = nullptr;
 };
 
 /// Runs one signal episode against a coverage schedule.
@@ -118,11 +163,15 @@ class EpisodeEngine {
   /// `trace`: optional per-shard event buffer (null = tracing disabled);
   /// `episode_id` stamps the trace events (and the message target id) so
   /// a sharded Monte-Carlo run can attribute events to episodes.
+  /// `hooks`: optional fault plan + invariant checker (see
+  /// EpisodeFaultHooks). The injector's RNG is a dedicated fork of `rng`,
+  /// so attaching a plan never perturbs the protocol's own draws.
   [[nodiscard]] EpisodeResult run(
       TimePoint signal_start, Duration signal_duration, Rng& rng,
       const std::vector<Fault>& faults = {},
       const std::set<SatelliteId>& known_failed = {},
-      ShardTraceBuffer* trace = nullptr, int episode_id = 0) const;
+      ShardTraceBuffer* trace = nullptr, int episode_id = 0,
+      const EpisodeFaultHooks* hooks = nullptr) const;
 
  private:
   const CoverageSchedule* schedule_;

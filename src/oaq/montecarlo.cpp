@@ -7,6 +7,8 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
 #include "orbit/shared_visibility_cache.hpp"
 
 namespace oaq {
@@ -32,6 +34,7 @@ struct EpisodeAccum {
   std::int64_t chain_sum = 0;
   int max_chain_length = 0;
   MetricsRegistry metrics;  ///< shard-local; empty when metrics are off
+  InvariantChecker invariants;  ///< shard-local; idle when checks are off
 
   void merge(EpisodeAccum&& other) {
     level_pmf.merge(other.level_pmf);
@@ -42,6 +45,7 @@ struct EpisodeAccum {
     chain_sum = checked_add(chain_sum, other.chain_sum);
     max_chain_length = std::max(max_chain_length, other.max_chain_length);
     metrics.merge(other.metrics);
+    invariants.merge(other.invariants);
   }
 };
 
@@ -51,7 +55,7 @@ struct EpisodeAccum {
 /// additionally exports the DES ready-queue telemetry (off by default: the
 /// golden metrics files predate the sim.queue.* keys).
 void record_episode_metrics(MetricsRegistry& m, const EpisodeResult& r,
-                            bool queue_metrics) {
+                            bool queue_metrics, bool fault_metrics) {
   m.add("episodes", 1);
   if (r.detected) m.add("episodes.detected", 1);
   if (r.alert_delivered) m.add("alerts.delivered", 1);
@@ -80,6 +84,18 @@ void record_episode_metrics(MetricsRegistry& m, const EpisodeResult& r,
           static_cast<std::int64_t>(r.telemetry.sim_tombstones_purged));
     m.observe("sim.queue.max_run_length",
               static_cast<double>(r.telemetry.sim_max_run_length));
+  }
+  if (fault_metrics) {
+    // Gated like sim.queue.*: only fault-plan / reliable-link runs emit
+    // these, so the golden metrics files stay byte-identical.
+    m.add("xlink.dropped_link",
+          static_cast<std::int64_t>(r.telemetry.messages_dropped_link));
+    m.add("net.retry.attempts",
+          static_cast<std::int64_t>(r.telemetry.retries));
+    m.add("net.retry.exhausted",
+          static_cast<std::int64_t>(r.telemetry.retries_exhausted));
+    m.add("net.fault.injected",
+          static_cast<std::int64_t>(r.telemetry.faults_injected));
   }
   if (r.detected) {
     m.observe("chain.length", static_cast<double>(r.chain_length));
@@ -122,6 +138,8 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   // shard-shared (backed by the shard's VisibilityCache) and the phase
   // jitters the episode's start time instead of the pass pattern.
   const bool geometric = config.constellation != nullptr;
+  const bool fault_metrics =
+      config.fault_plan != nullptr || config.protocol.reliable_links;
   const auto run_episode = [&](std::int64_t e, EpisodeAccum& acc,
                                ShardTraceBuffer* trace,
                                const GeometricSchedule* geo_schedule) {
@@ -133,19 +151,26 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         Duration::zero(),
         geometric ? config.constellation->design().period : tr);
     const Duration duration = duration_law->sample(duration_rng);
+    EpisodeFaultHooks hooks;
+    hooks.plan = config.fault_plan;
+    hooks.invariants = config.check_invariants ? &acc.invariants : nullptr;
+    const EpisodeFaultHooks* hooks_ptr =
+        config.fault_plan != nullptr || config.check_invariants ? &hooks
+                                                                : nullptr;
     EpisodeResult r;
     if (geometric) {
       const EpisodeEngine engine(*geo_schedule, config.protocol,
                                  config.opportunity_adaptive);
       r = engine.run(signal_start + phase, duration, protocol_rng,
                      /*faults=*/{}, /*known_failed=*/{}, trace,
-                     static_cast<int>(e));
+                     static_cast<int>(e), hooks_ptr);
     } else {
       const AnalyticSchedule schedule(config.geometry, config.k, phase);
       const EpisodeEngine engine(schedule, config.protocol,
                                  config.opportunity_adaptive);
       r = engine.run(signal_start, duration, protocol_rng, /*faults=*/{},
-                     /*known_failed=*/{}, trace, static_cast<int>(e));
+                     /*known_failed=*/{}, trace, static_cast<int>(e),
+                     hooks_ptr);
     }
 
     acc.level_pmf.add(to_int(r.alert_delivered ? r.level : QosLevel::kMissed));
@@ -158,7 +183,8 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
       acc.max_chain_length = std::max(acc.max_chain_length, r.chain_length);
     }
     if (want_metrics) {
-      record_episode_metrics(acc.metrics, r, config.queue_metrics);
+      record_episode_metrics(acc.metrics, r, config.queue_metrics,
+                             fault_metrics);
     }
   };
 
@@ -238,6 +264,12 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
                                   shared_cache->overflow_entries()));
   }
 
+  if (want_metrics && config.check_invariants) {
+    // Added once after the reduce, like visibility.cache_entries.
+    total.metrics.add(
+        "invariant.violations",
+        static_cast<std::int64_t>(total.invariants.violations()));
+  }
   if (want_metrics) *config.metrics = std::move(total.metrics);
 
   SimulatedQos out;
@@ -247,6 +279,9 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   out.unresolved = total.unresolved;
   out.untimely = total.untimely;
   out.max_chain_length = total.max_chain_length;
+  out.invariant_violations =
+      static_cast<std::int64_t>(total.invariants.violations());
+  out.invariant_samples = total.invariants.samples();
   out.mean_chain_length =
       total.detected > 0
           ? static_cast<double>(total.chain_sum) /

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "analytic/geometry.hpp"
 #include "common/distribution.hpp"
@@ -64,6 +66,19 @@ struct QosSimulationConfig {
   /// golden metrics files predate these keys.
   bool queue_metrics = false;
 
+  // --- Fault injection (ISSUE 5). ---
+  /// Scripted degradation clauses replayed inside every episode (times
+  /// relative to the signal start). Null = no injection. The injector
+  /// draws from a dedicated per-episode fork, so attaching a plan never
+  /// perturbs the protocol streams — QoS changes are caused by the
+  /// faults, not by reshuffled randomness.
+  const FaultPlan* fault_plan = nullptr;
+  /// Run the InvariantChecker over every episode (I1–I8, see
+  /// src/fault/invariants.hpp); violations surface in
+  /// SimulatedQos::invariant_violations and — with `metrics` — as the
+  /// `invariant.violations` counter.
+  bool check_invariants = false;
+
   // --- Observability (all optional; null = disabled, zero overhead
   // beyond one branch per recording site). ---
   /// Collects per-episode protocol events into per-shard ring buffers.
@@ -90,6 +105,9 @@ struct SimulatedQos {
   std::int64_t untimely = 0;    ///< alerts sent after the deadline
   double mean_chain_length = 0.0;  ///< over detected episodes
   int max_chain_length = 0;
+  /// Invariant-checker findings (0 unless check_invariants was set).
+  std::int64_t invariant_violations = 0;
+  std::vector<std::string> invariant_samples;  ///< capped descriptions
 
   [[nodiscard]] double probability(QosLevel level) const {
     return level_pmf.probability(to_int(level));

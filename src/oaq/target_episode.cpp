@@ -118,6 +118,9 @@ void TargetEpisode::send_done_downstream(SatelliteId from) {
 void TargetEpisode::finish(SatelliteId sat, TraceEventType cause) {
   auto& st = agents_[sat];
   trace(cause, sat, -2, result_.chain_length, st.own.estimated_error_km);
+  ++result_.terminations;
+  if (st.resolved) ++result_.double_terminations;
+  if (cause == TraceEventType::kTermWaitDeadline) ++result_.wait_rescues;
   st.resolved = true;
   send_alert(sat, st.own);
   if (cfg_->backward_messaging) send_done_downstream(sat);
@@ -129,9 +132,12 @@ bool TargetEpisode::tc1_holds(const GeolocationSummary& s) const {
 }
 
 bool TargetEpisode::tc2_holds(int n) const {
+  // δ_eff = δ for best-effort links; with reliable links the margin must
+  // absorb the worst-case retry latency (ProtocolConfig::effective_delta).
   const Duration elapsed = sim_->now() - t0_;
   const Duration margin =
-      cfg_->tau - (static_cast<double>(n) * cfg_->delta + cfg_->tg);
+      cfg_->tau -
+      (static_cast<double>(n) * cfg_->effective_delta() + cfg_->tg);
   return elapsed > margin;
 }
 
@@ -140,6 +146,8 @@ void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
   if (sim_->now() > deadline_) {
     trace(TraceEventType::kTermLate, sat, -2, result_.chain_length,
           st.own.estimated_error_km);
+    ++result_.terminations;
+    if (st.resolved) ++result_.double_terminations;
     st.resolved = true;  // a downstream timeout already covered the alert
     return;
   }
@@ -162,11 +170,12 @@ void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
   // reaches this satellite before its own wait deadline.
   const TimePoint completion_bound =
       TimePoint::at(next->start) + cfg_->tg +
-      static_cast<double>(st.ordinal) * cfg_->delta;
+      static_cast<double>(st.ordinal) * cfg_->effective_delta();
   if (completion_bound >= deadline_) {
     finish(sat, TraceEventType::kTermWindow);
     return;
   }
+  st.last_request_pass_start = next->start;
   CoordinationRequest req;
   req.target_id = target_id_;
   req.detection_time = t0_;
@@ -181,7 +190,8 @@ void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
   if (cfg_->backward_messaging) {
     st.waiting = true;
     const TimePoint wait_deadline =
-        t0_ + cfg_->tau - static_cast<double>(st.ordinal - 1) * cfg_->delta;
+        t0_ + cfg_->tau -
+        static_cast<double>(st.ordinal - 1) * cfg_->effective_delta();
     if (wait_deadline <= sim_->now()) {
       on_wait_timeout(sat);
       return;
@@ -251,6 +261,8 @@ void TargetEpisode::handle_cannot_compute(SatelliteId self, TimePoint when) {
   auto& st = agents_[self];
   trace(TraceEventType::kTermTc3, self, -2, result_.chain_length,
         st.own.estimated_error_km);
+  ++result_.terminations;
+  if (st.resolved) ++result_.double_terminations;
   st.resolved = true;
   if (!cfg_->backward_messaging) {
     // Forward responsibility: forward the predecessor's result (timeliness
@@ -399,6 +411,43 @@ void TargetEpisode::handle_ground_alert(const AlertMessage& alert) {
   result_.timely = alert.sent <= deadline_;
   trace(TraceEventType::kAlertDelivered, alert.reporter, -1,
         to_int(result_.level), (alert.sent - t0_).to_minutes());
+}
+
+void TargetEpisode::handle_send_failure(const Envelope& env,
+                                        DropReason reason) {
+  (void)reason;
+  // Only coordination requests are re-routed: a lost "done" is covered by
+  // the wait-deadline rescue, and downlink alerts are lossless.
+  const auto* req = std::any_cast<CoordinationRequest>(&env.payload);
+  if (req == nullptr || req->target_id != target_id_) return;
+  const SatelliteId sat = req->requester;
+  auto& st = agents_[sat];
+  // Backward messaging: a requester that already resolved (rescue fired,
+  // or done arrived through an earlier route) must not grow the chain.
+  if (cfg_->backward_messaging && (st.resolved || !st.waiting)) return;
+  if (sim_->now() > deadline_) return;  // past τ the rescue already covers
+  if (net_->is_failed(Address::sat(sat))) return;
+
+  // Next live downstream candidate, skipping the requester itself and the
+  // peer that just failed.
+  Duration after = st.last_request_pass_start;
+  std::optional<Pass> next;
+  for (;;) {
+    next = next_pass_after(after);
+    if (!next) return;  // chain exhausted; the wait deadline stands
+    if (next->satellite != sat && next->satellite != env.to.satellite) break;
+    after = next->start;
+  }
+  const TimePoint completion_bound =
+      TimePoint::at(next->start) + cfg_->tg +
+      static_cast<double>(st.ordinal) * cfg_->effective_delta();
+  if (completion_bound >= deadline_) return;  // no window left
+
+  st.last_request_pass_start = next->start;
+  ++result_.coordination_requests;
+  trace(TraceEventType::kChainHop, sat, next->satellite.slot, st.ordinal,
+        st.own.estimated_error_km);
+  net_->send(Address::sat(sat), Address::sat(next->satellite), *req);
 }
 
 void TargetEpisode::finalize() {

@@ -69,6 +69,14 @@ class TargetEpisode {
   /// Dispatch an alert delivered to the ground for this target.
   void handle_ground_alert(const AlertMessage& alert);
 
+  /// Final-drop hook (CrosslinkNetwork::DropHandler): when a coordination
+  /// request is lost for good — retry budget spent, link down, or the
+  /// peer dead — the requester re-routes the chain to the next live
+  /// downstream pass, provided the window-of-opportunity bound still
+  /// holds. Its wait deadline stays armed, so the rescue guarantee is
+  /// untouched when no re-route is possible.
+  void handle_send_failure(const Envelope& env, DropReason reason);
+
   /// Run the end-of-episode resolution audit (call after the simulator
   /// has drained the horizon).
   void finalize();
@@ -88,6 +96,9 @@ class TargetEpisode {
     bool waiting = false;
     EventId wait_timeout{};
     bool resolved = false;
+    /// Pass start of the downstream peer this agent last requested —
+    /// where handle_send_failure resumes the pass scan on a re-route.
+    Duration last_request_pass_start = Duration::zero();
   };
 
   [[nodiscard]] bool alive(TimePoint t) const;

@@ -39,6 +39,17 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kTermPreliminary, "term_preliminary"},
     {TraceEventType::kTermBaq, "term_baq"},
     {TraceEventType::kTermLate, "term_late"},
+    {TraceEventType::kXlinkRetry, "xlink_retry"},
+    {TraceEventType::kFaultFailSilent, "fault_fail_silent"},
+    {TraceEventType::kFaultRecover, "fault_recover"},
+    {TraceEventType::kFaultLinkOutage, "fault_link_outage"},
+    {TraceEventType::kFaultDelaySpike, "fault_delay_spike"},
+    {TraceEventType::kFaultBurstLoss, "fault_burst_loss"},
+    {TraceEventType::kFaultPartition, "fault_partition"},
+};
+
+constexpr std::string_view kDropReasonNames[] = {
+    "dead_sender", "loss", "dead_receiver", "unregistered", "link_down",
 };
 
 }  // namespace
@@ -48,6 +59,11 @@ std::string_view to_string(TraceEventType type) {
     if (entry.type == type) return entry.name;
   }
   return "unknown";
+}
+
+std::string_view to_string(DropReason reason) {
+  const auto i = static_cast<std::size_t>(reason);
+  return i < std::size(kDropReasonNames) ? kDropReasonNames[i] : "unknown";
 }
 
 std::optional<TraceEventType> trace_event_type_from(std::string_view name) {
@@ -210,12 +226,34 @@ void TraceSummary::add(const ParsedTraceEvent& parsed) {
   const TraceEvent& ev = parsed.event;
   if (ev.type == TraceEventType::kDetection) ++detections;
   if (ev.type == TraceEventType::kAlertDelivered) ++alerts_delivered;
+  if (ev.type == TraceEventType::kXlinkDrop) {
+    ++drops;
+    const auto reason = static_cast<DropReason>(ev.a);
+    ++drops_by_reason[std::string(to_string(reason))];
+    ++episode_drops_[{parsed.shard, ev.episode}];
+  }
+  if (ev.type == TraceEventType::kXlinkRetry) ++retries;
+  if (is_fault(ev.type) && ev.a > 0) ++faults_injected;
   if (is_termination(ev.type)) {
     ++terminations;
     const int chain = std::max(0, static_cast<int>(ev.a));
     ++termination[std::string(to_string(ev.type))][chain];
     max_chain = std::max(max_chain, chain);
+    episode_cause_.try_emplace({parsed.shard, ev.episode},
+                               std::string(to_string(ev.type)));
   }
+}
+
+void TraceSummary::finalize() {
+  for (const auto& [key, count] : episode_drops_) {
+    const auto cause = episode_cause_.find(key);
+    if (cause != episode_cause_.end()) {
+      drops_by_cause[cause->second] += count;
+    } else {
+      drops_unattributed += count;
+    }
+  }
+  episode_drops_.clear();
 }
 
 TraceSummary summarize_trace(std::istream& is) {
@@ -224,6 +262,7 @@ TraceSummary summarize_trace(std::istream& is) {
   while (std::getline(is, line)) {
     if (const auto parsed = parse_trace_line(line)) summary.add(*parsed);
   }
+  summary.finalize();
   return summary;
 }
 

@@ -58,18 +58,32 @@ enum class TraceEventType : std::uint8_t {
   kTermPreliminary,    ///< preliminary fallback forced at the deadline
   kTermBaq,            ///< BAQ: delivered after the initial computation
   kTermLate,           ///< iteration completed after the deadline passed
+  // Degradation events (PR 5). Appended after the term_* family, so
+  // is_termination must stay a bounded range.
+  kXlinkRetry,         ///< reliable-mode retransmission (a = DropReason,
+                       ///< v = ack-timeout seconds until the retry)
+  kFaultFailSilent,    ///< injector: node went fail-silent
+  kFaultRecover,       ///< injector: node recovered
+  kFaultLinkOutage,    ///< sat = plane_a, peer = plane_b, a = +1/-1
+  kFaultDelaySpike,    ///< v = factor, a = +1/-1 (window start/end)
+  kFaultBurstLoss,     ///< v = loss probability, a = +1/-1
+  kFaultPartition,     ///< v = plane bitmask (exact below 2^53), a = +1/-1
 };
 
-/// Reason codes carried in `TraceEvent::a` for kXlinkDrop.
+/// Reason codes carried in `TraceEvent::a` for kXlinkDrop / kXlinkRetry.
 enum class DropReason : std::uint8_t {
   kDeadSender = 0,
   kLoss = 1,
   kDeadReceiver = 2,
   kUnregistered = 3,
+  kLinkDown = 4,  ///< link outage or plane partition window
 };
 
 /// Stable wire name of an event type (the JSONL "type" value).
 [[nodiscard]] std::string_view to_string(TraceEventType type);
+
+/// Stable name of a drop reason (trace-summary drop tables).
+[[nodiscard]] std::string_view to_string(DropReason reason);
 
 /// Inverse of to_string; nullopt for unknown names.
 [[nodiscard]] std::optional<TraceEventType> trace_event_type_from(
@@ -77,7 +91,14 @@ enum class DropReason : std::uint8_t {
 
 /// True for the `term_*` family (the trace-summary rows).
 [[nodiscard]] constexpr bool is_termination(TraceEventType type) {
-  return type >= TraceEventType::kTermTc1;
+  return type >= TraceEventType::kTermTc1 &&
+         type <= TraceEventType::kTermLate;
+}
+
+/// True for the injector's `fault_*` family.
+[[nodiscard]] constexpr bool is_fault(TraceEventType type) {
+  return type >= TraceEventType::kFaultFailSilent &&
+         type <= TraceEventType::kFaultPartition;
 }
 
 /// One protocol event. Flat and POD-sized so ring buffers stay cheap.
@@ -173,8 +194,27 @@ struct TraceSummary {
   std::int64_t detections = 0;
   std::int64_t alerts_delivered = 0;
   int max_chain = 0;
+  // Degradation accounting (PR 5): crosslink drops split by reason,
+  // reliable-mode retries, injected fault activations, and — after
+  // finalize() — drops attributed to each episode's termination cause.
+  std::int64_t drops = 0;
+  std::map<std::string, std::int64_t> drops_by_reason;
+  std::int64_t retries = 0;
+  std::int64_t faults_injected = 0;  ///< fault_* activations (a > 0)
+  std::map<std::string, std::int64_t> drops_by_cause;
+  std::int64_t drops_unattributed = 0;
 
   void add(const ParsedTraceEvent& parsed);
+  /// Attribute each episode's drop events to its first recorded
+  /// termination cause. Drops of episodes with no termination event —
+  /// including shared-network campaign events stamped episode -1 — land
+  /// in `drops_unattributed`. Idempotent; summarize_trace calls it.
+  void finalize();
+
+ private:
+  /// (shard, episode) → pending drop count / first termination cause.
+  std::map<std::pair<int, std::int64_t>, std::int64_t> episode_drops_;
+  std::map<std::pair<int, std::int64_t>, std::string> episode_cause_;
 };
 
 /// Summarizes a JSONL stream line by line (unparseable lines are skipped).

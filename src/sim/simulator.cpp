@@ -155,6 +155,7 @@ EventId Simulator::schedule_at(TimePoint t, Callback cb) {
   QueueEntry entry{time_bits(t), ev.seq, slot, ev.gen};
   if (entry.key() < spill_min_) spill_min_ = entry.key();
   spill_.push_back(entry);
+  ++scheduled_;
   ++live_;
   if (live_ > peak_pending_) peak_pending_ = live_;
   return pack(slot, ev.gen);
@@ -173,6 +174,7 @@ bool Simulator::cancel(EventId id) {
   ++ev.gen;  // disarm: the queue entry becomes a tombstone
   ev.callback = nullptr;  // release captured state now, not at pop time
   free_.push_back(slot);
+  ++cancelled_;
   --live_;
   return true;
 }

@@ -40,6 +40,17 @@ struct QueueStats {
   std::uint64_t max_run_length = 0;     ///< largest run ever materialized
 };
 
+/// Lifetime event accounting. Every event ever scheduled is exactly one of
+/// processed, cancelled, or still pending, so
+/// `scheduled == processed + cancelled + pending` holds at every step
+/// boundary — the balance the fault-storm InvariantChecker asserts.
+struct SimAccounting {
+  std::uint64_t scheduled = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t pending = 0;
+};
+
 /// Opaque id of a scheduled event; usable to cancel it. Packs the event's
 /// slab slot (low 32 bits) and its generation tag (high 32 bits): a slot
 /// may be reused after the event fires or is cancelled, but the bumped
@@ -97,6 +108,11 @@ class Simulator {
   [[nodiscard]] std::size_t peak_pending_count() const { return peak_pending_; }
   /// Ready-queue maintenance counters (run/merge/tombstone accounting).
   [[nodiscard]] const QueueStats& queue_stats() const { return queue_stats_; }
+  /// Scheduled/processed/cancelled/pending balance (see SimAccounting).
+  [[nodiscard]] SimAccounting accounting() const {
+    return {scheduled_, processed_, cancelled_,
+            static_cast<std::uint64_t>(live_)};
+  }
 
  private:
   /// Slab entry. `gen` is odd while the slot is armed (event pending) and
@@ -159,6 +175,8 @@ class Simulator {
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::size_t live_ = 0;
   std::size_t peak_pending_ = 0;
   QueueStats queue_stats_;

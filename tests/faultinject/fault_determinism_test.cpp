@@ -1,0 +1,146 @@
+// Determinism contract of the fault-injection engine (ISSUE 5
+// acceptance): a fixed plan yields byte-identical trace and metrics
+// output at any worker count, and attaching clauses never perturbs the
+// protocol's own random streams (the injector draws from a dedicated
+// fork).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "oaq/montecarlo.hpp"
+
+namespace oaq {
+namespace {
+
+FaultPlan storm_plan() {
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({0, 2}, Duration::minutes(1)));
+  plan.add(FaultPlan::recover({0, 2}, Duration::minutes(3)));
+  plan.add(FaultPlan::link_outage(0, 0, Duration::minutes(0.5),
+                                  Duration::minutes(2)));
+  plan.add(FaultPlan::delay_spike(3.0, Duration::minutes(1),
+                                  Duration::minutes(4)));
+  plan.add(FaultPlan::burst_loss(0.3, Duration::minutes(0),
+                                 Duration::minutes(2)));
+  plan.add(FaultPlan::partition(0b1, Duration::minutes(2),
+                                Duration::minutes(5)));
+  return plan;
+}
+
+QosSimulationConfig base_config(int jobs) {
+  QosSimulationConfig cfg;
+  cfg.k = 9;
+  cfg.episodes = 600;
+  cfg.seed = 97;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+struct Rendered {
+  std::string trace;
+  std::string metrics;
+  SimulatedQos qos;
+};
+
+Rendered render(QosSimulationConfig cfg) {
+  TraceCollector trace;
+  MetricsRegistry metrics;
+  cfg.trace = &trace;
+  cfg.metrics = &metrics;
+  Rendered out;
+  out.qos = simulate_qos(cfg);
+  std::ostringstream ts;
+  trace.write_jsonl(ts);
+  out.trace = ts.str();
+  std::ostringstream ms;
+  metrics.write_json(ms);
+  out.metrics = ms.str();
+  return out;
+}
+
+TEST(FaultDeterminism, StormTraceAndMetricsBitIdenticalAcrossJobs) {
+  const FaultPlan plan = storm_plan();
+  QosSimulationConfig serial = base_config(1);
+  serial.fault_plan = &plan;
+  serial.check_invariants = true;
+  const Rendered golden = render(serial);
+  ASSERT_FALSE(golden.trace.empty());
+  // The storm's own events are in the stream.
+  EXPECT_NE(golden.trace.find("fault_burst_loss"), std::string::npos);
+  EXPECT_NE(golden.trace.find("fault_partition"), std::string::npos);
+  for (const int jobs : {4, 8}) {
+    QosSimulationConfig cfg = base_config(jobs);
+    cfg.fault_plan = &plan;
+    cfg.check_invariants = true;
+    const Rendered wide = render(cfg);
+    EXPECT_EQ(wide.trace, golden.trace) << "trace drifted at jobs=" << jobs;
+    EXPECT_EQ(wide.metrics, golden.metrics)
+        << "metrics drifted at jobs=" << jobs;
+  }
+}
+
+TEST(FaultDeterminism, NoOpClausesDoNotPerturbProtocolDraws) {
+  // A plan whose clauses touch nothing the episode uses — recovering a
+  // never-failed satellite, cutting links between planes the single-plane
+  // run never crosses — must reproduce the unfaulted run's QoS outcome
+  // exactly: clause scheduling draws nothing from the protocol streams.
+  const SimulatedQos baseline = simulate_qos(base_config(1));
+
+  FaultPlan inert;
+  inert.add(FaultPlan::recover({0, 0}, Duration::minutes(1)));
+  inert.add(FaultPlan::link_outage(7, 8, Duration::minutes(0.5),
+                                   Duration::minutes(4)));
+  inert.add(FaultPlan::partition(1ull << 9, Duration::minutes(1),
+                                 Duration::minutes(3)));
+  QosSimulationConfig cfg = base_config(1);
+  cfg.fault_plan = &inert;
+  const SimulatedQos faulted = simulate_qos(cfg);
+
+  EXPECT_EQ(faulted.level_pmf.weights(), baseline.level_pmf.weights());
+  EXPECT_EQ(faulted.duplicates, baseline.duplicates);
+  EXPECT_EQ(faulted.unresolved, baseline.unresolved);
+  EXPECT_EQ(faulted.untimely, baseline.untimely);
+  EXPECT_EQ(faulted.mean_chain_length, baseline.mean_chain_length);
+}
+
+TEST(FaultDeterminism, AppendingAnInertClauseKeepsStormOutcome) {
+  // Adding one more (inert) clause to an active plan must not reshuffle
+  // the existing clauses' effect: tokens are clause indices, and the
+  // extra activation draws no protocol randomness.
+  const FaultPlan storm = storm_plan();
+  QosSimulationConfig cfg = base_config(1);
+  cfg.fault_plan = &storm;
+  const SimulatedQos before = simulate_qos(cfg);
+
+  FaultPlan extended = storm;
+  extended.add(FaultPlan::recover({0, 7}, Duration::minutes(6)));
+  QosSimulationConfig cfg2 = base_config(1);
+  cfg2.fault_plan = &extended;
+  const SimulatedQos after = simulate_qos(cfg2);
+
+  EXPECT_EQ(after.level_pmf.weights(), before.level_pmf.weights());
+  EXPECT_EQ(after.duplicates, before.duplicates);
+  EXPECT_EQ(after.unresolved, before.unresolved);
+  EXPECT_EQ(after.mean_chain_length, before.mean_chain_length);
+}
+
+TEST(FaultDeterminism, AttachingTheCheckerChangesNothing) {
+  // The InvariantChecker is a pure observer: attaching it to a faulted
+  // run must not change any outcome.
+  const FaultPlan plan = storm_plan();
+  QosSimulationConfig plain = base_config(1);
+  plain.fault_plan = &plan;
+  QosSimulationConfig checked = plain;
+  checked.check_invariants = true;
+  const SimulatedQos a = simulate_qos(plain);
+  const SimulatedQos b = simulate_qos(checked);
+  EXPECT_EQ(a.level_pmf.weights(), b.level_pmf.weights());
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.unresolved, b.unresolved);
+  EXPECT_EQ(b.invariant_violations, 0);
+}
+
+}  // namespace
+}  // namespace oaq

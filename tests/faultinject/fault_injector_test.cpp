@@ -1,0 +1,249 @@
+// FaultInjector clause semantics against a live CrosslinkNetwork
+// (ISSUE 5 tentpole): every clause kind flips the scripted network state
+// at the scripted time, windows close cleanly, and the whole lifecycle is
+// deterministic DES scheduling.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/plan.hpp"
+#include "net/crosslink.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+/// Fixed 10 s delay: delivery times are exact, so windowed assertions can
+/// place sends strictly inside/outside fault windows.
+CrosslinkNetwork::Options fixed_delay_options() {
+  CrosslinkNetwork::Options opt;
+  opt.min_delay = Duration::seconds(10);
+  opt.max_delay = Duration::seconds(10);
+  return opt;
+}
+
+/// One-plane (or two-plane) rig with a delivery counter per address.
+struct Rig {
+  Simulator sim;
+  Rng rng{17};
+  CrosslinkNetwork net;
+  int delivered = 0;
+
+  explicit Rig(CrosslinkNetwork::Options opt = fixed_delay_options())
+      : net(sim, opt, Rng(23)) {}
+
+  void register_sat(SatelliteId id) {
+    net.register_node(Address::sat(id), [this](const Envelope&) { ++delivered; });
+  }
+  void send_at(Duration when, SatelliteId from, SatelliteId to) {
+    sim.schedule_after(when, [this, from, to] {
+      net.send(Address::sat(from), Address::sat(to), Ping{});
+    });
+  }
+};
+
+TEST(FaultInjector, FailSilentThenRecoverFollowsTheScript) {
+  Rig rig;
+  rig.register_sat({0, 0});
+  rig.register_sat({0, 1});
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({0, 1}, Duration::minutes(1)));
+  plan.add(FaultPlan::recover({0, 1}, Duration::minutes(2)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1));
+  injector.arm(rig.sim.now());
+
+  rig.send_at(Duration::minutes(0.5), {0, 0}, {0, 1});  // before: delivered
+  rig.send_at(Duration::minutes(1.5), {0, 0}, {0, 1});  // silent: dropped
+  rig.send_at(Duration::minutes(2.5), {0, 0}, {0, 1});  // revived: delivered
+  rig.sim.run();
+
+  EXPECT_EQ(rig.delivered, 2);
+  EXPECT_EQ(rig.net.stats().dropped_dead_receiver, 1u);
+  EXPECT_FALSE(rig.net.is_failed(Address::sat({0, 1})));
+  EXPECT_EQ(injector.stats().clauses_armed, 2u);
+  EXPECT_EQ(injector.stats().activations, 2u);
+}
+
+TEST(FaultInjector, LinkOutageWindowBlocksThePlanePair) {
+  Rig rig;
+  rig.register_sat({0, 0});
+  rig.register_sat({1, 0});
+  FaultPlan plan;
+  plan.add(FaultPlan::link_outage(0, 1, Duration::minutes(1),
+                                  Duration::minutes(2)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1));
+  injector.arm(rig.sim.now());
+
+  rig.send_at(Duration::minutes(0.5), {0, 0}, {1, 0});  // before window
+  rig.send_at(Duration::minutes(1.5), {0, 0}, {1, 0});  // inside: link down
+  rig.send_at(Duration::minutes(1.5), {1, 0}, {0, 0});  // symmetric
+  rig.send_at(Duration::minutes(2.5), {0, 0}, {1, 0});  // after window
+  rig.sim.run();
+
+  EXPECT_EQ(rig.delivered, 2);
+  EXPECT_EQ(rig.net.stats().dropped_link, 2u);
+}
+
+TEST(FaultInjector, DelaySpikeScalesDeliveryInsideTheWindow) {
+  Rig rig;
+  rig.register_sat({0, 0});
+  rig.register_sat({0, 1});
+  std::vector<double> delays_s;
+  rig.net.register_node(Address::sat({0, 2}), [&](const Envelope& e) {
+    delays_s.push_back((e.delivered - e.sent).to_seconds());
+  });
+  FaultPlan plan;
+  plan.add(FaultPlan::delay_spike(3.0, Duration::minutes(1),
+                                  Duration::minutes(2)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1));
+  injector.arm(rig.sim.now());
+
+  rig.send_at(Duration::minutes(0.5), {0, 0}, {0, 2});  // base 10 s
+  rig.send_at(Duration::minutes(1.5), {0, 0}, {0, 2});  // scaled 30 s
+  rig.send_at(Duration::minutes(2.5), {0, 0}, {0, 2});  // base again
+  rig.sim.run();
+
+  ASSERT_EQ(delays_s.size(), 3u);
+  EXPECT_DOUBLE_EQ(delays_s[0], 10.0);
+  EXPECT_DOUBLE_EQ(delays_s[1], 30.0);
+  EXPECT_DOUBLE_EQ(delays_s[2], 10.0);
+}
+
+TEST(FaultInjector, BurstLossWindowDropsEverythingAtProbabilityOne) {
+  Rig rig;
+  rig.register_sat({0, 0});
+  rig.register_sat({0, 1});
+  FaultPlan plan;
+  plan.add(FaultPlan::burst_loss(1.0, Duration::minutes(1),
+                                 Duration::minutes(2)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1));
+  injector.arm(rig.sim.now());
+
+  for (int i = 0; i < 5; ++i) {
+    rig.send_at(Duration::minutes(1.1 + 0.1 * i), {0, 0}, {0, 1});
+  }
+  rig.send_at(Duration::minutes(0.5), {0, 0}, {0, 1});
+  rig.send_at(Duration::minutes(2.5), {0, 0}, {0, 1});
+  rig.sim.run();
+
+  EXPECT_EQ(rig.delivered, 2);
+  EXPECT_EQ(rig.net.stats().dropped_loss, 5u);
+}
+
+TEST(FaultInjector, PartitionCutsCrossBoundaryLinksButNotGround) {
+  Rig rig;
+  rig.register_sat({0, 0});
+  rig.register_sat({1, 0});
+  int ground_received = 0;
+  rig.net.register_node(Address::ground(),
+                        [&](const Envelope&) { ++ground_received; });
+  FaultPlan plan;
+  plan.add(FaultPlan::partition(0b1, Duration::minutes(1),
+                                Duration::minutes(2)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1));
+  injector.arm(rig.sim.now());
+
+  rig.send_at(Duration::minutes(1.5), {0, 0}, {1, 0});  // crosses boundary
+  rig.send_at(Duration::minutes(1.5), {0, 0}, {0, 0});  // inside the set
+  rig.sim.schedule_after(Duration::minutes(1.5), [&] {
+    rig.net.send(Address::sat({0, 0}), Address::ground(), Ping{});
+  });
+  rig.send_at(Duration::minutes(2.5), {0, 0}, {1, 0});  // window closed
+  rig.sim.run();
+
+  EXPECT_EQ(rig.net.stats().dropped_link, 1u);
+  EXPECT_EQ(rig.delivered, 2);  // intra-set + post-window cross
+  EXPECT_EQ(ground_received, 1);
+}
+
+TEST(FaultInjector, OverlappingWindowsComposeOrderIndependently) {
+  // Two loss overrides and two delay spikes overlap; the effective state
+  // is max(loss) and the product of factors regardless of window order.
+  Rig rig;
+  rig.register_sat({0, 0});
+  std::vector<double> delays_s;
+  rig.net.register_node(Address::sat({0, 1}), [&](const Envelope& e) {
+    delays_s.push_back((e.delivered - e.sent).to_seconds());
+  });
+  FaultPlan plan;
+  plan.add(FaultPlan::delay_spike(2.0, Duration::minutes(0.5),
+                                  Duration::minutes(3)));
+  plan.add(FaultPlan::delay_spike(3.0, Duration::minutes(1),
+                                  Duration::minutes(2)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1));
+  injector.arm(rig.sim.now());
+
+  rig.send_at(Duration::minutes(1.5), {0, 0}, {0, 1});  // x2 * x3 = 60 s
+  rig.send_at(Duration::minutes(2.5), {0, 0}, {0, 1});  // inner popped: 20 s
+  rig.sim.run();
+
+  ASSERT_EQ(delays_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays_s[0], 60.0);
+  EXPECT_DOUBLE_EQ(delays_s[1], 20.0);
+}
+
+TEST(FaultInjector, TracesActivationsAndDeactivations) {
+  Rig rig;
+  rig.register_sat({0, 0});
+  ShardTraceBuffer trace(64);
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({0, 0}, Duration::minutes(1)));
+  plan.add(FaultPlan::burst_loss(0.5, Duration::minutes(2),
+                                 Duration::minutes(3)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1), &trace, 42);
+  injector.arm(rig.sim.now());
+  rig.sim.run();
+
+  const std::vector<TraceEvent> events = trace.events();
+  ASSERT_EQ(events.size(), 3u);  // point + activate + deactivate
+  EXPECT_EQ(events[0].type, TraceEventType::kFaultFailSilent);
+  EXPECT_EQ(events[0].episode, 42);
+  EXPECT_EQ(events[0].a, 1);
+  EXPECT_DOUBLE_EQ(events[0].t_min, 1.0);
+  EXPECT_EQ(events[1].type, TraceEventType::kFaultBurstLoss);
+  EXPECT_EQ(events[1].a, 1);
+  EXPECT_DOUBLE_EQ(events[1].v, 0.5);
+  EXPECT_EQ(events[2].type, TraceEventType::kFaultBurstLoss);
+  EXPECT_EQ(events[2].a, -1);
+  EXPECT_DOUBLE_EQ(events[2].t_min, 3.0);
+  for (const TraceEvent& e : events) EXPECT_TRUE(is_fault(e.type));
+}
+
+TEST(FaultInjector, PastClauseTimesFireImmediately) {
+  // An anchor in the past must not schedule before now() — the clause
+  // fires immediately instead (causality).
+  Rig rig;
+  rig.register_sat({0, 0});
+  rig.register_sat({0, 1});
+  rig.sim.schedule_after(Duration::minutes(5), [] {});
+  rig.sim.run();  // advance now() to 5 min
+  FaultPlan plan;
+  plan.add(FaultPlan::burst_loss(1.0, Duration::minutes(1),
+                                 Duration::minutes(2)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1));
+  injector.arm(rig.sim.now() - Duration::minutes(10));
+  rig.sim.run();  // activate + deactivate both fire (in order) at now()
+  rig.net.send(Address::sat({0, 0}), Address::sat({0, 1}), Ping{});
+  rig.sim.run();
+  EXPECT_EQ(rig.delivered, 1);  // the window is already over
+  EXPECT_EQ(injector.stats().activations, 1u);
+}
+
+TEST(FaultInjector, ArmIsSingleShot) {
+  Rig rig;
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({0, 0}, Duration::minutes(1)));
+  FaultInjector injector(rig.sim, rig.net, plan, rig.rng.fork(1));
+  injector.arm(rig.sim.now());
+  EXPECT_THROW(injector.arm(rig.sim.now()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oaq

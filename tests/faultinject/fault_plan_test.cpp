@@ -1,0 +1,170 @@
+// FaultPlan validation, the line-based plan format, and its round-trip
+// (ISSUE 5 tentpole).
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oaq {
+namespace {
+
+FaultPlan full_plan() {
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({2, 5}, Duration::minutes(1.5)));
+  plan.add(FaultPlan::recover({2, 5}, Duration::minutes(4.0)));
+  plan.add(FaultPlan::link_outage(0, 3, Duration::minutes(0.5),
+                                  Duration::minutes(2.0)));
+  plan.add(FaultPlan::delay_spike(2.5, Duration::minutes(1.0),
+                                  Duration::minutes(3.0)));
+  plan.add(FaultPlan::burst_loss(0.4, Duration::minutes(0.0),
+                                 Duration::minutes(2.0)));
+  plan.add(FaultPlan::partition(0b1010, Duration::minutes(2.0),
+                                Duration::minutes(5.0)));
+  return plan;
+}
+
+TEST(FaultPlan, BuildersPopulateClauses) {
+  const FaultPlan plan = full_plan();
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_FALSE(plan.empty());
+
+  const auto& c = plan.clauses();
+  EXPECT_EQ(c[0].kind, FaultClauseKind::kFailSilent);
+  EXPECT_EQ(c[0].satellite, (SatelliteId{2, 5}));
+  EXPECT_DOUBLE_EQ(c[0].at.to_minutes(), 1.5);
+  EXPECT_FALSE(c[0].windowed());
+
+  EXPECT_EQ(c[2].kind, FaultClauseKind::kLinkOutage);
+  EXPECT_EQ(c[2].plane_a, 0);
+  EXPECT_EQ(c[2].plane_b, 3);
+  EXPECT_TRUE(c[2].windowed());
+
+  EXPECT_EQ(c[3].kind, FaultClauseKind::kDelaySpike);
+  EXPECT_DOUBLE_EQ(c[3].value, 2.5);
+  EXPECT_EQ(c[4].kind, FaultClauseKind::kBurstLoss);
+  EXPECT_DOUBLE_EQ(c[4].value, 0.4);
+  EXPECT_EQ(c[5].kind, FaultClauseKind::kPartition);
+  EXPECT_EQ(c[5].plane_mask, 0b1010u);
+}
+
+TEST(FaultPlan, MaxPlaneSpansEveryClauseKind) {
+  EXPECT_EQ(FaultPlan{}.max_plane(), -1);
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({2, 0}, Duration::zero()));
+  EXPECT_EQ(plan.max_plane(), 2);
+  plan.add(FaultPlan::link_outage(1, 5, Duration::zero(),
+                                  Duration::minutes(1)));
+  EXPECT_EQ(plan.max_plane(), 5);
+  plan.add(FaultPlan::partition(1ull << 9, Duration::zero(),
+                                Duration::minutes(1)));
+  EXPECT_EQ(plan.max_plane(), 9);
+}
+
+TEST(FaultPlan, RejectsMalformedClauses) {
+  FaultPlan plan;
+  // Negative times.
+  EXPECT_THROW(plan.add(FaultPlan::fail_silent({0, 0}, Duration::minutes(-1))),
+               std::invalid_argument);
+  // Empty / backwards window.
+  EXPECT_THROW(plan.add(FaultPlan::burst_loss(0.5, Duration::minutes(2),
+                                              Duration::minutes(2))),
+               std::invalid_argument);
+  EXPECT_THROW(plan.add(FaultPlan::burst_loss(0.5, Duration::minutes(2),
+                                              Duration::minutes(1))),
+               std::invalid_argument);
+  // Loss outside [0, 1]; non-positive delay factor.
+  EXPECT_THROW(plan.add(FaultPlan::burst_loss(1.5, Duration::zero(),
+                                              Duration::minutes(1))),
+               std::invalid_argument);
+  EXPECT_THROW(plan.add(FaultPlan::delay_spike(0.0, Duration::zero(),
+                                               Duration::minutes(1))),
+               std::invalid_argument);
+  // Plane out of range; negative slot.
+  EXPECT_THROW(plan.add(FaultPlan::link_outage(-1, 0, Duration::zero(),
+                                               Duration::minutes(1))),
+               std::invalid_argument);
+  EXPECT_THROW(plan.add(FaultPlan::link_outage(0, 64, Duration::zero(),
+                                               Duration::minutes(1))),
+               std::invalid_argument);
+  EXPECT_THROW(plan.add(FaultPlan::fail_silent({0, -1}, Duration::zero())),
+               std::invalid_argument);
+  // Empty / universal partition.
+  EXPECT_THROW(plan.add(FaultPlan::partition(0, Duration::zero(),
+                                             Duration::minutes(1))),
+               std::invalid_argument);
+  EXPECT_THROW(plan.add(FaultPlan::partition(~0ull, Duration::zero(),
+                                             Duration::minutes(1))),
+               std::invalid_argument);
+  // Nothing half-added.
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, ParsesLineFormatWithComments) {
+  std::istringstream is(
+      "# storm scenario\n"
+      "fail_silent 0 2 1.5\n"
+      "\n"
+      "recover 0 2 4   # revives\n"
+      "link_outage 0 1 0.5 2\n"
+      "delay_spike 3.0 1 5\n"
+      "burst_loss 0.25 0 2\n"
+      "partition 1,3 2 6\n");
+  const FaultPlan plan = parse_fault_plan(is);
+  ASSERT_EQ(plan.size(), 6u);
+  const auto& c = plan.clauses();
+  EXPECT_EQ(c[0].satellite, (SatelliteId{0, 2}));
+  EXPECT_DOUBLE_EQ(c[0].at.to_minutes(), 1.5);
+  EXPECT_EQ(c[1].kind, FaultClauseKind::kRecover);
+  EXPECT_DOUBLE_EQ(c[3].value, 3.0);
+  EXPECT_DOUBLE_EQ(c[4].window_end.to_minutes(), 2.0);
+  EXPECT_EQ(c[5].plane_mask, (1ull << 1) | (1ull << 3));
+}
+
+TEST(FaultPlan, ParseErrorsNameTheLine) {
+  const auto expect_error_mentions = [](const std::string& text,
+                                        const std::string& needle) {
+    std::istringstream is(text);
+    try {
+      (void)parse_fault_plan(is);
+      FAIL() << "expected std::invalid_argument for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  expect_error_mentions("frobnicate 1 2\n", "line 1");
+  expect_error_mentions("fail_silent 0 2\n", "line 1");             // missing time
+  expect_error_mentions("fail_silent 0 2 1 extra\n", "line 1");     // trailing
+  expect_error_mentions("burst_loss 1.5 0 2\n", "line 1");          // validation
+  expect_error_mentions("fail_silent 0 2.5 1\n", "line 1");         // non-integer
+  expect_error_mentions("# ok\nfail_silent 0 2 1\nburst_loss 2 1 2\n",
+                        "line 3");
+}
+
+TEST(FaultPlan, WriteParseRoundTrips) {
+  const FaultPlan plan = full_plan();
+  std::ostringstream os;
+  write_fault_plan(plan, os);
+  std::istringstream is(os.str());
+  const FaultPlan back = parse_fault_plan(is);
+  ASSERT_EQ(back.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FaultClause& a = plan.clauses()[i];
+    const FaultClause& b = back.clauses()[i];
+    EXPECT_EQ(a.kind, b.kind) << "clause " << i;
+    EXPECT_EQ(a.satellite, b.satellite) << "clause " << i;
+    EXPECT_EQ(a.plane_a, b.plane_a) << "clause " << i;
+    EXPECT_EQ(a.plane_b, b.plane_b) << "clause " << i;
+    EXPECT_EQ(a.plane_mask, b.plane_mask) << "clause " << i;
+    EXPECT_DOUBLE_EQ(a.value, b.value) << "clause " << i;
+    EXPECT_EQ(a.at, b.at) << "clause " << i;
+    EXPECT_EQ(a.window_start, b.window_start) << "clause " << i;
+    EXPECT_EQ(a.window_end, b.window_end) << "clause " << i;
+  }
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,136 @@
+// Randomized fault-storm property test (ISSUE 5 acceptance): hundreds of
+// episodes under plans mixing ALL clause kinds — with lossy and reliable
+// links — must keep every protocol invariant (I1–I8). This is the "under
+// *any* fault plan" half of the checker's contract; the unit half (broken
+// doubles are detected) is invariant_test.cpp.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fault/plan.hpp"
+#include "oaq/campaign.hpp"
+#include "oaq/montecarlo.hpp"
+
+namespace oaq {
+namespace {
+
+/// A randomized six-clause plan touching every clause kind. Times target
+/// the episode's first minutes (signal-relative anchor), where the
+/// protocol actually runs.
+FaultPlan random_storm(Rng& rng, int k) {
+  FaultPlan plan;
+  const auto window = [&rng](double lo) {
+    const double t0 = rng.uniform(lo, lo + 3.0);
+    return std::pair(Duration::minutes(t0),
+                     Duration::minutes(t0 + rng.uniform(0.5, 3.0)));
+  };
+  const int victim = static_cast<int>(rng.uniform_index(
+      static_cast<std::uint64_t>(k)));
+  const double down = rng.uniform(0.5, 3.0);
+  plan.add(FaultPlan::fail_silent({0, victim}, Duration::minutes(down)));
+  plan.add(FaultPlan::recover({0, victim},
+                              Duration::minutes(down + rng.uniform(1.0, 3.0))));
+  const auto [o0, o1] = window(0.0);
+  plan.add(FaultPlan::link_outage(0, 0, o0, o1));
+  const auto [d0, d1] = window(0.5);
+  plan.add(FaultPlan::delay_spike(rng.uniform(1.5, 4.0), d0, d1));
+  const auto [l0, l1] = window(0.0);
+  plan.add(FaultPlan::burst_loss(rng.uniform(0.1, 0.9), l0, l1));
+  const auto [p0, p1] = window(1.0);
+  plan.add(FaultPlan::partition(0b1, p0, p1));
+  return plan;
+}
+
+QosSimulationConfig storm_config(int episodes, std::uint64_t seed) {
+  QosSimulationConfig cfg;
+  cfg.k = 9;
+  cfg.episodes = episodes;
+  cfg.seed = seed;
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+TEST(FaultStorm, RandomPlansKeepEveryInvariant) {
+  int total_episodes = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed * 1013);
+    const FaultPlan plan = random_storm(rng, 9);
+    QosSimulationConfig cfg = storm_config(100, seed);
+    cfg.fault_plan = &plan;
+    MetricsRegistry metrics;
+    cfg.metrics = &metrics;
+    const SimulatedQos qos = simulate_qos(cfg);
+    total_episodes += static_cast<int>(qos.episodes);
+    EXPECT_EQ(qos.invariant_violations, 0)
+        << "seed " << seed << ": " << (qos.invariant_samples.empty()
+                                           ? std::string("(no samples)")
+                                           : qos.invariant_samples.front());
+    // The storm really fired: every episode replays the six clauses.
+    EXPECT_GE(metrics.counter("net.fault.injected"), qos.episodes);
+    EXPECT_EQ(metrics.counter("invariant.violations"), 0);
+  }
+  EXPECT_GE(total_episodes, 300);
+}
+
+TEST(FaultStorm, LossyReliableLinksUnderStormKeepInvariants) {
+  Rng rng(77);
+  const FaultPlan plan = random_storm(rng, 9);
+  QosSimulationConfig cfg = storm_config(150, 5);
+  cfg.fault_plan = &plan;
+  cfg.protocol.crosslink_loss_probability = 0.1;
+  cfg.protocol.reliable_links = true;
+  cfg.protocol.link_retry_limit = 2;
+  const SimulatedQos qos = simulate_qos(cfg);
+  EXPECT_EQ(qos.invariant_violations, 0)
+      << (qos.invariant_samples.empty() ? std::string("(no samples)")
+                                        : qos.invariant_samples.front());
+  EXPECT_EQ(qos.episodes, 150);
+}
+
+TEST(FaultStorm, ParallelStormMatchesSerialAndKeepsInvariants) {
+  Rng rng(4242);
+  const FaultPlan plan = random_storm(rng, 9);
+  QosSimulationConfig serial = storm_config(200, 9);
+  serial.fault_plan = &plan;
+  serial.jobs = 1;
+  QosSimulationConfig wide = serial;
+  wide.jobs = 8;
+  const SimulatedQos a = simulate_qos(serial);
+  const SimulatedQos b = simulate_qos(wide);
+  EXPECT_EQ(a.invariant_violations, 0);
+  EXPECT_EQ(b.invariant_violations, 0);
+  EXPECT_EQ(a.level_pmf.weights(), b.level_pmf.weights());
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.unresolved, b.unresolved);
+}
+
+TEST(FaultStorm, CampaignStormKeepsInvariants) {
+  // Campaign anchor is the replication origin: script a mid-campaign
+  // degradation stretch plus a node outage.
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({0, 3}, Duration::hours(2)));
+  plan.add(FaultPlan::recover({0, 3}, Duration::hours(4)));
+  plan.add(FaultPlan::burst_loss(0.5, Duration::hours(1), Duration::hours(3)));
+  plan.add(FaultPlan::delay_spike(2.0, Duration::hours(2), Duration::hours(5)));
+  plan.add(FaultPlan::link_outage(0, 0, Duration::hours(6), Duration::hours(7)));
+  plan.add(FaultPlan::partition(0b1, Duration::hours(8), Duration::hours(9)));
+
+  CampaignConfig cfg;
+  cfg.k = 9;
+  cfg.signal_arrival_rate = Rate::per_hour(6.0);
+  cfg.horizon = Duration::hours(12);
+  cfg.protocol.nu = Rate::per_minute(30.0);
+  cfg.protocol.computation_cap = Duration::seconds(6);
+  cfg.seed = 11;
+  cfg.replications = 3;
+  cfg.fault_plan = &plan;
+  cfg.check_invariants = true;
+  const CampaignResult result = run_campaign(cfg);
+  EXPECT_GT(result.signals, 30);
+  EXPECT_EQ(result.invariant_violations, 0)
+      << (result.invariant_samples.empty()
+              ? std::string("(no samples)")
+              : result.invariant_samples.front());
+}
+
+}  // namespace
+}  // namespace oaq

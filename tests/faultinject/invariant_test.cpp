@@ -1,0 +1,163 @@
+// InvariantChecker unit tests (ISSUE 5 tentpole): a clean episode passes,
+// and each deliberately broken test double trips exactly its invariant.
+#include "fault/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "oaq/episode.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+namespace {
+
+ProtocolConfig config_5min_tau() {
+  ProtocolConfig cfg;
+  cfg.tau = Duration::minutes(5);
+  return cfg;
+}
+
+/// A consistent single-alert episode: detected, one termination, one
+/// timely alert delivered inside τ.
+EpisodeResult clean_result() {
+  EpisodeResult r;
+  r.detected = true;
+  r.detection = TimePoint::origin() + Duration::minutes(10);
+  r.alert_delivered = true;
+  r.timely = true;
+  r.first_alert_sent = r.detection + Duration::minutes(2);
+  r.alerts_sent = 1;
+  r.terminations = 1;
+  r.level = QosLevel::kSingle;
+  return r;
+}
+
+/// Expects exactly `n` new violations, the first tagged `invariant`.
+void expect_trips(const EpisodeResult& r, std::string_view invariant) {
+  InvariantChecker checker;
+  checker.check_episode(7, r, config_5min_tau());
+  ASSERT_EQ(checker.violations(), 1u) << "expected exactly " << invariant;
+  EXPECT_FALSE(checker.ok());
+  ASSERT_EQ(checker.samples().size(), 1u);
+  EXPECT_EQ(checker.samples()[0].find(invariant), 0u)
+      << "sample was: " << checker.samples()[0];
+  EXPECT_NE(checker.samples()[0].find("episode 7"), std::string::npos);
+}
+
+TEST(InvariantChecker, CleanEpisodePasses) {
+  InvariantChecker checker;
+  checker.check_episode(1, clean_result(), config_5min_tau());
+  checker.check_episode(2, EpisodeResult{}, config_5min_tau());  // undetected
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(checker.episodes_checked(), 2u);
+}
+
+TEST(InvariantChecker, I1DetectedWithoutTermination) {
+  EpisodeResult r = clean_result();
+  r.terminations = 0;
+  r.alerts_sent = 0;          // keep I5 quiet
+  r.alert_delivered = false;  // keep I3/I4 quiet
+  expect_trips(r, "I1");
+}
+
+TEST(InvariantChecker, I2DoubleTermination) {
+  EpisodeResult r = clean_result();
+  r.double_terminations = 1;
+  expect_trips(r, "I2");
+}
+
+TEST(InvariantChecker, I3DeliveryWithoutDetection) {
+  EpisodeResult r = clean_result();
+  r.detected = false;
+  expect_trips(r, "I3");
+}
+
+TEST(InvariantChecker, I4LateAlertCountedTimely) {
+  EpisodeResult r = clean_result();
+  r.first_alert_sent = r.detection + Duration::minutes(6);  // past τ = 5
+  r.timely = true;
+  expect_trips(r, "I4");
+}
+
+TEST(InvariantChecker, I4TimelyAlertCountedLate) {
+  EpisodeResult r = clean_result();
+  r.timely = false;  // but first_alert_sent is within τ
+  expect_trips(r, "I4");
+}
+
+TEST(InvariantChecker, I5MoreAlertsThanTerminations) {
+  EpisodeResult r = clean_result();
+  r.alerts_sent = 2;
+  r.wait_rescues = 1;  // keep I6 quiet
+  expect_trips(r, "I5");
+}
+
+TEST(InvariantChecker, I6DuplicateWithoutRescue) {
+  EpisodeResult r = clean_result();
+  r.alerts_sent = 2;
+  r.terminations = 2;  // keep I5 quiet
+  expect_trips(r, "I6");
+}
+
+TEST(InvariantChecker, I7UnresolvedParticipantInCleanEpisode) {
+  EpisodeResult r = clean_result();
+  r.all_participants_resolved = false;
+  expect_trips(r, "I7");
+}
+
+TEST(InvariantChecker, I7ToleratesUnresolvedUnderDropsOrFaults) {
+  // Drops or injected faults explain a hanging participant — no finding.
+  EpisodeResult dropped = clean_result();
+  dropped.all_participants_resolved = false;
+  dropped.telemetry.messages_dropped_link = 1;
+  EpisodeResult faulted = clean_result();
+  faulted.all_participants_resolved = false;
+  faulted.telemetry.faults_injected = 1;
+  InvariantChecker checker;
+  checker.check_episode(1, dropped, config_5min_tau());
+  checker.check_episode(2, faulted, config_5min_tau());
+  EXPECT_TRUE(checker.ok());
+}
+
+TEST(InvariantChecker, I8LedgerImbalance) {
+  InvariantChecker checker;
+  checker.check_simulator(3, SimAccounting{100, 98, 2, 0});  // balances
+  EXPECT_TRUE(checker.ok());
+  checker.check_simulator(3, SimAccounting{100, 98, 1, 0});  // leaks one
+  EXPECT_EQ(checker.violations(), 1u);
+  ASSERT_EQ(checker.samples().size(), 1u);
+  EXPECT_EQ(checker.samples()[0].find("I8"), 0u);
+}
+
+TEST(InvariantChecker, RealSimulatorLedgerBalances) {
+  Simulator sim;
+  const auto id = sim.schedule_after(Duration::seconds(5), [] {});
+  sim.schedule_after(Duration::seconds(1), [&] { sim.cancel(id); });
+  sim.schedule_after(Duration::seconds(2), [] {});
+  sim.run();
+  InvariantChecker checker;
+  checker.check_simulator(0, sim.accounting());
+  EXPECT_TRUE(checker.ok());
+  const SimAccounting a = sim.accounting();
+  EXPECT_EQ(a.scheduled, 3u);
+  EXPECT_EQ(a.cancelled, 1u);
+  EXPECT_EQ(a.pending, 0u);
+}
+
+TEST(InvariantChecker, MergeSumsAndCapsSamples) {
+  InvariantChecker a;
+  InvariantChecker b;
+  EpisodeResult bad = clean_result();
+  bad.double_terminations = 1;
+  for (int i = 0; i < 20; ++i) a.check_episode(i, bad, config_5min_tau());
+  for (int i = 0; i < 20; ++i) b.check_episode(100 + i, bad, config_5min_tau());
+  a.merge(b);
+  EXPECT_EQ(a.violations(), 40u);
+  EXPECT_EQ(a.episodes_checked(), 40u);
+  EXPECT_EQ(a.samples().size(), InvariantChecker::kMaxSamples);
+}
+
+}  // namespace
+}  // namespace oaq

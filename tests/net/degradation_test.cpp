@@ -1,0 +1,277 @@
+// NetworkStats drop-path and degradation-hook coverage (ISSUE 5): every
+// dropped_* counter, the lossless_to_ground exemption, recover(), the
+// reliable-delivery retry budget, and the composition rules of the
+// fault-injection state (refcounted outages, max-of loss overrides).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "net/crosslink.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+CrosslinkNetwork::Options fixed_delay() {
+  CrosslinkNetwork::Options opt;
+  opt.min_delay = Duration::seconds(10);
+  opt.max_delay = Duration::seconds(10);
+  return opt;
+}
+
+TEST(Degradation, EveryDropReasonLandsInItsCounter) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fixed_delay(), Rng(1));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({0, 1});
+  const auto dead = Address::sat({0, 2});
+  net.register_node(a, [](const Envelope&) {});
+  net.register_node(b, [](const Envelope&) {});
+  net.register_node(dead, [](const Envelope&) {});
+  net.fail_silent(dead);
+
+  std::vector<DropReason> observed;
+  net.set_drop_handler([&](const Envelope&, DropReason reason) {
+    observed.push_back(reason);
+  });
+
+  net.send(dead, b, Ping{});                  // dead sender
+  net.send(a, dead, Ping{});                  // dead receiver
+  net.send(a, Address::sat({0, 7}), Ping{});  // never registered
+  sim.run();
+
+  EXPECT_EQ(net.stats().dropped_dead_sender, 1u);
+  EXPECT_EQ(net.stats().dropped_dead_receiver, 1u);
+  EXPECT_EQ(net.stats().dropped_unregistered, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+  // The drop handler sees final drops — but not dead-sender ones (the
+  // would-be retrier is the dead node itself).
+  EXPECT_EQ(observed, (std::vector<DropReason>{DropReason::kDeadReceiver,
+                                               DropReason::kUnregistered}));
+}
+
+TEST(Degradation, LosslessToGroundExemptsDownlinksOnly) {
+  Simulator sim;
+  auto opt = fixed_delay();
+  opt.loss_probability = 1.0;
+  opt.lossless_to_ground = true;
+  CrosslinkNetwork net(sim, opt, Rng(2));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({0, 1});
+  int crosslink = 0, downlink = 0;
+  net.register_node(b, [&](const Envelope&) { ++crosslink; });
+  net.register_node(Address::ground(), [&](const Envelope&) { ++downlink; });
+
+  for (int i = 0; i < 10; ++i) net.send(a, b, Ping{i});
+  for (int i = 0; i < 10; ++i) net.send(a, Address::ground(), Ping{i});
+  sim.run();
+
+  EXPECT_EQ(crosslink, 0);  // p = 1 kills every crosslink
+  EXPECT_EQ(downlink, 10);  // downlinks are exempt
+  EXPECT_EQ(net.stats().dropped_loss, 10u);
+}
+
+TEST(Degradation, LossOverridesExemptGroundToo) {
+  // The exemption must hold for injected burst loss, not just the base
+  // probability — alert downlinks stay deliverable during a loss window.
+  Simulator sim;
+  auto opt = fixed_delay();
+  opt.lossless_to_ground = true;
+  CrosslinkNetwork net(sim, opt, Rng(3));
+  int downlink = 0;
+  net.register_node(Address::ground(), [&](const Envelope&) { ++downlink; });
+  net.push_loss_override(0, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    net.send(Address::sat({0, 0}), Address::ground(), Ping{i});
+  }
+  sim.run();
+  EXPECT_EQ(downlink, 10);
+  EXPECT_EQ(net.stats().dropped_loss, 0u);
+}
+
+TEST(Degradation, RecoverRevivesOnlyRegisteredNodes) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fixed_delay(), Rng(4));
+  const auto b = Address::sat({0, 1});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  net.fail_silent(b);
+  net.recover(b);
+  EXPECT_FALSE(net.is_failed(b));
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 1);  // original handler survived the outage
+
+  // A node that was never registered has no handler to revive.
+  const auto ghost = Address::sat({0, 5});
+  net.recover(ghost);
+  net.send(Address::sat({0, 0}), ghost, Ping{});
+  sim.run();
+  EXPECT_EQ(net.stats().dropped_unregistered, 1u);
+}
+
+TEST(Degradation, ReliableRetryRecoversFromTransientLoss) {
+  Simulator sim;
+  auto opt = fixed_delay();
+  opt.reliable = true;
+  opt.retry_limit = 3;
+  opt.backoff_base = 2.0;
+  CrosslinkNetwork net(sim, opt, Rng(5));
+  const auto b = Address::sat({0, 1});
+  std::vector<int> attempts;
+  net.register_node(b, [&](const Envelope& e) { attempts.push_back(e.attempt); });
+
+  // Certain loss for the first two attempts (t = 0 and t = 20 s; the ack
+  // timeout is 2·max_delay·base^i), lifted before the third at t = 60 s.
+  net.push_loss_override(9, 1.0);
+  sim.schedule_after(Duration::seconds(50), [&] { net.pop_loss_override(9); });
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+
+  ASSERT_EQ(attempts.size(), 1u);
+  EXPECT_EQ(attempts[0], 2);  // delivered on the second retry
+  EXPECT_EQ(net.stats().retries, 2u);
+  EXPECT_EQ(net.stats().retries_exhausted, 0u);
+  EXPECT_EQ(net.stats().dropped_loss, 0u);  // only *final* drops count
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(Degradation, ExhaustedRetryBudgetIsAFinalDrop) {
+  Simulator sim;
+  auto opt = fixed_delay();
+  opt.reliable = true;
+  opt.retry_limit = 2;
+  CrosslinkNetwork net(sim, opt, Rng(6));
+  const auto b = Address::sat({0, 1});
+  net.register_node(b, [](const Envelope&) {});
+  int handler_calls = 0;
+  DropReason last = DropReason::kDeadSender;
+  net.set_drop_handler([&](const Envelope& e, DropReason reason) {
+    ++handler_calls;
+    last = reason;
+    EXPECT_EQ(e.attempt, 2);  // budget spent
+  });
+
+  net.push_loss_override(1, 1.0);  // never lifted
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+
+  EXPECT_EQ(net.stats().retries, 2u);
+  EXPECT_EQ(net.stats().retries_exhausted, 1u);
+  EXPECT_EQ(net.stats().dropped_loss, 1u);
+  EXPECT_EQ(handler_calls, 1);
+  EXPECT_EQ(last, DropReason::kLoss);
+}
+
+TEST(Degradation, ReliableRetryRidesOutALinkOutage) {
+  Simulator sim;
+  auto opt = fixed_delay();
+  opt.reliable = true;
+  opt.retry_limit = 3;
+  CrosslinkNetwork net(sim, opt, Rng(7));
+  const auto b = Address::sat({1, 0});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+
+  net.reserve_fault_state(2, 1);
+  net.block_link(0, 1);
+  sim.schedule_after(Duration::seconds(50), [&] { net.unblock_link(0, 1); });
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.stats().dropped_link, 0u);
+  EXPECT_EQ(net.stats().retries, 2u);
+}
+
+TEST(Degradation, DropHandlerMaySendFromTheCallback) {
+  // The handler runs after the envelope's pool slot is released, so a
+  // re-route (the episode engine's chain-hop rescue) is legal mid-drop.
+  Simulator sim;
+  CrosslinkNetwork net(sim, fixed_delay(), Rng(8));
+  const auto a = Address::sat({0, 0});
+  const auto alive = Address::sat({0, 2});
+  int rerouted = 0;
+  net.register_node(alive, [&](const Envelope&) { ++rerouted; });
+  net.set_drop_handler([&](const Envelope& e, DropReason) {
+    net.send(e.from, alive, Ping{1});
+  });
+  net.send(a, Address::sat({0, 7}), Ping{0});  // unregistered: drops, re-routes
+  sim.run();
+  EXPECT_EQ(rerouted, 1);
+}
+
+TEST(Degradation, BlockLinkRefcountsSymmetrically) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fixed_delay(), Rng(9));
+  const auto b = Address::sat({1, 0});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+  net.reserve_fault_state(2, 2);
+
+  net.block_link(0, 1);
+  net.block_link(1, 0);  // overlapping window, reversed pair
+  net.unblock_link(0, 1);
+  net.send(Address::sat({0, 0}), b, Ping{});  // one ref left: still down
+  sim.run();
+  EXPECT_EQ(net.stats().dropped_link, 1u);
+
+  net.unblock_link(1, 0);
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Degradation, LossOverridesTakeTheMaximum) {
+  Simulator sim;
+  auto opt = fixed_delay();
+  opt.loss_probability = 0.0;
+  CrosslinkNetwork net(sim, opt, Rng(10));
+  const auto b = Address::sat({0, 1});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+
+  net.push_loss_override(1, 1.0);
+  net.push_loss_override(2, 0.0);  // weaker override must not win
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().dropped_loss, 1u);
+
+  net.pop_loss_override(1);  // max falls back to the weaker override
+  net.send(Address::sat({0, 0}), b, Ping{});
+  sim.run();
+  EXPECT_EQ(received, 1);
+  net.pop_loss_override(2);
+}
+
+TEST(Degradation, DelayScaleIsTheProductOfActiveFactors) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, fixed_delay(), Rng(11));
+  std::vector<double> delays_s;
+  net.register_node(Address::sat({0, 1}), [&](const Envelope& e) {
+    delays_s.push_back((e.delivered - e.sent).to_seconds());
+  });
+  net.push_delay_scale(1, 2.0);
+  net.push_delay_scale(2, 3.0);
+  net.send(Address::sat({0, 0}), Address::sat({0, 1}), Ping{});
+  sim.run();
+  net.pop_delay_scale(2);
+  net.send(Address::sat({0, 0}), Address::sat({0, 1}), Ping{});
+  sim.run();
+  net.pop_delay_scale(1);
+  net.send(Address::sat({0, 0}), Address::sat({0, 1}), Ping{});
+  sim.run();
+  ASSERT_EQ(delays_s.size(), 3u);
+  EXPECT_DOUBLE_EQ(delays_s[0], 60.0);
+  EXPECT_DOUBLE_EQ(delays_s[1], 20.0);
+  EXPECT_DOUBLE_EQ(delays_s[2], 10.0);
+}
+
+}  // namespace
+}  // namespace oaq

@@ -6,20 +6,25 @@
 //   oaqctl plan      --k 9 --tau 5 --at 2.0
 //   oaqctl simulate  --k 9 --tau 5 --mu 0.5 --episodes 20000 [--baq]
 //                    [--trace out.jsonl] [--metrics out.json] [--profile]
+//                    [--fault-plan plan.txt] [--loss P] [--reliable]
+//                    [--check-invariants] [--chaos-sweep]
 //   oaqctl coverage  [--bands 18]
 //   oaqctl trace-summary trace.jsonl [--metrics metrics.json]
 //
 // Every subcommand prints an aligned table; see `oaqctl help`.
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "analytic/measure.hpp"
 #include "common/table.hpp"
+#include "fault/plan.hpp"
 #include "fault/plane_capacity.hpp"
 #include "oaq/montecarlo.hpp"
 #include "oaq/campaign.hpp"
@@ -35,26 +40,80 @@ namespace {
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       OAQ_REQUIRE(key.rfind("--", 0) == 0, "flags must start with --");
-      values_[key.substr(2)] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      // Trailing boolean flag.
-      std::string key = argv[argc - 1];
-      OAQ_REQUIRE(key.rfind("--", 0) == 0, "flags must start with --");
-      values_[key.substr(2)] = "true";
+      key.erase(0, 2);
+      OAQ_REQUIRE(!key.empty(), "empty flag name");
+      // A token starting with "--" is the next flag, so this one is a
+      // boolean; anything else (including negative numbers) is the value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
     }
   }
 
+  /// Strict numeric parse: the whole value must be a finite number —
+  /// `--tau 5x` or `--tau abc` is a one-line error, not silently 5 or 0.
   [[nodiscard]] double number(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t used = 0;
+    double out = 0.0;
+    try {
+      out = std::stod(it->second, &used);
+    } catch (const std::exception&) {
+      fail(key, it->second, "a number");
+    }
+    if (used != it->second.size() || !std::isfinite(out)) {
+      fail(key, it->second, "a finite number");
+    }
+    return out;
   }
   [[nodiscard]] int integer(const std::string& key, int fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoi(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t used = 0;
+    int out = 0;
+    try {
+      out = std::stoi(it->second, &used);
+    } catch (const std::exception&) {
+      fail(key, it->second, "an integer");
+    }
+    if (used != it->second.size()) fail(key, it->second, "an integer");
+    return out;
+  }
+  /// number() constrained to [lo, hi].
+  [[nodiscard]] double number_in(const std::string& key, double fallback,
+                                 double lo, double hi) const {
+    const double out = number(key, fallback);
+    if (out < lo || out > hi) {
+      throw std::invalid_argument("--" + key + " must be in [" +
+                                  std::to_string(lo) + ", " +
+                                  std::to_string(hi) + "]");
+    }
+    return out;
+  }
+  /// number() constrained to be strictly positive.
+  [[nodiscard]] double positive(const std::string& key,
+                                double fallback) const {
+    const double out = number(key, fallback);
+    if (!(out > 0.0)) {
+      throw std::invalid_argument("--" + key + " must be positive");
+    }
+    return out;
+  }
+  /// integer() constrained to be >= `floor`.
+  [[nodiscard]] int at_least(const std::string& key, int fallback,
+                             int floor) const {
+    const int out = integer(key, fallback);
+    if (out < floor) {
+      throw std::invalid_argument("--" + key + " must be >= " +
+                                  std::to_string(floor));
+    }
+    return out;
   }
   [[nodiscard]] bool flag(const std::string& key) const {
     return values_.contains(key);
@@ -66,8 +125,38 @@ class Args {
   }
 
  private:
+  [[noreturn]] static void fail(const std::string& key,
+                                const std::string& value,
+                                const std::string& expected) {
+    throw std::invalid_argument("--" + key + ": expected " + expected +
+                                ", got '" + value + "'");
+  }
+
   std::map<std::string, std::string> values_;
 };
+
+/// Parse --fault-plan FILE (nullopt when absent).
+std::optional<FaultPlan> load_fault_plan(const Args& args) {
+  const std::string path = args.str("fault-plan");
+  if (path.empty()) return std::nullopt;
+  std::ifstream is(path);
+  if (!is.good()) {
+    throw std::invalid_argument("cannot open fault plan: " + path);
+  }
+  return parse_fault_plan(is);
+}
+
+/// Link-degradation flags shared by simulate and campaign:
+/// --loss P --reliable --retries N --backoff B.
+void apply_link_flags(const Args& args, ProtocolConfig& protocol) {
+  protocol.crosslink_loss_probability =
+      args.number_in("loss", protocol.crosslink_loss_probability, 0.0, 1.0);
+  if (args.flag("reliable")) protocol.reliable_links = true;
+  protocol.link_retry_limit =
+      args.at_least("retries", protocol.link_retry_limit, 0);
+  protocol.link_backoff_base =
+      args.number_in("backoff", protocol.link_backoff_base, 1.0, 64.0);
+}
 
 /// Observability file sinks shared by `simulate` and `campaign`:
 /// --trace PATH (JSONL events), --metrics PATH (JSON registry), --profile
@@ -124,9 +213,9 @@ struct ObsSinks {
 
 QosModel make_model(const Args& args) {
   QosModelParams p;
-  p.tau = Duration::minutes(args.number("tau", 5.0));
-  p.mu = Rate::per_minute(args.number("mu", 0.5));
-  p.nu = Rate::per_minute(args.number("nu", 30.0));
+  p.tau = Duration::minutes(args.positive("tau", 5.0));
+  p.mu = Rate::per_minute(args.positive("mu", 0.5));
+  p.nu = Rate::per_minute(args.positive("nu", 30.0));
   return QosModel(PlaneGeometry{}, p);
 }
 
@@ -226,21 +315,90 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
+/// `--chaos-sweep`: rerun the Monte-Carlo under a battery of degradation
+/// scenarios (plus the --fault-plan file when given) and tabulate the QoS
+/// damage. Every scenario runs with invariant checking on.
+int run_chaos_sweep(QosSimulationConfig cfg,
+                    const std::optional<FaultPlan>& file_plan) {
+  const Duration tau = cfg.protocol.tau;
+  struct Scenario {
+    std::string name;
+    FaultPlan plan;
+  };
+  std::vector<Scenario> scenarios(1);
+  scenarios[0].name = "baseline";
+  scenarios.push_back({"burst_loss 0.25", {}});
+  scenarios.back().plan.add(
+      FaultPlan::burst_loss(0.25, Duration::zero(), tau));
+  scenarios.push_back({"delay_spike x3", {}});
+  scenarios.back().plan.add(
+      FaultPlan::delay_spike(3.0, Duration::zero(), tau));
+  scenarios.push_back({"fail_silent 0/0", {}});
+  scenarios.back().plan.add(
+      FaultPlan::fail_silent({0, 0}, Duration::zero()));
+  scenarios.push_back({"storm", {}});
+  scenarios.back()
+      .plan.add(FaultPlan::burst_loss(0.25, Duration::zero(), tau))
+      .add(FaultPlan::delay_spike(3.0, Duration::zero(), tau))
+      .add(FaultPlan::fail_silent({0, 0}, Duration::zero()));
+  if (file_plan) scenarios.push_back({"fault-plan file", *file_plan});
+
+  cfg.trace = nullptr;
+  cfg.metrics = nullptr;
+  cfg.profile = nullptr;
+  cfg.check_invariants = true;
+
+  TablePrinter table({"scenario", "P(Y>=2)", "P(missed)", "duplicates",
+                      "unresolved", "violations"},
+                     4);
+  std::int64_t total_violations = 0;
+  std::vector<std::string> samples;
+  for (const Scenario& s : scenarios) {
+    cfg.fault_plan = s.plan.empty() ? nullptr : &s.plan;
+    const auto sim = simulate_qos(cfg);
+    table.add_row({s.name, sim.tail(QosLevel::kSequentialDual),
+                   sim.probability(QosLevel::kMissed),
+                   static_cast<long long>(sim.duplicates),
+                   static_cast<long long>(sim.unresolved),
+                   static_cast<long long>(sim.invariant_violations)});
+    total_violations += sim.invariant_violations;
+    for (const auto& sample : sim.invariant_samples) {
+      if (samples.size() < 8) samples.push_back(s.name + ": " + sample);
+    }
+  }
+  std::cout << "Chaos sweep, k = " << cfg.k << ", " << cfg.episodes
+            << " episodes per scenario:\n";
+  table.print(std::cout);
+  for (const auto& sample : samples) {
+    std::cout << "violation: " << sample << "\n";
+  }
+  std::cout << "invariants: " << total_violations << " violation(s)\n";
+  return total_violations == 0 ? 0 : 1;
+}
+
 int cmd_simulate(const Args& args) {
   QosSimulationConfig cfg;
-  cfg.k = args.integer("k", 9);
-  cfg.episodes = args.integer("episodes", 20000);
-  cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
-  cfg.mu = Rate::per_minute(args.number("mu", 0.5));
+  cfg.k = args.at_least("k", 9, 1);
+  cfg.episodes = args.at_least("episodes", 20000, 1);
+  cfg.seed = static_cast<std::uint64_t>(args.at_least("seed", 1, 0));
+  cfg.mu = Rate::per_minute(args.positive("mu", 0.5));
   cfg.opportunity_adaptive = !args.flag("baq");
-  cfg.protocol.tau = Duration::minutes(args.number("tau", 5.0));
-  cfg.protocol.delta = Duration::seconds(args.number("delta-s", 12.0));
-  cfg.protocol.tg = Duration::seconds(args.number("tg-s", 6.0));
+  cfg.protocol.tau = Duration::minutes(args.positive("tau", 5.0));
+  cfg.protocol.delta =
+      Duration::seconds(args.number_in("delta-s", 12.0, 0.0, 1e6));
+  cfg.protocol.tg = Duration::seconds(args.number_in("tg-s", 6.0, 0.0, 1e6));
   cfg.protocol.computation_cap = cfg.protocol.tg;
-  cfg.jobs = args.integer("jobs", 0);
+  cfg.jobs = args.at_least("jobs", 0, 0);
   // Queue telemetry is deterministic, so the jobs-independence contract of
   // --metrics output holds with it enabled.
   cfg.queue_metrics = true;
+  apply_link_flags(args, cfg.protocol);
+
+  const auto plan = load_fault_plan(args);
+  if (args.flag("chaos-sweep")) return run_chaos_sweep(cfg, plan);
+  if (plan && !plan->empty()) cfg.fault_plan = &*plan;
+  cfg.check_invariants =
+      args.flag("check-invariants") || cfg.fault_plan != nullptr;
 
   ObsSinks obs(args);
   cfg.trace = obs.trace_ptr();
@@ -260,24 +418,37 @@ int cmd_simulate(const Args& args) {
   std::cout << "mean chain " << sim.mean_chain_length << ", duplicates "
             << sim.duplicates << ", unresolved " << sim.unresolved
             << ", late alerts " << sim.untimely << "\n";
+  if (cfg.check_invariants) {
+    std::cout << "invariants: " << sim.invariant_violations
+              << " violation(s)\n";
+    for (const auto& sample : sim.invariant_samples) {
+      std::cout << "violation: " << sample << "\n";
+    }
+  }
   obs.finish("oaqctl.simulate");
-  return 0;
+  return cfg.check_invariants && sim.invariant_violations > 0 ? 1 : 0;
 }
 
 int cmd_campaign(const Args& args) {
   CampaignConfig cfg;
-  cfg.k = args.integer("k", 9);
-  cfg.signal_arrival_rate = Rate::per_hour(args.number("per-hour", 10.0));
-  cfg.horizon = Duration::hours(args.number("hours", 100.0));
-  cfg.protocol.tau = Duration::minutes(args.number("tau", 5.0));
-  cfg.protocol.nu = Rate::per_minute(args.number("nu", 30.0));
+  cfg.k = args.at_least("k", 9, 1);
+  cfg.signal_arrival_rate = Rate::per_hour(args.positive("per-hour", 10.0));
+  cfg.horizon = Duration::hours(args.positive("hours", 100.0));
+  cfg.protocol.tau = Duration::minutes(args.positive("tau", 5.0));
+  cfg.protocol.nu = Rate::per_minute(args.positive("nu", 30.0));
   cfg.protocol.computation_cap =
-      Duration::seconds(args.number("cap-s", 6.0));
+      Duration::seconds(args.number_in("cap-s", 6.0, 0.0, 1e6));
   cfg.compute_contention = !args.flag("no-contention");
-  cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
-  cfg.replications = args.integer("replications", 1);
-  cfg.jobs = args.integer("jobs", 0);
+  cfg.seed = static_cast<std::uint64_t>(args.at_least("seed", 1, 0));
+  cfg.replications = args.at_least("replications", 1, 1);
+  cfg.jobs = args.at_least("jobs", 0, 0);
   cfg.queue_metrics = true;  // deterministic; see cmd_simulate
+  apply_link_flags(args, cfg.protocol);
+
+  const auto plan = load_fault_plan(args);
+  if (plan && !plan->empty()) cfg.fault_plan = &*plan;
+  cfg.check_invariants =
+      args.flag("check-invariants") || cfg.fault_plan != nullptr;
 
   ObsSinks obs(args);
   cfg.trace = obs.trace_ptr();
@@ -302,8 +473,15 @@ int cmd_campaign(const Args& args) {
             << args.number("per-hour", 10.0) << " signals/hour over "
             << cfg.horizon.to_hours() << " h\n";
   table.print(std::cout);
+  if (cfg.check_invariants) {
+    std::cout << "invariants: " << r.invariant_violations
+              << " violation(s)\n";
+    for (const auto& sample : r.invariant_samples) {
+      std::cout << "violation: " << sample << "\n";
+    }
+  }
   obs.finish("oaqctl.campaign");
-  return 0;
+  return cfg.check_invariants && r.invariant_violations > 0 ? 1 : 0;
 }
 
 /// Number following `"key":` in a metrics JSON dump (the registry writer's
@@ -378,6 +556,25 @@ int cmd_trace_summary(const std::string& path,
             << summary.detections << " detections, "
             << summary.alerts_delivered << " alerts delivered, "
             << summary.terminations << " terminations\n";
+  if (summary.drops > 0 || summary.retries > 0 ||
+      summary.faults_injected > 0) {
+    // Degradation accounting (PR 5): crosslink drops by reason, reliable
+    // retries, and injected fault activations.
+    std::cout << "degradation: " << summary.drops << " drops";
+    const char* sep = " (";
+    for (const auto& [reason, count] : summary.drops_by_reason) {
+      std::cout << sep << reason << " " << count;
+      sep = ", ";
+    }
+    if (!summary.drops_by_reason.empty()) std::cout << ")";
+    std::cout << ", " << summary.retries << " retries, "
+              << summary.faults_injected << " faults injected";
+    if (summary.drops_unattributed > 0) {
+      std::cout << ", " << summary.drops_unattributed
+                << " drops unattributed";
+    }
+    std::cout << "\n";
+  }
   if (summary.termination.empty()) {
     std::cout << "no termination events\n";
     return metrics_path.empty() ? 0 : print_queue_telemetry(metrics_path);
@@ -388,6 +585,7 @@ int cmd_trace_summary(const std::string& path,
     headers.push_back("n=" + std::to_string(chain));
   }
   headers.emplace_back("total");
+  headers.emplace_back("drops");
   TablePrinter table(headers, 0);
   for (const auto& [cause, by_chain] : summary.termination) {
     std::vector<Cell> row{cause};
@@ -399,6 +597,10 @@ int cmd_trace_summary(const std::string& path,
       total += count;
     }
     row.emplace_back(total);
+    // Crosslink drops in episodes whose first termination had this cause.
+    const auto drops_it = summary.drops_by_cause.find(cause);
+    row.emplace_back(static_cast<long long>(
+        drops_it == summary.drops_by_cause.end() ? 0 : drops_it->second));
     table.add_row(row);
   }
   table.print(std::cout);
@@ -438,7 +640,13 @@ int help() {
       "Observability (simulate & campaign): --trace FILE writes protocol\n"
       "events as JSONL (bit-identical for any --jobs), --metrics FILE\n"
       "writes the run metrics registry as JSON, --profile prints a\n"
-      "BENCH_JSON line with per-shard wall times.\n";
+      "BENCH_JSON line with per-shard wall times.\n"
+      "Fault injection (simulate & campaign): --fault-plan FILE replays a\n"
+      "scripted degradation plan (see tools/README.md for the clause\n"
+      "syntax), --loss P --reliable --retries N --backoff B set the link\n"
+      "model, --check-invariants audits every episode (I1-I8). simulate\n"
+      "--chaos-sweep tabulates QoS damage under built-in fault scenarios.\n"
+      "Exit status is 1 when invariant checking finds a violation.\n";
   return 0;
 }
 
