@@ -136,6 +136,12 @@ int main(int argc, char** argv) {
   cfg_storm.fault_plan = &storm;
   cfg_storm.check_invariants = true;
 
+  // Untimed warm-up (same idiom as geometry_batch): the first run pays
+  // page faults, allocator growth, and frequency ramp-up, and the baseline
+  // ran first in every repetition — cold, it depressed base_eps and made
+  // the empty-plan overhead read ~-1.5% on a quiet machine.
+  (void)run_once(cfg_base);
+
   // Interleave baseline/empty repetitions so frequency drift hits both.
   double base_eps = 0.0, empty_eps = 0.0;
   for (int rep = 0; rep < 3; ++rep) {

@@ -225,8 +225,29 @@ std::uint32_t CrosslinkNetwork::alloc_slot() {
   return slot;
 }
 
+void CrosslinkNetwork::reset(Rng rng) {
+  OAQ_REQUIRE(free_slots_.size() == pool_.size(),
+              "reset with envelopes still in flight");
+  rng_ = rng;
+  stats_ = {};
+  trace_ = nullptr;
+  trace_episode_ = -1;
+  ground_.failed = false;
+  for (auto& ring : sats_) {
+    for (auto& state : ring) state.failed = false;
+  }
+  partitions_.clear();
+  loss_overrides_.clear();
+  delay_factors_.clear();
+  delay_scale_ = 1.0;
+  if (active_link_blocks_ > 0) {
+    std::fill(link_blocks_.begin(), link_blocks_.end(), std::uint16_t{0});
+    active_link_blocks_ = 0;
+  }
+}
+
 void CrosslinkNetwork::send(const Address& from, const Address& to,
-                            std::any payload) {
+                            Payload payload) {
   ++stats_.sent;
   if (is_failed(from)) {
     ++stats_.dropped_dead_sender;
@@ -278,7 +299,7 @@ void CrosslinkNetwork::attempt(std::uint32_t slot) {
                 delay.to_seconds());
   }
   // The capture is two words, so the DES kernel stores it inline: a send
-  // costs no allocation beyond the payload's own std::any storage.
+  // costs no allocation at all for inline payloads (every protocol message).
   sim_->schedule_after(delay, [this, slot] { deliver(slot); });
 }
 

@@ -21,13 +21,13 @@
 // DESIGN.md §11 for the δ_eff bound the protocol layer consumes).
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/payload.hpp"
 #include "obs/trace.hpp"
 #include "orbit/plane.hpp"
 #include "sim/simulator.hpp"
@@ -58,7 +58,7 @@ struct Envelope {
   TimePoint delivered{};
   int attempt = 0;        ///< retransmissions consumed (reliable mode)
   TimePoint attempt_started{};  ///< start of the current attempt
-  std::any payload;
+  Payload payload;
 };
 
 /// Counters for observability and tests.
@@ -127,7 +127,15 @@ class CrosslinkNetwork {
   /// Queue a message. It is delivered after a random delay unless lost or
   /// either endpoint is fail-silent at the relevant moment (send checks the
   /// sender now; delivery checks the receiver then).
-  void send(const Address& from, const Address& to, std::any payload);
+  void send(const Address& from, const Address& to, Payload payload);
+
+  /// Return the network to its just-constructed state for the next episode
+  /// in a batch, keeping everything reusable: registered handlers, the
+  /// drop handler, the envelope pool and its free list, and the reserved
+  /// degradation tables all survive; stats, fail-silent flags, degradation
+  /// windows, and the trace sink are cleared and the RNG is re-seeded.
+  /// Precondition: no envelope in flight (the simulator has drained).
+  void reset(Rng rng);
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return options_; }

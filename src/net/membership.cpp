@@ -98,14 +98,14 @@ void MembershipNode::remove_member(SatelliteId id, bool gossip) {
 }
 
 void MembershipNode::on_message(const Envelope& env) {
-  if (const auto* hb = std::any_cast<Heartbeat>(&env.payload)) {
+  if (const auto* hb = env.payload.get_if<Heartbeat>()) {
     last_heard_[hb->from] = sim_->now();
     // A heartbeat from a member we removed means it is back (or we were
     // wrong); readmit it.
     if (!live_.contains(hb->from)) live_.insert(hb->from);
     return;
   }
-  if (const auto* notice = std::any_cast<FailureNotice>(&env.payload)) {
+  if (const auto* notice = env.payload.get_if<FailureNotice>()) {
     if (!live_.contains(notice->failed)) return;  // already known: stop
     remove_member(notice->failed, false);
     // Forward around the ring (dedup via the containment check above).

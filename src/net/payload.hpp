@@ -1,0 +1,166 @@
+// Small-buffer-optimized message payload for the crosslink hot path.
+//
+// Envelopes used to carry std::any, which heap-allocates every payload
+// larger than a pointer or two — one allocation per protocol message, the
+// dominant per-episode cost once the DES kernel itself went allocation-free
+// (ISSUE 6). Every protocol message (CoordinationRequest, AlertMessage,
+// CoordinationDone, Heartbeat, FailureNotice) is a small trivially-copyable
+// struct, so a Payload stores values up to `InlineBytes` in place and falls
+// back to the heap only for oversized or throwing-move types. Copyable —
+// tests copy Envelopes out of handlers — with `get_if<T>()` replacing
+// `std::any_cast<T>(&payload)`.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace oaq {
+
+template <std::size_t InlineBytes = 64>
+class BasicPayload {
+ public:
+  BasicPayload() noexcept = default;
+
+  /// Wraps any copyable value. Values that fit the inline buffer (and are
+  /// nothrow-movable, so buffer-to-buffer moves cannot throw mid-transfer)
+  /// are stored in place; others on the heap.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, BasicPayload> &&
+                std::is_copy_constructible_v<std::decay_t<F>>>>
+  BasicPayload(F&& value) {  // NOLINT(google-explicit-*)
+    using T = std::decay_t<F>;
+    if constexpr (fits_inline<T>()) {
+      ::new (static_cast<void*>(buffer_)) T(std::forward<F>(value));
+      ops_ = &inline_ops<T>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) T*(new T(std::forward<F>(value)));
+      ops_ = &heap_ops<T>;
+    }
+  }
+
+  BasicPayload(const BasicPayload& other) { copy_from(other); }
+  BasicPayload(BasicPayload&& other) noexcept { move_from(other); }
+
+  BasicPayload& operator=(const BasicPayload& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  BasicPayload& operator=(BasicPayload&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  ~BasicPayload() { reset(); }
+
+  /// Pointer to the held value when it is exactly a T, else null — the
+  /// std::any_cast<T>(&payload) idiom. Type identity is the per-type ops
+  /// table address (inline variables collapse to one address program-wide).
+  template <typename T>
+  [[nodiscard]] const T* get_if() const noexcept {
+    if constexpr (fits_inline<T>()) {
+      if (ops_ != &inline_ops<T>) return nullptr;
+      return std::launder(reinterpret_cast<const T*>(buffer_));
+    } else {
+      if (ops_ != &heap_ops<T>) return nullptr;
+      return *std::launder(reinterpret_cast<T* const*>(buffer_));
+    }
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return ops_ != nullptr; }
+
+  /// True when the held value lives in the inline buffer (diagnostic; the
+  /// allocation-counter bench asserts every protocol message qualifies).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*copy)(void* dst, const void* src);
+    void (*move)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename T>
+  static constexpr bool fits_inline() {
+    return sizeof(T) <= InlineBytes &&
+           alignof(T) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+  template <typename T>
+  static constexpr Ops inline_ops = {
+      [](void* dst, const void* src) {
+        ::new (dst) T(*std::launder(reinterpret_cast<const T*>(src)));
+      },
+      [](void* dst, void* src) noexcept {
+        T* from = std::launder(reinterpret_cast<T*>(src));
+        ::new (dst) T(std::move(*from));
+        from->~T();
+      },
+      [](void* buf) noexcept {
+        std::launder(reinterpret_cast<T*>(buf))->~T();
+      },
+      /*inline_storage=*/true,
+  };
+
+  template <typename T>
+  static constexpr Ops heap_ops = {
+      [](void* dst, const void* src) {
+        ::new (dst) T*(new T(**std::launder(
+            reinterpret_cast<const T* const*>(src))));
+      },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(T*));  // steal the owning pointer
+      },
+      [](void* buf) noexcept {
+        delete *std::launder(reinterpret_cast<T**>(buf));
+      },
+      /*inline_storage=*/false,
+  };
+
+  // ops_ is assigned only after the copy lands, so a throwing payload copy
+  // leaves this empty instead of pointing at an unconstructed buffer.
+  void copy_from(const BasicPayload& other) {
+    if (other.ops_ != nullptr) {
+      other.ops_->copy(buffer_, other.buffer_);
+      ops_ = other.ops_;
+    }
+  }
+
+  void move_from(BasicPayload& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  static_assert(InlineBytes >= sizeof(void*), "buffer must hold a pointer");
+  alignas(std::max_align_t) unsigned char buffer_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+/// The Envelope payload type: 64 bytes inline covers every protocol message.
+using Payload = BasicPayload<64>;
+
+}  // namespace oaq

@@ -1,0 +1,223 @@
+#include "oaq/batch_episode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+
+namespace oaq {
+namespace {
+
+/// The network options EpisodeEngine::run derives from the protocol
+/// configuration — kept in lockstep (the batched context must be
+/// indistinguishable from a per-episode network).
+CrosslinkNetwork::Options net_options(const ProtocolConfig& cfg) {
+  CrosslinkNetwork::Options opt;
+  opt.min_delay = cfg.delta * 0.3;
+  opt.max_delay = cfg.delta;
+  opt.loss_probability = cfg.crosslink_loss_probability;
+  opt.lossless_to_ground = true;
+  opt.reliable = cfg.reliable_links;
+  opt.retry_limit = cfg.link_retry_limit;
+  opt.backoff_base = cfg.link_backoff_base;
+  return opt;
+}
+
+}  // namespace
+
+bool analytic_signal_detected(const PlaneGeometry& geometry, int k,
+                              Duration phase, TimePoint signal_start,
+                              Duration signal_duration, Duration tau) {
+  const Duration sig_start = signal_start.since_origin();
+  const Duration sig_end = sig_start + signal_duration;
+  // The exact pass horizon TargetEpisode::arm() queries.
+  const Duration from = sig_start - Duration::minutes(20);
+  const Duration to = sig_start +
+                      std::min(signal_duration, Duration::minutes(30)) + tau +
+                      Duration::minutes(60);
+  const Duration tr = geometry.tr(k);
+  const Duration tc = geometry.tc();
+  // Same enumeration — and the same floating-point expressions — as
+  // AnalyticSchedule::passes_into, without materializing the pass list.
+  const double from_c = (from - tc / 2.0 - phase) / tr;
+  const double to_c = (to + tc / 2.0 - phase) / tr;
+  for (long j = static_cast<long>(std::floor(from_c));
+       j <= static_cast<long>(std::ceil(to_c)); ++j) {
+    const Duration center = phase + tr * static_cast<double>(j);
+    const Duration start = center - tc / 2.0;
+    const Duration end = center + tc / 2.0;
+    if (end < from || start > to) continue;
+    // Passes arrive in ascending start order, so arm()'s two scans (any
+    // covering pass, else the first pass at/after the signal start)
+    // collapse into one: a pass covering the signal start decides armed;
+    // past the signal start, the first surviving pass decides by
+    // aliveness — later passes can neither cover nor come earlier.
+    if (start <= sig_start && sig_start < end) return true;
+    if (start >= sig_start) return start < sig_end;
+  }
+  return false;
+}
+
+BatchEpisodeEngine::BatchEpisodeEngine(PlaneGeometry geometry, int k,
+                                       const ProtocolConfig& cfg,
+                                       bool opportunity_adaptive,
+                                       const DurationDistribution& duration_law,
+                                       Rng episode_rng, TimePoint signal_start,
+                                       const FaultPlan* plan)
+    : geometry_(geometry),
+      k_(k),
+      cfg_(cfg),
+      oaq_(opportunity_adaptive),
+      duration_law_(&duration_law),
+      episode_rng_(episode_rng),
+      signal_start_(signal_start),
+      plan_(plan != nullptr && !plan->empty() ? plan : nullptr),
+      schedule_(geometry, k, Duration::zero()),
+      net_(sim_, net_options(cfg), Rng(0)),  // re-seeded per lane by reset()
+      episode_(/*target_id=*/0, sim_, net_, schedule_, cfg_, oaq_,
+               protocol_rng_, /*calendar=*/nullptr, &no_known_failed_,
+               /*trace=*/nullptr) {
+  OAQ_REQUIRE(k > 0, "need at least one satellite");
+  OAQ_REQUIRE(cfg.tau > Duration::zero(), "deadline must be positive");
+  // Handlers are registered once for the whole plane and survive every
+  // reset: an episode's horizon satellites are always a subset of the k
+  // slots, and no protocol message ever targets a satellite outside its
+  // episode's horizon, so the extra registrations are unreachable — the
+  // delivered/dropped accounting matches per-episode registration exactly.
+  for (int slot = 0; slot < k_; ++slot) {
+    const SatelliteId id{0, slot};
+    net_.register_node(Address::sat(id), [this, id](const Envelope& env) {
+      episode_.handle_satellite_message(id, env);
+    });
+  }
+  net_.register_node(Address::ground(), [this](const Envelope& env) {
+    if (const auto* alert = env.payload.get_if<AlertMessage>()) {
+      episode_.handle_ground_alert(*alert);
+    }
+  });
+  // Same gate as the scalar engine: attached only when links can fail for
+  // good, so the default path's drop accounting stays identical.
+  if (cfg_.reliable_links || plan_ != nullptr) {
+    net_.set_drop_handler([this](const Envelope& env, DropReason reason) {
+      episode_.handle_send_failure(env, reason);
+    });
+  }
+}
+
+bool BatchEpisodeEngine::lane_detects(Duration phase, Duration duration) const {
+  return analytic_signal_detected(geometry_, k_, phase, signal_start_,
+                                  duration, cfg_.tau);
+}
+
+void BatchEpisodeEngine::run_des_lane(std::int64_t e, Duration phase,
+                                      Duration duration,
+                                      ShardTraceBuffer* trace,
+                                      InvariantChecker* invariants,
+                                      const ResultSink& sink) {
+  // The same stream layout as the scalar loop: protocol noise from
+  // ep.fork(3), network delays/losses from its 0x6e6574 fork, injector
+  // draws from its 0x666c74 fork. fork() is const, so the derivation
+  // order is irrelevant — only the draw order during the run matters,
+  // and that is the (identical) DES event order.
+  const Rng ep = episode_rng_.fork(static_cast<std::uint64_t>(e));
+  protocol_rng_ = ep.fork(3);
+  sim_.reset();
+  net_.reset(protocol_rng_.fork(0x6e6574));
+  net_.set_trace(trace, e);
+  schedule_ = AnalyticSchedule(geometry_, k_, phase);
+  episode_.reset_for(static_cast<int>(e), protocol_rng_, trace);
+  injector_.reset();
+
+  if (!episode_.arm(signal_start_, duration)) {
+    // The closed-form classifier is false-positive-safe: arm() is still
+    // the authority, and a rejected lane retires with the scalar's
+    // default result having touched nothing observable.
+    sink(e, episode_.result());
+    return;
+  }
+  if (plan_ != nullptr) {
+    injector_.emplace(sim_, net_, *plan_, protocol_rng_.fork(0x666c74), trace,
+                      e);
+    injector_->arm(signal_start_);
+  }
+
+  sim_.run(200000);
+  episode_.finalize();
+
+  // Copy-assign into the reused buffer so the participants capacity
+  // survives — steady-state lanes retire without allocating.
+  result_buf_ = episode_.result();
+  const NetworkStats& net_stats = net_.stats();
+  result_buf_.telemetry.messages_sent = net_stats.sent;
+  result_buf_.telemetry.messages_delivered = net_stats.delivered;
+  result_buf_.telemetry.messages_dropped_loss = net_stats.dropped_loss;
+  result_buf_.telemetry.messages_dropped_dead =
+      net_stats.dropped_dead_sender + net_stats.dropped_dead_receiver +
+      net_stats.dropped_unregistered;
+  result_buf_.telemetry.messages_dropped_link = net_stats.dropped_link;
+  result_buf_.telemetry.retries = net_stats.retries;
+  result_buf_.telemetry.retries_exhausted = net_stats.retries_exhausted;
+  if (injector_) {
+    result_buf_.telemetry.faults_injected = injector_->stats().activations;
+  }
+  result_buf_.telemetry.sim_events = sim_.processed_count();
+  result_buf_.telemetry.sim_peak_pending = sim_.peak_pending_count();
+  const QueueStats& qs = sim_.queue_stats();
+  result_buf_.telemetry.sim_runs_created = qs.runs_created;
+  result_buf_.telemetry.sim_run_merges = qs.run_merges;
+  result_buf_.telemetry.sim_tombstones_purged = qs.tombstones_purged;
+  result_buf_.telemetry.sim_max_run_length = qs.max_run_length;
+
+  if (invariants != nullptr) {
+    invariants->check_episode(e, result_buf_, cfg_);
+    invariants->check_simulator(e, sim_.accounting());
+  }
+  sink(e, result_buf_);
+}
+
+void BatchEpisodeEngine::run(std::int64_t begin, std::int64_t end,
+                             ShardTraceBuffer* trace,
+                             InvariantChecker* invariants,
+                             const ResultSink& sink) {
+  OAQ_REQUIRE(begin <= end, "episode range must be nondecreasing");
+  const Duration tr = geometry_.tr(k_);
+  for (std::int64_t b = begin; b < end; b += kEpisodeBatchWidth) {
+    const int n =
+        static_cast<int>(std::min<std::int64_t>(kEpisodeBatchWidth, end - b));
+    // SoA prologue: sample every lane's phase and duration from the same
+    // per-index forks the scalar loop draws, then classify closed-form.
+    int armed = 0;
+    for (int i = 0; i < n; ++i) {
+      const Rng ep =
+          episode_rng_.fork(static_cast<std::uint64_t>(b + i));
+      Rng phase_rng = ep.fork(1);
+      Rng duration_rng = ep.fork(2);
+      lane_phase_[i] = phase_rng.uniform(Duration::zero(), tr);
+      lane_duration_[i] = duration_law_->sample(duration_rng);
+      lane_armed_[i] = lane_detects(lane_phase_[i], lane_duration_[i]);
+      armed += lane_armed_[i] ? 1 : 0;
+    }
+    ++stats_.batches;
+    stats_.episodes += static_cast<std::uint64_t>(n);
+    stats_.des_lanes += static_cast<std::uint64_t>(armed);
+    stats_.escaped += static_cast<std::uint64_t>(n - armed);
+    if (n == kEpisodeBatchWidth) ++stats_.occupancy[armed];
+    // Retirement in episode order: escaped lanes compact out immediately
+    // (the scalar's failed-arm result is the default), armed lanes drain
+    // sequentially through the one reusable DES context — keeping the
+    // trace stream and observation order identical to the scalar loop.
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t e = b + i;
+      if (!lane_armed_[i]) {
+        sink(e, escaped_result_);
+      } else {
+        run_des_lane(e, lane_phase_[i], lane_duration_[i], trace, invariants,
+                     sink);
+      }
+    }
+  }
+}
+
+}  // namespace oaq

@@ -10,6 +10,7 @@
 #include "fault/injector.hpp"
 #include "fault/invariants.hpp"
 #include "fault/plan.hpp"
+#include "oaq/batch_episode.hpp"
 #include "orbit/shared_visibility_cache.hpp"
 
 namespace oaq {
@@ -95,6 +96,13 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
   std::optional<VisibilityCache> vis_cache;
   VisibilityCacheStats shared_stats;
   std::unique_ptr<const CoverageSchedule> schedule;
+  const bool analytic = config.constellation == nullptr;
+  // The campaign-wide pass phase, hoisted so the arrival pre-screen below
+  // classifies against the same draw the schedule is built from.
+  const Duration phase =
+      analytic ? phase_rng.uniform(Duration::zero(),
+                                   config.geometry.tr(config.k))
+               : Duration::zero();
   if (shared_cache != nullptr) {
     schedule = std::make_unique<GeometricSchedule>(*shared_cache,
                                                    config.target,
@@ -106,9 +114,8 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
     schedule =
         std::make_unique<GeometricSchedule>(*vis_cache, config.target);
   } else {
-    schedule = std::make_unique<AnalyticSchedule>(
-        config.geometry, config.k,
-        phase_rng.uniform(Duration::zero(), config.geometry.tr(config.k)));
+    schedule = std::make_unique<AnalyticSchedule>(config.geometry, config.k,
+                                                  phase);
   }
 
   ComputeCalendar calendar;
@@ -127,6 +134,18 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
     t = t + arrivals_rng.exponential(config.signal_arrival_rate);
     if (t >= end) break;
     const Duration duration = duration_law->sample(durations_rng);
+    if (analytic && config.batch_episodes &&
+        !analytic_signal_detected(config.geometry, config.k, phase, t,
+                                  duration, config.protocol.tau)) {
+      // Closed-form escape: the scalar path would build the RNG stream and
+      // the episode only for arm() to reject it — record the identical
+      // kMissed outcome without either. False positives fall through to
+      // arm(), which stays the authority.
+      out.levels.add(to_int(QosLevel::kMissed));
+      ++target_id;
+      ++out.signals;
+      continue;
+    }
     episode_rngs.push_back(std::make_unique<Rng>(
         master.fork(100 + static_cast<std::uint64_t>(target_id))));
     auto episode = std::make_unique<TargetEpisode>(
@@ -157,7 +176,7 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
     });
   }
   net.register_node(Address::ground(), [&episodes](const Envelope& env) {
-    const auto* alert = std::any_cast<AlertMessage>(&env.payload);
+    const auto* alert = env.payload.get_if<AlertMessage>();
     if (alert == nullptr) return;
     for (auto& ep : episodes) ep->handle_ground_alert(*alert);
   });
@@ -308,15 +327,19 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // replication then reads the same sweep lock-free.
   std::optional<SharedVisibilityCache> shared_cache;
   SeedFreezeHook seed_hook;
+  int seed_executors = 0;
   if (config.constellation != nullptr && config.shared_visibility) {
     VisibilityCache::Options vopt;
     vopt.window_quantum = campaign_visibility_quantum(config);
     shared_cache.emplace(*config.constellation, config.earth_rotation, vopt);
     // `vopt` dies with this block but the lambda runs later (inside
     // parallel_reduce), so capture it by value.
-    seed_hook.seed = [&shared_cache, &config, vopt] {
-      shared_cache->seed_window(config.target, Duration::zero(),
-                                vopt.window_quantum);
+    seed_hook.seed = [&shared_cache, &config, vopt, &seed_executors] {
+      // Single-target campaigns seed serially (seed_windows degrades to
+      // the plain loop); multi-target callers get the pool fan-out.
+      seed_executors = shared_cache->seed_windows(
+          {config.target}, Duration::zero(), vopt.window_quantum,
+          config.jobs);
     };
     seed_hook.freeze = [&shared_cache] { shared_cache->freeze(); };
   }
@@ -369,6 +392,11 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         "visibility.cache_entries",
         static_cast<std::int64_t>(shared_cache->frozen_entries() +
                                   shared_cache->overflow_entries()));
+    if (seed_executors > 1) {
+      // Only when the seed phase actually fanned out — single-target
+      // campaigns (and the golden metrics files) see no new key.
+      total.metrics.add("visibility.seed_parallel", seed_executors);
+    }
   }
   if (want_metrics && config.check_invariants) {
     total.metrics.add(

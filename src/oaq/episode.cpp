@@ -58,7 +58,7 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
     });
   }
   net.register_node(Address::ground(), [&episode](const Envelope& env) {
-    if (const auto* alert = std::any_cast<AlertMessage>(&env.payload)) {
+    if (const auto* alert = env.payload.get_if<AlertMessage>()) {
       episode.handle_ground_alert(*alert);
     }
   });

@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "fault/invariants.hpp"
 #include "fault/plan.hpp"
+#include "oaq/batch_episode.hpp"
 #include "orbit/shared_visibility_cache.hpp"
 
 namespace oaq {
@@ -140,6 +141,23 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   const bool geometric = config.constellation != nullptr;
   const bool fault_metrics =
       config.fault_plan != nullptr || config.protocol.reliable_links;
+  // Shared between the scalar loop and the batch engine's sink so both
+  // paths fold results — and observe metrics — in exactly the same order.
+  const auto accumulate = [&](EpisodeAccum& acc, const EpisodeResult& r) {
+    acc.level_pmf.add(to_int(r.alert_delivered ? r.level : QosLevel::kMissed));
+    if (r.alerts_sent > 1) ++acc.duplicates;
+    if (!r.all_participants_resolved) ++acc.unresolved;
+    if (r.alert_delivered && !r.timely) ++acc.untimely;
+    if (r.detected) {
+      ++acc.detected;
+      acc.chain_sum = checked_add(acc.chain_sum, r.chain_length);
+      acc.max_chain_length = std::max(acc.max_chain_length, r.chain_length);
+    }
+    if (want_metrics) {
+      record_episode_metrics(acc.metrics, r, config.queue_metrics,
+                             fault_metrics);
+    }
+  };
   const auto run_episode = [&](std::int64_t e, EpisodeAccum& acc,
                                ShardTraceBuffer* trace,
                                const GeometricSchedule* geo_schedule) {
@@ -173,19 +191,7 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
                      hooks_ptr);
     }
 
-    acc.level_pmf.add(to_int(r.alert_delivered ? r.level : QosLevel::kMissed));
-    if (r.alerts_sent > 1) ++acc.duplicates;
-    if (!r.all_participants_resolved) ++acc.unresolved;
-    if (r.alert_delivered && !r.timely) ++acc.untimely;
-    if (r.detected) {
-      ++acc.detected;
-      acc.chain_sum = checked_add(acc.chain_sum, r.chain_length);
-      acc.max_chain_length = std::max(acc.max_chain_length, r.chain_length);
-    }
-    if (want_metrics) {
-      record_episode_metrics(acc.metrics, r, config.queue_metrics,
-                             fault_metrics);
-    }
+    accumulate(acc, r);
   };
 
   // The quantum is sized to cover every episode window (start jitter ≤ one
@@ -205,11 +211,15 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   // of the query either way, so both modes are bit-identical at any jobs.
   std::optional<SharedVisibilityCache> shared_cache;
   SeedFreezeHook seed_hook;
+  int seed_executors = 0;
   if (geometric && config.shared_visibility) {
     shared_cache.emplace(*config.constellation, config.earth_rotation, vopt);
-    seed_hook.seed = [&shared_cache, &config, &vopt] {
-      shared_cache->seed_window(config.target, Duration::zero(),
-                                vopt.window_quantum);
+    seed_hook.seed = [&shared_cache, &config, &vopt, &seed_executors] {
+      // Single-target runs seed serially (seed_windows degrades to the
+      // plain loop); the fan-out pays off for multi-target workloads.
+      seed_executors = shared_cache->seed_windows(
+          {config.target}, Duration::zero(), vopt.window_quantum,
+          config.jobs);
     };
     seed_hook.freeze = [&shared_cache] { shared_cache->freeze(); };
   }
@@ -220,6 +230,38 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         EpisodeAccum acc;
         ShardTraceBuffer* trace =
             config.trace != nullptr ? config.trace->shard(shard) : nullptr;
+        if (!geometric && config.batch_episodes) {
+          // SoA batch path: one reusable DES context per shard, closed-form
+          // escape retirement, results delivered in episode order — the
+          // same fold as the scalar loop below, byte for byte.
+          BatchEpisodeEngine engine(config.geometry, config.k,
+                                    config.protocol,
+                                    config.opportunity_adaptive,
+                                    *duration_law, episode_rng, signal_start,
+                                    config.fault_plan);
+          engine.run(begin, end, trace,
+                     config.check_invariants ? &acc.invariants : nullptr,
+                     [&](std::int64_t, const EpisodeResult& r) {
+                       accumulate(acc, r);
+                     });
+          if (want_metrics && config.batch_metrics) {
+            const BatchEpisodeStats& bs = engine.stats();
+            acc.metrics.add("sim.batch.batches",
+                            static_cast<std::int64_t>(bs.batches));
+            acc.metrics.add("sim.batch.episodes",
+                            static_cast<std::int64_t>(bs.episodes));
+            acc.metrics.add("sim.batch.escaped",
+                            static_cast<std::int64_t>(bs.escaped));
+            acc.metrics.add("sim.batch.des_lanes",
+                            static_cast<std::int64_t>(bs.des_lanes));
+            for (std::size_t i = 0; i < bs.occupancy.size(); ++i) {
+              acc.metrics.add(
+                  "sim.batch.occupancy." + std::to_string(i),
+                  static_cast<std::int64_t>(bs.occupancy[i]));
+            }
+          }
+          return acc;
+        }
         // Per-shard schedule over either the frozen shared cache (with
         // shard-local stats — hit accounting is per-shard deterministic)
         // or a shard-private VisibilityCache.
@@ -262,6 +304,11 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         "visibility.cache_entries",
         static_cast<std::int64_t>(shared_cache->frozen_entries() +
                                   shared_cache->overflow_entries()));
+    if (seed_executors > 1) {
+      // Emitted only when the seed phase actually fanned out, so
+      // single-target runs — and the golden metrics files — see no new key.
+      total.metrics.add("visibility.seed_parallel", seed_executors);
+    }
   }
 
   if (want_metrics && config.check_invariants) {

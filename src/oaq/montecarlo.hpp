@@ -66,6 +66,19 @@ struct QosSimulationConfig {
   /// golden metrics files predate these keys.
   bool queue_metrics = false;
 
+  /// Advance analytic-mode episodes through the SoA batch engine
+  /// (BatchEpisodeEngine, DESIGN.md §12): per-shard reusable DES contexts
+  /// and closed-form escape retirement instead of per-episode
+  /// construction. Results — counts, traces, metrics — are byte-identical
+  /// to the scalar loop for any `jobs` value; the scalar path is retained
+  /// as the oracle and still serves geometric mode (which has no
+  /// closed-form escape test).
+  bool batch_episodes = true;
+  /// Export the batch engine's `sim.batch.*` occupancy counters into
+  /// `metrics`. Off by default, like queue_metrics: the golden metrics
+  /// files predate these keys.
+  bool batch_metrics = false;
+
   // --- Fault injection (ISSUE 5). ---
   /// Scripted degradation clauses replayed inside every episode (times
   /// relative to the signal start). Null = no injection. The injector

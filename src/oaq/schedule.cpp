@@ -14,7 +14,15 @@ AnalyticSchedule::AnalyticSchedule(PlaneGeometry geometry, int k,
 }
 
 std::vector<Pass> AnalyticSchedule::passes(Duration from, Duration to) const {
+  std::vector<Pass> out;
+  passes_into(from, to, out);
+  return out;
+}
+
+void AnalyticSchedule::passes_into(Duration from, Duration to,
+                                   std::vector<Pass>& out) const {
   OAQ_REQUIRE(to > from, "pass window must be nonempty");
+  out.clear();
   const Duration tr = geometry_.tr(k_);
   const Duration tc = geometry_.tc();
   // Pass j (j ∈ ℤ) is centered at phase + j·Tr and covers ±Tc/2 around it.
@@ -22,7 +30,8 @@ std::vector<Pass> AnalyticSchedule::passes(Duration from, Duration to) const {
   // visitors are consecutive chain members (slot j, j-1, ... mod k).
   const double from_c = (from - tc / 2.0 - phase_) / tr;
   const double to_c = (to + tc / 2.0 - phase_) / tr;
-  std::vector<Pass> out;
+  // Ascending j yields ascending centers, so the output is already sorted
+  // by start time.
   for (long j = static_cast<long>(std::floor(from_c));
        j <= static_cast<long>(std::ceil(to_c)); ++j) {
     const Duration center = phase_ + tr * static_cast<double>(j);
@@ -32,9 +41,6 @@ std::vector<Pass> AnalyticSchedule::passes(Duration from, Duration to) const {
     const int slot = static_cast<int>(((-j % k_) + k_) % k_);
     out.push_back({SatelliteId{0, slot}, start, end});
   }
-  std::sort(out.begin(), out.end(),
-            [](const Pass& a, const Pass& b) { return a.start < b.start; });
-  return out;
 }
 
 GeometricSchedule::GeometricSchedule(const Constellation& constellation,
@@ -64,6 +70,45 @@ std::vector<Pass> GeometricSchedule::passes(Duration from, Duration to) const {
   const Duration t0 = std::max(from, Duration::zero());
   if (to <= t0) return {};
   return predictor.passes(target_, t0, to);
+}
+
+std::optional<Duration> first_overlap_start(const std::vector<Pass>& passes,
+                                            Duration from, Duration to,
+                                            std::vector<OverlapEvent>& scratch) {
+  if (passes.empty() || to <= from) return std::nullopt;
+  scratch.clear();
+  for (const auto& p : passes) {
+    const Duration s = std::max(p.start, from);
+    const Duration e = std::min(p.end, to);
+    if (e <= s) continue;
+    scratch.push_back({s, true});
+    scratch.push_back({e, false});
+  }
+  // Boundary order mirrors multiplicity_timeline exactly: by time, exits
+  // before entries at equal times, so segment multiplicities match the
+  // materializing sweep bit for bit.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const OverlapEvent& a, const OverlapEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.enter < b.enter;
+            });
+  int depth = 0;
+  Duration cursor = from;
+  const auto qualifies = [&](Duration upto) {
+    // overlap_windows keeps segments with multiplicity >= 2 that are not
+    // degenerate; merging only ever extends a window's end, so the first
+    // kept segment's start is the first window's start.
+    return depth >= 2 && upto - cursor > Duration::seconds(1e-6);
+  };
+  for (const auto& ev : scratch) {
+    if (ev.at > cursor) {
+      if (qualifies(ev.at)) return cursor;
+      cursor = ev.at;
+    }
+    depth += ev.enter ? 1 : -1;
+  }
+  if (to > cursor && qualifies(to)) return cursor;
+  return std::nullopt;
 }
 
 std::vector<CoverageSegment> overlap_windows(const std::vector<Pass>& passes,

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "analytic/geometry.hpp"
@@ -29,6 +30,14 @@ class CoverageSchedule {
   /// All passes intersecting [from, to], sorted by start time.
   [[nodiscard]] virtual std::vector<Pass> passes(Duration from,
                                                  Duration to) const = 0;
+
+  /// Same passes written into `out` (cleared first) so hot paths can reuse
+  /// one buffer across calls. The default delegates to passes();
+  /// AnalyticSchedule overrides with a direct allocation-free enumeration.
+  virtual void passes_into(Duration from, Duration to,
+                           std::vector<Pass>& out) const {
+    out = passes(from, to);
+  }
 };
 
 /// Timing-diagram schedule for one plane and a centerline target.
@@ -41,8 +50,12 @@ class AnalyticSchedule final : public CoverageSchedule {
   [[nodiscard]] std::vector<Pass> passes(Duration from,
                                          Duration to) const override;
 
+  void passes_into(Duration from, Duration to,
+                   std::vector<Pass>& out) const override;
+
   [[nodiscard]] const PlaneGeometry& geometry() const { return geometry_; }
   [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] Duration phase() const { return phase_; }
 
  private:
   PlaneGeometry geometry_;
@@ -88,5 +101,20 @@ class GeometricSchedule final : public CoverageSchedule {
 /// Returns maximal intervals, sorted.
 [[nodiscard]] std::vector<CoverageSegment> overlap_windows(
     const std::vector<Pass>& passes, Duration from, Duration to);
+
+/// Pass-boundary event; the reusable scratch of first_overlap_start.
+struct OverlapEvent {
+  Duration at;
+  bool enter = false;
+};
+
+/// Start of the first overlap window in [from, to] — the value
+/// `overlap_windows(...).front().start` would produce — or nullopt when no
+/// window exists. Streams the multiplicity sweep through `scratch` (reused
+/// across calls) instead of materializing segments, so the protocol hot
+/// path pays no allocation once the scratch has grown.
+[[nodiscard]] std::optional<Duration> first_overlap_start(
+    const std::vector<Pass>& passes, Duration from, Duration to,
+    std::vector<OverlapEvent>& scratch);
 
 }  // namespace oaq

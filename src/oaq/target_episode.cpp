@@ -62,13 +62,41 @@ TimePoint TargetEpisode::computation_done(SatelliteId sat) {
   return sim_->now() + z;
 }
 
-std::vector<Pass> TargetEpisode::covering(TimePoint t) const {
-  std::vector<Pass> out;
+const std::vector<Pass>& TargetEpisode::covering(TimePoint t) {
+  covering_scratch_.clear();
   const Duration d = t.since_origin();
   for (const auto& p : passes_) {
-    if (p.start <= d && d < p.end) out.push_back(p);
+    if (p.start <= d && d < p.end) covering_scratch_.push_back(p);
   }
-  return out;
+  return covering_scratch_;
+}
+
+TargetEpisode::AgentState& TargetEpisode::agent(SatelliteId id) {
+  auto it = std::lower_bound(
+      agents_.begin(), agents_.end(), id,
+      [](const auto& entry, SatelliteId v) { return entry.first < v; });
+  if (it == agents_.end() || it->first != id) {
+    it = agents_.insert(it, {id, AgentState{}});
+  }
+  return it->second;
+}
+
+void TargetEpisode::reset_for(int target_id, Rng& rng,
+                              ShardTraceBuffer* trace) {
+  target_id_ = target_id;
+  rng_ = &rng;
+  trace_ = trace;
+  sig_start_ = TimePoint{};
+  sig_end_ = TimePoint{};
+  t0_ = TimePoint{};
+  deadline_ = TimePoint{};
+  passes_.clear();
+  agents_.clear();
+  // Field-wise result reset that keeps the participants capacity.
+  auto participants = std::move(result_.participants);
+  participants.clear();
+  result_ = EpisodeResult{};
+  result_.participants = std::move(participants);
 }
 
 std::optional<Pass> TargetEpisode::next_pass_after(Duration after) const {
@@ -106,7 +134,7 @@ void TargetEpisode::send_alert(SatelliteId reporter,
 }
 
 void TargetEpisode::send_done_downstream(SatelliteId from) {
-  auto& st = agents_[from];
+  auto& st = agent(from);
   if (!st.has_downstream) return;
   CoordinationDone done;
   done.target_id = target_id_;
@@ -116,7 +144,7 @@ void TargetEpisode::send_done_downstream(SatelliteId from) {
 }
 
 void TargetEpisode::finish(SatelliteId sat, TraceEventType cause) {
-  auto& st = agents_[sat];
+  auto& st = agent(sat);
   trace(cause, sat, -2, result_.chain_length, st.own.estimated_error_km);
   ++result_.terminations;
   if (st.resolved) ++result_.double_terminations;
@@ -142,7 +170,7 @@ bool TargetEpisode::tc2_holds(int n) const {
 }
 
 void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
-  auto& st = agents_[sat];
+  auto& st = agent(sat);
   if (sim_->now() > deadline_) {
     trace(TraceEventType::kTermLate, sat, -2, result_.chain_length,
           st.own.estimated_error_km);
@@ -204,7 +232,7 @@ void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
 }
 
 void TargetEpisode::on_wait_timeout(SatelliteId sat) {
-  auto& st = agents_[sat];
+  auto& st = agent(sat);
   if (!st.waiting || st.resolved) return;
   trace(TraceEventType::kWaitDeadline, sat, -2, st.ordinal, 0.0);
   st.waiting = false;
@@ -212,7 +240,7 @@ void TargetEpisode::on_wait_timeout(SatelliteId sat) {
 }
 
 void TargetEpisode::on_done(SatelliteId sat) {
-  auto& st = agents_[sat];
+  auto& st = agent(sat);
   if (st.resolved) return;
   trace(TraceEventType::kDone, sat, -2, st.ordinal, 0.0);
   st.resolved = true;
@@ -225,7 +253,7 @@ void TargetEpisode::on_done(SatelliteId sat) {
 
 void TargetEpisode::on_request(SatelliteId self,
                                const CoordinationRequest& req) {
-  auto& st = agents_[self];
+  auto& st = agent(self);
   st.ordinal = req.receiver_ordinal;
   st.own = req.summary;  // inherited until own measurements arrive
   st.downstream = req.requester;
@@ -242,7 +270,7 @@ void TargetEpisode::on_request(SatelliteId self,
       handle_cannot_compute(self, arrival);  // TC-3
       return;
     }
-    auto& state = agents_[self];
+    auto& state = agent(self);
     state.own.contributing_passes += 1;
     state.own.simultaneous = false;
     state.own.estimated_error_km =
@@ -258,7 +286,7 @@ void TargetEpisode::on_request(SatelliteId self,
 }
 
 void TargetEpisode::handle_cannot_compute(SatelliteId self, TimePoint when) {
-  auto& st = agents_[self];
+  auto& st = agent(self);
   trace(TraceEventType::kTermTc3, self, -2, result_.chain_length,
         st.own.estimated_error_km);
   ++result_.terminations;
@@ -276,10 +304,10 @@ void TargetEpisode::handle_cannot_compute(SatelliteId self, TimePoint when) {
 void TargetEpisode::on_detection() {
   result_.detected = true;
   result_.detection = t0_;
-  const auto cover = covering(t0_);
+  const auto& cover = covering(t0_);
   OAQ_ENSURE(!cover.empty(), "detection without coverage");
   const SatelliteId s1 = cover.front().satellite;
-  auto& st = agents_[s1];
+  auto& st = agent(s1);
   st.ordinal = 1;
   result_.participants.push_back(s1);
   trace(TraceEventType::kDetection, s1, -2, static_cast<int>(cover.size()),
@@ -301,16 +329,11 @@ void TargetEpisode::on_detection() {
     return;
   }
 
-  // OAQ: is a simultaneous-coverage opportunity coming before τ?
-  const auto windows =
-      overlap_windows(passes_, t0_.since_origin(), deadline_.since_origin());
-  std::optional<Duration> t_sim;
-  for (const auto& w : windows) {
-    if (w.start >= t0_.since_origin()) {
-      t_sim = w.start;
-      break;
-    }
-  }
+  // OAQ: is a simultaneous-coverage opportunity coming before τ? The
+  // sweep starts at t0, so the first window (when any) is the one whose
+  // start the withhold targets.
+  const std::optional<Duration> t_sim = first_overlap_start(
+      passes_, t0_.since_origin(), deadline_.since_origin(), overlap_scratch_);
   if (t_sim) {
     trace(TraceEventType::kWithhold, s1, -2, 0,
           (*t_sim - t0_.since_origin()).to_minutes());
@@ -329,7 +352,7 @@ void TargetEpisode::on_detection() {
 }
 
 void TargetEpisode::start_simultaneous(SatelliteId s1, int co_observers) {
-  auto& st = agents_[s1];
+  auto& st = agent(s1);
   st.own.contributing_passes = co_observers;
   st.own.simultaneous = true;
   st.own.estimated_error_km = cfg_->accuracy.simultaneous_error_km();
@@ -346,7 +369,7 @@ void TargetEpisode::start_simultaneous(SatelliteId s1, int co_observers) {
 
 void TargetEpisode::schedule_preliminary_at_deadline(SatelliteId s1) {
   sim_->schedule_at(deadline_, [this, s1] {
-    auto& st = agents_[s1];
+    auto& st = agent(s1);
     st.own.contributing_passes = 1;
     st.own.simultaneous = false;
     st.own.estimated_error_km = cfg_->accuracy.sequential_error_km(1);
@@ -364,7 +387,7 @@ bool TargetEpisode::arm(TimePoint signal_start, Duration signal_duration) {
   const Duration to = signal_start.since_origin() +
                       std::min(signal_duration, Duration::minutes(30)) +
                       cfg_->tau + Duration::minutes(60);
-  passes_ = schedule_->passes(from, to);
+  schedule_->passes_into(from, to, passes_);
 
   std::optional<TimePoint> t0;
   if (!covering(signal_start).empty()) {
@@ -384,7 +407,7 @@ bool TargetEpisode::arm(TimePoint signal_start, Duration signal_duration) {
   t0_ = *t0;
   deadline_ = *t0 + cfg_->tau;
   for (const auto& p : passes_) {
-    agents_.try_emplace(p.satellite);
+    (void)agent(p.satellite);
   }
   sim_->schedule_at(t0_, [this] { on_detection(); });
   return true;
@@ -392,11 +415,11 @@ bool TargetEpisode::arm(TimePoint signal_start, Duration signal_duration) {
 
 void TargetEpisode::handle_satellite_message(SatelliteId self,
                                              const Envelope& env) {
-  if (const auto* req = std::any_cast<CoordinationRequest>(&env.payload)) {
+  if (const auto* req = env.payload.get_if<CoordinationRequest>()) {
     if (req->target_id == target_id_) on_request(self, *req);
     return;
   }
-  if (const auto* done = std::any_cast<CoordinationDone>(&env.payload)) {
+  if (const auto* done = env.payload.get_if<CoordinationDone>()) {
     if (done->target_id == target_id_) on_done(self);
   }
 }
@@ -418,10 +441,10 @@ void TargetEpisode::handle_send_failure(const Envelope& env,
   (void)reason;
   // Only coordination requests are re-routed: a lost "done" is covered by
   // the wait-deadline rescue, and downlink alerts are lossless.
-  const auto* req = std::any_cast<CoordinationRequest>(&env.payload);
+  const auto* req = env.payload.get_if<CoordinationRequest>();
   if (req == nullptr || req->target_id != target_id_) return;
   const SatelliteId sat = req->requester;
-  auto& st = agents_[sat];
+  auto& st = agent(sat);
   // Backward messaging: a requester that already resolved (rescue fired,
   // or done arrived through an earlier route) must not grow the chain.
   if (cfg_->backward_messaging && (st.resolved || !st.waiting)) return;

@@ -57,6 +57,14 @@ class TargetEpisode {
   TargetEpisode(const TargetEpisode&) = delete;
   TargetEpisode& operator=(const TargetEpisode&) = delete;
 
+  /// Return the episode to its just-constructed state for the next signal
+  /// in a batch, rebinding the per-episode inputs (target id, RNG stream,
+  /// trace sink) while keeping every grown buffer — passes, agents,
+  /// participants, overlap scratch — so a re-armed episode allocates
+  /// nothing in steady state. The infrastructure bindings (simulator,
+  /// network, schedule, config, calendar, membership view) are unchanged.
+  void reset_for(int target_id, Rng& rng, ShardTraceBuffer* trace);
+
   /// Locate t0 and schedule the detection event. Returns true when the
   /// signal will be detected (otherwise the episode is already final:
   /// missed).
@@ -106,7 +114,12 @@ class TargetEpisode {
   /// Completion time of a computation by `sat` requested now (queues on
   /// the shared calendar when present).
   [[nodiscard]] TimePoint computation_done(SatelliteId sat);
-  [[nodiscard]] std::vector<Pass> covering(TimePoint t) const;
+  /// Passes covering `t`, written into the reusable covering scratch (the
+  /// reference is valid until the next covering() call).
+  [[nodiscard]] const std::vector<Pass>& covering(TimePoint t);
+  /// This satellite's agent state, inserted default-constructed on first
+  /// touch (the flat sorted-vector equivalent of map::operator[]).
+  [[nodiscard]] AgentState& agent(SatelliteId id);
   [[nodiscard]] std::optional<Pass> next_pass_after(Duration after) const;
   [[nodiscard]] std::optional<Pass> next_pass_of(SatelliteId sat,
                                                  Duration after) const;
@@ -145,8 +158,14 @@ class TargetEpisode {
   TimePoint t0_{};
   TimePoint deadline_{};
   std::vector<Pass> passes_;
-  std::map<SatelliteId, AgentState> agents_;
+  /// Agents sorted by satellite id — the map it replaces iterated in key
+  /// order, which finalize() and horizon_satellites() rely on. A handful
+  /// of entries (the pass horizon), so inserts are cheap and lookups
+  /// branch-predictable; capacity survives reset_for().
+  std::vector<std::pair<SatelliteId, AgentState>> agents_;
   EpisodeResult result_;
+  std::vector<Pass> covering_scratch_;
+  std::vector<OverlapEvent> overlap_scratch_;
 };
 
 }  // namespace oaq

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace oaq {
 namespace {
@@ -72,6 +73,26 @@ void SharedVisibilityCache::seed_window(const GeoPoint& target, Duration from,
     it->second = predictor_.passes(target, w.q_from, w.q_to, options_.tol);
     seed_computes_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+int SharedVisibilityCache::seed_windows(const std::vector<GeoPoint>& targets,
+                                        Duration from, Duration to, int jobs) {
+  OAQ_REQUIRE(!frozen(), "seed_windows after freeze");
+  if (targets.empty()) return 0;
+  const int n = static_cast<int>(targets.size());
+  const int executors = std::min(resolve_jobs(jobs), n);
+  if (executors <= 1) {
+    for (const GeoPoint& target : targets) seed_window(target, from, to);
+    return 1;
+  }
+  // One shard per target: each sweep is Kepler-heavy and seed_window is
+  // striped-lock thread-safe, so target granularity balances well without
+  // oversubscribing the stripes. for_each_shard joins every executor
+  // before returning, preserving the seeds-happen-before-freeze contract.
+  ThreadPool::global().for_each_shard(n, executors, [&](int i) {
+    seed_window(targets[static_cast<std::size_t>(i)], from, to);
+  });
+  return executors;
 }
 
 void SharedVisibilityCache::freeze() {

@@ -54,6 +54,17 @@ class SharedVisibilityCache {
   /// must not race with freeze().
   void seed_window(const GeoPoint& target, Duration from, Duration to);
 
+  /// Seed many targets' windows, fanning the per-target Kepler sweeps
+  /// across the global thread pool with at most `jobs` concurrent
+  /// executors (0 = auto; the caller participates). Blocks until every
+  /// sweep completed, so all seeds still happen-before a subsequent
+  /// freeze() — the barrier the two-phase protocol requires. Returns the
+  /// executor count actually used (1 = ran serially); cached entries are
+  /// pure functions of their keys, so the result set is identical for any
+  /// value.
+  int seed_windows(const std::vector<GeoPoint>& targets, Duration from,
+                   Duration to, int jobs = 0);
+
   /// Consolidate seeded entries into the immutable lock-free map and enter
   /// the frozen phase. Call exactly once, after all seeders have joined.
   void freeze();

@@ -100,6 +100,19 @@ void Simulator::flush_spill() {
 
 int Simulator::settle() {
   if (live_ == 0) return -1;
+  // Fast path: one run and no spill means the ≤8-way tournament and the
+  // spill-minimum check are both no-ops — advance the head past tombstones
+  // and pop from the sole run. Long drain phases (an episode's tail, the
+  // cancel-heavy pattern) sit in this shape almost exclusively.
+  if (runs_.size() == 1 && spill_.empty()) {
+    Run& r = runs_.front();
+    while (r.head < r.entries.size() && !entry_live(r.entries[r.head])) {
+      ++r.head;
+      ++queue_stats_.tombstones_purged;
+    }
+    // An exhausted sole run falls through so the general path recycles it.
+    if (r.head < r.entries.size()) return 0;
+  }
   while (true) {
     int best = -1;
     for (int i = 0; i < static_cast<int>(runs_.size());) {
@@ -225,6 +238,23 @@ void Simulator::reserve(std::size_t events) {
   slab_.reserve(events);
   free_.reserve(events);
   spill_.reserve(events);
+}
+
+void Simulator::reset() {
+  OAQ_REQUIRE(live_ == 0, "reset with events still pending");
+  now_ = TimePoint::origin();
+  next_seq_ = 1;
+  processed_ = 0;
+  scheduled_ = 0;
+  cancelled_ = 0;
+  peak_pending_ = 0;
+  queue_stats_ = {};
+  for (Run& r : runs_) buffer_pool_.push_back(std::move(r.entries));
+  runs_.clear();
+  spill_.clear();
+  spill_min_ = 0;
+  // slab_ and free_ survive: every slot is disarmed (even generation) and
+  // already on the free list, so the next episode reuses them in place.
 }
 
 }  // namespace oaq

@@ -101,6 +101,15 @@ class Simulator {
   /// (optional; the kernel grows on demand and then stops allocating).
   void reserve(std::size_t events);
 
+  /// Return the kernel to its just-constructed state — clock at the
+  /// origin, sequence counter restarted, all counters zeroed — while
+  /// keeping the grown slab, free list, and run buffers, so the next
+  /// episode in a batch schedules without allocating. The event order of a
+  /// subsequent run is identical to a fresh simulator's: the ordering key
+  /// is (time, restarted sequence) and never the recycled slot numbers.
+  /// Precondition: the queue has drained (no pending events).
+  void reset();
+
   [[nodiscard]] std::size_t pending_count() const { return live_; }
   [[nodiscard]] std::uint64_t processed_count() const { return processed_; }
   /// High-water mark of the pending-event set over the simulator's life —

@@ -52,8 +52,8 @@ TEST(CrosslinkNetwork, PayloadTypeRoundTrips) {
   int got = -1;
   std::string text;
   net.register_node(b, [&](const Envelope& e) {
-    if (const auto* p = std::any_cast<Ping>(&e.payload)) got = p->value;
-    if (const auto* s = std::any_cast<std::string>(&e.payload)) text = *s;
+    if (const auto* p = e.payload.get_if<Ping>()) got = p->value;
+    if (const auto* s = e.payload.get_if<std::string>()) text = *s;
   });
   net.send(Address::sat({0, 0}), b, Ping{42});
   net.send(Address::ground(), b, std::string("alert"));
@@ -171,9 +171,9 @@ TEST(CrosslinkNetwork, PooledEnvelopesSurviveNestedSends) {
   std::vector<int> b_seen;
   int c_seen = 0;
   net.register_node(b, [&](const Envelope& e) {
-    const int v = std::any_cast<Ping>(e.payload).value;
+    const int v = e.payload.get_if<Ping>()->value;
     for (int i = 0; i < 4; ++i) net.send(b, c, Ping{100 + i});
-    b_seen.push_back(std::any_cast<Ping>(e.payload).value);
+    b_seen.push_back(e.payload.get_if<Ping>()->value);
     EXPECT_EQ(b_seen.back(), v);
   });
   net.register_node(c, [&](const Envelope&) { ++c_seen; });

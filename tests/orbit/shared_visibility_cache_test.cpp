@@ -149,5 +149,51 @@ TEST(SharedVisibilityCache, ConcurrentSeedThenConcurrentFrozenReads) {
   EXPECT_EQ(shared.overflow_entries(), targets.size());
 }
 
+TEST(SharedVisibilityCache, SeedWindowsFansOutAcrossThePool) {
+  const Constellation c = test_constellation();
+  VisibilityCacheOptions opt;
+  opt.window_quantum = Duration::minutes(30);
+  const std::vector<GeoPoint> targets = test_targets();
+
+  // Parallel fan-out (ISSUE 6): seed_windows shards the per-target sweeps
+  // across the pool and blocks until every stripe is written, so the
+  // subsequent freeze publishes the same entries the serial loop would.
+  SharedVisibilityCache parallel_seeded(c, true, opt);
+  const int executors =
+      parallel_seeded.seed_windows(targets, Duration::zero(),
+                                   Duration::hours(1), /*jobs=*/4);
+  EXPECT_EQ(executors, 4);
+  parallel_seeded.freeze();
+
+  SharedVisibilityCache serial_seeded(c, true, opt);
+  EXPECT_EQ(serial_seeded.seed_windows(targets, Duration::zero(),
+                                       Duration::hours(1), /*jobs=*/1),
+            1);
+  serial_seeded.freeze();
+
+  ASSERT_EQ(parallel_seeded.frozen_entries(), targets.size());
+  EXPECT_EQ(parallel_seeded.seed_computes(), targets.size());
+  for (const GeoPoint& target : targets) {
+    const std::vector<Pass> got = parallel_seeded.passes_window(
+        target, Duration::minutes(5), Duration::minutes(50), nullptr);
+    const std::vector<Pass> want = serial_seeded.passes_window(
+        target, Duration::minutes(5), Duration::minutes(50), nullptr);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].satellite, want[i].satellite);
+      EXPECT_EQ(got[i].start.to_seconds(), want[i].start.to_seconds());
+      EXPECT_EQ(got[i].end.to_seconds(), want[i].end.to_seconds());
+    }
+  }
+  // A single target cannot fan out; the empty set seeds nothing.
+  SharedVisibilityCache single(c, true, opt);
+  EXPECT_EQ(single.seed_windows({targets.front()}, Duration::zero(),
+                                Duration::hours(1), /*jobs=*/4),
+            1);
+  EXPECT_EQ(single.seed_windows({}, Duration::zero(), Duration::hours(1),
+                                /*jobs=*/4),
+            0);
+}
+
 }  // namespace
 }  // namespace oaq

@@ -392,6 +392,7 @@ int cmd_simulate(const Args& args) {
   // Queue telemetry is deterministic, so the jobs-independence contract of
   // --metrics output holds with it enabled.
   cfg.queue_metrics = true;
+  cfg.batch_episodes = !args.flag("no-batch-episodes");
   apply_link_flags(args, cfg.protocol);
 
   const auto plan = load_fault_plan(args);
@@ -443,6 +444,7 @@ int cmd_campaign(const Args& args) {
   cfg.replications = args.at_least("replications", 1, 1);
   cfg.jobs = args.at_least("jobs", 0, 0);
   cfg.queue_metrics = true;  // deterministic; see cmd_simulate
+  cfg.batch_episodes = !args.flag("no-batch-episodes");
   apply_link_flags(args, cfg.protocol);
 
   const auto plan = load_fault_plan(args);
@@ -636,7 +638,9 @@ int help() {
       "           DES ready-queue telemetry (runs, merges, purge ratio)\n"
       "Monte-Carlo commands run on all cores by default; --jobs N (or the\n"
       "OAQ_JOBS env var) overrides, --jobs 1 is the serial path. Results\n"
-      "are bit-identical for any jobs value.\n"
+      "are bit-identical for any jobs value. --no-batch-episodes runs the\n"
+      "scalar per-episode oracle instead of the (byte-identical) batched\n"
+      "SoA engine on the analytic path.\n"
       "Observability (simulate & campaign): --trace FILE writes protocol\n"
       "events as JSONL (bit-identical for any --jobs), --metrics FILE\n"
       "writes the run metrics registry as JSON, --profile prints a\n"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the performance benches and aggregates their BENCH_JSON lines into
 # BENCH_3.json (DES kernel + parallel scaling, ISSUE 3), BENCH_4.json
-# (batched Kepler geometry + shared visibility cache, ISSUE 4), and
-# BENCH_5.json (fault-injection engine, ISSUE 5) at the repo root.
+# (batched Kepler geometry + shared visibility cache, ISSUE 4), BENCH_5.json
+# (fault-injection engine, ISSUE 5), and BENCH_6.json (SoA episode
+# batching, ISSUE 6) at the repo root.
 #
 #   tools/run_bench.sh [build-dir]
 #
@@ -10,9 +11,10 @@
 # bench binaries, and joins their lines of the form
 #   BENCH_JSON {...}
 # into single JSON documents (see tools/README.md for the schemas). The
-# des_kernel, geometry_batch, and fault_storm binaries enforce their
-# acceptance gates (>= 2x speedups, <= 5% empty-plan overhead, zero
-# steady-state allocations), so a failing gate fails this script.
+# des_kernel, geometry_batch, fault_storm, and episode_batch binaries
+# enforce their acceptance gates (>= 2x speedups, <= 5% empty-plan
+# overhead, zero steady-state allocations), so a failing gate fails this
+# script.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,12 +22,14 @@ build_dir="${1:-"${repo_root}/build-bench"}"
 
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j \
-  --target des_kernel parallel_scaling geometry_batch fault_storm >/dev/null
+  --target des_kernel parallel_scaling geometry_batch fault_storm \
+  episode_batch >/dev/null
 
 log3="$(mktemp)"
 log4="$(mktemp)"
 log5="$(mktemp)"
-trap 'rm -f "${log3}" "${log4}" "${log5}"' EXIT
+log6="$(mktemp)"
+trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}"' EXIT
 
 # Join a log's BENCH_JSON payloads into {"benchmarks": [...]}.
 aggregate() {
@@ -49,3 +53,7 @@ aggregate "${log4}" "${repo_root}/BENCH_4.json"
 echo "== fault_storm ==" >&2
 "${build_dir}/bench/fault_storm" | tee -a "${log5}" >&2
 aggregate "${log5}" "${repo_root}/BENCH_5.json"
+
+echo "== episode_batch ==" >&2
+"${build_dir}/bench/episode_batch" | tee -a "${log6}" >&2
+aggregate "${log6}" "${repo_root}/BENCH_6.json"
