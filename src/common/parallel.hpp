@@ -175,12 +175,15 @@ template <typename Accum, typename MapFn, typename MergeFn>
       profile->seed_s = seconds_between(t_start, Clock::now());
     }
   }
+  // Shard timings start after the hook: shard 0's inline run_s must not
+  // absorb the seed/freeze wall (it is reported separately as seed_s).
+  const auto t_dispatch = Clock::now();
 
   if (jobs <= 1) {
     auto [lo, hi] = shard_range(n_items, n_shards, 0);
     Accum acc = map(lo, hi, 0);
     if (profile != nullptr) {
-      profile->shards[0].run_s = seconds_between(t_start, Clock::now());
+      profile->shards[0].run_s = seconds_between(t_dispatch, Clock::now());
     }
     for (int s = 1; s < n_shards; ++s) {
       auto [b, e] = shard_range(n_items, n_shards, s);
@@ -207,7 +210,7 @@ template <typename Accum, typename MapFn, typename MergeFn>
     parts[static_cast<std::size_t>(s)].emplace(map(b, e, s));
     if (profile != nullptr) {
       auto& timing = profile->shards[static_cast<std::size_t>(s)];
-      timing.queue_wait_s = seconds_between(t_start, t_shard);
+      timing.queue_wait_s = seconds_between(t_dispatch, t_shard);
       timing.run_s = seconds_between(t_shard, Clock::now());
     }
   });

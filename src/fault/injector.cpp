@@ -30,13 +30,15 @@ constexpr TraceEventType trace_type_of(FaultClauseKind kind) {
 
 FaultInjector::FaultInjector(Simulator& sim, CrosslinkNetwork& net,
                              const FaultPlan& plan, Rng rng,
-                             ShardTraceBuffer* trace, std::int64_t episode_id)
+                             ShardTraceBuffer* trace, std::int64_t episode_id,
+                             EpisodeLedger* ledger)
     : sim_(&sim),
       net_(&net),
       plan_(&plan),
       rng_(rng),
       trace_(trace),
-      episode_id_(episode_id) {}
+      episode_id_(episode_id),
+      ledger_(ledger) {}
 
 void FaultInjector::arm(TimePoint anchor) {
   OAQ_REQUIRE(!armed_, "a FaultInjector arms exactly once");
@@ -84,6 +86,7 @@ void FaultInjector::activate(std::size_t index) {
       break;
   }
   ++stats_.activations;
+  if (ledger_ != nullptr) ledger_->record_fault(episode_id_);
   trace_clause(c, +1);
 }
 

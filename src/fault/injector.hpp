@@ -39,10 +39,14 @@ class FaultInjector {
 
   /// The injector must outlive the simulator run (callbacks capture
   /// `this`). `trace`/`episode_id` stamp the fault_* events like the
-  /// network's xlink_* events (null disables tracing).
+  /// network's xlink_* events (null disables tracing). `ledger` (nullable)
+  /// receives every activation under `episode_id` — campaign plans anchor
+  /// at the origin and belong to no single episode, so they land in the
+  /// ledger's global row.
   FaultInjector(Simulator& sim, CrosslinkNetwork& net, const FaultPlan& plan,
                 Rng rng, ShardTraceBuffer* trace = nullptr,
-                std::int64_t episode_id = -1);
+                std::int64_t episode_id = -1,
+                EpisodeLedger* ledger = nullptr);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -64,6 +68,7 @@ class FaultInjector {
   [[maybe_unused]] Rng rng_;  ///< reserved stream; see file header
   ShardTraceBuffer* trace_;
   std::int64_t episode_id_;
+  EpisodeLedger* ledger_;
   Stats stats_;
   bool armed_ = false;
 };

@@ -13,7 +13,12 @@
 //   I6 a duplicate final alert only happens with a recorded wait-deadline
 //      rescue (the lost-done path) — never spontaneously;
 //   I7 an episode with no drops and no injected faults leaves no
-//      participant unresolved;
+//      participant unresolved. Single-episode engines audit exact
+//      per-episode telemetry; shared-network campaigns used to audit
+//      run-wide counters (any drop anywhere excused every episode) but
+//      now read the per-episode EpisodeLedger (src/obs/ledger.hpp), so
+//      the audit is exact per target: only an episode whose OWN envelopes
+//      were dropped — or that overlapped a fault activation — is excused;
 //   I8 the kernel's ledger balances: scheduled = processed + cancelled +
 //      still-pending (no leaked or double-freed pooled events).
 //

@@ -77,9 +77,9 @@ bool CrosslinkNetwork::is_failed(const Address& node) const {
 
 void CrosslinkNetwork::trace_event(TraceEventType type, const Address& from,
                                    const Address& to, std::int32_t a,
-                                   double v) const {
+                                   double v, std::int64_t episode) const {
   TraceEvent ev;
-  ev.episode = trace_episode_;
+  ev.episode = episode;
   ev.t_min = sim_->now().since_origin().to_minutes();
   ev.type = type;
   ev.sat = trace_slot(from);
@@ -232,6 +232,8 @@ void CrosslinkNetwork::reset(Rng rng) {
   stats_ = {};
   trace_ = nullptr;
   trace_episode_ = -1;
+  trace_attribution_ = false;
+  ledger_ = nullptr;
   ground_.failed = false;
   for (auto& ring : sats_) {
     for (auto& state : ring) state.failed = false;
@@ -247,13 +249,20 @@ void CrosslinkNetwork::reset(Rng rng) {
 }
 
 void CrosslinkNetwork::send(const Address& from, const Address& to,
-                            Payload payload) {
+                            Payload payload, std::int64_t episode) {
+  // Episode-less sends inherit the network-wide trace episode, so the
+  // single-episode engines (which stamp it per episode) need no change.
+  if (episode < 0) episode = trace_episode_;
   ++stats_.sent;
   if (is_failed(from)) {
     ++stats_.dropped_dead_sender;
+    if (ledger_ != nullptr) {
+      ledger_->record_drop(episode, DropReason::kDeadSender);
+    }
     if (trace_ != nullptr) {
       trace_event(TraceEventType::kXlinkDrop, from, to,
-                  static_cast<std::int32_t>(DropReason::kDeadSender), 0.0);
+                  static_cast<std::int32_t>(DropReason::kDeadSender), 0.0,
+                  trace_attribution_ ? episode : trace_episode_);
     }
     return;
   }
@@ -263,6 +272,7 @@ void CrosslinkNetwork::send(const Address& from, const Address& to,
   env.to = to;
   env.sent = sim_->now();
   env.attempt = 0;
+  env.episode = episode;
   env.payload = std::move(payload);
   attempt(slot);
 }
@@ -296,7 +306,7 @@ void CrosslinkNetwork::attempt(std::uint32_t slot) {
   const Duration delay = rng_.uniform(lo, hi);
   if (trace_ != nullptr && env.attempt == 0) {
     trace_event(TraceEventType::kXlinkSend, env.from, env.to, 0,
-                delay.to_seconds());
+                delay.to_seconds(), trace_episode_of(env));
   }
   // The capture is two words, so the DES kernel stores it inline: a send
   // costs no allocation at all for inline payloads (every protocol message).
@@ -315,10 +325,11 @@ void CrosslinkNetwork::fail_attempt(std::uint32_t slot, DropReason reason) {
         std::pow(options_.backoff_base, static_cast<double>(env.attempt));
     ++env.attempt;
     ++stats_.retries;
+    if (ledger_ != nullptr) ledger_->record_retry(env.episode);
     if (trace_ != nullptr) {
       trace_event(TraceEventType::kXlinkRetry, env.from, env.to,
                   static_cast<std::int32_t>(reason),
-                  ack_timeout.to_seconds());
+                  ack_timeout.to_seconds(), trace_episode_of(env));
     }
     const TimePoint retry_at = env.attempt_started + ack_timeout;
     sim_->schedule_at(std::max(retry_at, sim_->now()),
@@ -342,9 +353,16 @@ void CrosslinkNetwork::final_drop(std::uint32_t slot, DropReason reason) {
     case DropReason::kLinkDown: ++stats_.dropped_link; break;
   }
   if (options_.reliable && env.attempt > 0) ++stats_.retries_exhausted;
+  if (ledger_ != nullptr) {
+    ledger_->record_drop(env.episode, reason);
+    if (options_.reliable && env.attempt > 0) {
+      ledger_->record_retry_exhausted(env.episode);
+    }
+  }
   if (trace_ != nullptr) {
     trace_event(TraceEventType::kXlinkDrop, env.from, env.to,
-                static_cast<std::int32_t>(reason), 0.0);
+                static_cast<std::int32_t>(reason), 0.0,
+                trace_episode_of(env));
   }
   if (drop_handler_ != nullptr && reason != DropReason::kDeadSender) {
     drop_handler_(env, reason);
@@ -374,7 +392,8 @@ void CrosslinkNetwork::deliver(std::uint32_t slot) {
   ++stats_.delivered;
   if (trace_ != nullptr) {
     trace_event(TraceEventType::kXlinkRecv, env.from, env.to, 0,
-                (env.delivered - env.sent).to_seconds());
+                (env.delivered - env.sent).to_seconds(),
+                trace_episode_of(env));
   }
   state->handler(env);
 }

@@ -28,6 +28,7 @@
 
 #include "common/rng.hpp"
 #include "net/payload.hpp"
+#include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 #include "orbit/plane.hpp"
 #include "sim/simulator.hpp"
@@ -58,6 +59,10 @@ struct Envelope {
   TimePoint delivered{};
   int attempt = 0;        ///< retransmissions consumed (reliable mode)
   TimePoint attempt_started{};  ///< start of the current attempt
+  /// Episode/target id of the sending protocol agent; -1 for traffic that
+  /// belongs to no episode (membership gossip). Drives the per-episode
+  /// attribution ledger on shared-network campaigns.
+  std::int64_t episode = -1;
   Payload payload;
 };
 
@@ -126,8 +131,12 @@ class CrosslinkNetwork {
 
   /// Queue a message. It is delivered after a random delay unless lost or
   /// either endpoint is fail-silent at the relevant moment (send checks the
-  /// sender now; delivery checks the receiver then).
-  void send(const Address& from, const Address& to, Payload payload);
+  /// sender now; delivery checks the receiver then). `episode` tags the
+  /// envelope with the sending episode/target id for the attribution
+  /// ledger; -1 (no episode) falls back to the trace episode, so
+  /// single-episode callers are unchanged.
+  void send(const Address& from, const Address& to, Payload payload,
+            std::int64_t episode = -1);
 
   /// Return the network to its just-constructed state for the next episode
   /// in a batch, keeping everything reusable: registered handlers, the
@@ -153,6 +162,19 @@ class CrosslinkNetwork {
   void set_drop_handler(DropHandler handler) {
     drop_handler_ = std::move(handler);
   }
+
+  /// Attach a per-episode attribution ledger: every final drop, retry, and
+  /// exhausted retry budget is recorded against the owning envelope's
+  /// episode id (the global row for episode-less traffic). Null disables —
+  /// one branch per recording site, like the trace sink.
+  void set_ledger(EpisodeLedger* ledger) { ledger_ = ledger; }
+
+  /// Stamp xlink_* trace events with the envelope's episode id instead of
+  /// the network-wide trace episode. Off by default: shared-network
+  /// campaigns historically stamped -1 (the golden campaign trace pins
+  /// those bytes); `oaqctl campaign` turns it on so trace-summary can
+  /// attribute drops per target.
+  void set_trace_attribution(bool on) { trace_attribution_ = on; }
 
   // --- Degradation hooks (FaultInjector). Tokens identify the pushing
   // clause so windows may overlap in any order; all effective values are
@@ -225,7 +247,12 @@ class CrosslinkNetwork {
                : static_cast<std::int16_t>(addr.satellite.slot);
   }
   void trace_event(TraceEventType type, const Address& from,
-                   const Address& to, std::int32_t a, double v) const;
+                   const Address& to, std::int32_t a, double v,
+                   std::int64_t episode) const;
+  /// Episode id an event about `env` is stamped/recorded with.
+  [[nodiscard]] std::int64_t trace_episode_of(const Envelope& env) const {
+    return trace_attribution_ ? env.episode : trace_episode_;
+  }
 
   Simulator* sim_;
   Options options_;
@@ -237,6 +264,8 @@ class CrosslinkNetwork {
   NetworkStats stats_;
   ShardTraceBuffer* trace_ = nullptr;
   std::int64_t trace_episode_ = -1;
+  bool trace_attribution_ = false;
+  EpisodeLedger* ledger_ = nullptr;
   DropHandler drop_handler_;
 
   // Degradation state. All empty/zero on the undegraded path, where every

@@ -1,6 +1,7 @@
 #include "oaq/batch_episode.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -180,9 +181,18 @@ void BatchEpisodeEngine::run_des_lane(std::int64_t e, Duration phase,
 void BatchEpisodeEngine::run(std::int64_t begin, std::int64_t end,
                              ShardTraceBuffer* trace,
                              InvariantChecker* invariants,
-                             const ResultSink& sink) {
+                             const ResultSink& sink, SpanArena* spans) {
   OAQ_REQUIRE(begin <= end, "episode range must be nondecreasing");
   const Duration tr = geometry_.tr(k_);
+  // Block spans are recorded retroactively with shared boundary
+  // timestamps: one clock read ends a block's "drain" AND starts the next
+  // block's "prologue", and the mid read splits the two — two reads per
+  // block instead of four, which is what keeps the profiler inside its
+  // <= 5% overhead gate (bench/span_overhead). Per-lane spans would cost
+  // two reads per episode; block granularity loses nothing because the
+  // export aggregates by call path anyway.
+  auto t_block = spans != nullptr ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   for (std::int64_t b = begin; b < end; b += kEpisodeBatchWidth) {
     const int n =
         static_cast<int>(std::min<std::int64_t>(kEpisodeBatchWidth, end - b));
@@ -190,14 +200,20 @@ void BatchEpisodeEngine::run(std::int64_t begin, std::int64_t end,
     // per-index forks the scalar loop draws, then classify closed-form.
     int armed = 0;
     for (int i = 0; i < n; ++i) {
-      const Rng ep =
-          episode_rng_.fork(static_cast<std::uint64_t>(b + i));
+      const Rng ep = episode_rng_.fork(static_cast<std::uint64_t>(b + i));
       Rng phase_rng = ep.fork(1);
       Rng duration_rng = ep.fork(2);
       lane_phase_[i] = phase_rng.uniform(Duration::zero(), tr);
       lane_duration_[i] = duration_law_->sample(duration_rng);
       lane_armed_[i] = lane_detects(lane_phase_[i], lane_duration_[i]);
       armed += lane_armed_[i] ? 1 : 0;
+    }
+    if (spans != nullptr) {
+      const auto t_mid = std::chrono::steady_clock::now();
+      spans->enter_at("prologue", t_block);
+      spans->add_items(n);
+      spans->exit_at(t_mid);
+      t_block = t_mid;  // the drain span opens here, closed below
     }
     ++stats_.batches;
     stats_.episodes += static_cast<std::uint64_t>(n);
@@ -213,9 +229,16 @@ void BatchEpisodeEngine::run(std::int64_t begin, std::int64_t end,
       if (!lane_armed_[i]) {
         sink(e, escaped_result_);
       } else {
-        run_des_lane(e, lane_phase_[i], lane_duration_[i], trace, invariants,
-                     sink);
+        run_des_lane(e, lane_phase_[i], lane_duration_[i], trace,
+                     invariants, sink);
       }
+    }
+    if (spans != nullptr) {
+      const auto t_end = std::chrono::steady_clock::now();
+      spans->enter_at("drain", t_block);
+      spans->add_items(armed);
+      spans->exit_at(t_end);
+      t_block = t_end;
     }
   }
 }

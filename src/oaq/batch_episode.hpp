@@ -46,6 +46,7 @@
 #include "oaq/episode.hpp"
 #include "oaq/schedule.hpp"
 #include "oaq/target_episode.hpp"
+#include "obs/span.hpp"
 #include "sim/simulator.hpp"
 
 namespace oaq {
@@ -116,9 +117,14 @@ class BatchEpisodeEngine {
 
   /// Run episodes [begin, end) and deliver each result to `sink` in order.
   /// `trace` (nullable) receives the shard's protocol events; `invariants`
-  /// (nullable) audits every drained episode like the scalar hooks do.
+  /// (nullable) audits every drained episode like the scalar hooks do;
+  /// `spans` (nullable) records one "prologue" span per block (items =
+  /// lanes classified) and one "drain" span per block (items = armed
+  /// lanes) — block granularity keeps the profiler inside its <= 5%
+  /// overhead gate (bench/span_overhead).
   void run(std::int64_t begin, std::int64_t end, ShardTraceBuffer* trace,
-           InvariantChecker* invariants, const ResultSink& sink);
+           InvariantChecker* invariants, const ResultSink& sink,
+           SpanArena* spans = nullptr);
 
   [[nodiscard]] const BatchEpisodeStats& stats() const { return stats_; }
 

@@ -19,7 +19,9 @@
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "oaq/target_episode.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace oaq {
@@ -93,6 +95,20 @@ struct CampaignConfig {
   MetricsRegistry* metrics = nullptr;
   /// Per-replication wall-time profile of the replication fan-out.
   ReduceProfile* profile = nullptr;
+  /// Receives the hierarchical span tree (one arena per replication plus
+  /// the calling thread's seed/freeze/merge work). Structure and counts
+  /// are bit-identical for any `jobs` value; only wall_ns varies.
+  SpanProfiler* spans = nullptr;
+  /// Receives the merged per-target attribution ledger: every final drop,
+  /// retry, and fault activation keyed by the owning target id (global row
+  /// for episode-less traffic such as campaign-wide fault clauses). Also
+  /// enabled implicitly by check_invariants, which audits I7 against it.
+  EpisodeLedger* ledger = nullptr;
+  /// Stamp xlink_* trace events with the owning target id instead of the
+  /// campaign-wide -1. Off by default — the golden campaign trace pins the
+  /// -1 bytes; `oaqctl campaign` turns it on so trace-summary can
+  /// attribute drops per target.
+  bool episode_attribution = false;
 };
 
 /// Aggregated campaign outcome (over all replications). Counters are

@@ -132,6 +132,14 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   if (config.trace != nullptr) config.trace->prepare(n_shards);
   const bool want_metrics = config.metrics != nullptr;
 
+  // Span profiling mirrors the trace layout: one arena per shard plus the
+  // main arena for the calling thread's work (seed/freeze, merge). The
+  // root span brackets the whole experiment.
+  if (config.spans != nullptr) config.spans->prepare(n_shards);
+  SpanArena* main_spans =
+      config.spans != nullptr ? config.spans->main_arena() : nullptr;
+  const ScopedSpan root_span(main_spans, "simulate_qos");
+
   // Every random stream an episode consumes (phase, duration, protocol
   // noise) derives from episode_rng.fork(e): episode e's outcome does not
   // depend on which shard — or thread — runs it, making the reduction
@@ -214,14 +222,19 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   int seed_executors = 0;
   if (geometric && config.shared_visibility) {
     shared_cache.emplace(*config.constellation, config.earth_rotation, vopt);
-    seed_hook.seed = [&shared_cache, &config, &vopt, &seed_executors] {
+    seed_hook.seed = [&shared_cache, &config, &vopt, &seed_executors,
+                      main_spans] {
+      const ScopedSpan span(main_spans, "visibility_seed");
       // Single-target runs seed serially (seed_windows degrades to the
       // plain loop); the fan-out pays off for multi-target workloads.
       seed_executors = shared_cache->seed_windows(
           {config.target}, Duration::zero(), vopt.window_quantum,
           config.jobs);
     };
-    seed_hook.freeze = [&shared_cache] { shared_cache->freeze(); };
+    seed_hook.freeze = [&shared_cache, main_spans] {
+      const ScopedSpan span(main_spans, "visibility_freeze");
+      shared_cache->freeze();
+    };
   }
 
   EpisodeAccum total = parallel_reduce<EpisodeAccum>(
@@ -230,6 +243,10 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         EpisodeAccum acc;
         ShardTraceBuffer* trace =
             config.trace != nullptr ? config.trace->shard(shard) : nullptr;
+        SpanArena* spans = config.spans != nullptr
+                               ? config.spans->shard_arena(shard)
+                               : nullptr;
+        const ScopedSpan shard_span(spans, "shard");
         if (!geometric && config.batch_episodes) {
           // SoA batch path: one reusable DES context per shard, closed-form
           // escape retirement, results delivered in episode order — the
@@ -243,7 +260,8 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
                      config.check_invariants ? &acc.invariants : nullptr,
                      [&](std::int64_t, const EpisodeResult& r) {
                        accumulate(acc, r);
-                     });
+                     },
+                     spans);
           if (want_metrics && config.batch_metrics) {
             const BatchEpisodeStats& bs = engine.stats();
             acc.metrics.add("sim.batch.batches",
@@ -274,9 +292,15 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
           cache.emplace(*config.constellation, config.earth_rotation, vopt);
           geo_schedule.emplace(*cache, config.target);
         }
-        for (std::int64_t e = begin; e < end; ++e) {
-          run_episode(e, acc, trace,
-                      geo_schedule ? &*geo_schedule : nullptr);
+        // One "episodes" span per shard, items = episode count: per-episode
+        // spans would cost two clock reads each (the span_overhead gate).
+        {
+          const ScopedSpan episodes_span(spans, "episodes");
+          if (spans != nullptr) spans->add_items(end - begin);
+          for (std::int64_t e = begin; e < end; ++e) {
+            run_episode(e, acc, trace,
+                        geo_schedule ? &*geo_schedule : nullptr);
+          }
         }
         if (geometric && want_metrics) {
           const VisibilityCacheStats& vs =
@@ -292,7 +316,10 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         }
         return acc;
       },
-      [](EpisodeAccum& into, EpisodeAccum&& from) {
+      [main_spans](EpisodeAccum& into, EpisodeAccum&& from) {
+        // Runs on the calling thread in both the inline and pooled paths,
+        // exactly n_shards - 1 times — the span count is jobs-independent.
+        const ScopedSpan span(main_spans, "merge");
         into.merge(std::move(from));
       },
       config.profile, shared_cache ? &seed_hook : nullptr);

@@ -16,6 +16,7 @@
 #include "common/stats.hpp"
 #include "oaq/episode.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace oaq {
@@ -106,6 +107,12 @@ struct QosSimulationConfig {
   /// Receives per-shard wall-time / queue-wait / merge profiling of the
   /// episode reduction. Purely observational — never affects results.
   ReduceProfile* profile = nullptr;
+  /// Receives the hierarchical span tree of the run (src/obs/span.hpp):
+  /// seed/freeze, per-shard prologue/drain, merge. The tree's structure,
+  /// counts, and item tallies are bit-identical for any `jobs` value —
+  /// only wall_ns varies. Exported as Chrome trace-event JSON by oaqctl
+  /// --spans.
+  SpanProfiler* spans = nullptr;
 };
 
 /// Aggregated outcome of a Monte-Carlo QoS experiment. Counters are 64-bit

@@ -130,7 +130,8 @@ void TargetEpisode::send_alert(SatelliteId reporter,
   ++result_.alerts_sent;
   trace(TraceEventType::kAlert, reporter, -1, summary.contributing_passes,
         summary.estimated_error_km);
-  net_->send(Address::sat(reporter), Address::ground(), alert);
+  net_->send(Address::sat(reporter), Address::ground(), alert,
+             target_id_);
 }
 
 void TargetEpisode::send_done_downstream(SatelliteId from) {
@@ -140,7 +141,8 @@ void TargetEpisode::send_done_downstream(SatelliteId from) {
   done.target_id = target_id_;
   done.detection_time = t0_;
   done.reporter = from;
-  net_->send(Address::sat(from), Address::sat(st.downstream), done);
+  net_->send(Address::sat(from), Address::sat(st.downstream), done,
+             target_id_);
 }
 
 void TargetEpisode::finish(SatelliteId sat, TraceEventType cause) {
@@ -213,7 +215,8 @@ void TargetEpisode::after_iteration(SatelliteId sat, Duration my_pass_start) {
   ++result_.coordination_requests;
   trace(TraceEventType::kChainHop, sat, next->satellite.slot, st.ordinal,
         st.own.estimated_error_km);
-  net_->send(Address::sat(sat), Address::sat(next->satellite), req);
+  net_->send(Address::sat(sat), Address::sat(next->satellite), req,
+             target_id_);
 
   if (cfg_->backward_messaging) {
     st.waiting = true;
@@ -470,7 +473,8 @@ void TargetEpisode::handle_send_failure(const Envelope& env,
   ++result_.coordination_requests;
   trace(TraceEventType::kChainHop, sat, next->satellite.slot, st.ordinal,
         st.own.estimated_error_km);
-  net_->send(Address::sat(sat), Address::sat(next->satellite), *req);
+  net_->send(Address::sat(sat), Address::sat(next->satellite), *req,
+             target_id_);
 }
 
 void TargetEpisode::finalize() {

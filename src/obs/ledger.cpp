@@ -1,0 +1,98 @@
+#include "obs/ledger.hpp"
+
+#include <ostream>
+
+namespace oaq {
+
+void EpisodeLedger::reserve(std::size_t episodes) {
+  if (episodes > rows_.size()) rows_.resize(episodes);
+}
+
+LedgerRow& EpisodeLedger::row_for(std::int64_t episode) {
+  if (episode < 0) return global_;
+  const auto index = static_cast<std::size_t>(episode);
+  if (index >= rows_.size()) rows_.resize(index + 1);
+  return rows_[index];
+}
+
+void EpisodeLedger::record_drop(std::int64_t episode, DropReason reason) {
+  LedgerRow& r = row_for(episode);
+  switch (reason) {
+    case DropReason::kLoss: ++r.drops_loss; break;
+    case DropReason::kDeadSender:
+    case DropReason::kDeadReceiver:
+    case DropReason::kUnregistered: ++r.drops_dead; break;
+    case DropReason::kLinkDown: ++r.drops_link; break;
+  }
+}
+
+void EpisodeLedger::record_retry(std::int64_t episode) {
+  ++row_for(episode).retries;
+}
+
+void EpisodeLedger::record_retry_exhausted(std::int64_t episode) {
+  ++row_for(episode).retries_exhausted;
+}
+
+void EpisodeLedger::record_fault(std::int64_t episode) {
+  ++row_for(episode).faults;
+}
+
+const LedgerRow& EpisodeLedger::row(std::int64_t episode) const {
+  if (episode < 0 || static_cast<std::size_t>(episode) >= rows_.size()) {
+    return global_;
+  }
+  return rows_[static_cast<std::size_t>(episode)];
+}
+
+LedgerRow EpisodeLedger::totals() const {
+  LedgerRow total = global_;
+  for (const LedgerRow& r : rows_) total.merge(r);
+  return total;
+}
+
+void EpisodeLedger::merge(const EpisodeLedger& other) {
+  reserve(other.rows_.size());
+  for (std::size_t i = 0; i < other.rows_.size(); ++i) {
+    rows_[i].merge(other.rows_[i]);
+  }
+  global_.merge(other.global_);
+}
+
+void EpisodeLedger::clear() {
+  rows_.clear();
+  global_ = {};
+}
+
+namespace {
+
+void write_row_fields(std::ostream& os, const LedgerRow& r) {
+  os << "\"drops_loss\":" << r.drops_loss
+     << ",\"drops_dead\":" << r.drops_dead
+     << ",\"drops_link\":" << r.drops_link << ",\"retries\":" << r.retries
+     << ",\"retries_exhausted\":" << r.retries_exhausted
+     << ",\"faults\":" << r.faults;
+}
+
+}  // namespace
+
+void EpisodeLedger::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"oaq-ledger-v1\",\"episodes\":" << rows_.size()
+     << ",\"rows\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!rows_[i].any()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ep\":" << i << ',';
+    write_row_fields(os, rows_[i]);
+    os << '}';
+  }
+  os << "],\"global\":{";
+  write_row_fields(os, global_);
+  os << "},\"totals\":{";
+  write_row_fields(os, totals());
+  os << "}}\n";
+}
+
+}  // namespace oaq

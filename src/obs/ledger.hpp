@@ -1,0 +1,104 @@
+// Per-episode fault-attribution ledger (ISSUE 7 tentpole).
+//
+// Campaign episodes share ONE CrosslinkNetwork, so the run-wide
+// NetworkStats cannot say *which* episode a drop, retry, or fault hit —
+// which forced invariant I7 into a conservative run-wide audit (any drop
+// anywhere excused every unresolved participant) and left trace-summary's
+// drops column unattributed for multi-target runs. The ledger closes that
+// gap: every envelope carries the id of the episode that sent it, and the
+// network's drop/retry sites — plus the FaultInjector's activations —
+// record into a dense per-episode row. Events that genuinely belong to no
+// episode (membership gossip, campaign-wide fault clauses) land in the
+// global row (id -1).
+//
+// Cost contract: rows are a dense vector indexed by episode/target id;
+// `reserve` pre-sizes it (campaigns know the arrival count before the DES
+// drains), so the recording hot path is bounds-check + increment — zero
+// steady-state allocations (bench/span_overhead gate). A detached ledger
+// is a null pointer at every recording site: one predictable branch.
+//
+// Determinism: rows are keyed by episode/target id — a pure function of
+// the simulation — and merge() folds replication ledgers row-wise, so the
+// merged ledger is bit-identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace oaq {
+
+/// One episode's attributed infrastructure counters.
+struct LedgerRow {
+  std::int64_t drops_loss = 0;   ///< random loss (final, post-retry)
+  std::int64_t drops_dead = 0;   ///< dead sender/receiver/unregistered
+  std::int64_t drops_link = 0;   ///< link outage / partition windows
+  std::int64_t retries = 0;      ///< reliable-mode retransmissions
+  std::int64_t retries_exhausted = 0;  ///< final drops after >= 1 retry
+  std::int64_t faults = 0;       ///< fault-clause activations
+
+  [[nodiscard]] std::int64_t drops() const {
+    return drops_loss + drops_dead + drops_link;
+  }
+  [[nodiscard]] bool any() const {
+    return drops_loss != 0 || drops_dead != 0 || drops_link != 0 ||
+           retries != 0 || retries_exhausted != 0 || faults != 0;
+  }
+
+  void merge(const LedgerRow& other) {
+    drops_loss += other.drops_loss;
+    drops_dead += other.drops_dead;
+    drops_link += other.drops_link;
+    retries += other.retries;
+    retries_exhausted += other.retries_exhausted;
+    faults += other.faults;
+  }
+
+  friend bool operator==(const LedgerRow&, const LedgerRow&) = default;
+};
+
+/// Dense episode-id → LedgerRow map plus a global row for id -1.
+class EpisodeLedger {
+ public:
+  /// Pre-size the row table so recording never allocates (call once the
+  /// episode/target count is known, before the simulator drains).
+  void reserve(std::size_t episodes);
+
+  void record_drop(std::int64_t episode, DropReason reason);
+  void record_retry(std::int64_t episode);
+  void record_retry_exhausted(std::int64_t episode);
+  void record_fault(std::int64_t episode);
+
+  /// Row of `episode`; ids outside [0, size) — including -1 — read the
+  /// global row. Never inserts.
+  [[nodiscard]] const LedgerRow& row(std::int64_t episode) const;
+  [[nodiscard]] const LedgerRow& global_row() const { return global_; }
+  /// Highest recorded episode id + 1 (dense table size).
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Column sums over every row including the global one — must reconcile
+  /// with the shared network's NetworkStats (the exactness tests diff them).
+  [[nodiscard]] LedgerRow totals() const;
+
+  /// Row-wise fold (replication merge): row e of `other` adds into row e
+  /// here, global into global. Row identity is the episode/target id, so
+  /// the merged ledger is independent of the worker count.
+  void merge(const EpisodeLedger& other);
+
+  void clear();
+
+  /// {"schema":"oaq-ledger-v1","episodes":N,"rows":[{"ep":E,...},...],
+  ///  "global":{...},"totals":{...}} — rows with all-zero counters are
+  /// skipped (dense table, sparse activity).
+  void write_json(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] LedgerRow& row_for(std::int64_t episode);
+
+  std::vector<LedgerRow> rows_;
+  LedgerRow global_;
+};
+
+}  // namespace oaq

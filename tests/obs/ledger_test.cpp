@@ -1,0 +1,118 @@
+// EpisodeLedger unit tests: drop-reason classification, global-row
+// fallback, row-wise merge, totals reconciliation, and the JSON export's
+// sparse-row contract.
+#include "obs/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace oaq {
+namespace {
+
+TEST(EpisodeLedger, ClassifiesDropReasonsIntoColumns) {
+  EpisodeLedger ledger;
+  ledger.reserve(2);
+  ledger.record_drop(0, DropReason::kLoss);
+  ledger.record_drop(0, DropReason::kDeadSender);
+  ledger.record_drop(0, DropReason::kDeadReceiver);
+  ledger.record_drop(0, DropReason::kUnregistered);
+  ledger.record_drop(1, DropReason::kLinkDown);
+  const LedgerRow& first = ledger.row(0);
+  EXPECT_EQ(first.drops_loss, 1);
+  EXPECT_EQ(first.drops_dead, 3);
+  EXPECT_EQ(first.drops_link, 0);
+  EXPECT_EQ(first.drops(), 4);
+  EXPECT_EQ(ledger.row(1).drops_link, 1);
+}
+
+TEST(EpisodeLedger, EpisodelessEventsLandInTheGlobalRow) {
+  EpisodeLedger ledger;
+  ledger.record_drop(-1, DropReason::kLoss);
+  ledger.record_fault(-1);
+  ledger.record_retry(-1);
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_EQ(ledger.global_row().drops_loss, 1);
+  EXPECT_EQ(ledger.global_row().faults, 1);
+  EXPECT_EQ(ledger.global_row().retries, 1);
+  // row() never inserts: out-of-range ids read the global row.
+  EXPECT_EQ(&ledger.row(-1), &ledger.global_row());
+  EXPECT_EQ(&ledger.row(99), &ledger.global_row());
+}
+
+TEST(EpisodeLedger, TotalsSumRowsAndGlobal) {
+  EpisodeLedger ledger;
+  ledger.reserve(3);
+  ledger.record_retry(0);
+  ledger.record_retry(2);
+  ledger.record_retry_exhausted(2);
+  ledger.record_drop(2, DropReason::kLoss);
+  ledger.record_fault(-1);
+  const LedgerRow totals = ledger.totals();
+  EXPECT_EQ(totals.retries, 2);
+  EXPECT_EQ(totals.retries_exhausted, 1);
+  EXPECT_EQ(totals.drops_loss, 1);
+  EXPECT_EQ(totals.faults, 1);
+}
+
+TEST(EpisodeLedger, MergeFoldsRowWise) {
+  EpisodeLedger a;
+  a.reserve(2);
+  a.record_drop(1, DropReason::kLoss);
+  a.record_fault(-1);
+  EpisodeLedger b;
+  b.reserve(4);
+  b.record_drop(1, DropReason::kLoss);
+  b.record_drop(3, DropReason::kLinkDown);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.row(1).drops_loss, 2);
+  EXPECT_EQ(a.row(3).drops_link, 1);
+  EXPECT_EQ(a.global_row().faults, 1);
+  // Merge order does not matter for the result values: b ∪ a == a ∪ b.
+  EpisodeLedger c;
+  c.record_drop(3, DropReason::kLinkDown);
+  c.record_drop(1, DropReason::kLoss);
+  c.record_drop(1, DropReason::kLoss);
+  c.record_fault(-1);
+  EXPECT_EQ(a.row(1), c.row(1));
+  EXPECT_EQ(a.row(3), c.row(3));
+  EXPECT_EQ(a.totals(), c.totals());
+}
+
+TEST(EpisodeLedger, SteadyStateRecordingAfterReserveDoesNotGrow) {
+  EpisodeLedger ledger;
+  ledger.reserve(8);
+  EXPECT_EQ(ledger.size(), 8u);
+  for (int i = 0; i < 8; ++i) ledger.record_retry(i);
+  EXPECT_EQ(ledger.size(), 8u);
+}
+
+TEST(EpisodeLedger, JsonSkipsAllZeroRows) {
+  EpisodeLedger ledger;
+  ledger.reserve(100);
+  ledger.record_drop(42, DropReason::kLoss);
+  ledger.record_retry(42);
+  std::ostringstream os;
+  ledger.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\":\"oaq-ledger-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"episodes\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"ep\":42"), std::string::npos);
+  EXPECT_EQ(json.find("\"ep\":0"), std::string::npos);  // zero rows skipped
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+}
+
+TEST(EpisodeLedger, ClearResetsEverything) {
+  EpisodeLedger ledger;
+  ledger.reserve(4);
+  ledger.record_drop(0, DropReason::kLoss);
+  ledger.record_fault(-1);
+  ledger.clear();
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_FALSE(ledger.global_row().any());
+  EXPECT_FALSE(ledger.totals().any());
+}
+
+}  // namespace
+}  // namespace oaq

@@ -1,0 +1,168 @@
+// bench_trend — compares two committed oaq-bench-v1 snapshots and fails
+// on throughput regressions.
+//
+//   bench_trend [--max-regression PCT] OLD.json NEW.json
+//
+// Benchmarks are matched by their "bench" key; every numeric metric the
+// two snapshots share is compared and printed with its relative delta.
+// Gated metrics:
+//
+//   * throughput-like values (anything under "throughput", plus
+//     "speedup" / "*_per_sec" keys elsewhere): NEW may not fall more
+//     than PCT percent below OLD (default 10);
+//   * "steady_state_allocs": NEW may not exceed OLD at all — a single
+//     new steady-state allocation is a regression regardless of PCT;
+//   * "overhead_pct": NEW may not exceed OLD by more than PCT percent
+//     of OLD (absolute slack of 1 point when OLD is ~0).
+//
+// Everything else (occupancy ratios, episode counts) is informational.
+// Exit status: 0 = within gates, 1 = regression, 2 = usage/parse error.
+// CI runs this between the last committed BENCH_*.json and the current
+// build's snapshot, so a perf regression fails the pipeline with a
+// per-metric explanation instead of a silent drift.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/jsonfmt.hpp"
+
+namespace oaq {
+namespace {
+
+/// Flattened numeric metrics of one benchmark entry: "throughput.speedup",
+/// "steady_state_allocs", ... (object-key order preserved by MiniJson, but
+/// we store into a map so OLD/NEW iterate identically).
+using MetricMap = std::map<std::string, double>;
+
+void flatten(const MiniJson& node, const std::string& prefix, MetricMap& out) {
+  if (node.is_number()) {
+    out[prefix] = node.number;
+    return;
+  }
+  if (!node.is_object()) return;
+  for (const auto& [key, value] : node.object) {
+    if (key == "bench") continue;
+    flatten(value, prefix.empty() ? key : prefix + "." + key, out);
+  }
+}
+
+/// bench name → flattened metrics, from one oaq-bench-v1 document.
+std::optional<std::map<std::string, MetricMap>> load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::cerr << "bench_trend: cannot open " << path << '\n';
+    return std::nullopt;
+  }
+  const std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  const auto doc = MiniJson::parse(text);
+  if (!doc || !doc->is_object()) {
+    std::cerr << "bench_trend: cannot parse " << path << '\n';
+    return std::nullopt;
+  }
+  if (const MiniJson* schema = doc->find("schema");
+      schema == nullptr || schema->text != "oaq-bench-v1") {
+    std::cerr << "bench_trend: " << path << " is not oaq-bench-v1\n";
+    return std::nullopt;
+  }
+  const MiniJson* benchmarks = doc->find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    std::cerr << "bench_trend: " << path << " has no benchmarks array\n";
+    return std::nullopt;
+  }
+  std::map<std::string, MetricMap> out;
+  for (const MiniJson& entry : benchmarks->array) {
+    const MiniJson* name = entry.find("bench");
+    if (name == nullptr || !name->is_string()) continue;
+    flatten(entry, "", out[name->text]);
+  }
+  return out;
+}
+
+/// Throughput-like: bigger is better, gated on relative decrease.
+bool is_throughput(const std::string& key) {
+  return key.rfind("throughput.", 0) == 0 || key == "speedup" ||
+         (key.size() > 8 &&
+          key.compare(key.size() - 8, 8, "_per_sec") == 0);
+}
+
+int run(int argc, char** argv) {
+  double max_regression_pct = 10.0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-regression" && i + 1 < argc) {
+      max_regression_pct = std::strtod(argv[++i], nullptr);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2 || !(max_regression_pct > 0.0)) {
+    std::cerr << "usage: bench_trend [--max-regression PCT] OLD.json"
+                 " NEW.json\n";
+    return 2;
+  }
+  const auto old_doc = load(paths[0]);
+  const auto new_doc = load(paths[1]);
+  if (!old_doc || !new_doc) return 2;
+
+  TablePrinter table({"bench", "metric", "old", "new", "delta %", "gate"}, 3);
+  int regressions = 0;
+  for (const auto& [bench, new_metrics] : *new_doc) {
+    const auto old_it = old_doc->find(bench);
+    if (old_it == old_doc->end()) {
+      table.add_row({bench, std::string("(new benchmark)"), std::string("-"),
+                     std::string("-"), std::string("-"),
+                     std::string("info")});
+      continue;
+    }
+    for (const auto& [key, new_value] : new_metrics) {
+      const auto old_metric = old_it->second.find(key);
+      if (old_metric == old_it->second.end()) continue;
+      const double old_value = old_metric->second;
+      const double delta_pct =
+          old_value != 0.0
+              ? (new_value - old_value) / std::fabs(old_value) * 100.0
+              : (new_value == 0.0 ? 0.0 : 100.0);
+      std::string gate = "info";
+      if (is_throughput(key)) {
+        gate = delta_pct < -max_regression_pct ? "FAIL" : "ok";
+      } else if (key == "steady_state_allocs") {
+        gate = new_value > old_value ? "FAIL" : "ok";
+      } else if (key == "overhead_pct") {
+        // Percent-point metric: allow PCT% relative growth with one
+        // absolute point of slack so a 0.1 -> 0.4 jitter can't fail.
+        gate = new_value > old_value + 1.0 &&
+                       new_value > old_value * (1.0 + max_regression_pct / 100.0)
+                   ? "FAIL"
+                   : "ok";
+      }
+      if (gate == "FAIL") ++regressions;
+      table.add_row({bench, key, old_value, new_value, delta_pct, gate});
+    }
+  }
+  table.set_caption("bench trend: " + paths[0] + " -> " + paths[1] +
+                    " (max regression " + std::to_string(max_regression_pct) +
+                    "%)");
+  table.print(std::cout);
+  if (regressions > 0) {
+    std::cout << "bench_trend: " << regressions
+              << " gated metric(s) regressed\n";
+    return 1;
+  }
+  std::cout << "bench_trend: all gated metrics within "
+            << max_regression_pct << "%\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace oaq
+
+int main(int argc, char** argv) { return oaq::run(argc, argv); }

@@ -10,8 +10,11 @@
 //                    [--check-invariants] [--chaos-sweep]
 //   oaqctl coverage  [--bands 18]
 //   oaqctl trace-summary trace.jsonl [--metrics metrics.json]
+//   oaqctl report    [--trace T] [--metrics M] [--spans S] [--manifest F]
+//                    [--top N] [--json out.json]
 //
 // Every subcommand prints an aligned table; see `oaqctl help`.
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -19,8 +22,10 @@
 #include <iterator>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "analytic/measure.hpp"
 #include "common/table.hpp"
@@ -29,9 +34,22 @@
 #include "oaq/montecarlo.hpp"
 #include "oaq/campaign.hpp"
 #include "oaq/planner.hpp"
+#include "obs/jsonfmt.hpp"
+#include "obs/ledger.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "orbit/coverage.hpp"
+
+// Build provenance for the run manifest; the build system injects real
+// values (tools/CMakeLists.txt), these are the out-of-tree fallbacks.
+#ifndef OAQ_GIT_DESCRIBE
+#define OAQ_GIT_DESCRIBE "unknown"
+#endif
+#ifndef OAQ_BUILD_TYPE
+#define OAQ_BUILD_TYPE "unknown"
+#endif
 
 namespace oaq {
 namespace {
@@ -159,20 +177,40 @@ void apply_link_flags(const Args& args, ProtocolConfig& protocol) {
 }
 
 /// Observability file sinks shared by `simulate` and `campaign`:
-/// --trace PATH (JSONL events), --metrics PATH (JSON registry), --profile
-/// (BENCH_JSON reduce timings on stdout).
+/// --trace PATH (JSONL events), --metrics PATH (JSON registry), --spans
+/// PATH (Chrome trace-event JSON), --profile (BENCH_JSON reduce timings on
+/// stdout). Any file sink also emits a run-manifest JSON next to it — a
+/// SEPARATE file, so the golden-pinned trace/metrics bytes are untouched
+/// (--manifest PATH overrides the derived name).
 struct ObsSinks {
   std::string trace_path;
   std::string metrics_path;
+  std::string spans_path;
+  std::string manifest_path;
   bool want_profile = false;
   TraceCollector trace;
   MetricsRegistry metrics;
   ReduceProfile profile;
+  SpanProfiler spans;
+  RunManifest manifest;
 
   explicit ObsSinks(const Args& args)
       : trace_path(args.str("trace")),
         metrics_path(args.str("metrics")),
-        want_profile(args.flag("profile")) {}
+        spans_path(args.str("spans")),
+        manifest_path(args.str("manifest")),
+        want_profile(args.flag("profile")) {
+    if (manifest_path.empty()) {
+      // Derived: next to the first requested artifact.
+      const std::string& anchor = !metrics_path.empty() ? metrics_path
+                                  : !trace_path.empty() ? trace_path
+                                                        : spans_path;
+      if (!anchor.empty()) manifest_path = anchor + ".manifest.json";
+    }
+    manifest.git_describe = OAQ_GIT_DESCRIBE;
+    manifest.build_type = OAQ_BUILD_TYPE;
+    manifest.compiler = __VERSION__;
+  }
 
   [[nodiscard]] TraceCollector* trace_ptr() {
     return trace_path.empty() ? nullptr : &trace;
@@ -183,9 +221,12 @@ struct ObsSinks {
   [[nodiscard]] ReduceProfile* profile_ptr() {
     return want_profile ? &profile : nullptr;
   }
+  [[nodiscard]] SpanProfiler* spans_ptr() {
+    return spans_path.empty() ? nullptr : &spans;
+  }
 
   /// Write the requested files and print the BENCH_JSON profile line.
-  void finish(const std::string& bench_name) const {
+  void finish(const std::string& bench_name) {
     if (!trace_path.empty()) {
       std::ofstream os(trace_path);
       OAQ_REQUIRE(os.good(), "cannot open trace output file");
@@ -193,6 +234,7 @@ struct ObsSinks {
       std::cout << "trace: " << trace.total_recorded() << " events ("
                 << trace.total_dropped() << " dropped) -> " << trace_path
                 << "\n";
+      manifest.add_artifact("trace", trace_path);
     }
     if (!metrics_path.empty()) {
       std::ofstream os(metrics_path);
@@ -202,6 +244,21 @@ struct ObsSinks {
       std::cout << "metrics: " << metrics.counters().size() << " counters, "
                 << metrics.stats().size() << " stats -> " << metrics_path
                 << "\n";
+      manifest.add_artifact("metrics", metrics_path);
+    }
+    if (!spans_path.empty()) {
+      std::ofstream os(spans_path);
+      OAQ_REQUIRE(os.good(), "cannot open spans output file");
+      spans.write_chrome_json(os);
+      std::cout << "spans: " << spans.shards() << " shard arenas -> "
+                << spans_path << "\n";
+      manifest.add_artifact("spans", spans_path);
+    }
+    if (!manifest_path.empty()) {
+      std::ofstream os(manifest_path);
+      OAQ_REQUIRE(os.good(), "cannot open manifest output file");
+      manifest.write_json(os);
+      std::cout << "manifest: -> " << manifest_path << "\n";
     }
     if (want_profile) {
       std::cout << "BENCH_JSON ";
@@ -405,6 +462,26 @@ int cmd_simulate(const Args& args) {
   cfg.trace = obs.trace_ptr();
   cfg.metrics = obs.metrics_ptr();
   cfg.profile = obs.profile_ptr();
+  cfg.spans = obs.spans_ptr();
+
+  obs.manifest.tool = "simulate";
+  obs.manifest.seed = cfg.seed;
+  obs.manifest.jobs = cfg.jobs;
+  obs.manifest.add_config("k", std::to_string(cfg.k));
+  obs.manifest.add_config("episodes", std::to_string(cfg.episodes));
+  obs.manifest.add_config("scheme", cfg.opportunity_adaptive ? "oaq" : "baq");
+  obs.manifest.add_config("tau_min",
+                          std::to_string(cfg.protocol.tau.to_minutes()));
+  obs.manifest.add_config("mu_per_min",
+                          std::to_string(cfg.mu.per_minute_value()));
+  obs.manifest.add_config(
+      "loss", std::to_string(cfg.protocol.crosslink_loss_probability));
+  obs.manifest.add_config("reliable",
+                          cfg.protocol.reliable_links ? "1" : "0");
+  obs.manifest.add_config("batch_episodes", cfg.batch_episodes ? "1" : "0");
+  obs.manifest.add_config("fault_plan",
+                          cfg.fault_plan != nullptr ? args.str("fault-plan")
+                                                    : "");
 
   const auto sim = simulate_qos(cfg);
   TablePrinter table({"level", "probability"}, 4);
@@ -456,8 +533,45 @@ int cmd_campaign(const Args& args) {
   cfg.trace = obs.trace_ptr();
   cfg.metrics = obs.metrics_ptr();
   cfg.profile = obs.profile_ptr();
+  cfg.spans = obs.spans_ptr();
+  // Per-envelope trace attribution: every xlink_* event names its owning
+  // target, so trace-summary's drops column is exact for multi-target
+  // runs (the library default stays -1 for the golden campaign trace).
+  cfg.episode_attribution = true;
+  EpisodeLedger ledger;
+  const std::string ledger_path = args.str("ledger");
+  if (!ledger_path.empty()) cfg.ledger = &ledger;
+
+  obs.manifest.tool = "campaign";
+  obs.manifest.seed = cfg.seed;
+  obs.manifest.jobs = cfg.jobs;
+  obs.manifest.add_config("k", std::to_string(cfg.k));
+  obs.manifest.add_config(
+      "per_hour", std::to_string(cfg.signal_arrival_rate.per_hour_value()));
+  obs.manifest.add_config("hours", std::to_string(cfg.horizon.to_hours()));
+  obs.manifest.add_config("replications",
+                          std::to_string(cfg.replications));
+  obs.manifest.add_config("scheme", cfg.opportunity_adaptive ? "oaq" : "baq");
+  obs.manifest.add_config("tau_min",
+                          std::to_string(cfg.protocol.tau.to_minutes()));
+  obs.manifest.add_config("contention", cfg.compute_contention ? "1" : "0");
+  obs.manifest.add_config(
+      "loss", std::to_string(cfg.protocol.crosslink_loss_probability));
+  obs.manifest.add_config("reliable",
+                          cfg.protocol.reliable_links ? "1" : "0");
+  obs.manifest.add_config("fault_plan",
+                          cfg.fault_plan != nullptr ? args.str("fault-plan")
+                                                    : "");
 
   const auto r = run_campaign(cfg);
+  if (!ledger_path.empty()) {
+    std::ofstream os(ledger_path);
+    OAQ_REQUIRE(os.good(), "cannot open ledger output file");
+    ledger.write_json(os);
+    std::cout << "ledger: " << ledger.size() << " target rows -> "
+              << ledger_path << "\n";
+    obs.manifest.add_artifact("ledger", ledger_path);
+  }
   TablePrinter table({"metric", "value"}, 4);
   table.add_row({std::string("replications"),
                  static_cast<long long>(r.replications)});
@@ -609,6 +723,364 @@ int cmd_trace_summary(const std::string& path,
   return metrics_path.empty() ? 0 : print_queue_telemetry(metrics_path);
 }
 
+/// Whole file as a string; nullopt when unreadable.
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return std::nullopt;
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+/// One exported span, flattened from the Chrome trace-event JSON.
+struct SpanEntry {
+  std::string arena;  ///< thread name ("main", "shard-3")
+  std::string name;
+  double dur_us = 0.0;
+  std::int64_t count = 0;
+  std::int64_t items = 0;
+};
+
+/// Flatten a --spans file ("ph":"X" events; "ph":"M" thread_name records
+/// name the arenas). Empty on parse failure.
+std::vector<SpanEntry> parse_spans(const std::string& text) {
+  std::vector<SpanEntry> out;
+  const auto doc = MiniJson::parse(text);
+  if (!doc) return out;
+  const MiniJson* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) return out;
+  std::map<double, std::string> arena_names;  // tid -> thread_name
+  for (const MiniJson& ev : events->array) {
+    const MiniJson* ph = ev.find("ph");
+    const MiniJson* tid = ev.find("tid");
+    if (ph == nullptr || tid == nullptr || !ph->is_string()) continue;
+    if (ph->text == "M") {
+      const MiniJson* args = ev.find("args");
+      const MiniJson* name = args != nullptr ? args->find("name") : nullptr;
+      if (name != nullptr && name->is_string()) {
+        arena_names[tid->number] = name->text;
+      }
+      continue;
+    }
+    if (ph->text != "X") continue;
+    SpanEntry entry;
+    const auto arena_it = arena_names.find(tid->number);
+    entry.arena = arena_it != arena_names.end()
+                      ? arena_it->second
+                      : "tid-" + std::to_string(
+                            static_cast<long long>(tid->number));
+    if (const MiniJson* name = ev.find("name"); name != nullptr) {
+      entry.name = name->text;
+    }
+    if (const MiniJson* dur = ev.find("dur"); dur != nullptr) {
+      entry.dur_us = dur->number;
+    }
+    if (const MiniJson* args = ev.find("args"); args != nullptr) {
+      if (const MiniJson* count = args->find("count"); count != nullptr) {
+        entry.count = static_cast<std::int64_t>(count->number);
+      }
+      if (const MiniJson* items = args->find("items"); items != nullptr) {
+        entry.items = static_cast<std::int64_t>(items->number);
+      }
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+/// `oaqctl report [--trace T] [--metrics M] [--spans S] [--manifest F]
+/// [--top N] [--json OUT]` — consolidates one run's artifacts into a
+/// single human report (and optionally one oaq-report-v1 JSON document):
+/// manifest identity, detection→alert latency percentiles, termination
+/// cause × chain × drops attribution, top-k spans by inclusive wall time,
+/// and the DES ready-queue telemetry.
+int cmd_report(const Args& args) {
+  const std::string trace_path = args.str("trace");
+  const std::string metrics_path = args.str("metrics");
+  const std::string spans_path = args.str("spans");
+  std::string manifest_path = args.str("manifest");
+  const int top_k = args.at_least("top", 10, 1);
+  const std::string json_path = args.str("json");
+  if (trace_path.empty() && metrics_path.empty() && spans_path.empty()) {
+    std::cerr << "usage: oaqctl report [--trace T.jsonl] [--metrics M.json]"
+                 " [--spans S.json] [--manifest F.json] [--top N]"
+                 " [--json OUT.json]\n";
+    return 1;
+  }
+  if (manifest_path.empty()) {
+    // The emitters derive <artifact>.manifest.json; try the same anchors.
+    for (const std::string& anchor : {metrics_path, trace_path, spans_path}) {
+      if (anchor.empty()) continue;
+      if (std::ifstream probe(anchor + ".manifest.json"); probe.good()) {
+        manifest_path = anchor + ".manifest.json";
+        break;
+      }
+    }
+  }
+
+  // --- Manifest. ---
+  std::optional<MiniJson> manifest;
+  if (!manifest_path.empty()) {
+    if (const auto text = slurp(manifest_path)) {
+      manifest = MiniJson::parse(*text);
+    }
+    if (!manifest || !manifest->is_object()) {
+      std::cerr << "error: cannot parse manifest: " << manifest_path << '\n';
+      return 1;
+    }
+    const auto field = [&](std::string_view key) -> std::string {
+      const MiniJson* v = manifest->find(key);
+      if (v == nullptr) return "?";
+      if (v->is_string()) return v->text;
+      std::ostringstream os;
+      write_json_double(os, v->number);
+      return os.str();
+    };
+    std::cout << "run: tool " << field("tool") << ", seed " << field("seed")
+              << ", jobs " << field("jobs") << ", config digest "
+              << field("config_digest") << ", build " << field("git_describe")
+              << " (" << field("build_type") << ")\n";
+  }
+
+  // --- Trace: latency percentiles + cause×chain×drops. ---
+  std::optional<TraceSummary> summary;
+  std::vector<double> latencies_min;
+  if (!trace_path.empty()) {
+    const auto text = slurp(trace_path);
+    if (!text) {
+      std::cerr << "error: cannot open trace file: " << trace_path << '\n';
+      return 1;
+    }
+    std::istringstream stream(*text);
+    summary = summarize_trace(stream);
+    // Detection → first alert per (shard, episode): the campaign latency
+    // definition (CampaignResult::latency_min), recovered from the trace.
+    std::map<std::pair<int, std::int64_t>, double> detection_t;
+    std::map<std::pair<int, std::int64_t>, double> first_alert_t;
+    std::istringstream lines(*text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const auto parsed = parse_trace_line(line);
+      if (!parsed) continue;
+      const std::pair<int, std::int64_t> key{parsed->shard,
+                                             parsed->event.episode};
+      if (parsed->event.type == TraceEventType::kDetection) {
+        detection_t.emplace(key, parsed->event.t_min);
+      } else if (parsed->event.type == TraceEventType::kAlert) {
+        first_alert_t.emplace(key, parsed->event.t_min);
+      }
+    }
+    for (const auto& [key, alert_t] : first_alert_t) {
+      const auto it = detection_t.find(key);
+      if (it != detection_t.end()) {
+        latencies_min.push_back(alert_t - it->second);
+      }
+    }
+    std::sort(latencies_min.begin(), latencies_min.end());
+
+    std::cout << "trace: " << summary->events << " events, "
+              << summary->detections << " detections, "
+              << summary->alerts_delivered << " alerts delivered, "
+              << summary->drops << " drops, " << summary->retries
+              << " retries, " << summary->faults_injected
+              << " faults injected\n";
+    if (!latencies_min.empty()) {
+      TablePrinter table({"latency (detection → first alert)", "min"}, 3);
+      table.add_row({std::string("episodes"),
+                     static_cast<long long>(latencies_min.size())});
+      table.add_row({std::string("p50"), percentile(latencies_min, 50.0)});
+      table.add_row({std::string("p90"), percentile(latencies_min, 90.0)});
+      table.add_row({std::string("p99"), percentile(latencies_min, 99.0)});
+      table.add_row({std::string("max"), latencies_min.back()});
+      table.print(std::cout);
+    }
+    if (!summary->termination.empty()) {
+      // Rows are deterministic: std::map keys iterate in sorted order.
+      TablePrinter table({"termination cause", "episodes", "drops"}, 0);
+      for (const auto& [cause, by_chain] : summary->termination) {
+        long long total = 0;
+        for (const auto& [chain, count] : by_chain) total += count;
+        const auto drops_it = summary->drops_by_cause.find(cause);
+        table.add_row({cause, total,
+                       static_cast<long long>(
+                           drops_it == summary->drops_by_cause.end()
+                               ? 0
+                               : drops_it->second)});
+      }
+      table.print(std::cout);
+      if (summary->drops_unattributed > 0) {
+        std::cout << "drops unattributed: " << summary->drops_unattributed
+                  << " (trace written without per-episode attribution)\n";
+      }
+    }
+  }
+
+  // --- Spans: top-k by accumulated inclusive wall time. ---
+  std::vector<SpanEntry> spans;
+  if (!spans_path.empty()) {
+    const auto text = slurp(spans_path);
+    if (!text) {
+      std::cerr << "error: cannot open spans file: " << spans_path << '\n';
+      return 1;
+    }
+    spans = parse_spans(*text);
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanEntry& a, const SpanEntry& b) {
+                if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                if (a.arena != b.arena) return a.arena < b.arena;
+                return a.name < b.name;
+              });
+    if (spans.size() > static_cast<std::size_t>(top_k)) {
+      spans.resize(static_cast<std::size_t>(top_k));
+    }
+    if (!spans.empty()) {
+      TablePrinter table({"span", "arena", "wall ms", "count", "items"}, 3);
+      for (const SpanEntry& s : spans) {
+        table.add_row({s.name, s.arena, s.dur_us / 1000.0,
+                       static_cast<long long>(s.count),
+                       static_cast<long long>(s.items)});
+      }
+      std::cout << "top " << spans.size() << " spans by inclusive time:\n";
+      table.print(std::cout);
+    }
+  }
+
+  // --- Metrics: DES ready-queue telemetry. ---
+  std::optional<MiniJson> metrics;
+  if (!metrics_path.empty()) {
+    const auto text = slurp(metrics_path);
+    if (!text) {
+      std::cerr << "error: cannot open metrics file: " << metrics_path
+                << '\n';
+      return 1;
+    }
+    metrics = MiniJson::parse(*text);
+    if (!metrics || !metrics->is_object()) {
+      std::cerr << "error: cannot parse metrics: " << metrics_path << '\n';
+      return 1;
+    }
+    const MiniJson* counters = metrics->find("counters");
+    const auto counter = [&](std::string_view key) -> long long {
+      const MiniJson* v =
+          counters != nullptr ? counters->find(key) : nullptr;
+      return v != nullptr ? static_cast<long long>(v->number) : 0;
+    };
+    if (counters != nullptr &&
+        counters->find("sim.queue.runs_created") != nullptr) {
+      TablePrinter table({"ready-queue metric", "value"}, 0);
+      table.add_row({std::string("runs created"),
+                     counter("sim.queue.runs_created")});
+      table.add_row({std::string("run merges"),
+                     counter("sim.queue.run_merges")});
+      table.add_row({std::string("tombstones purged"),
+                     counter("sim.queue.tombstones_purged")});
+      table.add_row({std::string("sim events"), counter("sim.events")});
+      table.print(std::cout);
+    }
+  }
+
+  // --- Optional consolidated JSON document. ---
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os.good()) {
+      std::cerr << "error: cannot open report output: " << json_path << '\n';
+      return 1;
+    }
+    os << "{\"schema\":\"oaq-report-v1\",\"manifest\":";
+    if (manifest) {
+      // Re-emit the manifest fields the report keys on (identity +
+      // digest); the full original stays in its own file.
+      const auto str_field = [&](std::string_view key) {
+        const MiniJson* v = manifest->find(key);
+        write_json_string(os, v != nullptr ? v->text : "");
+      };
+      os << "{\"tool\":";
+      str_field("tool");
+      os << ",\"seed\":";
+      const MiniJson* seed = manifest->find("seed");
+      write_json_double(os, seed != nullptr ? seed->number : 0.0);
+      os << ",\"jobs\":";
+      const MiniJson* jobs = manifest->find("jobs");
+      write_json_double(os, jobs != nullptr ? jobs->number : 0.0);
+      os << ",\"config_digest\":";
+      str_field("config_digest");
+      os << "}";
+    } else {
+      os << "null";
+    }
+    os << ",\"latency_min\":{\"episodes\":" << latencies_min.size();
+    for (const auto& [label, p] :
+         {std::pair<const char*, double>{"p50", 50.0},
+          {"p90", 90.0},
+          {"p99", 99.0}}) {
+      os << ",\"" << label << "\":";
+      write_json_double(os, percentile(latencies_min, p));
+    }
+    os << ",\"max\":";
+    write_json_double(os,
+                      latencies_min.empty() ? 0.0 : latencies_min.back());
+    os << "},\"causes\":[";
+    bool first = true;
+    if (summary) {
+      for (const auto& [cause, by_chain] : summary->termination) {
+        long long total = 0;
+        for (const auto& [chain, count] : by_chain) total += count;
+        const auto drops_it = summary->drops_by_cause.find(cause);
+        os << (first ? "" : ",") << "{\"cause\":";
+        write_json_string(os, cause);
+        os << ",\"episodes\":" << total << ",\"drops\":"
+           << (drops_it == summary->drops_by_cause.end() ? 0
+                                                         : drops_it->second)
+           << "}";
+        first = false;
+      }
+    }
+    os << "],\"top_spans\":[";
+    first = true;
+    for (const SpanEntry& s : spans) {
+      os << (first ? "" : ",") << "{\"name\":";
+      write_json_string(os, s.name);
+      os << ",\"arena\":";
+      write_json_string(os, s.arena);
+      os << ",\"wall_us\":";
+      write_json_double(os, s.dur_us);
+      os << ",\"count\":" << s.count << ",\"items\":" << s.items << "}";
+      first = false;
+    }
+    os << "],\"queue\":";
+    const MiniJson* counters =
+        metrics && metrics->is_object() ? metrics->find("counters") : nullptr;
+    if (counters != nullptr &&
+        counters->find("sim.queue.runs_created") != nullptr) {
+      os << "{";
+      bool first_counter = true;
+      for (const auto& [key, value] : counters->object) {
+        if (key.rfind("sim.queue.", 0) != 0 && key != "sim.events") continue;
+        os << (first_counter ? "" : ",");
+        write_json_string(os, key);
+        os << ":";
+        write_json_double(os, value.number);
+        first_counter = false;
+      }
+      os << "}";
+    } else {
+      os << "null";
+    }
+    os << "}\n";
+    std::cout << "report: -> " << json_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_coverage(const Args& args) {
   const auto c = Constellation::reference();
   const CoverageAnalyzer analyzer(c);
@@ -636,6 +1108,10 @@ int help() {
       "  trace-summary FILE.jsonl [--metrics FILE.json]\n"
       "           termination-cause x chain table; with --metrics also the\n"
       "           DES ready-queue telemetry (runs, merges, purge ratio)\n"
+      "  report   [--trace T] [--metrics M] [--spans S] [--manifest F]\n"
+      "           [--top N] [--json OUT]   one consolidated run report:\n"
+      "           manifest identity, latency percentiles, cause x drops,\n"
+      "           top spans, queue telemetry (oaq-report-v1 JSON via --json)\n"
       "Monte-Carlo commands run on all cores by default; --jobs N (or the\n"
       "OAQ_JOBS env var) overrides, --jobs 1 is the serial path. Results\n"
       "are bit-identical for any jobs value. --no-batch-episodes runs the\n"
@@ -643,8 +1119,11 @@ int help() {
       "SoA engine on the analytic path.\n"
       "Observability (simulate & campaign): --trace FILE writes protocol\n"
       "events as JSONL (bit-identical for any --jobs), --metrics FILE\n"
-      "writes the run metrics registry as JSON, --profile prints a\n"
-      "BENCH_JSON line with per-shard wall times.\n"
+      "writes the run metrics registry as JSON, --spans FILE writes the\n"
+      "hierarchical span profile as Chrome/Perfetto trace JSON, --profile\n"
+      "prints a BENCH_JSON line with per-shard wall times. Any file sink\n"
+      "also emits a run manifest (<file>.manifest.json, or --manifest F).\n"
+      "campaign --ledger FILE writes the per-target attribution ledger.\n"
       "Fault injection (simulate & campaign): --fault-plan FILE replays a\n"
       "scripted degradation plan (see tools/README.md for the clause\n"
       "syntax), --loss P --reliable --retries N --backoff B set the link\n"
@@ -679,6 +1158,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "coverage") return cmd_coverage(args);
+    if (cmd == "report") return cmd_report(args);
     return help();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -2,8 +2,9 @@
 # Runs the performance benches and aggregates their BENCH_JSON lines into
 # BENCH_3.json (DES kernel + parallel scaling, ISSUE 3), BENCH_4.json
 # (batched Kepler geometry + shared visibility cache, ISSUE 4), BENCH_5.json
-# (fault-injection engine, ISSUE 5), and BENCH_6.json (SoA episode
-# batching, ISSUE 6) at the repo root.
+# (fault-injection engine, ISSUE 5), BENCH_6.json (SoA episode batching,
+# ISSUE 6), and BENCH_7.json (episode batching + span-profiler overhead,
+# ISSUE 7) at the repo root.
 #
 #   tools/run_bench.sh [build-dir]
 #
@@ -11,10 +12,11 @@
 # bench binaries, and joins their lines of the form
 #   BENCH_JSON {...}
 # into single JSON documents (see tools/README.md for the schemas). The
-# des_kernel, geometry_batch, fault_storm, and episode_batch binaries
-# enforce their acceptance gates (>= 2x speedups, <= 5% empty-plan
-# overhead, zero steady-state allocations), so a failing gate fails this
-# script.
+# des_kernel, geometry_batch, fault_storm, episode_batch, and
+# span_overhead binaries enforce their acceptance gates (>= 2x speedups,
+# <= 5% overheads, zero steady-state allocations), so a failing gate
+# fails this script. Afterwards bench_trend compares BENCH_6 -> BENCH_7
+# and fails on a gated throughput regression.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,13 +25,14 @@ build_dir="${1:-"${repo_root}/build-bench"}"
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j \
   --target des_kernel parallel_scaling geometry_batch fault_storm \
-  episode_batch >/dev/null
+  episode_batch span_overhead bench_trend >/dev/null
 
 log3="$(mktemp)"
 log4="$(mktemp)"
 log5="$(mktemp)"
 log6="$(mktemp)"
-trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}"' EXIT
+log7="$(mktemp)"
+trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}" "${log7}"' EXIT
 
 # Join a log's BENCH_JSON payloads into {"benchmarks": [...]}.
 aggregate() {
@@ -57,3 +60,12 @@ aggregate "${log5}" "${repo_root}/BENCH_5.json"
 echo "== episode_batch ==" >&2
 "${build_dir}/bench/episode_batch" | tee -a "${log6}" >&2
 aggregate "${log6}" "${repo_root}/BENCH_6.json"
+
+echo "== episode_batch + span_overhead ==" >&2
+"${build_dir}/bench/episode_batch" | tee -a "${log7}" >&2
+"${build_dir}/bench/span_overhead" | tee -a "${log7}" >&2
+aggregate "${log7}" "${repo_root}/BENCH_7.json"
+
+echo "== bench_trend BENCH_6 -> BENCH_7 ==" >&2
+"${build_dir}/tools/bench_trend" --max-regression 10 \
+  "${repo_root}/BENCH_6.json" "${repo_root}/BENCH_7.json" >&2
