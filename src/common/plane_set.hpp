@@ -1,0 +1,88 @@
+// A set of orbital-plane indices, wide enough for mega-constellations.
+//
+// Partition clauses and crosslink fault state historically addressed planes
+// through a single 64-bit mask (bit p = plane p), which caps the engine at
+// 64 planes — below a Starlink-class 72×22 shell, let alone a multi-shell
+// composition. PlaneSet widens the addressable range to kMaxPlanes while
+// staying implicitly constructible from a 64-bit mask, so every legacy
+// call site (`FaultPlan::partition(0b1010, ...)`) keeps compiling — and
+// keeps meaning — unchanged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace oaq {
+
+/// Fixed-width bitset over global plane indices.
+class PlaneSet {
+ public:
+  /// Hard cap on addressable planes across all shells of a constellation.
+  static constexpr int kMaxPlanes = 128;
+
+  constexpr PlaneSet() = default;
+  /// Legacy mask: bit p = plane p, planes 64..127 absent. Intentionally
+  /// implicit so pre-shell call sites read unchanged.
+  constexpr PlaneSet(std::uint64_t low_mask)  // NOLINT(google-explicit-*)
+      : words_{low_mask, 0} {}
+
+  [[nodiscard]] static constexpr PlaneSet single(int plane) {
+    PlaneSet s;
+    s.set(plane);
+    return s;
+  }
+
+  /// Out-of-range planes are ignored: a set can never name a plane the
+  /// fault state tables cannot represent.
+  constexpr void set(int plane) {
+    if (plane >= 0 && plane < kMaxPlanes) {
+      words_[static_cast<std::size_t>(plane / 64)] |=
+          std::uint64_t{1} << (plane % 64);
+    }
+  }
+
+  [[nodiscard]] constexpr bool test(int plane) const {
+    return plane >= 0 && plane < kMaxPlanes &&
+           ((words_[static_cast<std::size_t>(plane / 64)] >> (plane % 64)) &
+            1u) != 0;
+  }
+
+  [[nodiscard]] constexpr bool empty() const {
+    return words_[0] == 0 && words_[1] == 0;
+  }
+
+  /// Every addressable plane — partitioning it severs nothing.
+  [[nodiscard]] constexpr bool all() const {
+    return words_[0] == ~std::uint64_t{0} && words_[1] == ~std::uint64_t{0};
+  }
+
+  /// Highest member, or -1 when empty (sizes the fault state tables).
+  [[nodiscard]] constexpr int max_plane() const {
+    for (int p = kMaxPlanes - 1; p >= 0; --p) {
+      if (test(p)) return p;
+    }
+    return -1;
+  }
+
+  /// Members translated up by `by` planes (shell-relative → global index
+  /// resolution). Members shifted past kMaxPlanes are dropped; callers
+  /// validate the range before shifting.
+  [[nodiscard]] constexpr PlaneSet shifted_up(int by) const {
+    PlaneSet out;
+    for (int p = 0; p < kMaxPlanes; ++p) {
+      if (test(p)) out.set(p + by);
+    }
+    return out;
+  }
+
+  /// The low 64-bit word — the legacy trace encoding of a partition
+  /// (TraceEvent::v), kept for byte-compatibility with pre-shell traces.
+  [[nodiscard]] constexpr std::uint64_t low_word() const { return words_[0]; }
+
+  friend constexpr bool operator==(const PlaneSet&, const PlaneSet&) = default;
+
+ private:
+  std::array<std::uint64_t, 2> words_{};
+};
+
+}  // namespace oaq

@@ -136,7 +136,7 @@ void FaultInjector::trace_clause(const FaultClause& c,
       ev.v = c.value;
       break;
     case FaultClauseKind::kPartition:
-      ev.v = static_cast<double>(c.plane_mask);
+      ev.v = static_cast<double>(c.plane_mask.low_word());
       break;
   }
   trace_->push(ev);

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "orbit/constellation.hpp"
+
 namespace oaq {
 
 namespace {
@@ -21,7 +23,8 @@ void require(bool condition, const std::string& what) {
 }
 
 void validate_plane(int plane) {
-  require(plane >= 0 && plane < 64, "plane index must be in [0, 64)");
+  require(plane >= 0 && plane < PlaneSet::kMaxPlanes,
+          "plane index must be in [0, 128)");
 }
 
 }  // namespace
@@ -51,11 +54,16 @@ FaultPlan& FaultPlan::add(const FaultClause& clause) {
               "loss probability must be in [0, 1]");
       break;
     case FaultClauseKind::kPartition:
-      require(clause.plane_mask != 0, "partition needs at least one plane");
-      require(clause.plane_mask != ~std::uint64_t{0},
+      require(!clause.plane_mask.empty(),
+              "partition needs at least one plane");
+      // The legacy all-low-64 mask meant "every plane" before the 128-wide
+      // PlaneSet; both spellings of a universal partition are rejected.
+      require(!clause.plane_mask.all() &&
+                  clause.plane_mask != PlaneSet(~std::uint64_t{0}),
               "partition of every plane cuts nothing");
       break;
   }
+  require(clause.shell >= -1, "shell index must be >= 0 (or -1 for global)");
   if (clause.windowed()) {
     require(clause.window_start >= Duration::zero(),
             "window start must be >= 0");
@@ -66,30 +74,33 @@ FaultPlan& FaultPlan::add(const FaultClause& clause) {
   return *this;
 }
 
-FaultClause FaultPlan::fail_silent(SatelliteId sat, Duration at) {
+FaultClause FaultPlan::fail_silent(SatelliteId sat, Duration at, int shell) {
   FaultClause c;
   c.kind = FaultClauseKind::kFailSilent;
   c.satellite = sat;
   c.at = at;
+  c.shell = shell;
   return c;
 }
 
-FaultClause FaultPlan::recover(SatelliteId sat, Duration at) {
+FaultClause FaultPlan::recover(SatelliteId sat, Duration at, int shell) {
   FaultClause c;
   c.kind = FaultClauseKind::kRecover;
   c.satellite = sat;
   c.at = at;
+  c.shell = shell;
   return c;
 }
 
 FaultClause FaultPlan::link_outage(int plane_a, int plane_b, Duration t0,
-                                   Duration t1) {
+                                   Duration t1, int shell) {
   FaultClause c;
   c.kind = FaultClauseKind::kLinkOutage;
   c.plane_a = plane_a;
   c.plane_b = plane_b;
   c.window_start = t0;
   c.window_end = t1;
+  c.shell = shell;
   return c;
 }
 
@@ -112,13 +123,14 @@ FaultClause FaultPlan::burst_loss(double probability, Duration t0,
   return c;
 }
 
-FaultClause FaultPlan::partition(std::uint64_t plane_mask, Duration t0,
-                                 Duration t1) {
+FaultClause FaultPlan::partition(PlaneSet plane_mask, Duration t0,
+                                 Duration t1, int shell) {
   FaultClause c;
   c.kind = FaultClauseKind::kPartition;
   c.plane_mask = plane_mask;
   c.window_start = t0;
   c.window_end = t1;
+  c.shell = shell;
   return c;
 }
 
@@ -134,12 +146,7 @@ int FaultPlan::max_plane() const {
         max = std::max({max, c.plane_a, c.plane_b});
         break;
       case FaultClauseKind::kPartition:
-        for (int p = 63; p >= 0; --p) {
-          if ((c.plane_mask >> p) & 1u) {
-            max = std::max(max, p);
-            break;
-          }
-        }
+        max = std::max(max, c.plane_mask.max_plane());
         break;
       case FaultClauseKind::kDelaySpike:
       case FaultClauseKind::kBurstLoss:
@@ -147,6 +154,50 @@ int FaultPlan::max_plane() const {
     }
   }
   return max;
+}
+
+FaultPlan FaultPlan::resolve(const Constellation& constellation) const {
+  FaultPlan out;
+  out.clauses_.reserve(clauses_.size());
+  for (FaultClause c : clauses_) {
+    if (c.shell >= 0) {
+      require(c.shell < constellation.num_shells(),
+              "clause addresses shell " + std::to_string(c.shell) +
+                  " of a " + std::to_string(constellation.num_shells()) +
+                  "-shell constellation");
+      const int offset = constellation.shell_first_plane(c.shell);
+      const int count = constellation.shell_plane_count(c.shell);
+      const auto in_shell = [&](int plane) {
+        require(plane >= 0 && plane < count,
+                "plane " + std::to_string(plane) + " outside shell " +
+                    std::to_string(c.shell) + " (" + std::to_string(count) +
+                    " planes)");
+      };
+      switch (c.kind) {
+        case FaultClauseKind::kFailSilent:
+        case FaultClauseKind::kRecover:
+          in_shell(c.satellite.plane);
+          c.satellite.plane += offset;
+          break;
+        case FaultClauseKind::kLinkOutage:
+          in_shell(c.plane_a);
+          in_shell(c.plane_b);
+          c.plane_a += offset;
+          c.plane_b += offset;
+          break;
+        case FaultClauseKind::kPartition:
+          in_shell(c.plane_mask.max_plane());
+          c.plane_mask = c.plane_mask.shifted_up(offset);
+          break;
+        case FaultClauseKind::kDelaySpike:
+        case FaultClauseKind::kBurstLoss:
+          break;  // constellation-wide; shell tag is inert
+      }
+      c.shell = -1;
+    }
+    out.add(c);  // revalidate in global terms
+  }
+  return out;
 }
 
 namespace {
@@ -174,11 +225,11 @@ int read_int(std::istringstream& fields, int line_no, std::string_view what) {
   return as_int;
 }
 
-/// "1,3,7" → plane bitmask.
-std::uint64_t read_plane_set(std::istringstream& fields, int line_no) {
+/// "1,3,7" → plane set.
+PlaneSet read_plane_set(std::istringstream& fields, int line_no) {
   std::string text;
   if (!(fields >> text)) parse_fail(line_no, "expected plane set");
-  std::uint64_t mask = 0;
+  PlaneSet mask;
   std::istringstream planes(text);
   std::string item;
   while (std::getline(planes, item, ',')) {
@@ -191,12 +242,12 @@ std::uint64_t read_plane_set(std::istringstream& fields, int line_no) {
     } catch (const std::exception&) {
       parse_fail(line_no, "bad plane '" + item + "' in set");
     }
-    if (plane < 0 || plane >= 64) {
-      parse_fail(line_no, "plane index must be in [0, 64)");
+    if (plane < 0 || plane >= PlaneSet::kMaxPlanes) {
+      parse_fail(line_no, "plane index must be in [0, 128)");
     }
-    mask |= std::uint64_t{1} << plane;
+    mask.set(plane);
   }
-  if (mask == 0) parse_fail(line_no, "empty plane set");
+  if (mask.empty()) parse_fail(line_no, "empty plane set");
   return mask;
 }
 
@@ -244,7 +295,7 @@ FaultPlan parse_fault_plan(std::istream& is) {
                    ? FaultPlan::delay_spike(value, t0, t1)
                    : FaultPlan::burst_loss(value, t0, t1);
     } else if (keyword == "partition") {
-      const std::uint64_t mask = read_plane_set(fields, line_no);
+      const PlaneSet mask = read_plane_set(fields, line_no);
       const Duration t0 =
           Duration::minutes(read_number(fields, line_no, "start (min)"));
       const Duration t1 =
@@ -255,7 +306,21 @@ FaultPlan parse_fault_plan(std::istream& is) {
     }
     std::string extra;
     if (fields >> extra) {
-      parse_fail(line_no, "trailing text '" + extra + "'");
+      // Optional trailing shell token on the plane-addressed kinds:
+      // `... shell N` makes the clause's plane indices shell-relative.
+      const bool plane_addressed = clause.kind == FaultClauseKind::kFailSilent ||
+                                   clause.kind == FaultClauseKind::kRecover ||
+                                   clause.kind == FaultClauseKind::kLinkOutage ||
+                                   clause.kind == FaultClauseKind::kPartition;
+      if (plane_addressed && extra == "shell") {
+        clause.shell = read_int(fields, line_no, "shell index");
+        if (clause.shell < 0) parse_fail(line_no, "shell index must be >= 0");
+        if (fields >> extra) {
+          parse_fail(line_no, "trailing text '" + extra + "'");
+        }
+      } else {
+        parse_fail(line_no, "trailing text '" + extra + "'");
+      }
     }
     try {
       plan.add(clause);
@@ -285,8 +350,8 @@ void write_fault_plan(const FaultPlan& plan, std::ostream& os) {
       case FaultClauseKind::kPartition: {
         os << ' ';
         bool first = true;
-        for (int p = 0; p < 64; ++p) {
-          if ((c.plane_mask >> p) & 1u) {
+        for (int p = 0; p < PlaneSet::kMaxPlanes; ++p) {
+          if (c.plane_mask.test(p)) {
             if (!first) os << ',';
             os << p;
             first = false;
@@ -299,6 +364,7 @@ void write_fault_plan(const FaultPlan& plan, std::ostream& os) {
       os << ' ' << c.window_start.to_minutes() << ' '
          << c.window_end.to_minutes();
     }
+    if (c.shell >= 0) os << " shell " << c.shell;
     os << '\n';
   }
 }

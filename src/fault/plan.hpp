@@ -15,6 +15,14 @@
 //   burst_loss(p, [t0, t1])            crosslink loss raised to >= p
 //   partition(plane_set, [t0, t1])     plane set cut off from the rest
 //
+// Shell addressing (ISSUE 8): plane indices are GLOBAL by default. A
+// clause may instead address planes relative to one shell of a
+// multi-shell constellation (`shell` field / trailing `shell N` token in
+// the on-disk format); `FaultPlan::resolve(constellation)` translates
+// such clauses to global indices — the form the injector and
+// CrosslinkNetwork consume — validating that every plane stays inside
+// the addressed shell.
+//
 // The on-disk format (tools/README.md) is line-based: one clause per
 // line, times in minutes, `#` comments. parse_fault_plan /
 // write_fault_plan round-trip it.
@@ -25,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/plane_set.hpp"
 #include "common/units.hpp"
 #include "orbit/plane.hpp"
 
@@ -49,8 +58,12 @@ struct FaultClause {
   SatelliteId satellite{};       ///< fail_silent / recover
   int plane_a = 0;               ///< link_outage
   int plane_b = 0;               ///< link_outage
-  std::uint64_t plane_mask = 0;  ///< partition (bit p = plane p)
+  PlaneSet plane_mask{};         ///< partition (bit p = plane p)
   double value = 0.0;            ///< delay factor / loss probability
+  /// Plane indices are relative to this shell of a multi-shell
+  /// constellation; -1 (the default) means global indices. Shell-relative
+  /// clauses must pass through FaultPlan::resolve before arming.
+  int shell = -1;
   Duration at = Duration::zero();            ///< point clauses
   Duration window_start = Duration::zero();  ///< windowed clauses
   Duration window_end = Duration::zero();
@@ -63,25 +76,32 @@ struct FaultClause {
   }
 };
 
+class Constellation;  // src/orbit/constellation.hpp
+
 /// An ordered, validated clause list.
 class FaultPlan {
  public:
   /// Validates and appends; throws std::invalid_argument on a malformed
   /// clause (negative times, empty/backwards window, loss outside [0,1],
-  /// factor <= 0, plane out of [0, 64), empty or universal partition).
+  /// factor <= 0, plane out of [0, 128), empty or universal partition).
   FaultPlan& add(const FaultClause& clause);
 
-  // Clause builders.
-  [[nodiscard]] static FaultClause fail_silent(SatelliteId sat, Duration at);
-  [[nodiscard]] static FaultClause recover(SatelliteId sat, Duration at);
+  // Clause builders. The plane-addressed kinds take an optional shell
+  // index: >= 0 makes the planes shell-relative (resolve() translates).
+  [[nodiscard]] static FaultClause fail_silent(SatelliteId sat, Duration at,
+                                               int shell = -1);
+  [[nodiscard]] static FaultClause recover(SatelliteId sat, Duration at,
+                                           int shell = -1);
   [[nodiscard]] static FaultClause link_outage(int plane_a, int plane_b,
-                                               Duration t0, Duration t1);
+                                               Duration t0, Duration t1,
+                                               int shell = -1);
   [[nodiscard]] static FaultClause delay_spike(double factor, Duration t0,
                                                Duration t1);
   [[nodiscard]] static FaultClause burst_loss(double probability, Duration t0,
                                               Duration t1);
-  [[nodiscard]] static FaultClause partition(std::uint64_t plane_mask,
-                                             Duration t0, Duration t1);
+  [[nodiscard]] static FaultClause partition(PlaneSet plane_mask,
+                                             Duration t0, Duration t1,
+                                             int shell = -1);
 
   [[nodiscard]] const std::vector<FaultClause>& clauses() const {
     return clauses_;
@@ -90,8 +110,16 @@ class FaultPlan {
   [[nodiscard]] std::size_t size() const { return clauses_.size(); }
 
   /// Highest plane index any clause names (-1 for an empty plan); sizes
-  /// CrosslinkNetwork::reserve_fault_state.
+  /// CrosslinkNetwork::reserve_fault_state. Treats indices as global —
+  /// resolve shell-relative plans first.
   [[nodiscard]] int max_plane() const;
+
+  /// Translates shell-relative clauses to global plane indices against
+  /// `constellation`'s shell layout; global clauses pass through
+  /// unchanged. Throws std::invalid_argument when a clause names a shell
+  /// the constellation lacks or a plane outside its shell — a clause can
+  /// never silently touch a neighboring shell.
+  [[nodiscard]] FaultPlan resolve(const Constellation& constellation) const;
 
  private:
   std::vector<FaultClause> clauses_;

@@ -4,8 +4,18 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "orbit/constellation.hpp"
 
 namespace oaq {
+
+PlaneDependability plane_dependability_of(const ConstellationDesign& design) {
+  PlaneDependability model;
+  model.design_active = design.sats_per_plane;
+  model.policy.in_orbit_spares = design.in_orbit_spares_per_plane;
+  model.policy.ground_threshold = std::max(1, design.sats_per_plane - 4);
+  return model;
+}
+
 namespace {
 
 void validate(const PlaneDependability& model) {

@@ -47,6 +47,16 @@ struct PlaneDependability {
   SparePolicy policy;
 };
 
+struct ConstellationDesign;  // src/orbit/constellation.hpp
+
+/// Dependability model of one plane of `design`: design capacity and
+/// in-orbit spares come from the shell, and the ground-launch threshold η
+/// keeps the reference model's margin (design − 4, floored at 1) so the
+/// 14-active default still yields η = 10. Shell-aware call sites derive
+/// one model per shell instead of assuming the 7×14+2 reference.
+[[nodiscard]] PlaneDependability plane_dependability_of(
+    const ConstellationDesign& design);
+
 /// A step in a plane-capacity sample path.
 struct CapacityEvent {
   TimePoint at{};

@@ -176,7 +176,7 @@ void CrosslinkNetwork::pop_loss_override(std::uint32_t token) {
 }
 
 void CrosslinkNetwork::push_partition(std::uint32_t token,
-                                      std::uint64_t plane_mask) {
+                                      PlaneSet plane_mask) {
   partitions_.emplace_back(token, plane_mask);
 }
 
@@ -205,9 +205,7 @@ bool CrosslinkNetwork::link_blocked(const Address& from,
     return true;
   }
   for (const auto& [token, mask] : partitions_) {
-    const bool a_in = pa >= 0 && pa < 64 && ((mask >> pa) & 1u) != 0;
-    const bool b_in = pb >= 0 && pb < 64 && ((mask >> pb) & 1u) != 0;
-    if (a_in != b_in) return true;
+    if (mask.test(pa) != mask.test(pb)) return true;
   }
   return false;
 }

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/plane_set.hpp"
 #include "common/rng.hpp"
 #include "net/payload.hpp"
 #include "obs/ledger.hpp"
@@ -200,8 +201,8 @@ class CrosslinkNetwork {
 
   /// Partition the constellation: links crossing the plane-set boundary
   /// (exactly one endpoint's plane in `plane_mask`) are down. Ground
-  /// links are exempt. Planes >= 64 are never in a mask.
-  void push_partition(std::uint32_t token, std::uint64_t plane_mask);
+  /// links are exempt. Planes >= PlaneSet::kMaxPlanes are never in a mask.
+  void push_partition(std::uint32_t token, PlaneSet plane_mask);
   void pop_partition(std::uint32_t token);
 
  private:
@@ -273,7 +274,7 @@ class CrosslinkNetwork {
   int link_block_planes_ = 0;     ///< side length of the refcount matrix
   int active_link_blocks_ = 0;    ///< total live block_link refs
   std::vector<std::uint16_t> link_blocks_;  ///< [plane_a * n + plane_b]
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> partitions_;
+  std::vector<std::pair<std::uint32_t, PlaneSet>> partitions_;
   std::vector<std::pair<std::uint32_t, double>> loss_overrides_;
   std::vector<std::pair<std::uint32_t, double>> delay_factors_;
   double delay_scale_ = 1.0;  ///< product of active factors; 1 when none

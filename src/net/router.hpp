@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/error.hpp"
+#include "orbit/constellation.hpp"
 #include "orbit/plane.hpp"
 
 namespace oaq {
@@ -17,6 +18,17 @@ class PlaneRouter {
   explicit PlaneRouter(int plane_index, int active_count)
       : plane_index_(plane_index), active_count_(active_count) {
     OAQ_REQUIRE(active_count > 0, "router needs a nonempty plane");
+  }
+
+  /// Router for global plane `plane` of `constellation`, sized by the
+  /// owning shell's per-plane slot count — shells differ in
+  /// sats_per_plane, so multi-shell routing tables must not assume
+  /// shell 0's ring size.
+  [[nodiscard]] static PlaneRouter for_plane(const Constellation& constellation,
+                                             int plane) {
+    return PlaneRouter(
+        plane, constellation.shell_design(constellation.shell_of_plane(plane))
+                   .sats_per_plane);
   }
 
   /// The satellite whose footprint reaches a ground point next after `id`.

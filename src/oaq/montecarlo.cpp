@@ -10,6 +10,7 @@
 #include "fault/invariants.hpp"
 #include "fault/plan.hpp"
 #include "oaq/batch_episode.hpp"
+#include "oaq/pooled_episode.hpp"
 #include "orbit/shared_visibility_cache.hpp"
 
 namespace oaq {
@@ -175,7 +176,9 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
     Rng protocol_rng = ep.fork(3);
     const Duration phase = phase_rng.uniform(
         Duration::zero(),
-        geometric ? config.constellation->design().period : tr);
+        // Jitter over the longest shell period so every shell's pass
+        // pattern is phase-randomized (= design().period single-shell).
+        geometric ? config.constellation->max_period() : tr);
     const Duration duration = duration_law->sample(duration_rng);
     EpisodeFaultHooks hooks;
     hooks.plan = config.fault_plan;
@@ -209,8 +212,16 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   VisibilityCache::Options vopt;
   if (geometric) {
     vopt.window_quantum = signal_start.since_origin() +
-                          config.constellation->design().period +
+                          config.constellation->max_period() +
                           config.protocol.tau + Duration::hours(2);
+  }
+
+  // The satellite set every pooled shard registers — computed once on the
+  // calling thread (it is identical for every shard; the shards' dense
+  // network tables are still first-touched on their own threads).
+  std::vector<SatelliteId> pooled_satellites;
+  if (geometric && config.pooled_episodes) {
+    pooled_satellites = config.constellation->active_satellites();
   }
 
   // Shared mode: that one sweep is computed ONCE on the calling thread
@@ -297,9 +308,34 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         {
           const ScopedSpan episodes_span(spans, "episodes");
           if (spans != nullptr) spans->add_items(end - begin);
-          for (std::int64_t e = begin; e < end; ++e) {
-            run_episode(e, acc, trace,
-                        geo_schedule ? &*geo_schedule : nullptr);
+          if (geo_schedule && config.pooled_episodes) {
+            // Pooled geometric path: one reusable DES context per shard
+            // (the geometric sibling of the batch engine above), fed the
+            // exact per-episode streams the scalar loop forks — the fold
+            // below is byte-identical to run_episode's.
+            PooledEpisodeRunner runner(*geo_schedule, pooled_satellites,
+                                       config.protocol,
+                                       config.opportunity_adaptive,
+                                       config.fault_plan);
+            InvariantChecker* inv =
+                config.check_invariants ? &acc.invariants : nullptr;
+            for (std::int64_t e = begin; e < end; ++e) {
+              const Rng ep = episode_rng.fork(static_cast<std::uint64_t>(e));
+              Rng phase_rng = ep.fork(1);
+              Rng duration_rng = ep.fork(2);
+              const Duration phase = phase_rng.uniform(
+                  Duration::zero(), config.constellation->max_period());
+              const Duration duration = duration_law->sample(duration_rng);
+              accumulate(acc,
+                         runner.run_episode(e, ep.fork(3),
+                                            signal_start + phase, duration,
+                                            trace, inv));
+            }
+          } else {
+            for (std::int64_t e = begin; e < end; ++e) {
+              run_episode(e, acc, trace,
+                          geo_schedule ? &*geo_schedule : nullptr);
+            }
           }
         }
         if (geometric && want_metrics) {

@@ -80,6 +80,15 @@ struct QosSimulationConfig {
   /// files predate these keys.
   bool batch_metrics = false;
 
+  /// Advance geometric-mode episodes through a per-shard pooled DES
+  /// context (PooledEpisodeRunner): one Simulator/CrosslinkNetwork/
+  /// TargetEpisode arena per shard, constructed on the shard's own thread
+  /// and reset per episode, instead of per-episode construction over one
+  /// growing slab. Results — counts, traces, metrics — are byte-identical
+  /// to the scalar loop for any `jobs` value; the scalar path is retained
+  /// as the oracle (bench/constellation_scale measures the gap).
+  bool pooled_episodes = true;
+
   // --- Fault injection (ISSUE 5). ---
   /// Scripted degradation clauses replayed inside every episode (times
   /// relative to the signal start). Null = no injection. The injector

@@ -1,0 +1,92 @@
+// Pooled DES context for geometric-mode episodes (ISSUE 8 tentpole).
+//
+// The scalar geometric path of simulate_qos builds a Simulator, a
+// CrosslinkNetwork and a TargetEpisode from scratch for every episode.
+// At reference scale (7 planes) the construction cost hides in the
+// Kepler work; at mega-constellation scale (72×22) the per-episode slab
+// growth and handler re-registration dominate — the network's dense
+// per-plane tables alone cover 1584 satellites. PooledEpisodeRunner is
+// the geometric sibling of BatchEpisodeEngine (DESIGN.md §12): one
+// reusable DES context per shard, constructed on the shard's own thread
+// (first touch keeps the arena NUMA-local), reset per episode.
+//
+// Geometric mode has no closed-form escape test — arm() must consult the
+// real pass geometry — so there is no SoA prologue here: every episode
+// goes through arm(), and a failed arm retires with the scalar's default
+// result exactly like the scalar engine's early return.
+//
+// Determinism: the runner consumes the same per-episode streams the
+// scalar path forks (protocol = ep.fork(3), network = .fork(0x6e6574),
+// injector = .fork(0x666c74)); handler registration is a superset of the
+// scalar per-episode registration (every active satellite instead of the
+// episode's horizon), and no protocol message ever targets a satellite
+// outside its episode's horizon, so the extra registrations are
+// unreachable. The pooled path is byte-identical to the scalar oracle at
+// any job count — the golden byte tests pin it.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "net/crosslink.hpp"
+#include "oaq/episode.hpp"
+#include "oaq/schedule.hpp"
+#include "oaq/target_episode.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+
+class FaultPlan;         // src/fault/plan.hpp
+class InvariantChecker;  // src/fault/invariants.hpp
+
+/// Per-shard pooled episode runner for schedule-backed (geometric) mode.
+/// Construct one per shard — the DES context is single-threaded state —
+/// and drive it once per episode in episode order.
+class PooledEpisodeRunner {
+ public:
+  /// `schedule` is the shard's coverage schedule (its pass horizon must
+  /// cover every episode window); `satellites` lists every satellite an
+  /// episode may touch (the constellation's active set); `plan` is
+  /// nullable and an empty plan is treated as none. All referenced
+  /// objects must outlive the runner.
+  PooledEpisodeRunner(const CoverageSchedule& schedule,
+                      const std::vector<SatelliteId>& satellites,
+                      const ProtocolConfig& cfg, bool opportunity_adaptive,
+                      const FaultPlan* plan);
+
+  PooledEpisodeRunner(const PooledEpisodeRunner&) = delete;
+  PooledEpisodeRunner& operator=(const PooledEpisodeRunner&) = delete;
+
+  /// Run episode `e` with the scalar path's inputs: `protocol_rng` is
+  /// ep.fork(3), `start` the jittered signal start, `duration` the
+  /// sampled signal duration. `trace` / `invariants` are nullable. The
+  /// returned reference is valid until the next run_episode call.
+  const EpisodeResult& run_episode(std::int64_t e, const Rng& protocol_rng,
+                                   TimePoint start, Duration duration,
+                                   ShardTraceBuffer* trace,
+                                   InvariantChecker* invariants);
+
+ private:
+  ProtocolConfig cfg_;
+  bool oaq_;
+  const FaultPlan* plan_;  ///< normalized: null when absent or empty
+
+  // Reusable DES context — constructed once, reset per episode.
+  Simulator sim_;
+  /// The protocol stream of the episode currently running; TargetEpisode
+  /// holds a pointer to it across reset_for calls.
+  Rng protocol_rng_;
+  CrosslinkNetwork net_;
+  std::set<SatelliteId> no_known_failed_;
+  TargetEpisode episode_;
+  std::optional<FaultInjector> injector_;
+
+  /// Reused copy target (participants capacity survives, so steady-state
+  /// episodes retire without allocating).
+  EpisodeResult result_buf_;
+};
+
+}  // namespace oaq

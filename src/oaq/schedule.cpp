@@ -72,6 +72,19 @@ std::vector<Pass> GeometricSchedule::passes(Duration from, Duration to) const {
   return predictor.passes(target_, t0, to);
 }
 
+void GeometricSchedule::passes_into(Duration from, Duration to,
+                                    std::vector<Pass>& out) const {
+  if (shared_cache_ != nullptr) {
+    shared_cache_->passes_window_into(target_, from, to, out, shared_stats_);
+    return;
+  }
+  if (cache_ != nullptr) {
+    cache_->passes_window_into(target_, from, to, out);
+    return;
+  }
+  out = passes(from, to);
+}
+
 std::optional<Duration> first_overlap_start(const std::vector<Pass>& passes,
                                             Duration from, Duration to,
                                             std::vector<OverlapEvent>& scratch) {

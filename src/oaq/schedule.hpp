@@ -88,6 +88,12 @@ class GeometricSchedule final : public CoverageSchedule {
   [[nodiscard]] std::vector<Pass> passes(Duration from,
                                          Duration to) const override;
 
+  /// Allocation-free in the steady state when backed by either cache (the
+  /// quantized window is served from the cached sweep into `out`'s reused
+  /// capacity); the uncached predictor fallback delegates to passes().
+  void passes_into(Duration from, Duration to,
+                   std::vector<Pass>& out) const override;
+
  private:
   const Constellation* constellation_;
   GeoPoint target_;

@@ -409,9 +409,12 @@ bool TargetEpisode::arm(TimePoint signal_start, Duration signal_duration) {
 
   t0_ = *t0;
   deadline_ = *t0 + cfg_->tau;
-  for (const auto& p : passes_) {
-    (void)agent(p.satellite);
-  }
+  // Agents materialize lazily on first touch: only the satellites the
+  // coordination actually reaches (the chain, not the whole pass horizon)
+  // ever get state. Default-constructed states are invisible to
+  // finalize() (ordinal == 0), so skipping the old horizon-wide pre-touch
+  // — at mega-constellation scale, hundreds of entries per episode — is
+  // behavior-neutral and keeps arm() O(|passes|).
   sim_->schedule_at(t0_, [this] { on_detection(); });
   return true;
 }
@@ -487,9 +490,14 @@ void TargetEpisode::finalize() {
 }
 
 std::vector<SatelliteId> TargetEpisode::horizon_satellites() const {
+  // Sorted-unique satellites of the armed pass horizon — the same set the
+  // horizon-wide agent pre-touch used to enumerate, now derived from the
+  // passes directly so agents_ can stay participants-only.
   std::vector<SatelliteId> out;
-  out.reserve(agents_.size());
-  for (const auto& [id, st] : agents_) out.push_back(id);
+  out.reserve(passes_.size());
+  for (const auto& p : passes_) out.push_back(p.satellite);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

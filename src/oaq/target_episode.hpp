@@ -159,9 +159,10 @@ class TargetEpisode {
   TimePoint deadline_{};
   std::vector<Pass> passes_;
   /// Agents sorted by satellite id — the map it replaces iterated in key
-  /// order, which finalize() and horizon_satellites() rely on. A handful
-  /// of entries (the pass horizon), so inserts are cheap and lookups
-  /// branch-predictable; capacity survives reset_for().
+  /// order, which finalize() relies on. Materialized lazily on first
+  /// touch, so only the chain's actual participants (a handful, even at
+  /// mega-constellation scale) ever get entries; inserts are cheap and
+  /// lookups branch-predictable; capacity survives reset_for().
   std::vector<std::pair<SatelliteId, AgentState>> agents_;
   EpisodeResult result_;
   std::vector<Pass> covering_scratch_;

@@ -1,27 +1,49 @@
 #include "orbit/constellation.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace oaq {
 
 Constellation::Constellation(const ConstellationDesign& design)
-    : design_(design),
-      footprint_(FootprintModel::from_coverage_time(design.coverage_time,
-                                                    design.period)) {
-  OAQ_REQUIRE(design.num_planes > 0, "constellation needs at least one plane");
-  OAQ_REQUIRE(design.sats_per_plane > 0, "planes need at least one satellite");
-  planes_.reserve(static_cast<std::size_t>(design.num_planes));
-  const double raan_step =
-      design.raan_spread_rad / static_cast<double>(design.num_planes);
-  const double phase_unit =
-      2.0 * kPi / static_cast<double>(design.num_planes *
-                                     design.sats_per_plane);
-  for (int j = 0; j < design.num_planes; ++j) {
-    const double raan = raan_step * static_cast<double>(j);
-    const double phase_offset =
-        phase_unit * static_cast<double>(design.phasing_factor * j);
-    planes_.emplace_back(j, design.period, design.inclination_rad, raan,
-                         phase_offset, design.sats_per_plane, design.j2);
+    : Constellation(std::vector<ConstellationDesign>{design}) {}
+
+Constellation::Constellation(const std::vector<ConstellationDesign>& shells) {
+  OAQ_REQUIRE(!shells.empty(), "constellation needs at least one shell");
+  shells_.reserve(shells.size());
+  int first_plane = 0;
+  for (const ConstellationDesign& design : shells) {
+    OAQ_REQUIRE(design.num_planes > 0,
+                "constellation needs at least one plane");
+    OAQ_REQUIRE(design.sats_per_plane > 0,
+                "planes need at least one satellite");
+    shells_.push_back({design, first_plane,
+                       FootprintModel::from_coverage_time(design.coverage_time,
+                                                          design.period)});
+    first_plane += design.num_planes;
+  }
+  OAQ_REQUIRE(first_plane <= PlaneSet::kMaxPlanes,
+              "constellation exceeds the addressable plane range");
+  planes_.reserve(static_cast<std::size_t>(first_plane));
+  for (const Shell& shell : shells_) {
+    const ConstellationDesign& design = shell.design;
+    // Walker i:T/P/F within the shell: node spacing and inter-plane
+    // phasing are shell-local, but the plane index handed to OrbitalPlane
+    // is GLOBAL — SatelliteId.plane addresses across shells.
+    const double raan_step =
+        design.raan_spread_rad / static_cast<double>(design.num_planes);
+    const double phase_unit =
+        2.0 * kPi / static_cast<double>(design.num_planes *
+                                       design.sats_per_plane);
+    for (int j = 0; j < design.num_planes; ++j) {
+      const double raan = raan_step * static_cast<double>(j);
+      const double phase_offset =
+          phase_unit * static_cast<double>(design.phasing_factor * j);
+      planes_.emplace_back(shell.first_plane + j, design.period,
+                           design.inclination_rad, raan, phase_offset,
+                           design.sats_per_plane, design.j2);
+    }
   }
 }
 
@@ -37,6 +59,41 @@ const OrbitalPlane& Constellation::plane(int i) const {
 OrbitalPlane& Constellation::plane(int i) {
   OAQ_REQUIRE(i >= 0 && i < num_planes(), "plane index out of range");
   return planes_[static_cast<std::size_t>(i)];
+}
+
+const ConstellationDesign& Constellation::shell_design(int s) const {
+  OAQ_REQUIRE(s >= 0 && s < num_shells(), "shell index out of range");
+  return shells_[static_cast<std::size_t>(s)].design;
+}
+
+int Constellation::shell_first_plane(int s) const {
+  OAQ_REQUIRE(s >= 0 && s < num_shells(), "shell index out of range");
+  return shells_[static_cast<std::size_t>(s)].first_plane;
+}
+
+int Constellation::shell_plane_count(int s) const {
+  OAQ_REQUIRE(s >= 0 && s < num_shells(), "shell index out of range");
+  return shells_[static_cast<std::size_t>(s)].design.num_planes;
+}
+
+int Constellation::shell_of_plane(int plane) const {
+  OAQ_REQUIRE(plane >= 0 && plane < num_planes(), "plane index out of range");
+  for (int s = num_shells() - 1; s >= 0; --s) {
+    if (plane >= shells_[static_cast<std::size_t>(s)].first_plane) return s;
+  }
+  return 0;  // unreachable: shell 0 starts at plane 0
+}
+
+const FootprintModel& Constellation::footprint_of_plane(int plane) const {
+  return shells_[static_cast<std::size_t>(shell_of_plane(plane))].footprint;
+}
+
+Duration Constellation::max_period() const {
+  Duration max = shells_[0].design.period;
+  for (const Shell& shell : shells_) {
+    max = std::max(max, shell.design.period);
+  }
+  return max;
 }
 
 int Constellation::total_active() const {
@@ -63,9 +120,10 @@ std::vector<SatelliteId> Constellation::covering_satellites(
     const GeoPoint& p, Duration t, bool earth_rotation) const {
   std::vector<SatelliteId> out;
   for (const auto& pl : planes_) {
+    const FootprintModel& fp = footprint_of_plane(pl.plane_index());
     for (int s = 0; s < pl.active_count(); ++s) {
       const auto subsat = pl.subsatellite_point(s, t, earth_rotation);
-      if (footprint_.covers(subsat, p)) out.push_back({pl.plane_index(), s});
+      if (fp.covers(subsat, p)) out.push_back({pl.plane_index(), s});
     }
   }
   return out;

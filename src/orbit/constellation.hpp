@@ -1,14 +1,23 @@
 // Constellation assembly, including the paper's JPL reference design.
+//
+// A constellation is one or more Walker-style *shells* (ISSUE 8): each
+// shell contributes a contiguous range of global plane indices, with its
+// own period, inclination, phasing, and footprint. Single-shell
+// constellations — everything the engine built before multi-shell support
+// — are the one-element special case, and the legacy accessors
+// (`design()`, `footprint()`) keep reporting shell 0 so pre-shell call
+// sites read unchanged.
 #pragma once
 
 #include <vector>
 
+#include "common/plane_set.hpp"
 #include "orbit/footprint.hpp"
 #include "orbit/plane.hpp"
 
 namespace oaq {
 
-/// Parameters of a Walker-style constellation.
+/// Parameters of one Walker-style shell.
 struct ConstellationDesign {
   int num_planes = 7;
   int sats_per_plane = 14;        ///< active satellites per plane
@@ -26,20 +35,53 @@ struct ConstellationDesign {
   bool j2 = false;
 };
 
-/// A LEO constellation as a set of orbital planes plus a footprint model.
+/// A LEO constellation as a set of orbital planes grouped into shells.
 class Constellation {
  public:
   explicit Constellation(const ConstellationDesign& design);
+
+  /// Multi-shell composition. Shells occupy contiguous global plane-index
+  /// ranges in order: shell s's planes are
+  /// [shell_first_plane(s), shell_first_plane(s) + shell_plane_count(s)).
+  /// Requires at least one shell and at most PlaneSet::kMaxPlanes planes
+  /// in total (the fault layer's addressable range).
+  explicit Constellation(const std::vector<ConstellationDesign>& shells);
 
   /// The paper's reference RF-geolocation constellation: 7 planes ×
   /// (14 active + 2 in-orbit spares), θ = 90 min, Tc = 9 min (ψ = 18°).
   [[nodiscard]] static Constellation reference();
 
-  [[nodiscard]] const ConstellationDesign& design() const { return design_; }
-  [[nodiscard]] int num_planes() const { return static_cast<int>(planes_.size()); }
+  /// Shell 0's design — the whole design for single-shell constellations.
+  [[nodiscard]] const ConstellationDesign& design() const {
+    return shells_[0].design;
+  }
+  [[nodiscard]] int num_planes() const {
+    return static_cast<int>(planes_.size());
+  }
   [[nodiscard]] const OrbitalPlane& plane(int i) const;
   [[nodiscard]] OrbitalPlane& plane(int i);
-  [[nodiscard]] const FootprintModel& footprint() const { return footprint_; }
+  /// Shell 0's footprint. Multi-shell geometry queries must use
+  /// footprint_of_plane — shells differ in altitude and ψ.
+  [[nodiscard]] const FootprintModel& footprint() const {
+    return shells_[0].footprint;
+  }
+
+  // --- Shell metadata (ISSUE 8). ---
+  [[nodiscard]] int num_shells() const {
+    return static_cast<int>(shells_.size());
+  }
+  [[nodiscard]] const ConstellationDesign& shell_design(int s) const;
+  /// Global index of shell `s`'s first plane.
+  [[nodiscard]] int shell_first_plane(int s) const;
+  [[nodiscard]] int shell_plane_count(int s) const;
+  /// Shell owning global plane index `plane`.
+  [[nodiscard]] int shell_of_plane(int plane) const;
+  /// Footprint of the shell owning global plane index `plane`.
+  [[nodiscard]] const FootprintModel& footprint_of_plane(int plane) const;
+  /// Longest shell period — the phase-jitter span of geometric
+  /// Monte-Carlo runs (equals design().period for single-shell designs,
+  /// so pre-shell golden bytes are preserved).
+  [[nodiscard]] Duration max_period() const;
 
   /// Total number of active satellites across planes.
   [[nodiscard]] int total_active() const;
@@ -56,9 +98,14 @@ class Constellation {
       const GeoPoint& p, Duration t, bool earth_rotation = false) const;
 
  private:
-  ConstellationDesign design_;
-  std::vector<OrbitalPlane> planes_;
-  FootprintModel footprint_;
+  struct Shell {
+    ConstellationDesign design;
+    int first_plane = 0;
+    FootprintModel footprint;
+  };
+
+  std::vector<Shell> shells_;
+  std::vector<OrbitalPlane> planes_;  ///< global plane index order
 };
 
 }  // namespace oaq

@@ -1,0 +1,239 @@
+#include "orbit/constellation_builder.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "orbit/kepler.hpp"
+
+namespace oaq {
+
+namespace {
+
+void require(bool condition, const std::string& what) {
+  if (!condition) throw std::invalid_argument("constellation: " + what);
+}
+
+}  // namespace
+
+ConstellationDesign design_from_shell(const WalkerShell& shell) {
+  require(shell.planes > 0, "shell needs at least one plane");
+  require(shell.total_sats > 0, "shell needs at least one satellite");
+  require(shell.total_sats % shell.planes == 0,
+          "T must divide evenly across the P planes");
+  require(shell.phasing >= 0, "phasing factor F must be >= 0");
+  require(shell.phasing < shell.planes, "phasing factor F must be < P");
+  require(shell.altitude_km > 0.0, "altitude must be positive");
+  require(shell.inclination_deg > 0.0 && shell.inclination_deg < 180.0,
+          "inclination must be in (0, 180) degrees");
+  require(shell.footprint_deg > 0.0 && shell.footprint_deg <= 90.0,
+          "footprint half-angle must be in (0, 90] degrees");
+  require(shell.spares_per_plane >= 0, "spares per plane must be >= 0");
+  require(shell.period_min >= 0.0, "period override must be >= 0");
+
+  ConstellationDesign design;
+  design.num_planes = shell.planes;
+  design.sats_per_plane = shell.total_sats / shell.planes;
+  design.in_orbit_spares_per_plane = shell.spares_per_plane;
+  design.inclination_rad = deg2rad(shell.inclination_deg);
+  design.period =
+      shell.period_min > 0.0
+          ? Duration::minutes(shell.period_min)
+          : Orbit::circular(shell.altitude_km, design.inclination_rad,
+                            /*raan_rad=*/0.0, /*arg_latitude_rad=*/0.0)
+                .period();
+  // ψ = π·Tc/θ inverted: a ψ-degree half-angle footprint is transited in
+  // θ·ψ/180. For the reference shell (θ = 90 min, ψ = 18°) this lands
+  // exactly on the paper's Tc = 9 min.
+  design.coverage_time = design.period * (shell.footprint_deg / 180.0);
+  design.raan_spread_rad = shell.star ? kPi : 2.0 * kPi;
+  design.phasing_factor = shell.phasing;
+  return design;
+}
+
+Constellation build_constellation(const std::vector<WalkerShell>& shells) {
+  require(!shells.empty(), "constellation needs at least one shell");
+  std::vector<ConstellationDesign> designs;
+  designs.reserve(shells.size());
+  for (const WalkerShell& shell : shells) {
+    designs.push_back(design_from_shell(shell));
+  }
+  return Constellation(designs);
+}
+
+ConstellationBuilder& ConstellationBuilder::add_shell(
+    const WalkerShell& shell) {
+  (void)design_from_shell(shell);  // validate eagerly, keep the shell form
+  shells_.push_back(shell);
+  return *this;
+}
+
+Constellation ConstellationBuilder::build() const {
+  return build_constellation(shells_);
+}
+
+ConstellationBuilder ConstellationBuilder::preset(std::string_view name) {
+  ConstellationBuilder builder;
+  for (const WalkerShell& shell : constellation_preset(name)) {
+    builder.add_shell(shell);
+  }
+  return builder;
+}
+
+std::vector<WalkerShell> constellation_preset(std::string_view name) {
+  // The paper's idealized design pins θ = 90 min directly (the matching
+  // circular altitude is ~281 km); the published design points derive θ
+  // from their deployment altitudes.
+  if (name == "reference") {
+    return {{/*total_sats=*/98, /*planes=*/7, /*phasing=*/1,
+             /*altitude_km=*/281.0, /*inclination_deg=*/85.0, /*star=*/true,
+             /*spares_per_plane=*/2, /*footprint_deg=*/18.0,
+             /*period_min=*/90.0}};
+  }
+  if (name == "kepler") {
+    return {{/*total_sats=*/140, /*planes=*/7, /*phasing=*/1,
+             /*altitude_km=*/600.0, /*inclination_deg=*/98.6, /*star=*/true}};
+  }
+  if (name == "iridium-next") {
+    return {{/*total_sats=*/66, /*planes=*/6, /*phasing=*/1,
+             /*altitude_km=*/780.0, /*inclination_deg=*/86.4, /*star=*/true}};
+  }
+  if (name == "oneweb") {
+    return {{/*total_sats=*/648, /*planes=*/18, /*phasing=*/1,
+             /*altitude_km=*/1200.0, /*inclination_deg=*/86.4,
+             /*star=*/true}};
+  }
+  if (name == "starlink") {
+    return {{/*total_sats=*/1584, /*planes=*/72, /*phasing=*/1,
+             /*altitude_km=*/550.0, /*inclination_deg=*/53.0,
+             /*star=*/false}};
+  }
+  throw std::invalid_argument("constellation: unknown preset '" +
+                              std::string(name) + "'");
+}
+
+const std::vector<std::string_view>& constellation_preset_names() {
+  static const std::vector<std::string_view> names = {
+      "reference", "kepler", "iridium-next", "oneweb", "starlink"};
+  return names;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(int line_no, const std::string& what) {
+  throw std::invalid_argument("constellation line " +
+                              std::to_string(line_no) + ": " + what);
+}
+
+double read_number(std::istringstream& fields, int line_no,
+                   std::string_view what) {
+  double value = 0.0;
+  if (!(fields >> value)) {
+    parse_fail(line_no, "expected " + std::string(what));
+  }
+  return value;
+}
+
+int read_int(std::istringstream& fields, int line_no, std::string_view what) {
+  const double value = read_number(fields, line_no, what);
+  const int as_int = static_cast<int>(value);
+  if (static_cast<double>(as_int) != value) {
+    parse_fail(line_no, std::string(what) + " must be an integer");
+  }
+  return as_int;
+}
+
+/// Shortest decimal form that parses back to the same double — the
+/// round-trip guarantee of the on-disk format.
+void write_double(std::ostream& os, double value) {
+  char buf[64];
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), value);
+  os.write(buf, end - buf);
+  (void)ec;  // a 64-char buffer never overflows a double's shortest form
+}
+
+}  // namespace
+
+std::vector<WalkerShell> parse_constellation(std::istream& is) {
+  std::vector<WalkerShell> shells;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank / comment-only line
+    if (keyword != "shell") {
+      parse_fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+
+    WalkerShell shell;
+    shell.total_sats = read_int(fields, line_no, "T (total satellites)");
+    shell.planes = read_int(fields, line_no, "P (planes)");
+    shell.phasing = read_int(fields, line_no, "F (phasing factor)");
+    shell.altitude_km = read_number(fields, line_no, "altitude (km)");
+    shell.inclination_deg = read_number(fields, line_no, "inclination (deg)");
+    std::string pattern;
+    if (!(fields >> pattern)) parse_fail(line_no, "expected star|delta");
+    if (pattern == "star") {
+      shell.star = true;
+    } else if (pattern == "delta") {
+      shell.star = false;
+    } else {
+      parse_fail(line_no, "pattern must be star or delta, got '" + pattern +
+                              "'");
+    }
+    shell.spares_per_plane = read_int(fields, line_no, "spares per plane");
+    shell.footprint_deg = read_number(fields, line_no, "footprint (deg)");
+    // Optional trailing override, mirroring the fault plan's optional
+    // trailing tokens: everything else is rejected as trailing text.
+    std::string extra;
+    if (fields >> extra) {
+      if (extra != "period") {
+        parse_fail(line_no, "trailing text '" + extra + "'");
+      }
+      shell.period_min = read_number(fields, line_no, "period (min)");
+      if (fields >> extra) {
+        parse_fail(line_no, "trailing text '" + extra + "'");
+      }
+    }
+    try {
+      (void)design_from_shell(shell);
+    } catch (const std::invalid_argument& err) {
+      parse_fail(line_no, err.what());
+    }
+    shells.push_back(shell);
+  }
+  if (shells.empty()) {
+    throw std::invalid_argument("constellation: file defines no shells");
+  }
+  return shells;
+}
+
+void write_constellation(const std::vector<WalkerShell>& shells,
+                         std::ostream& os) {
+  for (const WalkerShell& shell : shells) {
+    os << "shell " << shell.total_sats << ' ' << shell.planes << ' '
+       << shell.phasing << ' ';
+    write_double(os, shell.altitude_km);
+    os << ' ';
+    write_double(os, shell.inclination_deg);
+    os << ' ' << (shell.star ? "star" : "delta") << ' '
+       << shell.spares_per_plane << ' ';
+    write_double(os, shell.footprint_deg);
+    if (shell.period_min > 0.0) {
+      os << " period ";
+      write_double(os, shell.period_min);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace oaq

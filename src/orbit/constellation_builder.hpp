@@ -1,0 +1,101 @@
+// Parameterized Walker-shell constellation builder (ISSUE 8 tentpole).
+//
+// Expresses constellations in the i:T/P/F Walker notation used by the
+// mega-constellation literature: T total satellites in P planes at
+// inclination i, with inter-plane phasing factor F. A star shell spreads
+// its ascending nodes over π (polar-style counter-rotating seam), a delta
+// shell over 2π. Multiple shells compose into one Constellation occupying
+// contiguous global plane-index ranges.
+//
+// Named design points (SNIPPETS.md):
+//   reference     7×14 (+2 spares/plane)  θ=90 min  i=85°    star  (paper)
+//   kepler        7×20    h=600 km        i=98.6°          star
+//   iridium-next  6×11    h=780 km        i=86.4°          star
+//   oneweb        18×36   h=1200 km       i=86.4°          star
+//   starlink      72×22   h=550 km        i=53°            delta
+//
+// The on-disk format (tools/README.md) matches the fault-plan
+// conventions: line-based, one shell per line, `#` comments,
+// std::invalid_argument with the offending line number on syntax or
+// validation errors. parse_constellation / write_constellation round-trip
+// it.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "orbit/constellation.hpp"
+
+namespace oaq {
+
+/// One Walker shell in i:T/P/F form plus the physical knobs the QoS model
+/// needs (altitude → period, sensor half-angle → coverage time).
+struct WalkerShell {
+  int total_sats = 0;          ///< T: active satellites across the shell
+  int planes = 0;              ///< P: orbital planes
+  int phasing = 0;             ///< F: inter-plane phasing factor, [0, P)
+  double altitude_km = 550.0;  ///< circular-orbit altitude (derives θ)
+  double inclination_deg = 53.0;
+  bool star = true;            ///< star (RAAN over π) vs delta (over 2π)
+  int spares_per_plane = 0;    ///< in-orbit spares per plane
+  /// Sensor footprint half-angle ψ in degrees; the shell's coverage time
+  /// is Tc = θ·ψ/180 (FootprintModel's ψ = π·Tc/θ inverted).
+  double footprint_deg = 18.0;
+  /// Explicit orbital period in minutes; > 0 overrides the
+  /// altitude-derived period (the paper's idealized θ = 90 min design).
+  double period_min = 0.0;
+
+  friend bool operator==(const WalkerShell&, const WalkerShell&) = default;
+};
+
+/// Validates a shell and lowers it to a ConstellationDesign. Throws
+/// std::invalid_argument on: non-positive T or P, T % P != 0, F outside
+/// [0, P), non-positive altitude, inclination outside (0, 180), footprint
+/// outside (0, 90], negative spares, or negative period override.
+[[nodiscard]] ConstellationDesign design_from_shell(const WalkerShell& shell);
+
+/// Composes validated shells into one multi-shell Constellation.
+[[nodiscard]] Constellation build_constellation(
+    const std::vector<WalkerShell>& shells);
+
+/// Incremental composition with eager per-shell validation.
+class ConstellationBuilder {
+ public:
+  /// Validates and appends; throws std::invalid_argument on a malformed
+  /// shell (see design_from_shell).
+  ConstellationBuilder& add_shell(const WalkerShell& shell);
+
+  [[nodiscard]] const std::vector<WalkerShell>& shells() const {
+    return shells_;
+  }
+  [[nodiscard]] Constellation build() const;
+
+  /// Builder pre-loaded with a named design point (see file header);
+  /// throws std::invalid_argument for an unknown name.
+  [[nodiscard]] static ConstellationBuilder preset(std::string_view name);
+
+ private:
+  std::vector<WalkerShell> shells_;
+};
+
+/// Shells of a named design point; throws std::invalid_argument for an
+/// unknown name.
+[[nodiscard]] std::vector<WalkerShell> constellation_preset(
+    std::string_view name);
+
+/// The recognized preset names, in documentation order.
+[[nodiscard]] const std::vector<std::string_view>&
+constellation_preset_names();
+
+/// Parses the line-based shell format; throws std::invalid_argument with
+/// the offending line number on syntax or validation errors, and on a
+/// file with no shells.
+[[nodiscard]] std::vector<WalkerShell> parse_constellation(std::istream& is);
+
+/// Writes shells in the canonical line format (round-trips bit-exactly
+/// through parse_constellation — doubles print in shortest form).
+void write_constellation(const std::vector<WalkerShell>& shells,
+                         std::ostream& os);
+
+}  // namespace oaq

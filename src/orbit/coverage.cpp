@@ -13,12 +13,15 @@ std::vector<LatitudeBandCoverage> CoverageAnalyzer::by_latitude(
     Duration t, int nlat, int nlon) const {
   OAQ_REQUIRE(nlat > 0 && nlon > 0, "grid must be nonempty");
 
-  // Precompute sub-satellite caps once per snapshot.
+  // Precompute sub-satellite caps once per snapshot, with each
+  // satellite's own shell footprint (shells differ in altitude and ψ).
   std::vector<GeoPoint> subsats;
+  std::vector<double> psis;
   for (const auto id : constellation_->active_satellites()) {
     subsats.push_back(constellation_->subsatellite_point(id, t));
+    psis.push_back(
+        constellation_->footprint_of_plane(id.plane).angular_radius_rad());
   }
-  const double psi = constellation_->footprint().angular_radius_rad();
 
   std::vector<LatitudeBandCoverage> bands;
   bands.reserve(static_cast<std::size_t>(nlat));
@@ -31,8 +34,8 @@ std::vector<LatitudeBandCoverage> CoverageAnalyzer::by_latitude(
       const double lon = -kPi + 2.0 * kPi * (j + 0.5) / nlon;
       const GeoPoint p{lat, lon};
       int count = 0;
-      for (const auto& s : subsats) {
-        if (central_angle(s, p) <= psi) ++count;
+      for (std::size_t s = 0; s < subsats.size(); ++s) {
+        if (central_angle(subsats[s], p) <= psis[s]) ++count;
       }
       covered += (count >= 1);
       overlapped += (count >= 2);
@@ -69,7 +72,9 @@ std::vector<LatitudeBandCoverage> CoverageAnalyzer::by_latitude_time_averaged(
     int samples, int nlat, int nlon) const {
   OAQ_REQUIRE(samples > 0, "need at least one snapshot");
   std::vector<LatitudeBandCoverage> acc;
-  const Duration period = constellation_->design().period;
+  // Sample over the longest shell period so every shell completes at
+  // least one revolution (equals design().period for one shell).
+  const Duration period = constellation_->max_period();
   for (int s = 0; s < samples; ++s) {
     const auto snap =
         by_latitude(period * (static_cast<double>(s) / samples), nlat, nlon);

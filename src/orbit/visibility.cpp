@@ -18,8 +18,6 @@ std::vector<Pass> PassPredictor::passes(const GeoPoint& target, Duration t0,
   OAQ_REQUIRE(t1 > t0, "pass horizon must be nonempty");
   OAQ_REQUIRE(tol > Duration::zero(), "tolerance must be positive");
   std::vector<Pass> result;
-  const auto& fp = constellation_->footprint();
-  const double psi = fp.angular_radius_rad();
 
   // Sample grid and margin sweep, reused across satellites. The grid
   // accumulates exactly like the pre-batch scalar loop did (t += step,
@@ -29,6 +27,10 @@ std::vector<Pass> PassPredictor::passes(const GeoPoint& target, Duration t0,
 
   for (int pi = 0; pi < constellation_->num_planes(); ++pi) {
     const auto& plane = constellation_->plane(pi);
+    // Per-plane footprint: shells differ in altitude and sensor half-angle
+    // (single-shell constellations see the same fp/ψ as before).
+    const auto& fp = constellation_->footprint_of_plane(pi);
+    const double psi = fp.angular_radius_rad();
     // Sample interval: a footprint transit lasts Tc = θ·ψ/π; 64 samples per
     // transit reliably brackets every crossing.
     const Duration transit = fp.coverage_time(plane.period());

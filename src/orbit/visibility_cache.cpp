@@ -77,20 +77,27 @@ const std::vector<CoverageSegment>& VisibilityCache::multiplicity_timeline(
 
 std::vector<Pass> VisibilityCache::passes_window(const GeoPoint& target,
                                                  Duration from, Duration to) {
+  std::vector<Pass> out;
+  passes_window_into(target, from, to, out);
+  return out;
+}
+
+void VisibilityCache::passes_window_into(const GeoPoint& target,
+                                         Duration from, Duration to,
+                                         std::vector<Pass>& out) {
   OAQ_REQUIRE(to > from, "pass window must be nonempty");
+  out.clear();
   const Duration f = std::max(from, Duration::zero());
-  if (to <= f) return {};
+  if (to <= f) return;
   const double q = options_.window_quantum.to_seconds();
   const Duration q_from =
       Duration::seconds(std::floor(f.to_seconds() / q) * q);
   const Duration q_to = Duration::seconds(std::ceil(to.to_seconds() / q) * q);
   const std::vector<Pass>& all = passes(target, q_from, q_to);
-  std::vector<Pass> out;
   for (const Pass& p : all) {
     if (p.end <= f || p.start >= to) continue;
     out.push_back({p.satellite, std::max(p.start, f), std::min(p.end, to)});
   }
-  return out;
 }
 
 void VisibilityCache::clear() {

@@ -87,6 +87,12 @@ class VisibilityCache {
   [[nodiscard]] std::vector<Pass> passes_window(const GeoPoint& target,
                                                 Duration from, Duration to);
 
+  /// Same clipped passes written into `out` (cleared first). Steady state
+  /// (cached window, `out` capacity reused) performs no allocation — the
+  /// per-episode hot path of the pooled runners.
+  void passes_window_into(const GeoPoint& target, Duration from, Duration to,
+                          std::vector<Pass>& out);
+
   [[nodiscard]] const Constellation* constellation() const {
     return constellation_;
   }

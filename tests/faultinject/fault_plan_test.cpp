@@ -86,7 +86,7 @@ TEST(FaultPlan, RejectsMalformedClauses) {
   EXPECT_THROW(plan.add(FaultPlan::link_outage(-1, 0, Duration::zero(),
                                                Duration::minutes(1))),
                std::invalid_argument);
-  EXPECT_THROW(plan.add(FaultPlan::link_outage(0, 64, Duration::zero(),
+  EXPECT_THROW(plan.add(FaultPlan::link_outage(0, 128, Duration::zero(),
                                                Duration::minutes(1))),
                std::invalid_argument);
   EXPECT_THROW(plan.add(FaultPlan::fail_silent({0, -1}, Duration::zero())),

@@ -1,0 +1,172 @@
+// Shell-relative fault clauses (ISSUE 8): on a multi-shell constellation,
+// plane-pair link_outage and partition clauses addressed to one shell must
+// resolve to — and sever — only that shell's planes; out-of-shell
+// references are rejected, never silently remapped.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "net/crosslink.hpp"
+#include "orbit/constellation_builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace oaq {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+/// Shell 0: 2 planes × 3; shell 1: 3 planes × 3 (global planes 2..4).
+Constellation two_shell_constellation() {
+  WalkerShell low;
+  low.total_sats = 6;
+  low.planes = 2;
+  low.phasing = 1;
+  low.altitude_km = 600.0;
+  low.inclination_deg = 97.0;
+  WalkerShell high = low;
+  high.total_sats = 9;
+  high.planes = 3;
+  high.altitude_km = 1200.0;
+  return ConstellationBuilder().add_shell(low).add_shell(high).build();
+}
+
+TEST(ShellFaults, ResolveTranslatesToTheAddressedShellOnly) {
+  const Constellation c = two_shell_constellation();
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({1, 0}, Duration::minutes(1), /*shell=*/1));
+  plan.add(FaultPlan::link_outage(0, 1, Duration::zero(), Duration::minutes(5),
+                                  /*shell=*/1));
+  plan.add(FaultPlan::partition(0b101, Duration::zero(), Duration::minutes(5),
+                                /*shell=*/1));
+  plan.add(FaultPlan::link_outage(0, 1, Duration::zero(),
+                                  Duration::minutes(5)));  // global, untouched
+
+  const FaultPlan resolved = plan.resolve(c);
+  ASSERT_EQ(resolved.size(), 4u);
+  const auto& r = resolved.clauses();
+  EXPECT_EQ(r[0].satellite, (SatelliteId{3, 0}));  // shell 1 starts at plane 2
+  EXPECT_EQ(r[0].shell, -1);
+  EXPECT_EQ(r[1].plane_a, 2);
+  EXPECT_EQ(r[1].plane_b, 3);
+  EXPECT_EQ(r[2].plane_mask, PlaneSet(0b101u << 2));
+  EXPECT_EQ(r[3].plane_a, 0);
+  EXPECT_EQ(r[3].plane_b, 1);
+  EXPECT_EQ(resolved.max_plane(), 4);
+}
+
+TEST(ShellFaults, ResolveRejectsOutOfShellReferences) {
+  const Constellation c = two_shell_constellation();
+  const auto reject = [&](FaultClause clause) {
+    FaultPlan plan;
+    plan.add(clause);
+    EXPECT_THROW((void)plan.resolve(c), std::invalid_argument);
+  };
+  // Shell 0 has 2 planes: plane 2 is its neighbor's, not a wraparound.
+  reject(FaultPlan::link_outage(0, 2, Duration::zero(), Duration::minutes(5),
+                                /*shell=*/0));
+  reject(FaultPlan::fail_silent({3, 0}, Duration::minutes(1), /*shell=*/1));
+  reject(FaultPlan::partition(0b1000, Duration::zero(), Duration::minutes(5),
+                              /*shell=*/1));  // plane 3 of a 3-plane shell
+  reject(FaultPlan::link_outage(0, 1, Duration::zero(), Duration::minutes(5),
+                                /*shell=*/2));  // no such shell
+}
+
+TEST(ShellFaults, ShellClausesSeverOnlyTheAddressedShell) {
+  // Behavioral regression: a shell-1 partition of {first shell-1 plane}
+  // cuts shell-1 crosslinks crossing that boundary and nothing in shell 0,
+  // even though shell 0 owns the same *relative* plane indices.
+  const Constellation c = two_shell_constellation();
+  FaultPlan plan;
+  plan.add(FaultPlan::partition(0b1, Duration::zero(), Duration::minutes(30),
+                                /*shell=*/1));
+  plan.add(FaultPlan::link_outage(1, 2, Duration::minutes(0),
+                                  Duration::minutes(30), /*shell=*/1));
+  const FaultPlan resolved = plan.resolve(c);
+
+  Simulator sim;
+  CrosslinkNetwork::Options opt;
+  opt.min_delay = Duration::seconds(5);
+  opt.max_delay = Duration::seconds(5);
+  CrosslinkNetwork net(sim, opt, Rng(7));
+  int delivered_shell0 = 0;
+  int delivered_shell1 = 0;
+  for (int p = 0; p < c.num_planes(); ++p) {
+    const SatelliteId id{p, 0};
+    int& counter = p < 2 ? delivered_shell0 : delivered_shell1;
+    net.register_node(Address::sat(id),
+                      [&counter](const Envelope&) { ++counter; });
+  }
+  FaultInjector injector(sim, net, resolved, Rng(8));
+  injector.arm(TimePoint::origin());
+
+  // Same relative pair (0, 1) in both shells: shell 0's link must survive
+  // the shell-1 partition; shell 1's (global 2 → 3) must be cut, as must
+  // the shell-1 outage pair (global 3 → 4).
+  sim.schedule_at(TimePoint::at(Duration::minutes(5)), [&net] {
+    net.send(Address::sat({0, 0}), Address::sat({1, 0}), Ping{});
+    net.send(Address::sat({2, 0}), Address::sat({3, 0}), Ping{});
+    net.send(Address::sat({3, 0}), Address::sat({4, 0}), Ping{});
+  });
+  sim.run();
+
+  EXPECT_EQ(delivered_shell0, 1);
+  EXPECT_EQ(delivered_shell1, 0);
+  EXPECT_EQ(net.stats().dropped_link, 2u);
+
+  // After the windows close the same sends all deliver.
+  Simulator sim2;
+  CrosslinkNetwork net2(sim2, opt, Rng(7));
+  int delivered_after = 0;
+  for (int p = 0; p < c.num_planes(); ++p) {
+    net2.register_node(Address::sat({p, 0}),
+                       [&delivered_after](const Envelope&) {
+                         ++delivered_after;
+                       });
+  }
+  FaultInjector injector2(sim2, net2, resolved, Rng(8));
+  injector2.arm(TimePoint::origin());
+  sim2.schedule_at(TimePoint::at(Duration::minutes(40)), [&net2] {
+    net2.send(Address::sat({0, 0}), Address::sat({1, 0}), Ping{});
+    net2.send(Address::sat({2, 0}), Address::sat({3, 0}), Ping{});
+    net2.send(Address::sat({3, 0}), Address::sat({4, 0}), Ping{});
+  });
+  sim2.run();
+  EXPECT_EQ(delivered_after, 3);
+}
+
+TEST(ShellFaults, ShellTokenRoundTripsThroughThePlanFormat) {
+  FaultPlan plan;
+  plan.add(FaultPlan::fail_silent({1, 2}, Duration::minutes(1.5), /*shell=*/1));
+  plan.add(FaultPlan::link_outage(0, 1, Duration::minutes(0.5),
+                                  Duration::minutes(2), /*shell=*/0));
+  plan.add(FaultPlan::partition(0b11, Duration::minutes(2),
+                                Duration::minutes(5), /*shell=*/1));
+  plan.add(FaultPlan::link_outage(0, 1, Duration::zero(),
+                                  Duration::minutes(1)));  // global: no token
+
+  std::ostringstream os;
+  write_fault_plan(plan, os);
+  std::istringstream is(os.str());
+  const FaultPlan back = parse_fault_plan(is);
+  ASSERT_EQ(back.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(back.clauses()[i].shell, plan.clauses()[i].shell) << i;
+    EXPECT_EQ(back.clauses()[i].plane_mask, plan.clauses()[i].plane_mask) << i;
+  }
+
+  // The token is strict: negative shells and trailing junk are rejected.
+  std::istringstream bad1("link_outage 0 1 0 5 shell -1\n");
+  EXPECT_THROW((void)parse_fault_plan(bad1), std::invalid_argument);
+  std::istringstream bad2("link_outage 0 1 0 5 shell 1 junk\n");
+  EXPECT_THROW((void)parse_fault_plan(bad2), std::invalid_argument);
+  std::istringstream bad3("delay_spike 2 0 5 shell 1\n");
+  EXPECT_THROW((void)parse_fault_plan(bad3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oaq

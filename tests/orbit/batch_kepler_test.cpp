@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "orbit/batch_kepler.hpp"
+#include "orbit/constellation_builder.hpp"
 
 namespace oaq {
 namespace {
@@ -131,6 +132,50 @@ TEST(BatchKepler, J2DriftedPositionsMatchScalarBitwise) {
 TEST(BatchKepler, J2CircularPositionsMatchScalarBitwise) {
   expect_positions_match(
       Orbit::circular(550.0, deg2rad(85.0), 0.7, 1.3).with_j2());
+}
+
+TEST(BatchKepler, TailLanesMatchScalarOnNonMultipleOfEightShells) {
+  // Width-8 SoA blocks must stay bit-identical to the scalar propagator
+  // when per-plane satellite counts — and hence per-call sample counts —
+  // are not multiples of 8 (ISSUE 8): Iridium-NEXT's 6×11 and Kepler's
+  // 7×20 both leave partial tail blocks. Sweep every satellite of every
+  // plane, and also block the time grid at awkward lengths (1, 3, 11)
+  // to force tails inside a call.
+  for (const char* preset : {"iridium-next", "kepler"}) {
+    const Constellation c = ConstellationBuilder::preset(preset).build();
+    const std::vector<double> t = sweep_times();
+    std::vector<double> x(t.size()), y(t.size()), z(t.size());
+    for (int pi = 0; pi < c.num_planes(); ++pi) {
+      const auto& plane = c.plane(pi);
+      for (int slot = 0; slot < plane.active_count(); ++slot) {
+        const Orbit orbit = plane.orbit_of(slot);
+        const BatchKepler batch(orbit);
+        batch.positions_eci(t.data(), t.size(), x.data(), y.data(), z.data());
+        for (std::size_t i = 0; i < t.size(); ++i) {
+          const Vec3 scalar = orbit.position_eci(Duration::seconds(t[i]));
+          ASSERT_EQ(x[i], scalar.x)
+              << preset << " plane " << pi << " slot " << slot << " t=" << t[i];
+          ASSERT_EQ(y[i], scalar.y)
+              << preset << " plane " << pi << " slot " << slot << " t=" << t[i];
+          ASSERT_EQ(z[i], scalar.z)
+              << preset << " plane " << pi << " slot " << slot << " t=" << t[i];
+        }
+        if (pi == 0 && slot == 0) {
+          // Odd block lengths: values must not depend on the blocking.
+          for (const std::size_t n : {std::size_t{1}, std::size_t{3},
+                                      std::size_t{11}}) {
+            std::vector<double> px(n), py(n), pz(n);
+            batch.positions_eci(t.data(), n, px.data(), py.data(), pz.data());
+            for (std::size_t i = 0; i < n; ++i) {
+              ASSERT_EQ(px[i], x[i]) << preset << " n=" << n;
+              ASSERT_EQ(py[i], y[i]) << preset << " n=" << n;
+              ASSERT_EQ(pz[i], z[i]) << preset << " n=" << n;
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(BatchKepler, MarginSweepIsBlockingInvariant) {

@@ -40,6 +40,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "orbit/constellation_builder.hpp"
 #include "orbit/coverage.hpp"
 
 // Build provenance for the run manifest; the build system injects real
@@ -152,6 +153,58 @@ class Args {
 
   std::map<std::string, std::string> values_;
 };
+
+/// A resolved --constellation value: the shells as specified (for the
+/// manifest and canonical re-serialization) plus the built constellation.
+struct ConstellationChoice {
+  std::vector<WalkerShell> shells;
+  Constellation constellation;
+  std::string origin;  ///< "preset:NAME" or the file path
+};
+
+/// Parse --constellation <preset|file> (nullopt when absent). A value
+/// matching a preset name loads that design point; anything else must be
+/// a readable shell file in the canonical line format (tools/README.md).
+/// Validation is strict either way: unknown names list the presets, and
+/// malformed files fail with the offending line number.
+std::optional<ConstellationChoice> load_constellation(const Args& args) {
+  const std::string value = args.str("constellation");
+  if (value.empty()) return std::nullopt;
+  const auto& names = constellation_preset_names();
+  std::vector<WalkerShell> shells;
+  std::string origin;
+  if (std::find(names.begin(), names.end(), value) != names.end()) {
+    shells = constellation_preset(value);
+    origin = "preset:" + value;
+  } else {
+    std::ifstream is(value);
+    if (!is.good()) {
+      std::string msg = "--constellation: '" + value +
+                        "' is neither a preset (";
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        msg += (i == 0 ? "" : ", ");
+        msg += names[i];
+      }
+      msg += ") nor a readable shell file";
+      throw std::invalid_argument(msg);
+    }
+    try {
+      shells = parse_constellation(is);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("--constellation " + value + ": " +
+                                  e.what());
+    }
+    origin = value;
+  }
+  return ConstellationChoice{shells, build_constellation(shells),
+                             std::move(origin)};
+}
+
+/// Geometric-mode target flags: --lat / --lon in degrees.
+GeoPoint target_from_flags(const Args& args) {
+  return GeoPoint::from_degrees(args.number_in("lat", 0.0, -90.0, 90.0),
+                                args.number_in("lon", 0.0, -180.0, 180.0));
+}
 
 /// Parse --fault-plan FILE (nullopt when absent).
 std::optional<FaultPlan> load_fault_plan(const Args& args) {
@@ -450,11 +503,37 @@ int cmd_simulate(const Args& args) {
   // --metrics output holds with it enabled.
   cfg.queue_metrics = true;
   cfg.batch_episodes = !args.flag("no-batch-episodes");
+  cfg.pooled_episodes = !args.flag("no-pooled-episodes");
   apply_link_flags(args, cfg.protocol);
+
+  // Geometric mode: --constellation <preset|file> (+ --lat/--lon target,
+  // --earth-rotation). Shell-relative fault clauses are resolved against
+  // the constellation's shell layout before arming.
+  const auto con = load_constellation(args);
+  if (con) {
+    cfg.constellation = &con->constellation;
+    cfg.target = target_from_flags(args);
+    cfg.earth_rotation = args.flag("earth-rotation");
+  }
 
   const auto plan = load_fault_plan(args);
   if (args.flag("chaos-sweep")) return run_chaos_sweep(cfg, plan);
-  if (plan && !plan->empty()) cfg.fault_plan = &*plan;
+  std::optional<FaultPlan> resolved;
+  if (plan && !plan->empty()) {
+    if (con) {
+      resolved = plan->resolve(con->constellation);
+    } else {
+      for (const auto& c : plan->clauses()) {
+        if (c.shell >= 0) {
+          throw std::invalid_argument(
+              "--fault-plan uses shell-relative clauses; pass "
+              "--constellation so they can be resolved");
+        }
+      }
+      resolved = *plan;
+    }
+    cfg.fault_plan = &*resolved;
+  }
   cfg.check_invariants =
       args.flag("check-invariants") || cfg.fault_plan != nullptr;
 
@@ -479,6 +558,14 @@ int cmd_simulate(const Args& args) {
   obs.manifest.add_config("reliable",
                           cfg.protocol.reliable_links ? "1" : "0");
   obs.manifest.add_config("batch_episodes", cfg.batch_episodes ? "1" : "0");
+  obs.manifest.add_config("pooled_episodes", cfg.pooled_episodes ? "1" : "0");
+  obs.manifest.add_config("constellation", con ? con->origin : "");
+  if (con) {
+    obs.manifest.add_config("target_lat_deg",
+                            std::to_string(cfg.target.lat_deg()));
+    obs.manifest.add_config("target_lon_deg",
+                            std::to_string(cfg.target.lon_deg()));
+  }
   obs.manifest.add_config("fault_plan",
                           cfg.fault_plan != nullptr ? args.str("fault-plan")
                                                     : "");
@@ -524,8 +611,31 @@ int cmd_campaign(const Args& args) {
   cfg.batch_episodes = !args.flag("no-batch-episodes");
   apply_link_flags(args, cfg.protocol);
 
+  // Geometric mode, exactly as in cmd_simulate.
+  const auto con = load_constellation(args);
+  if (con) {
+    cfg.constellation = &con->constellation;
+    cfg.target = target_from_flags(args);
+    cfg.earth_rotation = args.flag("earth-rotation");
+  }
+
   const auto plan = load_fault_plan(args);
-  if (plan && !plan->empty()) cfg.fault_plan = &*plan;
+  std::optional<FaultPlan> resolved;
+  if (plan && !plan->empty()) {
+    if (con) {
+      resolved = plan->resolve(con->constellation);
+    } else {
+      for (const auto& c : plan->clauses()) {
+        if (c.shell >= 0) {
+          throw std::invalid_argument(
+              "--fault-plan uses shell-relative clauses; pass "
+              "--constellation so they can be resolved");
+        }
+      }
+      resolved = *plan;
+    }
+    cfg.fault_plan = &*resolved;
+  }
   cfg.check_invariants =
       args.flag("check-invariants") || cfg.fault_plan != nullptr;
 
@@ -559,6 +669,13 @@ int cmd_campaign(const Args& args) {
       "loss", std::to_string(cfg.protocol.crosslink_loss_probability));
   obs.manifest.add_config("reliable",
                           cfg.protocol.reliable_links ? "1" : "0");
+  obs.manifest.add_config("constellation", con ? con->origin : "");
+  if (con) {
+    obs.manifest.add_config("target_lat_deg",
+                            std::to_string(cfg.target.lat_deg()));
+    obs.manifest.add_config("target_lon_deg",
+                            std::to_string(cfg.target.lon_deg()));
+  }
   obs.manifest.add_config("fault_plan",
                           cfg.fault_plan != nullptr ? args.str("fault-plan")
                                                     : "");
@@ -1082,15 +1199,72 @@ int cmd_report(const Args& args) {
 }
 
 int cmd_coverage(const Args& args) {
-  const auto c = Constellation::reference();
+  const auto con = load_constellation(args);
+  const Constellation c =
+      con ? con->constellation : Constellation::reference();
   const CoverageAnalyzer analyzer(c);
   const int bands = args.integer("bands", 18);
   TablePrinter table({"lat_deg", "covered", "overlap(>=2)"}, 3);
   for (const auto& b : analyzer.by_latitude_time_averaged(4, bands, 96)) {
     table.add_row({b.lat_deg, b.covered_fraction, b.overlap_fraction});
   }
-  std::cout << "Reference constellation coverage by latitude:\n";
+  std::cout << (con ? con->origin : std::string("reference"))
+            << " constellation coverage by latitude:\n";
   table.print(std::cout);
+  return 0;
+}
+
+/// `oaqctl constellation [--constellation <preset|file>] [--out FILE]`:
+/// summarize a constellation's shell layout and emit the canonical
+/// on-disk form (which re-parses bit-exactly — verified on every run).
+int cmd_constellation(const Args& args) {
+  auto con = load_constellation(args);
+  if (!con) {
+    con = ConstellationChoice{constellation_preset("reference"),
+                              ConstellationBuilder::preset("reference")
+                                  .build(),
+                              "preset:reference"};
+  }
+  const Constellation& c = con->constellation;
+  TablePrinter table({"shell", "walker", "alt km", "incl deg", "layout",
+                      "spares", "period min", "footprint deg"},
+                     1);
+  for (std::size_t s = 0; s < con->shells.size(); ++s) {
+    const WalkerShell& sh = con->shells[s];
+    const ConstellationDesign& d =
+        c.shell_design(static_cast<int>(s));
+    std::ostringstream walker;
+    walker << sh.total_sats << "/" << sh.planes << "/" << sh.phasing;
+    table.add_row({static_cast<long long>(s), walker.str(), sh.altitude_km,
+                   sh.inclination_deg,
+                   std::string(sh.star ? "star" : "delta"),
+                   static_cast<long long>(sh.spares_per_plane),
+                   d.period.to_minutes(), sh.footprint_deg});
+  }
+  std::cout << con->origin << ": " << c.num_shells() << " shell(s), "
+            << c.num_planes() << " planes, " << c.total_active()
+            << " active satellites\n";
+  table.print(std::cout);
+
+  // Canonical serialization; prove the round-trip before anyone ships the
+  // file to another tool.
+  std::ostringstream canonical;
+  write_constellation(con->shells, canonical);
+  {
+    std::istringstream back(canonical.str());
+    OAQ_REQUIRE(parse_constellation(back) == con->shells,
+                "canonical form failed to round-trip");
+  }
+  const std::string out_path = args.str("out");
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    OAQ_REQUIRE(os.good(), "cannot open --out file");
+    os << canonical.str();
+    std::cout << "wrote " << out_path << "\n";
+  } else {
+    std::cout << "canonical form (round-trips through --constellation):\n"
+              << canonical.str();
+  }
   return 0;
 }
 
@@ -1105,6 +1279,8 @@ int help() {
       "  campaign --k K --per-hour R --hours H\n"
       "           [--replications R] [--jobs J]         multi-target load run\n"
       "  coverage [--bands N]                          coverage by latitude\n"
+      "  constellation [--constellation C] [--out F]   shell layout +\n"
+      "           canonical round-trip file of a preset or shell file\n"
       "  trace-summary FILE.jsonl [--metrics FILE.json]\n"
       "           termination-cause x chain table; with --metrics also the\n"
       "           DES ready-queue telemetry (runs, merges, purge ratio)\n"
@@ -1117,6 +1293,14 @@ int help() {
       "are bit-identical for any jobs value. --no-batch-episodes runs the\n"
       "scalar per-episode oracle instead of the (byte-identical) batched\n"
       "SoA engine on the analytic path.\n"
+      "Geometric mode (simulate, campaign, coverage): --constellation C\n"
+      "runs against real orbital geometry, where C is a preset (reference,\n"
+      "kepler, iridium-next, oneweb, starlink) or a Walker shell file (see\n"
+      "tools/README.md); --lat D --lon D place the target (degrees),\n"
+      "--earth-rotation enables Earth rotation, --no-pooled-episodes runs\n"
+      "simulate's scalar per-episode oracle instead of the (byte-identical)\n"
+      "pooled per-shard DES arena. Shell-relative fault clauses require\n"
+      "--constellation and are resolved against its shell layout.\n"
       "Observability (simulate & campaign): --trace FILE writes protocol\n"
       "events as JSONL (bit-identical for any --jobs), --metrics FILE\n"
       "writes the run metrics registry as JSON, --spans FILE writes the\n"
@@ -1158,6 +1342,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "coverage") return cmd_coverage(args);
+    if (cmd == "constellation") return cmd_constellation(args);
     if (cmd == "report") return cmd_report(args);
     return help();
   } catch (const std::exception& e) {

@@ -3,8 +3,9 @@
 # BENCH_3.json (DES kernel + parallel scaling, ISSUE 3), BENCH_4.json
 # (batched Kepler geometry + shared visibility cache, ISSUE 4), BENCH_5.json
 # (fault-injection engine, ISSUE 5), BENCH_6.json (SoA episode batching,
-# ISSUE 6), and BENCH_7.json (episode batching + span-profiler overhead,
-# ISSUE 7) at the repo root.
+# ISSUE 6), BENCH_7.json (episode batching + span-profiler overhead,
+# ISSUE 7), and BENCH_8.json (BENCH_7's pair + the mega-constellation
+# scale-out, ISSUE 8) at the repo root.
 #
 #   tools/run_bench.sh [build-dir]
 #
@@ -12,11 +13,11 @@
 # bench binaries, and joins their lines of the form
 #   BENCH_JSON {...}
 # into single JSON documents (see tools/README.md for the schemas). The
-# des_kernel, geometry_batch, fault_storm, episode_batch, and
-# span_overhead binaries enforce their acceptance gates (>= 2x speedups,
-# <= 5% overheads, zero steady-state allocations), so a failing gate
-# fails this script. Afterwards bench_trend compares BENCH_6 -> BENCH_7
-# and fails on a gated throughput regression.
+# des_kernel, geometry_batch, fault_storm, episode_batch, span_overhead,
+# and constellation_scale binaries enforce their acceptance gates
+# (>= 1.5-2x speedups, <= 5% overheads, zero steady-state allocations),
+# so a failing gate fails this script. Afterwards bench_trend compares
+# BENCH_7 -> BENCH_8 and fails on a gated throughput regression.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,14 +26,15 @@ build_dir="${1:-"${repo_root}/build-bench"}"
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j \
   --target des_kernel parallel_scaling geometry_batch fault_storm \
-  episode_batch span_overhead bench_trend >/dev/null
+  episode_batch span_overhead constellation_scale bench_trend >/dev/null
 
 log3="$(mktemp)"
 log4="$(mktemp)"
 log5="$(mktemp)"
 log6="$(mktemp)"
 log7="$(mktemp)"
-trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}" "${log7}"' EXIT
+log8="$(mktemp)"
+trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}" "${log7}" "${log8}"' EXIT
 
 # Join a log's BENCH_JSON payloads into {"benchmarks": [...]}.
 aggregate() {
@@ -66,6 +68,12 @@ echo "== episode_batch + span_overhead ==" >&2
 "${build_dir}/bench/span_overhead" | tee -a "${log7}" >&2
 aggregate "${log7}" "${repo_root}/BENCH_7.json"
 
-echo "== bench_trend BENCH_6 -> BENCH_7 ==" >&2
+echo "== episode_batch + span_overhead + constellation_scale ==" >&2
+"${build_dir}/bench/episode_batch" | tee -a "${log8}" >&2
+"${build_dir}/bench/span_overhead" | tee -a "${log8}" >&2
+"${build_dir}/bench/constellation_scale" | tee -a "${log8}" >&2
+aggregate "${log8}" "${repo_root}/BENCH_8.json"
+
+echo "== bench_trend BENCH_7 -> BENCH_8 ==" >&2
 "${build_dir}/tools/bench_trend" --max-regression 10 \
-  "${repo_root}/BENCH_6.json" "${repo_root}/BENCH_7.json" >&2
+  "${repo_root}/BENCH_7.json" "${repo_root}/BENCH_8.json" >&2
