@@ -44,6 +44,7 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
   net_opt.backoff_base = config_.link_backoff_base;
   CrosslinkNetwork net(sim, net_opt, rng.fork(0x6e6574));
   net.set_trace(trace, episode_id);
+  if (hooks != nullptr) net.set_ledger(hooks->ledger);
 
   TargetEpisode episode(episode_id, sim, net, *schedule_, config_, oaq_, rng,
                         /*calendar=*/nullptr, &known_failed, trace);
@@ -85,7 +86,8 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
   // or network streams above.
   std::optional<FaultInjector> injector;
   if (plan != nullptr) {
-    injector.emplace(sim, net, *plan, rng.fork(0x666c74), trace, episode_id);
+    injector.emplace(sim, net, *plan, rng.fork(0x666c74), trace, episode_id,
+                     hooks->ledger);
     injector->arm(signal_start);
   }
 

@@ -134,13 +134,17 @@ struct EpisodeResult {
 
 class FaultPlan;         // src/fault/plan.hpp
 class InvariantChecker;  // src/fault/invariants.hpp
+class EpisodeLedger;     // src/obs/ledger.hpp
 
 /// Optional fault-injection hooks of one episode run. The plan's clause
 /// times are relative to the signal start; the checker (when attached)
-/// audits the episode result and the DES accounting after finalize.
+/// audits the episode result and the DES accounting after finalize; the
+/// ledger (when attached) receives every final drop, retry, and fault
+/// activation attributed to this episode's row.
 struct EpisodeFaultHooks {
   const FaultPlan* plan = nullptr;
   InvariantChecker* invariants = nullptr;
+  EpisodeLedger* ledger = nullptr;
 };
 
 /// Runs one signal episode against a coverage schedule.

@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "fault/invariants.hpp"
 #include "fault/plan.hpp"
+#include "obs/ledger.hpp"
 #include "oaq/batch_episode.hpp"
 #include "oaq/pooled_episode.hpp"
 #include "orbit/shared_visibility_cache.hpp"
@@ -37,6 +38,7 @@ struct EpisodeAccum {
   int max_chain_length = 0;
   MetricsRegistry metrics;  ///< shard-local; empty when metrics are off
   InvariantChecker invariants;  ///< shard-local; idle when checks are off
+  EpisodeLedger ledger;  ///< shard-local; untouched when no sink is attached
 
   void merge(EpisodeAccum&& other) {
     level_pmf.merge(other.level_pmf);
@@ -48,6 +50,7 @@ struct EpisodeAccum {
     max_chain_length = std::max(max_chain_length, other.max_chain_length);
     metrics.merge(other.metrics);
     invariants.merge(other.invariants);
+    ledger.merge(other.ledger);
   }
 };
 
@@ -111,6 +114,10 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   OAQ_REQUIRE(config.k > 0, "need at least one satellite");
   OAQ_REQUIRE(config.episodes > 0, "need at least one episode");
   OAQ_REQUIRE(config.mu > Rate::zero(), "termination rate must be positive");
+  OAQ_REQUIRE(
+      config.interleave_width >= 0 &&
+          config.interleave_width <= kEpisodeBatchWidth,
+      "interleave width must be 0 (block width) or in [1, block width]");
 
   const Rng master(config.seed);
   const Rng episode_rng = master.fork(3);
@@ -183,9 +190,12 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
     EpisodeFaultHooks hooks;
     hooks.plan = config.fault_plan;
     hooks.invariants = config.check_invariants ? &acc.invariants : nullptr;
+    hooks.ledger = config.ledger != nullptr ? &acc.ledger : nullptr;
     const EpisodeFaultHooks* hooks_ptr =
-        config.fault_plan != nullptr || config.check_invariants ? &hooks
-                                                                : nullptr;
+        config.fault_plan != nullptr || config.check_invariants ||
+                config.ledger != nullptr
+            ? &hooks
+            : nullptr;
     EpisodeResult r;
     if (geometric) {
       const EpisodeEngine engine(*geo_schedule, config.protocol,
@@ -266,13 +276,15 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
                                     config.protocol,
                                     config.opportunity_adaptive,
                                     *duration_law, episode_rng, signal_start,
-                                    config.fault_plan);
+                                    config.fault_plan,
+                                    config.interleave_width);
           engine.run(begin, end, trace,
                      config.check_invariants ? &acc.invariants : nullptr,
                      [&](std::int64_t, const EpisodeResult& r) {
                        accumulate(acc, r);
                      },
-                     spans);
+                     spans,
+                     config.ledger != nullptr ? &acc.ledger : nullptr);
           if (want_metrics && config.batch_metrics) {
             const BatchEpisodeStats& bs = engine.stats();
             acc.metrics.add("sim.batch.batches",
@@ -381,6 +393,12 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
         static_cast<std::int64_t>(total.invariants.violations()));
   }
   if (want_metrics) *config.metrics = std::move(total.metrics);
+  if (config.ledger != nullptr) {
+    // Quiet top episode ids leave shard ledgers short; size the merged
+    // ledger to the run so row(e) is valid for every episode.
+    total.ledger.reserve(static_cast<std::size_t>(config.episodes));
+    *config.ledger = std::move(total.ledger);
+  }
 
   SimulatedQos out;
   out.episodes = config.episodes;

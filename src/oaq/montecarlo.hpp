@@ -21,6 +21,8 @@
 
 namespace oaq {
 
+class EpisodeLedger;  // src/obs/ledger.hpp
+
 /// Episode-count shard target of simulate_qos: enough shards for good load
 /// balance at any realistic worker count, few enough that per-shard setup
 /// is negligible. Fixed (never derived from the worker count) so the merge
@@ -75,6 +77,13 @@ struct QosSimulationConfig {
   /// as the oracle and still serves geometric mode (which has no
   /// closed-form escape test).
   bool batch_episodes = true;
+  /// Armed lanes multiplexed over one episode-tagged event timeline per
+  /// batch-engine group (DESIGN.md §15). 0 = the block width
+  /// (kEpisodeBatchWidth, the default), 1 = the sequential drain
+  /// (reset → drain one lane → reset), other values must lie in
+  /// [1, kEpisodeBatchWidth]. Output bytes are identical at every width.
+  /// Ignored unless `batch_episodes` applies.
+  int interleave_width = 0;
   /// Export the batch engine's `sim.batch.*` occupancy counters into
   /// `metrics`. Off by default, like queue_metrics: the golden metrics
   /// files predate these keys.
@@ -122,6 +131,14 @@ struct QosSimulationConfig {
   /// only wall_ns varies. Exported as Chrome trace-event JSON by oaqctl
   /// --spans.
   SpanProfiler* spans = nullptr;
+  /// Receives the merged per-episode attribution ledger: every final
+  /// drop, retry, and fault activation keyed by episode id. Served by the
+  /// scalar and batched analytic engines and the scalar geometric engine
+  /// (the pooled geometric arena does not attribute; disable
+  /// `pooled_episodes` to collect rows in geometric mode). Rows are
+  /// additive counters folded shard-wise in shard order, so the ledger
+  /// bytes are identical for any jobs value and any interleave width.
+  EpisodeLedger* ledger = nullptr;
 };
 
 /// Aggregated outcome of a Monte-Carlo QoS experiment. Counters are 64-bit

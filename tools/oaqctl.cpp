@@ -31,6 +31,7 @@
 #include "common/table.hpp"
 #include "fault/plan.hpp"
 #include "fault/plane_capacity.hpp"
+#include "oaq/batch_episode.hpp"
 #include "oaq/montecarlo.hpp"
 #include "oaq/campaign.hpp"
 #include "oaq/planner.hpp"
@@ -504,6 +505,26 @@ int cmd_simulate(const Args& args) {
   cfg.queue_metrics = true;
   cfg.batch_episodes = !args.flag("no-batch-episodes");
   cfg.pooled_episodes = !args.flag("no-pooled-episodes");
+  // Batch-engine occupancy counters are pure functions of the episode
+  // sequence, so they share queue_metrics' determinism contract.
+  cfg.batch_metrics = true;
+  // Strict: --interleave-width only means something on the batch engine,
+  // so the combination with --no-batch-episodes is a contradiction, not a
+  // silent no-op; out-of-range widths are a one-line error likewise.
+  if (args.flag("interleave-width")) {
+    if (!cfg.batch_episodes) {
+      throw std::invalid_argument(
+          "--interleave-width requires the batch engine; drop "
+          "--no-batch-episodes");
+    }
+    const int width = args.integer("interleave-width", 0);
+    if (width < 0 || width > kEpisodeBatchWidth) {
+      throw std::invalid_argument(
+          "--interleave-width must be 0 (block width) or in [1, " +
+          std::to_string(kEpisodeBatchWidth) + "]");
+    }
+    cfg.interleave_width = width;
+  }
   apply_link_flags(args, cfg.protocol);
 
   // Geometric mode: --constellation <preset|file> (+ --lat/--lon target,
@@ -558,6 +579,8 @@ int cmd_simulate(const Args& args) {
   obs.manifest.add_config("reliable",
                           cfg.protocol.reliable_links ? "1" : "0");
   obs.manifest.add_config("batch_episodes", cfg.batch_episodes ? "1" : "0");
+  obs.manifest.add_config("interleave_width",
+                          std::to_string(cfg.interleave_width));
   obs.manifest.add_config("pooled_episodes", cfg.pooled_episodes ? "1" : "0");
   obs.manifest.add_config("constellation", con ? con->origin : "");
   if (con) {
@@ -1103,6 +1126,29 @@ int cmd_report(const Args& args) {
       table.add_row({std::string("sim events"), counter("sim.events")});
       table.print(std::cout);
     }
+    // Batch-engine section (ISSUE 9): armed/escaped lane split and the
+    // per-batch armed-lane occupancy histogram, when the run exported
+    // sim.batch.* counters (simulate's analytic path with batch metrics).
+    if (counters != nullptr &&
+        counters->find("sim.batch.batches") != nullptr) {
+      const long long episodes = counter("sim.batch.episodes");
+      const long long armed = counter("sim.batch.des_lanes");
+      const long long escaped = counter("sim.batch.escaped");
+      TablePrinter table({"batch engine", "value"}, 0);
+      table.add_row({std::string("batches"), counter("sim.batch.batches")});
+      table.add_row({std::string("episodes"), episodes});
+      table.add_row({std::string("armed lanes"), armed});
+      table.add_row({std::string("escaped (closed form)"), escaped});
+      table.print(std::cout);
+      TablePrinter hist({"armed lanes per batch", "batches"}, 0);
+      for (int occ = 0;; ++occ) {
+        const std::string key =
+            "sim.batch.occupancy." + std::to_string(occ);
+        if (counters->find(key) == nullptr) break;
+        hist.add_row({std::to_string(occ), counter(key)});
+      }
+      hist.print(std::cout);
+    }
   }
 
   // --- Optional consolidated JSON document. ---
@@ -1182,6 +1228,23 @@ int cmd_report(const Args& args) {
       bool first_counter = true;
       for (const auto& [key, value] : counters->object) {
         if (key.rfind("sim.queue.", 0) != 0 && key != "sim.events") continue;
+        os << (first_counter ? "" : ",");
+        write_json_string(os, key);
+        os << ":";
+        write_json_double(os, value.number);
+        first_counter = false;
+      }
+      os << "}";
+    } else {
+      os << "null";
+    }
+    os << ",\"batch\":";
+    if (counters != nullptr &&
+        counters->find("sim.batch.batches") != nullptr) {
+      os << "{";
+      bool first_counter = true;
+      for (const auto& [key, value] : counters->object) {
+        if (key.rfind("sim.batch.", 0) != 0) continue;
         os << (first_counter ? "" : ",");
         write_json_string(os, key);
         os << ":";
@@ -1287,12 +1350,16 @@ int help() {
       "  report   [--trace T] [--metrics M] [--spans S] [--manifest F]\n"
       "           [--top N] [--json OUT]   one consolidated run report:\n"
       "           manifest identity, latency percentiles, cause x drops,\n"
-      "           top spans, queue telemetry (oaq-report-v1 JSON via --json)\n"
+      "           top spans, queue telemetry, batch-engine occupancy\n"
+      "           (oaq-report-v1 JSON via --json)\n"
       "Monte-Carlo commands run on all cores by default; --jobs N (or the\n"
       "OAQ_JOBS env var) overrides, --jobs 1 is the serial path. Results\n"
       "are bit-identical for any jobs value. --no-batch-episodes runs the\n"
       "scalar per-episode oracle instead of the (byte-identical) batched\n"
-      "SoA engine on the analytic path.\n"
+      "SoA engine on the analytic path. simulate --interleave-width W\n"
+      "multiplexes W armed lanes per batch over one episode-tagged event\n"
+      "timeline (0 = block width, 1 = sequential drain; output bytes are\n"
+      "identical at every width, so the flag is purely operational).\n"
       "Geometric mode (simulate, campaign, coverage): --constellation C\n"
       "runs against real orbital geometry, where C is a preset (reference,\n"
       "kepler, iridium-next, oneweb, starlink) or a Walker shell file (see\n"

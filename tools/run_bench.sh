@@ -4,8 +4,10 @@
 # (batched Kepler geometry + shared visibility cache, ISSUE 4), BENCH_5.json
 # (fault-injection engine, ISSUE 5), BENCH_6.json (SoA episode batching,
 # ISSUE 6), BENCH_7.json (episode batching + span-profiler overhead,
-# ISSUE 7), and BENCH_8.json (BENCH_7's pair + the mega-constellation
-# scale-out, ISSUE 8) at the repo root.
+# ISSUE 7), BENCH_8.json (BENCH_7's pair + the mega-constellation
+# scale-out, ISSUE 8), and BENCH_9.json (the same trio, with
+# episode_batch now also emitting its episode_interleave payload,
+# ISSUE 9) at the repo root.
 #
 #   tools/run_bench.sh [build-dir]
 #
@@ -17,7 +19,7 @@
 # and constellation_scale binaries enforce their acceptance gates
 # (>= 1.5-2x speedups, <= 5% overheads, zero steady-state allocations),
 # so a failing gate fails this script. Afterwards bench_trend compares
-# BENCH_7 -> BENCH_8 and fails on a gated throughput regression.
+# BENCH_8 -> BENCH_9 and fails on a gated throughput regression.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,7 +36,8 @@ log5="$(mktemp)"
 log6="$(mktemp)"
 log7="$(mktemp)"
 log8="$(mktemp)"
-trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}" "${log7}" "${log8}"' EXIT
+log9="$(mktemp)"
+trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}" "${log7}" "${log8}" "${log9}"' EXIT
 
 # Join a log's BENCH_JSON payloads into {"benchmarks": [...]}.
 aggregate() {
@@ -74,6 +77,12 @@ echo "== episode_batch + span_overhead + constellation_scale ==" >&2
 "${build_dir}/bench/constellation_scale" | tee -a "${log8}" >&2
 aggregate "${log8}" "${repo_root}/BENCH_8.json"
 
-echo "== bench_trend BENCH_7 -> BENCH_8 ==" >&2
+echo "== episode_batch (interleave) + span_overhead + constellation_scale ==" >&2
+"${build_dir}/bench/episode_batch" | tee -a "${log9}" >&2
+"${build_dir}/bench/span_overhead" | tee -a "${log9}" >&2
+"${build_dir}/bench/constellation_scale" | tee -a "${log9}" >&2
+aggregate "${log9}" "${repo_root}/BENCH_9.json"
+
+echo "== bench_trend BENCH_8 -> BENCH_9 ==" >&2
 "${build_dir}/tools/bench_trend" --max-regression 10 \
-  "${repo_root}/BENCH_7.json" "${repo_root}/BENCH_8.json" >&2
+  "${repo_root}/BENCH_8.json" "${repo_root}/BENCH_9.json" >&2
