@@ -22,6 +22,14 @@ constexpr TraceEventType trace_type_of(FaultClauseKind kind) {
       return TraceEventType::kFaultBurstLoss;
     case FaultClauseKind::kPartition:
       return TraceEventType::kFaultPartition;
+    case FaultClauseKind::kLinkLoss:
+      return TraceEventType::kFaultLinkLoss;
+    case FaultClauseKind::kGeLoss:
+    case FaultClauseKind::kOutageTrain:
+    case FaultClauseKind::kSatLifecycle:
+      // Stochastic kinds are expanded away before arming; they never
+      // reach the event loop (the mapping is only for completeness).
+      return TraceEventType::kFaultLinkLoss;
   }
   return TraceEventType::kFaultFailSilent;  // unreachable
 }
@@ -31,18 +39,31 @@ constexpr TraceEventType trace_type_of(FaultClauseKind kind) {
 FaultInjector::FaultInjector(Simulator& sim, CrosslinkNetwork& net,
                              const FaultPlan& plan, Rng rng,
                              ShardTraceBuffer* trace, std::int64_t episode_id,
-                             EpisodeLedger* ledger)
+                             EpisodeLedger* ledger,
+                             FaultProcessExpander* expander)
     : sim_(&sim),
       net_(&net),
       plan_(&plan),
       rng_(rng),
       trace_(trace),
       episode_id_(episode_id),
-      ledger_(ledger) {}
+      ledger_(ledger),
+      expander_(expander) {}
 
 void FaultInjector::arm(TimePoint anchor) {
   OAQ_REQUIRE(!armed_, "a FaultInjector arms exactly once");
   armed_ = true;
+  if (has_stochastic_clauses(*plan_)) {
+    // Expand the generative clauses into scripted ones from the reserved
+    // fault stream — before any event fires, so protocol draws are
+    // untouched and the expansion is identical at any worker count.
+    if (expander_ == nullptr) {
+      owned_expander_ = std::make_unique<FaultProcessExpander>();
+      expander_ = owned_expander_.get();
+    }
+    plan_ = &expander_->expand(*plan_, rng_);
+    stats_.expanded_clauses = plan_->size();
+  }
   stats_.clauses_armed = plan_->size();
   if (plan_->empty()) return;
 
@@ -84,6 +105,19 @@ void FaultInjector::activate(std::size_t index) {
     case FaultClauseKind::kPartition:
       net_->push_partition(token, c.plane_mask);
       break;
+    case FaultClauseKind::kLinkLoss:
+      net_->push_link_loss(token, c.plane_a, c.plane_b, c.value);
+      break;
+    case FaultClauseKind::kGeLoss:
+    case FaultClauseKind::kOutageTrain:
+    case FaultClauseKind::kSatLifecycle:
+      break;  // unreachable: expanded away in arm()
+  }
+  if (c.origin == FaultClauseOrigin::kLifecycle) {
+    // Spare-swap accounting (invariant I11): lifecycle expansions always
+    // emit matched death/spare pairs, and both events always fire.
+    if (c.kind == FaultClauseKind::kFailSilent) ++stats_.lifecycle_deaths;
+    if (c.kind == FaultClauseKind::kRecover) ++stats_.lifecycle_spares;
   }
   ++stats_.activations;
   if (ledger_ != nullptr) ledger_->record_fault(episode_id_);
@@ -106,9 +140,16 @@ void FaultInjector::deactivate(std::size_t index) {
     case FaultClauseKind::kPartition:
       net_->pop_partition(token);
       break;
+    case FaultClauseKind::kLinkLoss:
+      net_->pop_link_loss(token);
+      break;
     case FaultClauseKind::kFailSilent:
     case FaultClauseKind::kRecover:
       break;  // point clauses never deactivate
+    case FaultClauseKind::kGeLoss:
+    case FaultClauseKind::kOutageTrain:
+    case FaultClauseKind::kSatLifecycle:
+      break;  // unreachable: expanded away in arm()
   }
   trace_clause(c, -1);
 }
@@ -138,6 +179,15 @@ void FaultInjector::trace_clause(const FaultClause& c,
     case FaultClauseKind::kPartition:
       ev.v = static_cast<double>(c.plane_mask.low_word());
       break;
+    case FaultClauseKind::kLinkLoss:
+      ev.sat = static_cast<std::int16_t>(c.plane_a);
+      ev.peer = static_cast<std::int16_t>(c.plane_b);
+      ev.v = c.value;
+      break;
+    case FaultClauseKind::kGeLoss:
+    case FaultClauseKind::kOutageTrain:
+    case FaultClauseKind::kSatLifecycle:
+      break;  // unreachable: expanded away in arm()
   }
   trace_->push(ev);
 }

@@ -44,6 +44,34 @@ void InvariantChecker::check_episode(std::int64_t episode_id,
   if (drops == 0 && t.faults_injected == 0 && !r.all_participants_resolved) {
     record(episode_id, "I7", "unresolved participant in a clean episode");
   }
+  const std::int64_t participants =
+      static_cast<std::int64_t>(r.participants.size());
+  const std::int64_t reroute_bound =
+      static_cast<std::int64_t>(r.horizon_passes) *
+      (participants > 0 ? participants : 1);
+  if (r.reroutes > reroute_bound) {
+    std::ostringstream os;
+    os << r.reroutes << " re-routes exceed the search space bound "
+       << reroute_bound << " (routing livelock)";
+    record(episode_id, "I9", os.str());
+  }
+  if (t.links_demoted != t.links_restored + t.links_demoted_end) {
+    std::ostringstream os;
+    os << "health-state imbalance: demoted " << t.links_demoted
+       << " != restored " << t.links_restored << " + still-demoted "
+       << t.links_demoted_end;
+    record(episode_id, "I10", os.str());
+  }
+  if (t.lifecycle_deaths != t.lifecycle_spares) {
+    std::ostringstream os;
+    os << "spare-swap imbalance: " << t.lifecycle_deaths << " deaths vs "
+       << t.lifecycle_spares << " spare activations";
+    record(episode_id, "I11", os.str());
+  }
+  if (t.degradation_active_end != 0) {
+    record(episode_id, "I12",
+           "windowed degradation still active after quiesce");
+  }
 }
 
 void InvariantChecker::check_simulator(std::int64_t episode_id,

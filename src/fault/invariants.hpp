@@ -22,6 +22,23 @@
 //   I8 the kernel's ledger balances: scheduled = processed + cancelled +
 //      still-pending (no leaked or double-freed pooled events).
 //
+// ISSUE 10 adds four robustness invariants over the self-healing link
+// layer and the stochastic fault processes:
+//
+//   I9  no routing livelock: health-aware re-routes are bounded by
+//       horizon_passes × participants — each re-route strictly advances
+//       the chain's pass cursor, so it cannot exceed the search space;
+//   I10 health-state conservation: every demotion is either restored
+//       during the episode or still demoted at its end
+//       (links_demoted = links_restored + links_demoted_end);
+//   I11 spare-swap accounting: sat_lifecycle expansions emit matched
+//       death/spare pairs and the run drains both, so fired lifecycle
+//       deaths equal fired lifecycle spares;
+//   I12 recovery bounded on quiesce: once the episode drains, no windowed
+//       degradation (outage, partition, loss override, delay spike,
+//       link-loss overlay) is still active — every activate met its
+//       deactivate.
+//
 // Always compiled in; a detached checker is a null pointer at the call
 // sites (EpisodeFaultHooks), so the default path pays one branch.
 #pragma once
@@ -40,7 +57,7 @@ class InvariantChecker {
   /// Retained violation descriptions (the count is unbounded).
   static constexpr std::size_t kMaxSamples = 32;
 
-  /// Audit one finished episode (I1–I7).
+  /// Audit one finished episode (I1–I7, I9–I12).
   void check_episode(std::int64_t episode_id, const EpisodeResult& result,
                      const ProtocolConfig& config);
 

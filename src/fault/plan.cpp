@@ -14,12 +14,23 @@ namespace oaq {
 namespace {
 
 constexpr std::string_view kKindNames[] = {
-    "fail_silent", "recover",    "link_outage",
-    "delay_spike", "burst_loss", "partition",
+    "fail_silent", "recover",      "link_outage", "delay_spike",
+    "burst_loss",  "partition",    "link_loss",   "ge_loss",
+    "outage_train", "sat_lifecycle",
 };
 
+// `what` stays a C string so a passing check allocates nothing — add() is
+// on the stochastic-expansion hot path (bench/chaos_soak's 0-alloc gate).
+void require(bool condition, const char* what) {
+  if (!condition) {
+    throw std::invalid_argument(std::string("fault plan: ") + what);
+  }
+}
+
+// Cold-path overload for call sites that compose their message (resolve()
+// diagnostics); the composition itself only happens on failure paths there.
 void require(bool condition, const std::string& what) {
-  if (!condition) throw std::invalid_argument("fault plan: " + what);
+  require(condition, what.c_str());
 }
 
 void validate_plane(int plane) {
@@ -32,6 +43,12 @@ void validate_plane(int plane) {
 std::string_view to_string(FaultClauseKind kind) {
   const auto i = static_cast<std::size_t>(kind);
   return i < std::size(kKindNames) ? kKindNames[i] : "unknown";
+}
+
+bool is_stochastic(FaultClauseKind kind) {
+  return kind == FaultClauseKind::kGeLoss ||
+         kind == FaultClauseKind::kOutageTrain ||
+         kind == FaultClauseKind::kSatLifecycle;
 }
 
 FaultPlan& FaultPlan::add(const FaultClause& clause) {
@@ -61,6 +78,32 @@ FaultPlan& FaultPlan::add(const FaultClause& clause) {
       require(!clause.plane_mask.all() &&
                   clause.plane_mask != PlaneSet(~std::uint64_t{0}),
               "partition of every plane cuts nothing");
+      break;
+    case FaultClauseKind::kLinkLoss:
+      validate_plane(clause.plane_a);
+      validate_plane(clause.plane_b);
+      require(clause.value >= 0.0 && clause.value <= 1.0,
+              "loss probability must be in [0, 1]");
+      break;
+    case FaultClauseKind::kGeLoss:
+      validate_plane(clause.plane_a);
+      validate_plane(clause.plane_b);
+      require(clause.param_a > 0.0, "good->bad rate must be positive");
+      require(clause.param_b > 0.0, "bad->good rate must be positive");
+      require(clause.value >= 0.0 && clause.value <= 1.0,
+              "bad-state loss probability must be in [0, 1]");
+      break;
+    case FaultClauseKind::kOutageTrain:
+      validate_plane(clause.plane_a);
+      validate_plane(clause.plane_b);
+      require(clause.param_a > 0.0, "mean up dwell must be positive");
+      require(clause.param_b > 0.0, "mean down dwell must be positive");
+      break;
+    case FaultClauseKind::kSatLifecycle:
+      validate_plane(clause.satellite.plane);
+      require(clause.satellite.slot >= 0, "satellite slot must be >= 0");
+      require(clause.param_a > 0.0, "death rate must be positive");
+      require(clause.param_b > 0.0, "mean spare delay must be positive");
       break;
   }
   require(clause.shell >= -1, "shell index must be >= 0 (or -1 for global)");
@@ -134,15 +177,77 @@ FaultClause FaultPlan::partition(PlaneSet plane_mask, Duration t0,
   return c;
 }
 
+FaultClause FaultPlan::link_loss(int plane_a, int plane_b, double probability,
+                                 Duration t0, Duration t1, int shell) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kLinkLoss;
+  c.plane_a = plane_a;
+  c.plane_b = plane_b;
+  c.value = probability;
+  c.window_start = t0;
+  c.window_end = t1;
+  c.shell = shell;
+  return c;
+}
+
+FaultClause FaultPlan::ge_loss(int plane_a, int plane_b, double p_rate,
+                               double r_rate, double loss, Duration t0,
+                               Duration t1, int shell) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kGeLoss;
+  c.plane_a = plane_a;
+  c.plane_b = plane_b;
+  c.param_a = p_rate;
+  c.param_b = r_rate;
+  c.value = loss;
+  c.window_start = t0;
+  c.window_end = t1;
+  c.shell = shell;
+  return c;
+}
+
+FaultClause FaultPlan::outage_train(int plane_a, int plane_b,
+                                    double up_mean_min, double down_mean_min,
+                                    Duration t0, Duration t1, int shell) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kOutageTrain;
+  c.plane_a = plane_a;
+  c.plane_b = plane_b;
+  c.param_a = up_mean_min;
+  c.param_b = down_mean_min;
+  c.window_start = t0;
+  c.window_end = t1;
+  c.shell = shell;
+  return c;
+}
+
+FaultClause FaultPlan::sat_lifecycle(SatelliteId sat, double death_rate,
+                                     double spare_mean_min, Duration t0,
+                                     Duration t1, int shell) {
+  FaultClause c;
+  c.kind = FaultClauseKind::kSatLifecycle;
+  c.satellite = sat;
+  c.param_a = death_rate;
+  c.param_b = spare_mean_min;
+  c.window_start = t0;
+  c.window_end = t1;
+  c.shell = shell;
+  return c;
+}
+
 int FaultPlan::max_plane() const {
   int max = -1;
   for (const FaultClause& c : clauses_) {
     switch (c.kind) {
       case FaultClauseKind::kFailSilent:
       case FaultClauseKind::kRecover:
+      case FaultClauseKind::kSatLifecycle:
         max = std::max(max, c.satellite.plane);
         break;
       case FaultClauseKind::kLinkOutage:
+      case FaultClauseKind::kLinkLoss:
+      case FaultClauseKind::kGeLoss:
+      case FaultClauseKind::kOutageTrain:
         max = std::max({max, c.plane_a, c.plane_b});
         break;
       case FaultClauseKind::kPartition:
@@ -176,10 +281,14 @@ FaultPlan FaultPlan::resolve(const Constellation& constellation) const {
       switch (c.kind) {
         case FaultClauseKind::kFailSilent:
         case FaultClauseKind::kRecover:
+        case FaultClauseKind::kSatLifecycle:
           in_shell(c.satellite.plane);
           c.satellite.plane += offset;
           break;
         case FaultClauseKind::kLinkOutage:
+        case FaultClauseKind::kLinkLoss:
+        case FaultClauseKind::kGeLoss:
+        case FaultClauseKind::kOutageTrain:
           in_shell(c.plane_a);
           in_shell(c.plane_b);
           c.plane_a += offset;
@@ -209,11 +318,22 @@ namespace {
 
 double read_number(std::istringstream& fields, int line_no,
                    std::string_view what) {
-  double value = 0.0;
-  if (!(fields >> value)) {
+  // Read the raw token first so a malformed field can be echoed back in
+  // the error instead of the bare "expected <field>" the stream operator
+  // would leave us with.
+  std::string token;
+  if (!(fields >> token)) {
     parse_fail(line_no, "expected " + std::string(what));
   }
-  return value;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    parse_fail(line_no,
+               "expected " + std::string(what) + ", got '" + token + "'");
+  }
 }
 
 int read_int(std::istringstream& fields, int line_no, std::string_view what) {
@@ -254,6 +374,10 @@ PlaneSet read_plane_set(std::istringstream& fields, int line_no) {
 }  // namespace
 
 FaultPlan parse_fault_plan(std::istream& is) {
+  return parse_fault_plan(is, Duration::infinity());
+}
+
+FaultPlan parse_fault_plan(std::istream& is, Duration horizon) {
   FaultPlan plan;
   std::string line;
   int line_no = 0;
@@ -301,6 +425,52 @@ FaultPlan parse_fault_plan(std::istream& is) {
       const Duration t1 =
           Duration::minutes(read_number(fields, line_no, "end (min)"));
       clause = FaultPlan::partition(mask, t0, t1);
+    } else if (keyword == "link_loss") {
+      const int plane_a = read_int(fields, line_no, "plane_a");
+      const int plane_b = read_int(fields, line_no, "plane_b");
+      const double loss = read_number(fields, line_no, "loss probability");
+      const Duration t0 =
+          Duration::minutes(read_number(fields, line_no, "start (min)"));
+      const Duration t1 =
+          Duration::minutes(read_number(fields, line_no, "end (min)"));
+      clause = FaultPlan::link_loss(plane_a, plane_b, loss, t0, t1);
+    } else if (keyword == "ge_loss") {
+      const int plane_a = read_int(fields, line_no, "plane_a");
+      const int plane_b = read_int(fields, line_no, "plane_b");
+      const double p_rate =
+          read_number(fields, line_no, "good->bad rate (per min)");
+      const double r_rate =
+          read_number(fields, line_no, "bad->good rate (per min)");
+      const double loss = read_number(fields, line_no, "bad-state loss");
+      const Duration t0 =
+          Duration::minutes(read_number(fields, line_no, "start (min)"));
+      const Duration t1 =
+          Duration::minutes(read_number(fields, line_no, "end (min)"));
+      clause = FaultPlan::ge_loss(plane_a, plane_b, p_rate, r_rate, loss, t0,
+                                  t1);
+    } else if (keyword == "outage_train") {
+      const int plane_a = read_int(fields, line_no, "plane_a");
+      const int plane_b = read_int(fields, line_no, "plane_b");
+      const double up = read_number(fields, line_no, "mean up dwell (min)");
+      const double down =
+          read_number(fields, line_no, "mean down dwell (min)");
+      const Duration t0 =
+          Duration::minutes(read_number(fields, line_no, "start (min)"));
+      const Duration t1 =
+          Duration::minutes(read_number(fields, line_no, "end (min)"));
+      clause = FaultPlan::outage_train(plane_a, plane_b, up, down, t0, t1);
+    } else if (keyword == "sat_lifecycle") {
+      const int plane = read_int(fields, line_no, "plane");
+      const int slot = read_int(fields, line_no, "slot");
+      const double death =
+          read_number(fields, line_no, "death rate (per min)");
+      const double spare =
+          read_number(fields, line_no, "mean spare delay (min)");
+      const Duration t0 =
+          Duration::minutes(read_number(fields, line_no, "start (min)"));
+      const Duration t1 =
+          Duration::minutes(read_number(fields, line_no, "end (min)"));
+      clause = FaultPlan::sat_lifecycle({plane, slot}, death, spare, t0, t1);
     } else {
       parse_fail(line_no, "unknown clause '" + keyword + "'");
     }
@@ -308,10 +478,9 @@ FaultPlan parse_fault_plan(std::istream& is) {
     if (fields >> extra) {
       // Optional trailing shell token on the plane-addressed kinds:
       // `... shell N` makes the clause's plane indices shell-relative.
-      const bool plane_addressed = clause.kind == FaultClauseKind::kFailSilent ||
-                                   clause.kind == FaultClauseKind::kRecover ||
-                                   clause.kind == FaultClauseKind::kLinkOutage ||
-                                   clause.kind == FaultClauseKind::kPartition;
+      const bool plane_addressed =
+          clause.kind != FaultClauseKind::kDelaySpike &&
+          clause.kind != FaultClauseKind::kBurstLoss;
       if (plane_addressed && extra == "shell") {
         clause.shell = read_int(fields, line_no, "shell index");
         if (clause.shell < 0) parse_fail(line_no, "shell index must be >= 0");
@@ -320,6 +489,18 @@ FaultPlan parse_fault_plan(std::istream& is) {
         }
       } else {
         parse_fail(line_no, "trailing text '" + extra + "'");
+      }
+    }
+    if (horizon < Duration::infinity()) {
+      const Duration first_fire = clause.windowed() ? clause.window_start
+                                                    : clause.at;
+      if (first_fire >= horizon) {
+        parse_fail(line_no,
+                   "clause would first fire at " +
+                       std::to_string(first_fire.to_minutes()) +
+                       " min, at/after the episode horizon (" +
+                       std::to_string(horizon.to_minutes()) +
+                       " min) — it would never take effect");
       }
     }
     try {
@@ -359,6 +540,21 @@ void write_fault_plan(const FaultPlan& plan, std::ostream& os) {
         }
         break;
       }
+      case FaultClauseKind::kLinkLoss:
+        os << ' ' << c.plane_a << ' ' << c.plane_b << ' ' << c.value;
+        break;
+      case FaultClauseKind::kGeLoss:
+        os << ' ' << c.plane_a << ' ' << c.plane_b << ' ' << c.param_a << ' '
+           << c.param_b << ' ' << c.value;
+        break;
+      case FaultClauseKind::kOutageTrain:
+        os << ' ' << c.plane_a << ' ' << c.plane_b << ' ' << c.param_a << ' '
+           << c.param_b;
+        break;
+      case FaultClauseKind::kSatLifecycle:
+        os << ' ' << c.satellite.plane << ' ' << c.satellite.slot << ' '
+           << c.param_a << ' ' << c.param_b;
+        break;
     }
     if (c.windowed()) {
       os << ' ' << c.window_start.to_minutes() << ' '

@@ -14,6 +14,24 @@
 //   delay_spike(factor, [t0, t1])      delivery delays × factor
 //   burst_loss(p, [t0, t1])            crosslink loss raised to >= p
 //   partition(plane_set, [t0, t1])     plane set cut off from the rest
+//   link_loss(plane_a, plane_b, p, [t0, t1])  per-link loss raised to >= p
+//
+// Stochastic clause kinds (ISSUE 10): generative clauses describing a
+// fault *process* rather than a scripted window. They never reach the
+// injector's event loop directly — FaultProcessExpander
+// (src/fault/process) expands them deterministically at arm() time, from
+// the injector's reserved RNG fork, into the scripted kinds above:
+//   ge_loss(plane_a, plane_b, p, r, loss, [t0, t1])
+//       Gilbert–Elliott two-state link: good→bad at rate p (per min),
+//       bad→good at rate r; bad dwells become link_loss(loss) windows.
+//   outage_train(plane_a, plane_b, up, down, [t0, t1])
+//       alternating exponential up/down dwells (mean minutes); down
+//       dwells become link_outage windows.
+//   sat_lifecycle(plane, slot, death_rate, spare_delay, [t0, t1])
+//       exponential node death (rate per min) + exponential
+//       spare-activation delay (mean minutes); each renewal becomes a
+//       fail_silent/recover pair. Matches the CTMC solver's two-state
+//       availability model for cross-validation.
 //
 // Shell addressing (ISSUE 8): plane indices are GLOBAL by default. A
 // clause may instead address planes relative to one shell of a
@@ -46,20 +64,47 @@ enum class FaultClauseKind : std::uint8_t {
   kDelaySpike,
   kBurstLoss,
   kPartition,
+  kLinkLoss,
+  // Stochastic (generative) kinds — expanded by FaultProcessExpander at
+  // arm() time; the injector never schedules them directly.
+  kGeLoss,
+  kOutageTrain,
+  kSatLifecycle,
 };
 
 /// Stable name of a clause kind (the plan-file keyword).
 [[nodiscard]] std::string_view to_string(FaultClauseKind kind);
 
+/// True for the generative kinds that require FaultProcessExpander
+/// expansion before arming (kGeLoss, kOutageTrain, kSatLifecycle).
+[[nodiscard]] bool is_stochastic(FaultClauseKind kind);
+
+/// Where a clause came from — used by the injector's spare-swap
+/// accounting (invariant I11). Not serialised and not part of clause
+/// identity; expansion tags lifecycle-generated fail/recover pairs.
+enum class FaultClauseOrigin : std::uint8_t {
+  kScripted = 0,  ///< authored directly (file, builder, or flag)
+  kLifecycle,     ///< emitted by a sat_lifecycle expansion
+};
+
 /// One degradation clause. Which fields are meaningful depends on `kind`;
 /// use the FaultPlan builders rather than aggregate-initialising.
 struct FaultClause {
   FaultClauseKind kind = FaultClauseKind::kFailSilent;
-  SatelliteId satellite{};       ///< fail_silent / recover
-  int plane_a = 0;               ///< link_outage
-  int plane_b = 0;               ///< link_outage
+  SatelliteId satellite{};       ///< fail_silent / recover / sat_lifecycle
+  int plane_a = 0;               ///< link_outage / link_loss / ge / train
+  int plane_b = 0;               ///< link_outage / link_loss / ge / train
   PlaneSet plane_mask{};         ///< partition (bit p = plane p)
   double value = 0.0;            ///< delay factor / loss probability
+  /// First stochastic parameter: ge_loss good→bad rate (per min),
+  /// outage_train mean up dwell (min), sat_lifecycle death rate (per min).
+  double param_a = 0.0;
+  /// Second stochastic parameter: ge_loss bad→good rate (per min),
+  /// outage_train mean down dwell (min), sat_lifecycle mean
+  /// spare-activation delay (min).
+  double param_b = 0.0;
+  /// Provenance tag (not serialised; see FaultClauseOrigin).
+  FaultClauseOrigin origin = FaultClauseOrigin::kScripted;
   /// Plane indices are relative to this shell of a multi-shell
   /// constellation; -1 (the default) means global indices. Shell-relative
   /// clauses must pass through FaultPlan::resolve before arming.
@@ -102,12 +147,33 @@ class FaultPlan {
   [[nodiscard]] static FaultClause partition(PlaneSet plane_mask,
                                              Duration t0, Duration t1,
                                              int shell = -1);
+  [[nodiscard]] static FaultClause link_loss(int plane_a, int plane_b,
+                                             double probability, Duration t0,
+                                             Duration t1, int shell = -1);
+  [[nodiscard]] static FaultClause ge_loss(int plane_a, int plane_b,
+                                           double p_rate, double r_rate,
+                                           double loss, Duration t0,
+                                           Duration t1, int shell = -1);
+  [[nodiscard]] static FaultClause outage_train(int plane_a, int plane_b,
+                                                double up_mean_min,
+                                                double down_mean_min,
+                                                Duration t0, Duration t1,
+                                                int shell = -1);
+  [[nodiscard]] static FaultClause sat_lifecycle(SatelliteId sat,
+                                                 double death_rate,
+                                                 double spare_mean_min,
+                                                 Duration t0, Duration t1,
+                                                 int shell = -1);
 
   [[nodiscard]] const std::vector<FaultClause>& clauses() const {
     return clauses_;
   }
   [[nodiscard]] bool empty() const { return clauses_.empty(); }
   [[nodiscard]] std::size_t size() const { return clauses_.size(); }
+
+  /// Drops all clauses, keeping the allocated capacity (expansion reuse).
+  void clear() { clauses_.clear(); }
+  void reserve(std::size_t n) { clauses_.reserve(n); }
 
   /// Highest plane index any clause names (-1 for an empty plan); sizes
   /// CrosslinkNetwork::reserve_fault_state. Treats indices as global —
@@ -126,8 +192,15 @@ class FaultPlan {
 };
 
 /// Parses the line-based plan format; throws std::invalid_argument with
-/// the offending line number on syntax or validation errors.
+/// the offending line number and token on syntax or validation errors.
 [[nodiscard]] FaultPlan parse_fault_plan(std::istream& is);
+
+/// As above, but additionally rejects clauses that could never fire
+/// inside an episode of length `horizon` (a windowed clause whose window
+/// starts at/after the horizon, or a point clause at/after it) with a
+/// message naming the horizon. Pass Duration::infinity() to disable the
+/// check (equivalent to the one-argument overload).
+[[nodiscard]] FaultPlan parse_fault_plan(std::istream& is, Duration horizon);
 
 /// Writes a plan back in the canonical line format (round-trips through
 /// parse_fault_plan).

@@ -1,0 +1,125 @@
+#include "fault/process.hpp"
+
+#include <algorithm>
+
+namespace oaq {
+
+bool has_stochastic_clauses(const FaultPlan& plan) {
+  for (const FaultClause& c : plan.clauses()) {
+    if (is_stochastic(c.kind)) return true;
+  }
+  return false;
+}
+
+const FaultPlan& FaultProcessExpander::expand(const FaultPlan& plan,
+                                              Rng rng) {
+  out_.clear();  // keeps capacity: zero steady-state allocations
+  out_.reserve(plan.size());
+  ++stats_.expansions;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FaultClause& c = plan.clauses()[i];
+    if (!is_stochastic(c.kind)) {
+      out_.add(c);
+      continue;
+    }
+    ++stats_.stochastic_clauses;
+    // Each clause samples from its own fork so its path depends only on
+    // (rng, clause index), never on what earlier clauses drew.
+    Rng clause_rng = rng.fork(static_cast<std::uint64_t>(i) + 1);
+    switch (c.kind) {
+      case FaultClauseKind::kGeLoss:
+        expand_ge_loss(c, clause_rng);
+        break;
+      case FaultClauseKind::kOutageTrain:
+        expand_outage_train(c, clause_rng);
+        break;
+      case FaultClauseKind::kSatLifecycle:
+        expand_sat_lifecycle(c, clause_rng);
+        break;
+      default:
+        break;  // unreachable: is_stochastic() gated above
+    }
+  }
+  return out_;
+}
+
+// Gilbert–Elliott: the link starts the window in the good state and
+// alternates Exp(p_rate) good dwells with Exp(r_rate) bad dwells; each
+// bad dwell (clipped to the clause window) becomes a link_loss window at
+// the clause's bad-state loss probability.
+void FaultProcessExpander::expand_ge_loss(const FaultClause& c, Rng rng) {
+  const double t1 = c.window_end.to_minutes();
+  double t = c.window_start.to_minutes();
+  int emitted = 0;
+  while (emitted < kMaxIntervalsPerClause) {
+    t += rng.exponential(c.param_a);  // good dwell
+    if (t >= t1) return;
+    const double bad_end = std::min(t + rng.exponential(c.param_b), t1);
+    if (bad_end > t) {
+      out_.add(FaultPlan::link_loss(c.plane_a, c.plane_b, c.value,
+                                    Duration::minutes(t),
+                                    Duration::minutes(bad_end)));
+      ++stats_.emitted_clauses;
+      ++emitted;
+    }
+    t = bad_end;
+    if (t >= t1) return;
+  }
+  ++stats_.truncated_clauses;
+}
+
+// Alternating renewal process: Exp(1/up_mean) up dwells, Exp(1/down_mean)
+// down dwells; each down dwell becomes a link_outage window.
+void FaultProcessExpander::expand_outage_train(const FaultClause& c,
+                                               Rng rng) {
+  const double t1 = c.window_end.to_minutes();
+  double t = c.window_start.to_minutes();
+  int emitted = 0;
+  while (emitted < kMaxIntervalsPerClause) {
+    t += rng.exponential(1.0 / c.param_a);  // up dwell
+    if (t >= t1) return;
+    const double down_end = std::min(t + rng.exponential(1.0 / c.param_b), t1);
+    if (down_end > t) {
+      out_.add(FaultPlan::link_outage(c.plane_a, c.plane_b,
+                                      Duration::minutes(t),
+                                      Duration::minutes(down_end)));
+      ++stats_.emitted_clauses;
+      ++emitted;
+    }
+    t = down_end;
+    if (t >= t1) return;
+  }
+  ++stats_.truncated_clauses;
+}
+
+// Renewal death/replace: Exp(death_rate) time-to-failure, then an
+// Exp(1/spare_mean) spare-activation delay. Each renewal becomes a
+// fail_silent/recover pair tagged kLifecycle so the injector can audit
+// spare-swap accounting (invariant I11). The recover event may land past
+// the clause window — the pair always stays matched, mirroring the CTMC
+// solver's two-state availability chain (dead fraction λ/(λ+μ)).
+void FaultProcessExpander::expand_sat_lifecycle(const FaultClause& c,
+                                                Rng rng) {
+  const double t1 = c.window_end.to_minutes();
+  double t = c.window_start.to_minutes();
+  int emitted = 0;
+  while (emitted + 2 <= kMaxIntervalsPerClause) {
+    t += rng.exponential(c.param_a);  // time to failure
+    if (t >= t1) return;
+    const double recover_at = t + rng.exponential(1.0 / c.param_b);
+    FaultClause death = FaultPlan::fail_silent(c.satellite,
+                                               Duration::minutes(t));
+    death.origin = FaultClauseOrigin::kLifecycle;
+    out_.add(death);
+    FaultClause spare = FaultPlan::recover(c.satellite,
+                                           Duration::minutes(recover_at));
+    spare.origin = FaultClauseOrigin::kLifecycle;
+    out_.add(spare);
+    stats_.emitted_clauses += 2;
+    emitted += 2;
+    t = recover_at;
+  }
+  ++stats_.truncated_clauses;
+}
+
+}  // namespace oaq

@@ -18,6 +18,21 @@ CrosslinkNetwork::CrosslinkNetwork(Simulator& sim, Options options, Rng rng)
               "loss probability must be in [0,1]");
   OAQ_REQUIRE(options.retry_limit >= 0, "retry limit must be nonnegative");
   OAQ_REQUIRE(options.backoff_base >= 1.0, "backoff base must be >= 1");
+  if (options.health.enabled) {
+    OAQ_REQUIRE(options.health.alpha > 0.0 && options.health.alpha <= 1.0,
+                "health alpha must be in (0,1]");
+    OAQ_REQUIRE(options.health.demote_below > 0.0 &&
+                    options.health.demote_below <=
+                        options.health.restore_above &&
+                    options.health.restore_above <= 1.0,
+                "health thresholds must satisfy 0 < demote <= restore <= 1");
+    OAQ_REQUIRE(options.health.probation > Duration::zero(),
+                "health probation must be positive");
+    OAQ_REQUIRE(options.health.probation_backoff >= 1.0,
+                "probation backoff must be >= 1");
+    OAQ_REQUIRE(options.health.probation_cap >= options.health.probation,
+                "probation cap must dominate the base probation");
+  }
 }
 
 const CrosslinkNetwork::NodeState* CrosslinkNetwork::find(
@@ -108,9 +123,25 @@ void CrosslinkNetwork::reserve_fault_state(int planes, std::size_t clauses) {
     link_blocks_ = std::move(grown);
     link_block_planes_ = planes;
   }
+  if (options_.health.enabled && planes > health_planes_) {
+    std::vector<LinkHealth> grown(
+        static_cast<std::size_t>(planes) * static_cast<std::size_t>(planes));
+    for (int a = 0; a < health_planes_; ++a) {
+      for (int b = 0; b < health_planes_; ++b) {
+        grown[static_cast<std::size_t>(a) * static_cast<std::size_t>(planes) +
+              static_cast<std::size_t>(b)] =
+            health_[static_cast<std::size_t>(a) *
+                        static_cast<std::size_t>(health_planes_) +
+                    static_cast<std::size_t>(b)];
+      }
+    }
+    health_ = std::move(grown);
+    health_planes_ = planes;
+  }
   partitions_.reserve(clauses);
   loss_overrides_.reserve(clauses);
   delay_factors_.reserve(clauses);
+  link_losses_.reserve(clauses);
 }
 
 std::uint16_t& CrosslinkNetwork::link_block_count(int plane_a, int plane_b) {
@@ -189,6 +220,149 @@ void CrosslinkNetwork::pop_partition(std::uint32_t token) {
   partitions_.pop_back();
 }
 
+void CrosslinkNetwork::push_link_loss(std::uint32_t token, int plane_a,
+                                      int plane_b, double probability) {
+  OAQ_REQUIRE(plane_a >= 0 && plane_b >= 0, "planes must be nonnegative");
+  OAQ_REQUIRE(probability >= 0.0 && probability <= 1.0,
+              "loss probability must be in [0,1]");
+  link_losses_.push_back({token, plane_a, plane_b, probability});
+}
+
+void CrosslinkNetwork::pop_link_loss(std::uint32_t token) {
+  const auto it = std::find_if(
+      link_losses_.begin(), link_losses_.end(),
+      [token](const LinkLoss& entry) { return entry.token == token; });
+  OAQ_REQUIRE(it != link_losses_.end(), "unknown link-loss token");
+  *it = link_losses_.back();
+  link_losses_.pop_back();
+}
+
+// --- Link health (ISSUE 10) -------------------------------------------------
+
+void CrosslinkNetwork::trace_link_event(TraceEventType type, int plane_a,
+                                        int plane_b, std::int32_t a, double v,
+                                        std::int64_t episode) const {
+  // Plane-level event: sat/peer carry PLANE indices (like the injector's
+  // fault_link_outage encoding), not satellite slots.
+  TraceEvent ev;
+  ev.episode = trace_attribution_ ? episode : trace_episode_;
+  ev.t_min = sim_->now().since_origin().to_minutes();
+  ev.type = type;
+  ev.sat = static_cast<std::int16_t>(plane_a);
+  ev.peer = static_cast<std::int16_t>(plane_b);
+  ev.a = a;
+  ev.v = v;
+  trace_->push(ev);
+}
+
+CrosslinkNetwork::LinkHealth& CrosslinkNetwork::health_cell(int plane_a,
+                                                            int plane_b) {
+  if (plane_a > plane_b) std::swap(plane_a, plane_b);
+  if (plane_b >= health_planes_) {
+    // Mirror the link_blocks_ grow-on-demand: matrix side follows the
+    // highest plane ever sampled.
+    const int planes = plane_b + 1;
+    std::vector<LinkHealth> grown(
+        static_cast<std::size_t>(planes) * static_cast<std::size_t>(planes));
+    for (int a = 0; a < health_planes_; ++a) {
+      for (int b = 0; b < health_planes_; ++b) {
+        grown[static_cast<std::size_t>(a) * static_cast<std::size_t>(planes) +
+              static_cast<std::size_t>(b)] =
+            health_[static_cast<std::size_t>(a) *
+                        static_cast<std::size_t>(health_planes_) +
+                    static_cast<std::size_t>(b)];
+      }
+    }
+    health_ = std::move(grown);
+    health_planes_ = planes;
+  }
+  return health_[static_cast<std::size_t>(plane_a) *
+                     static_cast<std::size_t>(health_planes_) +
+                 static_cast<std::size_t>(plane_b)];
+}
+
+const CrosslinkNetwork::LinkHealth* CrosslinkNetwork::find_health(
+    int plane_a, int plane_b) const {
+  if (plane_a > plane_b) std::swap(plane_a, plane_b);
+  if (plane_a < 0 || plane_b >= health_planes_) return nullptr;
+  return &health_[static_cast<std::size_t>(plane_a) *
+                      static_cast<std::size_t>(health_planes_) +
+                  static_cast<std::size_t>(plane_b)];
+}
+
+Duration CrosslinkNetwork::probation_of(int level) const {
+  const Options::HealthOptions& h = options_.health;
+  const double scale =
+      std::pow(h.probation_backoff, static_cast<double>(level - 1));
+  return std::min(h.probation * scale, h.probation_cap);
+}
+
+void CrosslinkNetwork::record_link_sample(int plane_a, int plane_b,
+                                          bool success,
+                                          std::int64_t episode) {
+  LinkHealth& h = health_cell(plane_a, plane_b);
+  health_dirty_ = true;
+  const Options::HealthOptions& opt = options_.health;
+  h.ewma = (1.0 - opt.alpha) * h.ewma + opt.alpha * (success ? 1.0 : 0.0);
+  if (!h.demoted) {
+    if (!success && h.ewma < opt.demote_below) {
+      // Healthy → demoted. The escalation level survives restores, so a
+      // link that keeps flapping serves ever longer probations (capped).
+      h.demoted = true;
+      ++h.level;
+      h.retry_at = sim_->now() + probation_of(h.level);
+      ++demoted_links_;
+      ++stats_.links_demoted;
+      ++stats_.link_probations;
+      if (ledger_ != nullptr) ledger_->record_probation(episode);
+      if (trace_ != nullptr) {
+        trace_link_event(TraceEventType::kLinkDemoted, plane_a, plane_b,
+                         h.level, h.ewma, episode);
+      }
+    }
+  } else if (success && h.ewma >= opt.restore_above) {
+    // Demoted → healthy: probe traffic dragged the EWMA back up.
+    h.demoted = false;
+    --demoted_links_;
+    ++stats_.links_restored;
+    if (trace_ != nullptr) {
+      trace_link_event(TraceEventType::kLinkRestored, plane_a, plane_b,
+                       h.level, h.ewma, episode);
+    }
+  } else if (!success && sim_->now() >= h.retry_at) {
+    // A probe past the probation failed: escalate and re-probation.
+    ++h.level;
+    h.retry_at = sim_->now() + probation_of(h.level);
+    ++stats_.link_probations;
+    if (ledger_ != nullptr) ledger_->record_probation(episode);
+  }
+}
+
+bool CrosslinkNetwork::link_avoided(int plane_a, int plane_b) const {
+  if (demoted_links_ == 0) return false;
+  const LinkHealth* h = find_health(plane_a, plane_b);
+  return h != nullptr && h->demoted && sim_->now() < h->retry_at;
+}
+
+void CrosslinkNetwork::note_reroute(std::int64_t episode) {
+  ++stats_.reroutes;
+  if (ledger_ != nullptr) ledger_->record_reroute(episode);
+}
+
+double CrosslinkNetwork::link_health_ewma(int plane_a, int plane_b) const {
+  const LinkHealth* h = find_health(plane_a, plane_b);
+  return h != nullptr ? h->ewma : 1.0;
+}
+
+bool CrosslinkNetwork::health_pristine() const {
+  if (demoted_links_ != 0) return false;
+  const LinkHealth pristine{};
+  for (const LinkHealth& h : health_) {
+    if (!(h == pristine)) return false;
+  }
+  return true;
+}
+
 bool CrosslinkNetwork::link_blocked(const Address& from,
                                     const Address& to) const {
   if (from.kind == Address::Kind::kGround ||
@@ -240,9 +414,15 @@ void CrosslinkNetwork::reset(Rng rng) {
   loss_overrides_.clear();
   delay_factors_.clear();
   delay_scale_ = 1.0;
+  link_losses_.clear();
   if (active_link_blocks_ > 0) {
     std::fill(link_blocks_.begin(), link_blocks_.end(), std::uint16_t{0});
     active_link_blocks_ = 0;
+  }
+  if (health_dirty_) {
+    std::fill(health_.begin(), health_.end(), LinkHealth{});
+    health_dirty_ = false;
+    demoted_links_ = 0;
   }
 }
 
@@ -284,6 +464,22 @@ void CrosslinkNetwork::attempt(std::uint32_t slot) {
     final_drop(slot, DropReason::kDeadSender);
     return;
   }
+  if (options_.health.enabled && demoted_links_ > 0 &&
+      env.from.kind == Address::Kind::kSatellite &&
+      env.to.kind == Address::Kind::kSatellite) {
+    // An attempt risked over a demoted link whose probation has elapsed is
+    // a probe — the traffic that can restore the link's health.
+    const LinkHealth* h =
+        find_health(env.from.satellite.plane, env.to.satellite.plane);
+    if (h != nullptr && h->demoted && sim_->now() >= h->retry_at) {
+      ++stats_.link_probes;
+      if (trace_ != nullptr) {
+        trace_link_event(TraceEventType::kLinkProbe, env.from.satellite.plane,
+                         env.to.satellite.plane, h->level, h->ewma,
+                         env.episode);
+      }
+    }
+  }
   if ((active_link_blocks_ > 0 || !partitions_.empty()) &&
       link_blocked(env.from, env.to)) {
     fail_attempt(slot, DropReason::kLinkDown);
@@ -291,7 +487,7 @@ void CrosslinkNetwork::attempt(std::uint32_t slot) {
   }
   const bool loss_exempt =
       options_.lossless_to_ground && env.to.kind == Address::Kind::kGround;
-  if (!loss_exempt && rng_.bernoulli(effective_loss())) {
+  if (!loss_exempt && rng_.bernoulli(effective_loss(env.from, env.to))) {
     fail_attempt(slot, DropReason::kLoss);
     return;
   }
@@ -313,6 +509,12 @@ void CrosslinkNetwork::attempt(std::uint32_t slot) {
 
 void CrosslinkNetwork::fail_attempt(std::uint32_t slot, DropReason reason) {
   Envelope& env = pool_[slot];
+  if (options_.health.enabled &&
+      env.from.kind == Address::Kind::kSatellite &&
+      env.to.kind == Address::Kind::kSatellite) {
+    record_link_sample(env.from.satellite.plane, env.to.satellite.plane,
+                       /*success=*/false, env.episode);
+  }
   if (options_.reliable && env.attempt < options_.retry_limit) {
     // Ack-timeout retransmission: the sender detects the failure
     // 2·max_delay·base^i after attempt i started (worst-case round trip,
@@ -388,6 +590,12 @@ void CrosslinkNetwork::deliver(std::uint32_t slot) {
   free_slots_.push_back(slot);
   env.delivered = sim_->now();
   ++stats_.delivered;
+  if (options_.health.enabled &&
+      env.from.kind == Address::Kind::kSatellite &&
+      env.to.kind == Address::Kind::kSatellite) {
+    record_link_sample(env.from.satellite.plane, env.to.satellite.plane,
+                       /*success=*/true, env.episode);
+  }
   if (trace_ != nullptr) {
     trace_event(TraceEventType::kXlinkRecv, env.from, env.to, 0,
                 (env.delivered - env.sent).to_seconds(),

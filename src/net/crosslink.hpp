@@ -78,6 +78,12 @@ struct NetworkStats {
   std::uint64_t dropped_link = 0;        ///< link outage / partition window
   std::uint64_t retries = 0;             ///< reliable-mode retransmissions
   std::uint64_t retries_exhausted = 0;   ///< final drops after >= 1 retry
+  // Link-health estimator counters (ISSUE 10; zero when health is off).
+  std::uint64_t links_demoted = 0;       ///< healthy → demoted transitions
+  std::uint64_t links_restored = 0;      ///< demoted → healthy transitions
+  std::uint64_t link_probations = 0;     ///< demotions + probation escalations
+  std::uint64_t link_probes = 0;         ///< attempts risked over demoted links
+  std::uint64_t reroutes = 0;            ///< note_reroute() calls (chain layer)
 };
 
 /// Simulated crosslink / downlink message bus.
@@ -101,6 +107,25 @@ class CrosslinkNetwork {
     bool reliable = false;
     int retry_limit = 2;
     double backoff_base = 2.0;
+    /// Per-plane-pair link-health estimator (ISSUE 10): an EWMA of
+    /// delivery outcomes feeds a hysteretic demote/restore state machine
+    /// the chain layer consults for re-routing. Entirely branch-gated on
+    /// `enabled` — the default path is bit-identical to the pre-health
+    /// transport.
+    struct HealthOptions {
+      bool enabled = false;
+      double alpha = 0.2;          ///< EWMA weight of the newest sample
+      double demote_below = 0.5;   ///< demote when ewma drops under this
+      double restore_above = 0.7;  ///< restore when ewma recovers past this
+      /// Base probation after a demotion; a link is avoided for new
+      /// chains until it elapses. Escalates by `probation_backoff` per
+      /// consecutive demotion, capped at `probation_cap` (callers set the
+      /// cap to the protocol's τ so a probed link stays τ-feasible).
+      Duration probation = Duration::seconds(60);
+      double probation_backoff = 2.0;
+      Duration probation_cap = Duration::minutes(5);
+    };
+    HealthOptions health;
   };
 
   using Handler = std::function<void(const Envelope&)>;
@@ -205,6 +230,43 @@ class CrosslinkNetwork {
   void push_partition(std::uint32_t token, PlaneSet plane_mask);
   void pop_partition(std::uint32_t token);
 
+  /// Raise loss on the crosslinks between one plane pair (symmetric)
+  /// while active; the effective probability for a matching link is the
+  /// max of the base, global overrides, and every matching link override.
+  void push_link_loss(std::uint32_t token, int plane_a, int plane_b,
+                      double probability);
+  void pop_link_loss(std::uint32_t token);
+
+  // --- Link health (ISSUE 10; all no-ops unless options().health.enabled).
+
+  /// True when the plane pair is demoted and still inside its probation —
+  /// the chain layer should prefer another relay when one is feasible.
+  [[nodiscard]] bool link_avoided(int plane_a, int plane_b) const;
+
+  /// Chain layer notification: a send was re-routed around an avoided or
+  /// failed link. Counts into stats and the episode ledger.
+  void note_reroute(std::int64_t episode);
+
+  /// Currently demoted plane pairs.
+  [[nodiscard]] int demoted_link_count() const { return demoted_links_; }
+
+  /// Health EWMA of a plane pair (1.0 when never sampled) — test hook.
+  [[nodiscard]] double link_health_ewma(int plane_a, int plane_b) const;
+
+  /// True when any windowed degradation (outage, partition, loss or delay
+  /// override, per-link loss) is still active — invariant I12 demands
+  /// this quiesce once the fault process does.
+  [[nodiscard]] bool degradation_active() const {
+    return active_link_blocks_ > 0 || !partitions_.empty() ||
+           !loss_overrides_.empty() || !delay_factors_.empty() ||
+           !link_losses_.empty();
+  }
+
+  /// True when every health cell is back to its never-sampled state and
+  /// no link is demoted — the reset() postcondition the property tests
+  /// pin.
+  [[nodiscard]] bool health_pristine() const;
+
  private:
   /// Per-address state, held in dense per-plane vectors (plus one ground
   /// entry). A default-constructed entry means "never seen".
@@ -231,15 +293,32 @@ class CrosslinkNetwork {
   [[nodiscard]] std::uint32_t alloc_slot();
   [[nodiscard]] bool link_blocked(const Address& from,
                                   const Address& to) const;
-  [[nodiscard]] double effective_loss() const {
+  [[nodiscard]] double effective_loss(const Address& from,
+                                      const Address& to) const {
     double p = options_.loss_probability;
     for (const auto& [token, override_p] : loss_overrides_) {
       if (override_p > p) p = override_p;
+    }
+    if (!link_losses_.empty() && from.kind == Address::Kind::kSatellite &&
+        to.kind == Address::Kind::kSatellite) {
+      const int pa = from.satellite.plane;
+      const int pb = to.satellite.plane;
+      for (const LinkLoss& l : link_losses_) {
+        const bool match = (l.plane_a == pa && l.plane_b == pb) ||
+                           (l.plane_a == pb && l.plane_b == pa);
+        if (match && l.probability > p) p = l.probability;
+      }
     }
     return p;
   }
   [[nodiscard]] std::uint16_t& link_block_count(int plane_a, int plane_b);
   void recompute_delay_scale();
+
+  /// One EWMA delivery-outcome sample on a satellite-satellite link;
+  /// drives the demote/restore hysteresis. Health must be enabled.
+  void record_link_sample(int plane_a, int plane_b, bool success,
+                          std::int64_t episode);
+  [[nodiscard]] Duration probation_of(int level) const;
 
   /// Trace encoding of an address: satellite slot, or -1 for the ground.
   [[nodiscard]] static std::int16_t trace_slot(const Address& addr) {
@@ -250,6 +329,9 @@ class CrosslinkNetwork {
   void trace_event(TraceEventType type, const Address& from,
                    const Address& to, std::int32_t a, double v,
                    std::int64_t episode) const;
+  /// Plane-level health event (sat/peer carry plane indices).
+  void trace_link_event(TraceEventType type, int plane_a, int plane_b,
+                        std::int32_t a, double v, std::int64_t episode) const;
   /// Episode id an event about `env` is stamped/recorded with.
   [[nodiscard]] std::int64_t trace_episode_of(const Envelope& env) const {
     return trace_attribution_ ? env.episode : trace_episode_;
@@ -278,6 +360,33 @@ class CrosslinkNetwork {
   std::vector<std::pair<std::uint32_t, double>> loss_overrides_;
   std::vector<std::pair<std::uint32_t, double>> delay_factors_;
   double delay_scale_ = 1.0;  ///< product of active factors; 1 when none
+
+  /// One active per-link loss window (push_link_loss).
+  struct LinkLoss {
+    std::uint32_t token = 0;
+    int plane_a = 0;
+    int plane_b = 0;
+    double probability = 0.0;
+  };
+  std::vector<LinkLoss> link_losses_;
+
+  /// Per-plane-pair health cell. Default state = pristine: fully healthy,
+  /// never demoted.
+  struct LinkHealth {
+    double ewma = 1.0;
+    bool demoted = false;
+    int level = 0;  ///< consecutive-demotion escalation (probation power)
+    TimePoint retry_at{};
+
+    friend bool operator==(const LinkHealth&, const LinkHealth&) = default;
+  };
+  [[nodiscard]] LinkHealth& health_cell(int plane_a, int plane_b);
+  [[nodiscard]] const LinkHealth* find_health(int plane_a,
+                                              int plane_b) const;
+  int health_planes_ = 0;            ///< side length of health_ matrix
+  bool health_dirty_ = false;        ///< any sample recorded since reset
+  int demoted_links_ = 0;            ///< currently demoted plane pairs
+  std::vector<LinkHealth> health_;   ///< [plane_a * n + plane_b], a <= b
 };
 
 }  // namespace oaq

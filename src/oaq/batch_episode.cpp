@@ -23,6 +23,15 @@ CrosslinkNetwork::Options net_options(const ProtocolConfig& cfg) {
   opt.reliable = cfg.reliable_links;
   opt.retry_limit = cfg.link_retry_limit;
   opt.backoff_base = cfg.link_backoff_base;
+  if (cfg.self_healing_links) {
+    opt.health.enabled = true;
+    opt.health.alpha = cfg.link_health_alpha;
+    opt.health.demote_below = cfg.link_demote_below;
+    opt.health.restore_above = cfg.link_restore_above;
+    opt.health.probation = cfg.link_probation;
+    opt.health.probation_backoff = cfg.link_probation_backoff;
+    opt.health.probation_cap = cfg.tau;  // τ-feasibility cap
+  }
   return opt;
 }
 
@@ -116,7 +125,8 @@ BatchEpisodeEngine::BatchEpisodeEngine(PlaneGeometry geometry, int k,
   OAQ_REQUIRE(interleave_width >= 0 && interleave_width <= kEpisodeBatchWidth,
               "interleave width must be in [0, kEpisodeBatchWidth]");
   sim_.reserve_episode_tags(static_cast<std::size_t>(width_));
-  const bool want_drop = cfg_.reliable_links || plan_ != nullptr;
+  const bool want_drop =
+      cfg_.reliable_links || cfg_.self_healing_links || plan_ != nullptr;
   contexts_.reserve(static_cast<std::size_t>(width_));
   for (int j = 0; j < width_; ++j) {
     contexts_.push_back(std::make_unique<LaneContext>(
@@ -163,7 +173,7 @@ void BatchEpisodeEngine::run_des_lane(std::int64_t e, Duration phase,
   }
   if (plan_ != nullptr) {
     ctx.injector.emplace(sim_, ctx.net, *plan_, ctx.protocol_rng.fork(0x666c74),
-                         trace, e, ledger_);
+                         trace, e, ledger_, &ctx.expander);
     ctx.injector->arm(signal_start_);
   }
 
@@ -183,8 +193,20 @@ void BatchEpisodeEngine::run_des_lane(std::int64_t e, Duration phase,
   result_buf_.telemetry.messages_dropped_link = net_stats.dropped_link;
   result_buf_.telemetry.retries = net_stats.retries;
   result_buf_.telemetry.retries_exhausted = net_stats.retries_exhausted;
+  result_buf_.telemetry.links_demoted = net_stats.links_demoted;
+  result_buf_.telemetry.links_restored = net_stats.links_restored;
+  result_buf_.telemetry.links_demoted_end =
+      static_cast<std::uint64_t>(ctx.net.demoted_link_count());
+  result_buf_.telemetry.link_probes = net_stats.link_probes;
+  result_buf_.telemetry.link_probations = net_stats.link_probations;
+  result_buf_.telemetry.degradation_active_end =
+      ctx.net.degradation_active() ? 1 : 0;
   if (ctx.injector) {
     result_buf_.telemetry.faults_injected = ctx.injector->stats().activations;
+    result_buf_.telemetry.lifecycle_deaths =
+        ctx.injector->stats().lifecycle_deaths;
+    result_buf_.telemetry.lifecycle_spares =
+        ctx.injector->stats().lifecycle_spares;
   }
   result_buf_.telemetry.sim_events = sim_.processed_count();
   result_buf_.telemetry.sim_peak_pending = sim_.peak_pending_count();
@@ -247,7 +269,7 @@ void BatchEpisodeEngine::run_block_interleaved(std::int64_t b, int n,
       if (plan_ != nullptr) {
         ctx.injector.emplace(sim_, ctx.net, *plan_,
                              ctx.protocol_rng.fork(0x666c74), lane_trace, e,
-                             ledger_);
+                             ledger_, &ctx.expander);
         ctx.injector->arm(signal_start_);
       }
     }
@@ -285,8 +307,18 @@ void BatchEpisodeEngine::run_block_interleaved(std::int64_t b, int n,
       out.telemetry.messages_dropped_link = net_stats.dropped_link;
       out.telemetry.retries = net_stats.retries;
       out.telemetry.retries_exhausted = net_stats.retries_exhausted;
+      out.telemetry.links_demoted = net_stats.links_demoted;
+      out.telemetry.links_restored = net_stats.links_restored;
+      out.telemetry.links_demoted_end =
+          static_cast<std::uint64_t>(ctx.net.demoted_link_count());
+      out.telemetry.link_probes = net_stats.link_probes;
+      out.telemetry.link_probations = net_stats.link_probations;
+      out.telemetry.degradation_active_end =
+          ctx.net.degradation_active() ? 1 : 0;
       if (ctx.injector) {
         out.telemetry.faults_injected = ctx.injector->stats().activations;
+        out.telemetry.lifecycle_deaths = ctx.injector->stats().lifecycle_deaths;
+        out.telemetry.lifecycle_spares = ctx.injector->stats().lifecycle_spares;
       }
       const SimAccounting acct =
           sim_.episode_accounting(static_cast<std::uint16_t>(j));

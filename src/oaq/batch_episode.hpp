@@ -163,6 +163,10 @@ class BatchEpisodeEngine {
     CrosslinkNetwork net;
     TargetEpisode episode;
     std::optional<FaultInjector> injector;
+    /// Reusable stochastic-clause expander: each lane owns one because an
+    /// interleaved group keeps up to width_ expanded plans alive at once,
+    /// and reuse keeps repeated arms allocation-free (chaos-soak gate).
+    FaultProcessExpander expander;
   };
 
   /// What a block lane turned out to be, deciding its retirement value.

@@ -87,6 +87,15 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
   net_opt.reliable = config.protocol.reliable_links;
   net_opt.retry_limit = config.protocol.link_retry_limit;
   net_opt.backoff_base = config.protocol.link_backoff_base;
+  if (config.protocol.self_healing_links) {
+    net_opt.health.enabled = true;
+    net_opt.health.alpha = config.protocol.link_health_alpha;
+    net_opt.health.demote_below = config.protocol.link_demote_below;
+    net_opt.health.restore_above = config.protocol.link_restore_above;
+    net_opt.health.probation = config.protocol.link_probation;
+    net_opt.health.probation_backoff = config.protocol.link_probation_backoff;
+    net_opt.health.probation_cap = config.protocol.tau;  // τ-feasibility cap
+  }
   CrosslinkNetwork net(sim, net_opt, net_rng);
   // Episodes share the network; network events carry episode = -1 unless
   // per-envelope attribution is on (then each xlink_* event names the
@@ -214,7 +223,8 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
       config.fault_plan != nullptr && !config.fault_plan->empty()
           ? config.fault_plan
           : nullptr;
-  if (config.protocol.reliable_links || plan != nullptr) {
+  if (config.protocol.reliable_links || config.protocol.self_healing_links ||
+      plan != nullptr) {
     net.set_drop_handler([&episodes](const Envelope& env, DropReason reason) {
       for (auto& ep : episodes) ep->handle_send_failure(env, reason);
     });
@@ -302,6 +312,20 @@ CampaignAccum run_single_campaign(const CampaignConfig& config, Rng master,
       m.add("net.fault.injected",
             static_cast<std::int64_t>(
                 injector ? injector->stats().activations : 0));
+    }
+    if (config.protocol.self_healing_links) {
+      // Gated separately: the health estimator is opt-in, and the golden
+      // metrics files (including reliable-mode ones) predate these keys.
+      m.add("net.health.demoted",
+            static_cast<std::int64_t>(net_stats.links_demoted));
+      m.add("net.health.restored",
+            static_cast<std::int64_t>(net_stats.links_restored));
+      m.add("net.health.probes",
+            static_cast<std::int64_t>(net_stats.link_probes));
+      m.add("net.health.probations",
+            static_cast<std::int64_t>(net_stats.link_probations));
+      m.add("net.health.reroutes",
+            static_cast<std::int64_t>(net_stats.reroutes));
     }
     m.add("sim.events", static_cast<std::int64_t>(sim.processed_count()));
     m.observe("sim.peak_pending",

@@ -42,6 +42,17 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
   net_opt.reliable = config_.reliable_links;
   net_opt.retry_limit = config_.link_retry_limit;
   net_opt.backoff_base = config_.link_backoff_base;
+  if (config_.self_healing_links) {
+    net_opt.health.enabled = true;
+    net_opt.health.alpha = config_.link_health_alpha;
+    net_opt.health.demote_below = config_.link_demote_below;
+    net_opt.health.restore_above = config_.link_restore_above;
+    net_opt.health.probation = config_.link_probation;
+    net_opt.health.probation_backoff = config_.link_probation_backoff;
+    // τ-feasibility: escalating probations never push a probe past the
+    // alert deadline's useful horizon.
+    net_opt.health.probation_cap = config_.tau;
+  }
   CrosslinkNetwork net(sim, net_opt, rng.fork(0x6e6574));
   net.set_trace(trace, episode_id);
   if (hooks != nullptr) net.set_ledger(hooks->ledger);
@@ -68,7 +79,8 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
   // an injected plan), a finally-dropped coordination request re-routes to
   // the next live downstream peer. Left detached otherwise so the default
   // path is byte-identical to the pre-fault engine.
-  if (config_.reliable_links || plan != nullptr) {
+  if (config_.reliable_links || config_.self_healing_links ||
+      plan != nullptr) {
     net.set_drop_handler([&episode](const Envelope& env, DropReason reason) {
       episode.handle_send_failure(env, reason);
     });
@@ -105,7 +117,19 @@ EpisodeResult EpisodeEngine::run(TimePoint signal_start,
   result.telemetry.messages_dropped_link = net_stats.dropped_link;
   result.telemetry.retries = net_stats.retries;
   result.telemetry.retries_exhausted = net_stats.retries_exhausted;
-  if (injector) result.telemetry.faults_injected = injector->stats().activations;
+  result.telemetry.links_demoted = net_stats.links_demoted;
+  result.telemetry.links_restored = net_stats.links_restored;
+  result.telemetry.links_demoted_end =
+      static_cast<std::uint64_t>(net.demoted_link_count());
+  result.telemetry.link_probes = net_stats.link_probes;
+  result.telemetry.link_probations = net_stats.link_probations;
+  result.telemetry.degradation_active_end =
+      net.degradation_active() ? 1 : 0;
+  if (injector) {
+    result.telemetry.faults_injected = injector->stats().activations;
+    result.telemetry.lifecycle_deaths = injector->stats().lifecycle_deaths;
+    result.telemetry.lifecycle_spares = injector->stats().lifecycle_spares;
+  }
   result.telemetry.sim_events = sim.processed_count();
   result.telemetry.sim_peak_pending = sim.peak_pending_count();
   const QueueStats& qs = sim.queue_stats();

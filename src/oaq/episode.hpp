@@ -65,6 +65,18 @@ struct ProtocolConfig {
   bool reliable_links = false;
   int link_retry_limit = 2;
   double link_backoff_base = 2.0;
+  /// Self-healing crosslinks (ISSUE 10): a per-plane-pair EWMA health
+  /// estimator demotes flapping links; the chain layer avoids demoted
+  /// links for new coordination requests until a deterministic probation
+  /// (escalating per consecutive demotion, capped by τ so probes stay
+  /// τ-feasible) elapses. Off by default — the health path is entirely
+  /// branch-gated in CrosslinkNetwork.
+  bool self_healing_links = false;
+  double link_health_alpha = 0.2;
+  double link_demote_below = 0.5;
+  double link_restore_above = 0.7;
+  Duration link_probation = Duration::seconds(60);
+  double link_probation_backoff = 2.0;
   AccuracyModel accuracy{};
 
   /// Worst-case delivery delay of one logical message: δ when links are
@@ -101,6 +113,16 @@ struct EpisodeTelemetry {
   std::uint64_t sim_run_merges = 0;
   std::uint64_t sim_tombstones_purged = 0;
   std::uint64_t sim_max_run_length = 0;
+  // Link-health + stochastic-fault telemetry (ISSUE 10; all zero unless
+  // self-healing links or stochastic clauses are in play).
+  std::uint64_t links_demoted = 0;       ///< healthy → demoted transitions
+  std::uint64_t links_restored = 0;      ///< demoted → healthy transitions
+  std::uint64_t links_demoted_end = 0;   ///< still demoted at episode end
+  std::uint64_t link_probes = 0;         ///< attempts over demoted links
+  std::uint64_t link_probations = 0;     ///< demotions + escalations
+  std::uint64_t lifecycle_deaths = 0;    ///< sat_lifecycle deaths fired
+  std::uint64_t lifecycle_spares = 0;    ///< sat_lifecycle spares fired
+  std::uint64_t degradation_active_end = 0;  ///< windowed degradation left
 };
 
 /// What happened in one episode.
@@ -129,6 +151,12 @@ struct EpisodeResult {
   int terminations = 0;
   int double_terminations = 0;
   int wait_rescues = 0;
+  /// Health-aware chain re-routes: resends that skipped at least one
+  /// avoided (demoted) relay. Bounded by horizon_passes × participants
+  /// (invariant I9 — no routing livelock).
+  int reroutes = 0;
+  /// Passes in the episode's coverage horizon (the re-route search space).
+  int horizon_passes = 0;
   EpisodeTelemetry telemetry;
 };
 

@@ -60,7 +60,8 @@ struct EpisodeAccum {
 /// additionally exports the DES ready-queue telemetry (off by default: the
 /// golden metrics files predate the sim.queue.* keys).
 void record_episode_metrics(MetricsRegistry& m, const EpisodeResult& r,
-                            bool queue_metrics, bool fault_metrics) {
+                            bool queue_metrics, bool fault_metrics,
+                            bool health_metrics) {
   m.add("episodes", 1);
   if (r.detected) m.add("episodes.detected", 1);
   if (r.alert_delivered) m.add("alerts.delivered", 1);
@@ -101,6 +102,23 @@ void record_episode_metrics(MetricsRegistry& m, const EpisodeResult& r,
           static_cast<std::int64_t>(r.telemetry.retries_exhausted));
     m.add("net.fault.injected",
           static_cast<std::int64_t>(r.telemetry.faults_injected));
+  }
+  if (health_metrics) {
+    // Gated on self-healing links (opt-in): the pre-ISSUE-10 golden
+    // metrics files — including reliable-mode ones — predate these keys.
+    m.add("net.health.demoted",
+          static_cast<std::int64_t>(r.telemetry.links_demoted));
+    m.add("net.health.restored",
+          static_cast<std::int64_t>(r.telemetry.links_restored));
+    m.add("net.health.probes",
+          static_cast<std::int64_t>(r.telemetry.link_probes));
+    m.add("net.health.probations",
+          static_cast<std::int64_t>(r.telemetry.link_probations));
+    m.add("episodes.reroutes", static_cast<std::int64_t>(r.reroutes));
+    m.add("net.lifecycle.deaths",
+          static_cast<std::int64_t>(r.telemetry.lifecycle_deaths));
+    m.add("net.lifecycle.spares",
+          static_cast<std::int64_t>(r.telemetry.lifecycle_spares));
   }
   if (r.detected) {
     m.observe("chain.length", static_cast<double>(r.chain_length));
@@ -155,8 +173,10 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
   // shard-shared (backed by the shard's VisibilityCache) and the phase
   // jitters the episode's start time instead of the pass pattern.
   const bool geometric = config.constellation != nullptr;
-  const bool fault_metrics =
-      config.fault_plan != nullptr || config.protocol.reliable_links;
+  const bool fault_metrics = config.fault_plan != nullptr ||
+                             config.protocol.reliable_links ||
+                             config.protocol.self_healing_links;
+  const bool health_metrics = config.protocol.self_healing_links;
   // Shared between the scalar loop and the batch engine's sink so both
   // paths fold results — and observe metrics — in exactly the same order.
   const auto accumulate = [&](EpisodeAccum& acc, const EpisodeResult& r) {
@@ -171,7 +191,7 @@ SimulatedQos simulate_qos(const QosSimulationConfig& config) {
     }
     if (want_metrics) {
       record_episode_metrics(acc.metrics, r, config.queue_metrics,
-                             fault_metrics);
+                             fault_metrics, health_metrics);
     }
   };
   const auto run_episode = [&](std::int64_t e, EpisodeAccum& acc,

@@ -19,6 +19,15 @@ CrosslinkNetwork::Options net_options(const ProtocolConfig& cfg) {
   opt.reliable = cfg.reliable_links;
   opt.retry_limit = cfg.link_retry_limit;
   opt.backoff_base = cfg.link_backoff_base;
+  if (cfg.self_healing_links) {
+    opt.health.enabled = true;
+    opt.health.alpha = cfg.link_health_alpha;
+    opt.health.demote_below = cfg.link_demote_below;
+    opt.health.restore_above = cfg.link_restore_above;
+    opt.health.probation = cfg.link_probation;
+    opt.health.probation_backoff = cfg.link_probation_backoff;
+    opt.health.probation_cap = cfg.tau;  // τ-feasibility cap
+  }
   return opt;
 }
 
@@ -57,7 +66,7 @@ PooledEpisodeRunner::PooledEpisodeRunner(
   });
   // Same gate as the scalar engine: attached only when links can fail for
   // good, so the default path's drop accounting stays identical.
-  if (cfg_.reliable_links || plan_ != nullptr) {
+  if (cfg_.reliable_links || cfg_.self_healing_links || plan_ != nullptr) {
     net_.set_drop_handler([this](const Envelope& env, DropReason reason) {
       episode_.handle_send_failure(env, reason);
     });
@@ -86,7 +95,7 @@ const EpisodeResult& PooledEpisodeRunner::run_episode(
   }
   if (plan_ != nullptr) {
     injector_.emplace(sim_, net_, *plan_, protocol_rng_.fork(0x666c74), trace,
-                      e);
+                      e, /*ledger=*/nullptr, &expander_);
     // The scalar engine arms at its signal-start argument, which in
     // geometric mode is the episode's jittered start.
     injector_->arm(start);
@@ -108,8 +117,18 @@ const EpisodeResult& PooledEpisodeRunner::run_episode(
   result_buf_.telemetry.messages_dropped_link = net_stats.dropped_link;
   result_buf_.telemetry.retries = net_stats.retries;
   result_buf_.telemetry.retries_exhausted = net_stats.retries_exhausted;
+  result_buf_.telemetry.links_demoted = net_stats.links_demoted;
+  result_buf_.telemetry.links_restored = net_stats.links_restored;
+  result_buf_.telemetry.links_demoted_end =
+      static_cast<std::uint64_t>(net_.demoted_link_count());
+  result_buf_.telemetry.link_probes = net_stats.link_probes;
+  result_buf_.telemetry.link_probations = net_stats.link_probations;
+  result_buf_.telemetry.degradation_active_end =
+      net_.degradation_active() ? 1 : 0;
   if (injector_) {
     result_buf_.telemetry.faults_injected = injector_->stats().activations;
+    result_buf_.telemetry.lifecycle_deaths = injector_->stats().lifecycle_deaths;
+    result_buf_.telemetry.lifecycle_spares = injector_->stats().lifecycle_spares;
   }
   result_buf_.telemetry.sim_events = sim_.processed_count();
   result_buf_.telemetry.sim_peak_pending = sim_.peak_pending_count();

@@ -83,6 +83,8 @@ class PooledEpisodeRunner {
   std::set<SatelliteId> no_known_failed_;
   TargetEpisode episode_;
   std::optional<FaultInjector> injector_;
+  /// Reusable stochastic-clause expander — repeated arms allocate nothing.
+  FaultProcessExpander expander_;
 
   /// Reused copy target (participants capacity survives, so steady-state
   /// episodes retire without allocating).

@@ -405,6 +405,7 @@ bool TargetEpisode::arm(TimePoint signal_start, Duration signal_duration) {
       if (start >= sig_end_) break;
     }
   }
+  result_.horizon_passes = static_cast<int>(passes_.size());
   if (!t0) return false;  // escapes surveillance
 
   t0_ = *t0;
@@ -458,20 +459,49 @@ void TargetEpisode::handle_send_failure(const Envelope& env,
   if (net_->is_failed(Address::sat(sat))) return;
 
   // Next live downstream candidate, skipping the requester itself and the
-  // peer that just failed.
-  Duration after = st.last_request_pass_start;
+  // peer that just failed. With self-healing links on, a first scan also
+  // skips candidates reachable only over a demoted (avoided) link; if no
+  // healthy candidate is feasible, a second scan allows them — probing a
+  // suspect link is never worse than giving up.
+  const bool health = net_->options().health.enabled;
   std::optional<Pass> next;
-  for (;;) {
-    next = next_pass_after(after);
-    if (!next) return;  // chain exhausted; the wait deadline stands
-    if (next->satellite != sat && next->satellite != env.to.satellite) break;
-    after = next->start;
+  bool rerouted = false;
+  for (int scan = 0; scan < (health ? 2 : 1) && !next; ++scan) {
+    const bool avoid = health && scan == 0;
+    bool avoided_any = false;
+    Duration after = st.last_request_pass_start;
+    for (;;) {
+      next = next_pass_after(after);
+      if (!next) break;  // chain exhausted on this scan
+      if (next->satellite != sat && next->satellite != env.to.satellite) {
+        if (avoid &&
+            net_->link_avoided(sat.plane, next->satellite.plane)) {
+          avoided_any = true;
+          after = next->start;
+          next.reset();
+          continue;
+        }
+        break;
+      }
+      after = next->start;
+      next.reset();
+    }
+    // A re-route is a resend that skipped >= 1 demoted relay AND settled
+    // on a healthy one; the allow-all second scan is a probe, not one.
+    rerouted = next.has_value() && avoid && avoided_any;
   }
+  if (!next) return;  // chain exhausted; the wait deadline stands
   const TimePoint completion_bound =
       TimePoint::at(next->start) + cfg_->tg +
       static_cast<double>(st.ordinal) * cfg_->effective_delta();
   if (completion_bound >= deadline_) return;  // no window left
 
+  if (rerouted) {
+    // Counted against invariant I9's livelock bound; each re-route
+    // strictly advances the requester's pass cursor.
+    ++result_.reroutes;
+    net_->note_reroute(target_id_);
+  }
   st.last_request_pass_start = next->start;
   ++result_.coordination_requests;
   trace(TraceEventType::kChainHop, sat, next->satellite.slot, st.ordinal,

@@ -38,6 +38,14 @@ void EpisodeLedger::record_fault(std::int64_t episode) {
   ++row_for(episode).faults;
 }
 
+void EpisodeLedger::record_reroute(std::int64_t episode) {
+  ++row_for(episode).reroutes;
+}
+
+void EpisodeLedger::record_probation(std::int64_t episode) {
+  ++row_for(episode).probations;
+}
+
 const LedgerRow& EpisodeLedger::row(std::int64_t episode) const {
   if (episode < 0 || static_cast<std::size_t>(episode) >= rows_.size()) {
     return global_;
@@ -71,7 +79,8 @@ void write_row_fields(std::ostream& os, const LedgerRow& r) {
      << ",\"drops_dead\":" << r.drops_dead
      << ",\"drops_link\":" << r.drops_link << ",\"retries\":" << r.retries
      << ",\"retries_exhausted\":" << r.retries_exhausted
-     << ",\"faults\":" << r.faults;
+     << ",\"faults\":" << r.faults << ",\"reroutes\":" << r.reroutes
+     << ",\"probations\":" << r.probations;
 }
 
 }  // namespace

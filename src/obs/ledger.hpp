@@ -38,13 +38,16 @@ struct LedgerRow {
   std::int64_t retries = 0;      ///< reliable-mode retransmissions
   std::int64_t retries_exhausted = 0;  ///< final drops after >= 1 retry
   std::int64_t faults = 0;       ///< fault-clause activations
+  std::int64_t reroutes = 0;     ///< health-aware chain re-routes (ISSUE 10)
+  std::int64_t probations = 0;   ///< link demotions/probation escalations
 
   [[nodiscard]] std::int64_t drops() const {
     return drops_loss + drops_dead + drops_link;
   }
   [[nodiscard]] bool any() const {
     return drops_loss != 0 || drops_dead != 0 || drops_link != 0 ||
-           retries != 0 || retries_exhausted != 0 || faults != 0;
+           retries != 0 || retries_exhausted != 0 || faults != 0 ||
+           reroutes != 0 || probations != 0;
   }
 
   void merge(const LedgerRow& other) {
@@ -54,6 +57,8 @@ struct LedgerRow {
     retries += other.retries;
     retries_exhausted += other.retries_exhausted;
     faults += other.faults;
+    reroutes += other.reroutes;
+    probations += other.probations;
   }
 
   friend bool operator==(const LedgerRow&, const LedgerRow&) = default;
@@ -70,6 +75,8 @@ class EpisodeLedger {
   void record_retry(std::int64_t episode);
   void record_retry_exhausted(std::int64_t episode);
   void record_fault(std::int64_t episode);
+  void record_reroute(std::int64_t episode);
+  void record_probation(std::int64_t episode);
 
   /// Row of `episode`; ids outside [0, size) — including -1 — read the
   /// global row. Never inserts.

@@ -46,6 +46,10 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kFaultDelaySpike, "fault_delay_spike"},
     {TraceEventType::kFaultBurstLoss, "fault_burst_loss"},
     {TraceEventType::kFaultPartition, "fault_partition"},
+    {TraceEventType::kFaultLinkLoss, "fault_link_loss"},
+    {TraceEventType::kLinkDemoted, "link_demoted"},
+    {TraceEventType::kLinkProbe, "link_probe"},
+    {TraceEventType::kLinkRestored, "link_restored"},
 };
 
 constexpr std::string_view kDropReasonNames[] = {

@@ -68,6 +68,11 @@ enum class TraceEventType : std::uint8_t {
   kFaultDelaySpike,    ///< v = factor, a = +1/-1 (window start/end)
   kFaultBurstLoss,     ///< v = loss probability, a = +1/-1
   kFaultPartition,     ///< v = plane bitmask (exact below 2^53), a = +1/-1
+  // Stochastic fault processes + self-healing links (ISSUE 10).
+  kFaultLinkLoss,      ///< sat = plane_a, peer = plane_b, v = loss, a = +1/-1
+  kLinkDemoted,        ///< health: sat/peer = planes, a = level, v = probation s
+  kLinkProbe,          ///< health: probe attempt over a demoted link
+  kLinkRestored,       ///< health: demoted link back above restore threshold
 };
 
 /// Reason codes carried in `TraceEvent::a` for kXlinkDrop / kXlinkRetry.
@@ -98,7 +103,7 @@ enum class DropReason : std::uint8_t {
 /// True for the injector's `fault_*` family.
 [[nodiscard]] constexpr bool is_fault(TraceEventType type) {
   return type >= TraceEventType::kFaultFailSilent &&
-         type <= TraceEventType::kFaultPartition;
+         type <= TraceEventType::kFaultLinkLoss;
 }
 
 /// One protocol event. Flat and POD-sized so ring buffers stay cheap.

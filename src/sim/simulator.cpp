@@ -22,6 +22,17 @@ constexpr std::size_t kMaxRuns = 8;
 /// run creation instead of degrading into an O(pending) memmove per event.
 constexpr std::size_t kMaxFoldTail = 64;
 
+/// Dead-prefix length below which flush_spill() skips compacting the sole
+/// run. Under the direct-append fast path the sole run can live for the
+/// whole simulation (new tail entries keep arriving before settle() ever
+/// sees it exhausted), so popped entries would otherwise accumulate ahead
+/// of `head` forever — the buffer grew by every tail merge for the
+/// lifetime of the simulator. Compaction is deferred until the dead
+/// prefix outweighs the live tail, so each moved entry is paid for by a
+/// prior pop: amortized O(1), and the buffer stays within 2x the peak
+/// live set.
+constexpr std::size_t kMinCompactDead = 64;
+
 constexpr unsigned __int128 kNoKey = ~static_cast<unsigned __int128>(0);
 
 /// Scheduling-order counter budget under the 16-bit episode tag. A run
@@ -103,6 +114,16 @@ void Simulator::flush_spill() {
   if (runs_.size() == 1) {
     Run& r = runs_.front();
     std::vector<QueueEntry>& dst = r.entries;
+    // Reclaim the dead prefix once it outweighs the live tail. Pop order
+    // is unaffected — only where the live entries sit in the buffer
+    // changes — and shrinking before the merge below means the resize
+    // path stays inside the warmed capacity instead of growing it.
+    if (r.head >= kMinCompactDead && r.head > dst.size() - r.head) {
+      std::move(dst.begin() + static_cast<std::ptrdiff_t>(r.head), dst.end(),
+                dst.begin());
+      dst.resize(dst.size() - r.head);
+      r.head = 0;
+    }
     const std::size_t n = dst.size();
     const std::size_t m = spill_.size();
     const unsigned __int128 lo = spill_.front().key();

@@ -1,0 +1,185 @@
+// Link-health estimator hysteresis (ISSUE 10): EWMA demote / probe /
+// restore transitions, probation escalation under the cap, and the
+// reset() pristine postcondition. The sampling hook is private, so every
+// test drives health the way production does — real sends under a
+// per-link loss window.
+#include "net/crosslink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace oaq {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+/// Health on with a fast EWMA (alpha 0.5): two consecutive failures take
+/// a fresh link from 1.0 to 0.25, under the 0.5 demotion threshold. The
+/// hysteresis knobs stay at the ProtocolConfig defaults (demote 0.5,
+/// restore 0.7, probation 60 s, backoff 2, cap 5 min).
+CrosslinkNetwork::Options health_options() {
+  CrosslinkNetwork::Options opt;
+  opt.min_delay = Duration::seconds(10);
+  opt.max_delay = Duration::seconds(30);
+  opt.health.enabled = true;
+  opt.health.alpha = 0.5;
+  return opt;
+}
+
+TEST(LinkHealth, DemotesAfterConsecutiveFailures) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, health_options(), Rng(11));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({1, 0});
+  net.register_node(b, [](const Envelope&) {});
+
+  net.push_link_loss(1, 0, 1, 1.0);
+  net.send(a, b, Ping{});  // ewma 1.0 → 0.5: at the threshold, no demote
+  EXPECT_EQ(net.demoted_link_count(), 0);
+  EXPECT_FALSE(net.link_avoided(0, 1));
+  net.send(a, b, Ping{});  // ewma 0.5 → 0.25 < 0.5: demote
+  sim.run();
+
+  EXPECT_EQ(net.stats().dropped_loss, 2u);
+  EXPECT_EQ(net.stats().links_demoted, 1u);
+  EXPECT_EQ(net.stats().link_probations, 1u);
+  EXPECT_EQ(net.demoted_link_count(), 1);
+  EXPECT_TRUE(net.link_avoided(0, 1));
+  EXPECT_TRUE(net.link_avoided(1, 0));  // plane pairs are symmetric
+  EXPECT_DOUBLE_EQ(net.link_health_ewma(0, 1), 0.25);
+  EXPECT_FALSE(net.health_pristine());
+}
+
+TEST(LinkHealth, OffByDefaultNeverDemotes) {
+  Simulator sim;
+  CrosslinkNetwork::Options opt;  // health disabled — the default
+  opt.min_delay = Duration::seconds(10);
+  opt.max_delay = Duration::seconds(30);
+  CrosslinkNetwork net(sim, opt, Rng(12));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({1, 0});
+  net.register_node(b, [](const Envelope&) {});
+
+  net.push_link_loss(1, 0, 1, 1.0);
+  for (int i = 0; i < 6; ++i) net.send(a, b, Ping{});
+  sim.run();
+
+  EXPECT_EQ(net.stats().dropped_loss, 6u);
+  EXPECT_EQ(net.stats().links_demoted, 0u);
+  EXPECT_EQ(net.demoted_link_count(), 0);
+  EXPECT_FALSE(net.link_avoided(0, 1));
+  EXPECT_DOUBLE_EQ(net.link_health_ewma(0, 1), 1.0);
+  EXPECT_TRUE(net.health_pristine());
+}
+
+TEST(LinkHealth, ProbeRestoresAfterProbation) {
+  Simulator sim;
+  CrosslinkNetwork net(sim, health_options(), Rng(13));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({1, 0});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+
+  net.push_link_loss(1, 0, 1, 1.0);
+  net.send(a, b, Ping{});
+  net.send(a, b, Ping{});  // demoted at t = 0, probation until 60 s
+  net.pop_link_loss(1);    // storm over — but the estimator can't know yet
+
+  bool avoided_inside_probation = false;
+  sim.schedule_at(TimePoint::at(Duration::seconds(30)), [&] {
+    avoided_inside_probation = net.link_avoided(0, 1);
+  });
+  // Past probation, traffic counts as probes; two delivered samples lift
+  // the EWMA 0.25 → 0.625 → 0.8125, past the 0.7 restore threshold.
+  sim.schedule_at(TimePoint::at(Duration::seconds(61)),
+                  [&] { net.send(a, b, Ping{}); });
+  sim.schedule_at(TimePoint::at(Duration::seconds(100)),
+                  [&] { net.send(a, b, Ping{}); });
+  sim.run();
+
+  EXPECT_TRUE(avoided_inside_probation);
+  EXPECT_EQ(received, 2);
+  EXPECT_GE(net.stats().link_probes, 2u);
+  EXPECT_EQ(net.stats().links_restored, 1u);
+  EXPECT_EQ(net.demoted_link_count(), 0);
+  EXPECT_FALSE(net.link_avoided(0, 1));
+  EXPECT_DOUBLE_EQ(net.link_health_ewma(0, 1), 0.8125);
+}
+
+TEST(LinkHealth, ProbationEscalationIsCapped) {
+  CrosslinkNetwork::Options opt = health_options();
+  opt.health.probation_backoff = 64.0;
+  opt.health.probation_cap = Duration::seconds(120);
+  Simulator sim;
+  CrosslinkNetwork net(sim, opt, Rng(14));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({1, 0});
+  net.register_node(b, [](const Envelope&) {});
+
+  net.push_link_loss(1, 0, 1, 1.0);
+  net.send(a, b, Ping{});
+  net.send(a, b, Ping{});  // demoted at t = 0: level 1, retry at 60 s
+  // A failing probe at 61 s escalates to level 2. Uncapped that would be
+  // 60 s · 64 = 3840 s of probation; the cap clamps it to 120 s, so the
+  // link must accept probes again from 181 s.
+  sim.schedule_at(TimePoint::at(Duration::seconds(61)),
+                  [&] { net.send(a, b, Ping{}); });
+  bool avoided_at_170 = false;
+  bool avoided_at_185 = true;
+  sim.schedule_at(TimePoint::at(Duration::seconds(170)),
+                  [&] { avoided_at_170 = net.link_avoided(0, 1); });
+  sim.schedule_at(TimePoint::at(Duration::seconds(185)),
+                  [&] { avoided_at_185 = net.link_avoided(0, 1); });
+  sim.run();
+
+  EXPECT_EQ(net.stats().link_probations, 2u);  // demotion + escalation
+  EXPECT_EQ(net.stats().link_probes, 1u);
+  EXPECT_TRUE(avoided_at_170);
+  EXPECT_FALSE(avoided_at_185);
+  EXPECT_EQ(net.demoted_link_count(), 1);  // probation open ≠ restored
+}
+
+TEST(LinkHealth, ResetRestoresPristineUnderRepeatedStorms) {
+  // Property over repeated arm/storm/reset cycles: whatever a storm did
+  // to the estimator — samples, demotions, open probations — reset()
+  // returns every health cell to its never-sampled state while the
+  // registered handlers keep working.
+  Simulator sim;
+  CrosslinkNetwork net(sim, health_options(), Rng(15));
+  const auto a = Address::sat({0, 0});
+  const auto b = Address::sat({1, 0});
+  int received = 0;
+  net.register_node(b, [&](const Envelope&) { ++received; });
+
+  const Rng outer(99);
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    net.reset(outer.fork(static_cast<std::uint64_t>(cycle)));
+    ASSERT_TRUE(net.health_pristine()) << "cycle " << cycle;
+    ASSERT_EQ(net.demoted_link_count(), 0) << "cycle " << cycle;
+    ASSERT_DOUBLE_EQ(net.link_health_ewma(0, 1), 1.0) << "cycle " << cycle;
+
+    // A storm of varying intensity: lossy sends, then clean ones.
+    Rng storm = outer.fork(1000 + static_cast<std::uint64_t>(cycle));
+    const auto token = static_cast<std::uint32_t>(cycle + 1);
+    net.push_link_loss(token, 0, 1, 1.0);
+    const int lossy = 1 + static_cast<int>(storm.uniform_index(4));
+    for (int i = 0; i < lossy; ++i) net.send(a, b, Ping{});
+    net.pop_link_loss(token);
+    const int clean = static_cast<int>(storm.uniform_index(3));
+    for (int i = 0; i < clean; ++i) net.send(a, b, Ping{});
+    sim.run();
+    EXPECT_FALSE(net.health_pristine()) << "cycle " << cycle;
+  }
+
+  net.reset(Rng(7));
+  EXPECT_TRUE(net.health_pristine());
+  EXPECT_EQ(net.demoted_link_count(), 0);
+  EXPECT_DOUBLE_EQ(net.link_health_ewma(0, 1), 1.0);
+  EXPECT_GT(received, 0);  // handlers survived every reset
+}
+
+}  // namespace
+}  // namespace oaq

@@ -270,6 +270,29 @@ TEST(Simulator, PeakPendingTracksHighWaterMonotonically) {
   EXPECT_EQ(sim.peak_pending_count(), 9u);
 }
 
+TEST(Simulator, LongLivedSoleRunStaysCompact) {
+  // A simulator that alternates small out-of-order bursts with full drains
+  // keeps its sole run alive forever through the direct-append fast path —
+  // the run is never exhausted when settle() scans it, so only the fold
+  // path can reclaim popped entries. Without dead-prefix compaction the
+  // run buffer grew by every burst for the lifetime of the simulator;
+  // with it, the largest run ever materialized stays bounded by the live
+  // set, not the round count.
+  Simulator sim;
+  int fired = 0;
+  for (int round = 0; round < 4000; ++round) {
+    // Descending offsets force the later events below the appended head,
+    // so every burst exercises the spill-fold path on the live sole run.
+    sim.schedule_after(Duration::minutes(8.0), [&] { ++fired; });
+    sim.schedule_after(Duration::minutes(4.0), [&] { ++fired; });
+    sim.schedule_after(Duration::minutes(2.0), [&] { ++fired; });
+    sim.schedule_after(Duration::minutes(1.0), [&] { ++fired; });
+    sim.run();
+  }
+  EXPECT_EQ(fired, 4 * 4000);
+  EXPECT_LT(sim.queue_stats().max_run_length, 512u);
+}
+
 TEST(Simulator, IdsStayDistinctAcrossHeavyChurn) {
   // Schedule/cancel/fire churn must never produce an id that aliases a
   // live event (the generation-tag contract of the pooled kernel).

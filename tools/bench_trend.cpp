@@ -104,54 +104,62 @@ int run(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.size() != 2 || !(max_regression_pct > 0.0)) {
+  if (paths.size() < 2 || !(max_regression_pct > 0.0)) {
     std::cerr << "usage: bench_trend [--max-regression PCT] OLD.json"
-                 " NEW.json\n";
+                 " NEW.json [NEWER.json ...]\n";
     return 2;
   }
-  const auto old_doc = load(paths[0]);
-  const auto new_doc = load(paths[1]);
-  if (!old_doc || !new_doc) return 2;
 
-  TablePrinter table({"bench", "metric", "old", "new", "delta %", "gate"}, 3);
+  // Three or more files form a chain: each consecutive pair is compared
+  // with the same gates, so one invocation audits a whole bench lineage
+  // (BENCH_8 -> BENCH_9 -> BENCH_10).
   int regressions = 0;
-  for (const auto& [bench, new_metrics] : *new_doc) {
-    const auto old_it = old_doc->find(bench);
-    if (old_it == old_doc->end()) {
-      table.add_row({bench, std::string("(new benchmark)"), std::string("-"),
-                     std::string("-"), std::string("-"),
-                     std::string("info")});
-      continue;
-    }
-    for (const auto& [key, new_value] : new_metrics) {
-      const auto old_metric = old_it->second.find(key);
-      if (old_metric == old_it->second.end()) continue;
-      const double old_value = old_metric->second;
-      const double delta_pct =
-          old_value != 0.0
-              ? (new_value - old_value) / std::fabs(old_value) * 100.0
-              : (new_value == 0.0 ? 0.0 : 100.0);
-      std::string gate = "info";
-      if (is_throughput(key)) {
-        gate = delta_pct < -max_regression_pct ? "FAIL" : "ok";
-      } else if (key == "steady_state_allocs") {
-        gate = new_value > old_value ? "FAIL" : "ok";
-      } else if (key == "overhead_pct") {
-        // Percent-point metric: allow PCT% relative growth with one
-        // absolute point of slack so a 0.1 -> 0.4 jitter can't fail.
-        gate = new_value > old_value + 1.0 &&
-                       new_value > old_value * (1.0 + max_regression_pct / 100.0)
-                   ? "FAIL"
-                   : "ok";
+  for (std::size_t step = 0; step + 1 < paths.size(); ++step) {
+    const auto old_doc = load(paths[step]);
+    const auto new_doc = load(paths[step + 1]);
+    if (!old_doc || !new_doc) return 2;
+
+    TablePrinter table({"bench", "metric", "old", "new", "delta %", "gate"},
+                       3);
+    for (const auto& [bench, new_metrics] : *new_doc) {
+      const auto old_it = old_doc->find(bench);
+      if (old_it == old_doc->end()) {
+        table.add_row({bench, std::string("(new benchmark)"),
+                       std::string("-"), std::string("-"), std::string("-"),
+                       std::string("info")});
+        continue;
       }
-      if (gate == "FAIL") ++regressions;
-      table.add_row({bench, key, old_value, new_value, delta_pct, gate});
+      for (const auto& [key, new_value] : new_metrics) {
+        const auto old_metric = old_it->second.find(key);
+        if (old_metric == old_it->second.end()) continue;
+        const double old_value = old_metric->second;
+        const double delta_pct =
+            old_value != 0.0
+                ? (new_value - old_value) / std::fabs(old_value) * 100.0
+                : (new_value == 0.0 ? 0.0 : 100.0);
+        std::string gate = "info";
+        if (is_throughput(key)) {
+          gate = delta_pct < -max_regression_pct ? "FAIL" : "ok";
+        } else if (key == "steady_state_allocs") {
+          gate = new_value > old_value ? "FAIL" : "ok";
+        } else if (key == "overhead_pct") {
+          // Percent-point metric: allow PCT% relative growth with one
+          // absolute point of slack so a 0.1 -> 0.4 jitter can't fail.
+          gate = new_value > old_value + 1.0 &&
+                         new_value >
+                             old_value * (1.0 + max_regression_pct / 100.0)
+                     ? "FAIL"
+                     : "ok";
+        }
+        if (gate == "FAIL") ++regressions;
+        table.add_row({bench, key, old_value, new_value, delta_pct, gate});
+      }
     }
+    table.set_caption("bench trend: " + paths[step] + " -> " +
+                      paths[step + 1] + " (max regression " +
+                      std::to_string(max_regression_pct) + "%)");
+    table.print(std::cout);
   }
-  table.set_caption("bench trend: " + paths[0] + " -> " + paths[1] +
-                    " (max regression " + std::to_string(max_regression_pct) +
-                    "%)");
-  table.print(std::cout);
   if (regressions > 0) {
     std::cout << "bench_trend: " << regressions
               << " gated metric(s) regressed\n";

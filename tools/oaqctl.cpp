@@ -7,6 +7,8 @@
 //   oaqctl simulate  --k 9 --tau 5 --mu 0.5 --episodes 20000 [--baq]
 //                    [--trace out.jsonl] [--metrics out.json] [--profile]
 //                    [--fault-plan plan.txt] [--loss P] [--reliable]
+//                    [--self-heal] [--ge-loss PA,PB,P,R,LOSS]
+//                    [--outage-train PA,PB,UP,DOWN]
 //                    [--check-invariants] [--chaos-sweep]
 //   oaqctl coverage  [--bands 18]
 //   oaqctl trace-summary trace.jsonl [--metrics metrics.json]
@@ -28,6 +30,7 @@
 #include <vector>
 
 #include "analytic/measure.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "fault/plan.hpp"
 #include "fault/plane_capacity.hpp"
@@ -207,19 +210,80 @@ GeoPoint target_from_flags(const Args& args) {
                                 args.number_in("lon", 0.0, -180.0, 180.0));
 }
 
-/// Parse --fault-plan FILE (nullopt when absent).
-std::optional<FaultPlan> load_fault_plan(const Args& args) {
+/// Parse --fault-plan FILE (nullopt when absent). With `horizon` the
+/// parser additionally rejects clauses scheduled past it (campaign mode,
+/// where clause times are absolute run time).
+std::optional<FaultPlan> load_fault_plan(
+    const Args& args, std::optional<Duration> horizon = std::nullopt) {
   const std::string path = args.str("fault-plan");
   if (path.empty()) return std::nullopt;
   std::ifstream is(path);
   if (!is.good()) {
     throw std::invalid_argument("cannot open fault plan: " + path);
   }
-  return parse_fault_plan(is);
+  try {
+    return horizon ? parse_fault_plan(is, *horizon) : parse_fault_plan(is);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("--fault-plan " + path + ": " + e.what());
+  }
+}
+
+/// Exact-arity comma-separated numeric flag value ("0,1,4.0,2.0,0.95").
+std::vector<double> comma_numbers(const std::string& flag,
+                                  const std::string& value,
+                                  std::size_t arity) {
+  std::vector<double> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(item, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != item.size() || item.empty() || !std::isfinite(v)) {
+      throw std::invalid_argument("--" + flag + ": '" + item +
+                                  "' is not a finite number");
+    }
+    out.push_back(v);
+  }
+  if (out.size() != arity) {
+    throw std::invalid_argument(
+        "--" + flag + ": expected " + std::to_string(arity) +
+        " comma-separated numbers, got " + std::to_string(out.size()));
+  }
+  return out;
+}
+
+/// Stochastic-clause flags shared by simulate and campaign (appended to
+/// the --fault-plan clauses, or to a fresh plan, over [0, window]):
+///   --ge-loss PA,PB,P,R,LOSS      Gilbert–Elliott loss on link (PA, PB)
+///   --outage-train PA,PB,UP,DOWN  alternating up/down outage on (PA, PB)
+void append_stochastic_clauses(const Args& args,
+                               std::optional<FaultPlan>& plan,
+                               Duration window) {
+  const std::string ge = args.str("ge-loss");
+  const std::string train = args.str("outage-train");
+  if (ge.empty() && train.empty()) return;
+  if (!plan) plan.emplace();
+  if (!ge.empty()) {
+    const auto v = comma_numbers("ge-loss", ge, 5);
+    plan->add(FaultPlan::ge_loss(static_cast<int>(v[0]),
+                                 static_cast<int>(v[1]), v[2], v[3], v[4],
+                                 Duration::zero(), window));
+  }
+  if (!train.empty()) {
+    const auto v = comma_numbers("outage-train", train, 4);
+    plan->add(FaultPlan::outage_train(static_cast<int>(v[0]),
+                                      static_cast<int>(v[1]), v[2], v[3],
+                                      Duration::zero(), window));
+  }
 }
 
 /// Link-degradation flags shared by simulate and campaign:
-/// --loss P --reliable --retries N --backoff B.
+/// --loss P --reliable --retries N --backoff B --self-heal.
 void apply_link_flags(const Args& args, ProtocolConfig& protocol) {
   protocol.crosslink_loss_probability =
       args.number_in("loss", protocol.crosslink_loss_probability, 0.0, 1.0);
@@ -228,6 +292,9 @@ void apply_link_flags(const Args& args, ProtocolConfig& protocol) {
       args.at_least("retries", protocol.link_retry_limit, 0);
   protocol.link_backoff_base =
       args.number_in("backoff", protocol.link_backoff_base, 1.0, 64.0);
+  if (args.flag("self-heal")) protocol.self_healing_links = true;
+  protocol.link_health_alpha = args.number_in(
+      "health-alpha", protocol.link_health_alpha, 0.0, 1.0);
 }
 
 /// Observability file sinks shared by `simulate` and `campaign`:
@@ -459,12 +526,23 @@ int run_chaos_sweep(QosSimulationConfig cfg,
   cfg.profile = nullptr;
   cfg.check_invariants = true;
 
+  // Cell seeds come off the reserved campaign-fault stream (stream 6 of
+  // the master fork tree — tools/README.md "RNG stream layout"): cell i
+  // runs with a seed drawn from Rng(seed).fork(6).fork(i). Scenarios are
+  // therefore mutually independent: reordering or inserting one never
+  // perturbs another cell's draws, and none of them shadows the plain
+  // `simulate` run at the same --seed.
+  const Rng sweep_master(cfg.seed);
+
   TablePrinter table({"scenario", "P(Y>=2)", "P(missed)", "duplicates",
                       "unresolved", "violations"},
                      4);
   std::int64_t total_violations = 0;
   std::vector<std::string> samples;
-  for (const Scenario& s : scenarios) {
+  for (std::size_t cell = 0; cell < scenarios.size(); ++cell) {
+    const Scenario& s = scenarios[cell];
+    Rng cell_rng = sweep_master.fork(6).fork(cell);
+    cfg.seed = cell_rng.next_u64();
     cfg.fault_plan = s.plan.empty() ? nullptr : &s.plan;
     const auto sim = simulate_qos(cfg);
     table.add_row({s.name, sim.tail(QosLevel::kSequentialDual),
@@ -537,7 +615,10 @@ int cmd_simulate(const Args& args) {
     cfg.earth_rotation = args.flag("earth-rotation");
   }
 
-  const auto plan = load_fault_plan(args);
+  auto plan = load_fault_plan(args);
+  // Stochastic clause flags expand over [0, τ] — simulate's clause times
+  // are relative to the signal start, and τ bounds the protocol window.
+  append_stochastic_clauses(args, plan, cfg.protocol.tau);
   if (args.flag("chaos-sweep")) return run_chaos_sweep(cfg, plan);
   std::optional<FaultPlan> resolved;
   if (plan && !plan->empty()) {
@@ -642,7 +723,11 @@ int cmd_campaign(const Args& args) {
     cfg.earth_rotation = args.flag("earth-rotation");
   }
 
-  const auto plan = load_fault_plan(args);
+  // Campaign clause times are absolute run time, so the horizon-aware
+  // parse rejects clauses that could never fire; stochastic clause flags
+  // expand over the whole horizon.
+  auto plan = load_fault_plan(args, cfg.horizon);
+  append_stochastic_clauses(args, plan, cfg.horizon);
   std::optional<FaultPlan> resolved;
   if (plan && !plan->empty()) {
     if (con) {
@@ -994,6 +1079,7 @@ int cmd_report(const Args& args) {
   // --- Trace: latency percentiles + cause×chain×drops. ---
   std::optional<TraceSummary> summary;
   std::vector<double> latencies_min;
+  std::vector<double> recovery_min;
   if (!trace_path.empty()) {
     const auto text = slurp(trace_path);
     if (!text) {
@@ -1006,6 +1092,16 @@ int cmd_report(const Args& args) {
     // definition (CampaignResult::latency_min), recovered from the trace.
     std::map<std::pair<int, std::int64_t>, double> detection_t;
     std::map<std::pair<int, std::int64_t>, double> first_alert_t;
+    // Post-outage recovery per (shard, episode): time from the last fault
+    // deactivation (a < 0) preceding delivery to the first delivery.
+    // Events within a shard arrive in sim-time order, so snapshotting the
+    // running last-deactivation time at the delivery event is exact.
+    struct RecoveryRow {
+      double last_degrade_end = -1.0;
+      double degrade_end_at_delivery = -1.0;
+      double delivered_min = -1.0;
+    };
+    std::map<std::pair<int, std::int64_t>, RecoveryRow> recovery_rows;
     std::istringstream lines(*text);
     std::string line;
     while (std::getline(lines, line)) {
@@ -1017,6 +1113,16 @@ int cmd_report(const Args& args) {
         detection_t.emplace(key, parsed->event.t_min);
       } else if (parsed->event.type == TraceEventType::kAlert) {
         first_alert_t.emplace(key, parsed->event.t_min);
+      } else if (parsed->event.type == TraceEventType::kAlertDelivered) {
+        RecoveryRow& row = recovery_rows[key];
+        if (row.delivered_min < 0.0) {
+          row.delivered_min = parsed->event.t_min;
+          row.degrade_end_at_delivery = row.last_degrade_end;
+        }
+      } else if (is_fault(parsed->event.type) && parsed->event.a < 0) {
+        RecoveryRow& row = recovery_rows[key];
+        row.last_degrade_end =
+            std::max(row.last_degrade_end, parsed->event.t_min);
       }
     }
     for (const auto& [key, alert_t] : first_alert_t) {
@@ -1026,6 +1132,13 @@ int cmd_report(const Args& args) {
       }
     }
     std::sort(latencies_min.begin(), latencies_min.end());
+    for (const auto& [key, row] : recovery_rows) {
+      if (row.delivered_min >= 0.0 && row.degrade_end_at_delivery >= 0.0) {
+        recovery_min.push_back(row.delivered_min -
+                               row.degrade_end_at_delivery);
+      }
+    }
+    std::sort(recovery_min.begin(), recovery_min.end());
 
     std::cout << "trace: " << summary->events << " events, "
               << summary->detections << " detections, "
@@ -1041,6 +1154,16 @@ int cmd_report(const Args& args) {
       table.add_row({std::string("p90"), percentile(latencies_min, 90.0)});
       table.add_row({std::string("p99"), percentile(latencies_min, 99.0)});
       table.add_row({std::string("max"), latencies_min.back()});
+      table.print(std::cout);
+    }
+    if (!recovery_min.empty()) {
+      TablePrinter table({"recovery (degradation end → delivery)", "min"},
+                         3);
+      table.add_row({std::string("episodes"),
+                     static_cast<long long>(recovery_min.size())});
+      table.add_row({std::string("p50"), percentile(recovery_min, 50.0)});
+      table.add_row({std::string("p99"), percentile(recovery_min, 99.0)});
+      table.add_row({std::string("max"), recovery_min.back()});
       table.print(std::cout);
     }
     if (!summary->termination.empty()) {
@@ -1191,6 +1314,14 @@ int cmd_report(const Args& args) {
     os << ",\"max\":";
     write_json_double(os,
                       latencies_min.empty() ? 0.0 : latencies_min.back());
+    os << "},\"recovery_min\":{\"episodes\":" << recovery_min.size();
+    for (const auto& [label, p] :
+         {std::pair<const char*, double>{"p50", 50.0}, {"p99", 99.0}}) {
+      os << ",\"" << label << "\":";
+      write_json_double(os, percentile(recovery_min, p));
+    }
+    os << ",\"max\":";
+    write_json_double(os, recovery_min.empty() ? 0.0 : recovery_min.back());
     os << "},\"causes\":[";
     bool first = true;
     if (summary) {
@@ -1378,8 +1509,16 @@ int help() {
       "Fault injection (simulate & campaign): --fault-plan FILE replays a\n"
       "scripted degradation plan (see tools/README.md for the clause\n"
       "syntax), --loss P --reliable --retries N --backoff B set the link\n"
-      "model, --check-invariants audits every episode (I1-I8). simulate\n"
-      "--chaos-sweep tabulates QoS damage under built-in fault scenarios.\n"
+      "model, --self-heal enables the per-link health estimator and\n"
+      "hysteretic chain re-routing (--health-alpha A tunes the EWMA),\n"
+      "--ge-loss PA,PB,P,R,LOSS appends a Gilbert-Elliott loss clause and\n"
+      "--outage-train PA,PB,UP,DOWN an alternating-outage clause to the\n"
+      "plan, --check-invariants audits every episode (I1-I12). simulate\n"
+      "--chaos-sweep tabulates QoS damage under built-in fault scenarios\n"
+      "(cell i of the sweep is seeded from Rng(seed).fork(6).fork(i), the\n"
+      "reserved fault stream, so cells never share draws). report with a\n"
+      "--trace from a faulted run also prints post-outage recovery\n"
+      "percentiles (last degradation end -> first delivery).\n"
       "Exit status is 1 when invariant checking finds a violation.\n";
   return 0;
 }

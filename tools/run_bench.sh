@@ -5,9 +5,11 @@
 # (fault-injection engine, ISSUE 5), BENCH_6.json (SoA episode batching,
 # ISSUE 6), BENCH_7.json (episode batching + span-profiler overhead,
 # ISSUE 7), BENCH_8.json (BENCH_7's pair + the mega-constellation
-# scale-out, ISSUE 8), and BENCH_9.json (the same trio, with
+# scale-out, ISSUE 8), BENCH_9.json (the same trio, with
 # episode_batch now also emitting its episode_interleave payload,
-# ISSUE 9) at the repo root.
+# ISSUE 9), and BENCH_10.json (BENCH_9's trio plus the chaos_soak
+# stochastic-fault / self-healing-link harness, ISSUE 10) at the repo
+# root.
 #
 #   tools/run_bench.sh [build-dir]
 #
@@ -18,8 +20,10 @@
 # des_kernel, geometry_batch, fault_storm, episode_batch, span_overhead,
 # and constellation_scale binaries enforce their acceptance gates
 # (>= 1.5-2x speedups, <= 5% overheads, zero steady-state allocations),
-# so a failing gate fails this script. Afterwards bench_trend compares
-# BENCH_8 -> BENCH_9 and fails on a gated throughput regression.
+# so a failing gate fails this script (chaos_soak gates its clean-path
+# overhead, expansion allocations, and invariant count likewise).
+# Afterwards bench_trend compares BENCH_8 -> BENCH_9 -> BENCH_10 and
+# fails on a gated throughput regression.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,7 +32,8 @@ build_dir="${1:-"${repo_root}/build-bench"}"
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j \
   --target des_kernel parallel_scaling geometry_batch fault_storm \
-  episode_batch span_overhead constellation_scale bench_trend >/dev/null
+  episode_batch span_overhead constellation_scale chaos_soak \
+  bench_trend >/dev/null
 
 log3="$(mktemp)"
 log4="$(mktemp)"
@@ -37,7 +42,9 @@ log6="$(mktemp)"
 log7="$(mktemp)"
 log8="$(mktemp)"
 log9="$(mktemp)"
-trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}" "${log7}" "${log8}" "${log9}"' EXIT
+log10="$(mktemp)"
+trap 'rm -f "${log3}" "${log4}" "${log5}" "${log6}" "${log7}" "${log8}" \
+  "${log9}" "${log10}"' EXIT
 
 # Join a log's BENCH_JSON payloads into {"benchmarks": [...]}.
 aggregate() {
@@ -83,6 +90,14 @@ echo "== episode_batch (interleave) + span_overhead + constellation_scale ==" >&
 "${build_dir}/bench/constellation_scale" | tee -a "${log9}" >&2
 aggregate "${log9}" "${repo_root}/BENCH_9.json"
 
-echo "== bench_trend BENCH_8 -> BENCH_9 ==" >&2
+echo "== episode_batch + span_overhead + constellation_scale + chaos_soak ==" >&2
+"${build_dir}/bench/episode_batch" | tee -a "${log10}" >&2
+"${build_dir}/bench/span_overhead" | tee -a "${log10}" >&2
+"${build_dir}/bench/constellation_scale" | tee -a "${log10}" >&2
+"${build_dir}/bench/chaos_soak" | tee -a "${log10}" >&2
+aggregate "${log10}" "${repo_root}/BENCH_10.json"
+
+echo "== bench_trend BENCH_8 -> BENCH_9 -> BENCH_10 ==" >&2
 "${build_dir}/tools/bench_trend" --max-regression 10 \
-  "${repo_root}/BENCH_8.json" "${repo_root}/BENCH_9.json" >&2
+  "${repo_root}/BENCH_8.json" "${repo_root}/BENCH_9.json" \
+  "${repo_root}/BENCH_10.json" >&2
